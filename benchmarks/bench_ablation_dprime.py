@@ -1,0 +1,81 @@
+"""Ablation — sensitivity of SOLH to the hash-domain choice ``d'``.
+
+Sweeps ``d'`` around the Eq. (5) optimum on a Kosarak-like workload,
+reporting both the analytical variance (Prop. 6) and the empirical MSE.
+The two must agree, and the empirical minimum must land at (or next to)
+the closed-form optimum — this is the design-choice validation DESIGN.md
+calls out for the paper's central tuning rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import mse
+from repro.core import solh_optimal_d_prime, solh_variance_shuffled
+from repro.data import kosarak_like
+from repro.frequency_oracles import SOLH
+
+from bench_common import bench_repeats, bench_rng, bench_scale, emit, run_once
+
+DELTA = 1e-9
+EPS_C = 0.6
+
+
+def _experiment() -> str:
+    rng = bench_rng()
+    data = kosarak_like(rng, scale=bench_scale())
+    truth = data.frequencies
+    optimum = solh_optimal_d_prime(EPS_C, data.n, DELTA)
+    sweep = sorted(
+        {
+            max(2, optimum // 8),
+            max(2, optimum // 3),
+            max(2, optimum // 2),
+            optimum,
+            optimum * 2,
+            optimum * 3,
+        }
+    )
+    lines = [
+        f"Kosarak-like n={data.n}, d={data.d}, eps_c={EPS_C}, "
+        f"Eq.(5) optimum d'={optimum}",
+        f"{'d-prime':>8}  {'analytic var':>14}  {'empirical MSE':>14}",
+    ]
+    empirical: dict[int, float] = {}
+    for d_prime in sweep:
+        analytic = solh_variance_shuffled(EPS_C, data.n, DELTA, d_prime=d_prime)
+        oracle, __ = SOLH.for_central_target(
+            data.d, EPS_C, data.n, DELTA, d_prime=d_prime
+        )
+        measured = float(
+            np.mean(
+                [
+                    mse(truth, oracle.estimate_from_histogram(data.histogram, rng))
+                    for __ in range(bench_repeats())
+                ]
+            )
+        )
+        empirical[d_prime] = measured
+        lines.append(f"{d_prime:>8}  {analytic:>14.3e}  {measured:>14.3e}")
+
+    best = min(empirical, key=empirical.get)
+    ok_optimal = empirical[optimum] <= empirical[best] * 1.25
+    analytic_at_opt = solh_variance_shuffled(EPS_C, data.n, DELTA, d_prime=optimum)
+    ok_match = 0.3 < empirical[optimum] / analytic_at_opt < 3.0
+    lines.append(
+        f"  [{'ok' if ok_optimal else 'MISMATCH'}] Eq.(5) optimum within 25% "
+        f"of the best swept d' (best: {best})"
+    )
+    lines.append(
+        f"  [{'ok' if ok_match else 'MISMATCH'}] empirical MSE matches Prop. 6 "
+        "within 3x"
+    )
+    return "\n".join(lines)
+
+
+def bench_ablation_dprime(benchmark):
+    """Validate the Eq. (5) tuning rule empirically."""
+    table = run_once(benchmark, _experiment)
+    emit("ablation_dprime", table)
+    assert "MISMATCH" not in table

@@ -1,0 +1,51 @@
+"""Shared plumbing for the benchmark harness.
+
+Every ``bench_*`` module reproduces one table or figure of the paper.  The
+experiments run once per pytest invocation (``benchmark.pedantic`` with a
+single round — re-running a full sweep dozens of times would measure
+nothing new), print the paper-style table to stdout, and append it to
+``benchmarks/results/<name>.txt`` so the output survives pytest's capture.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE``  — population scale factor (default 0.1; ``1.0``
+  reproduces the paper's n exactly and takes correspondingly longer).
+* ``REPRO_BENCH_REPEATS`` — per-point repetitions (default 5; the paper
+  used 100).
+* ``REPRO_BENCH_SEED``   — RNG seed (default 2020, the paper's year).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+
+def bench_repeats() -> int:
+    return int(os.environ.get("REPRO_BENCH_REPEATS", "5"))
+
+
+def bench_rng() -> np.random.Generator:
+    return np.random.default_rng(int(os.environ.get("REPRO_BENCH_SEED", "2020")))
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    banner = f"\n=== {name} ===\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{name}.txt", "w") as handle:
+        handle.write(banner)
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,106 @@
+"""Table II — SOLH vs RAP_R on the Kosarak dataset.
+
+Rows reproduced:
+* the Eq. (5) optimal ``d'`` of SOLH per eps_c;
+* empirical MSE of SOLH at the optimal ``d'``;
+* empirical MSE of SOLH at fixed sub-optimal ``d'`` (10 / 100 / 1000) —
+  showing the cost of mis-tuning (catastrophic when ``m < d'``);
+* empirical MSE of RAP_R (the strongest competitor, at 2x budget).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import mse
+from repro.core import solh_optimal_d_prime
+from repro.data import kosarak_like
+from repro.frequency_oracles import SOLH, make_rap_r
+
+from bench_common import bench_repeats, bench_rng, bench_scale, emit, run_once
+
+DELTA = 1e-9
+EPS_GRID = [0.2, 0.4, 0.6, 0.8]
+FIXED_D_PRIMES = [10, 100, 1000]
+
+
+def _mean_mse(method, histogram, truth, rng, repeats) -> float:
+    return float(
+        np.mean(
+            [
+                mse(truth, method.estimate_from_histogram(histogram, rng))
+                for __ in range(repeats)
+            ]
+        )
+    )
+
+
+def _experiment() -> str:
+    rng = bench_rng()
+    data = kosarak_like(rng, scale=bench_scale())
+    truth = data.frequencies
+    repeats = bench_repeats()
+
+    header = f"{'metric':<22}" + "".join(f"  eps={e:<10}" for e in EPS_GRID)
+    lines = [header, "-" * len(header)]
+
+    d_prime_row = [solh_optimal_d_prime(e, data.n, DELTA) for e in EPS_GRID]
+    lines.append(
+        f"{'SOLH optimal d-prime':<22}" + "".join(f"  {d:<14}" for d in d_prime_row)
+    )
+
+    solh_row = []
+    for eps_c in EPS_GRID:
+        oracle, __ = SOLH.for_central_target(data.d, eps_c, data.n, DELTA)
+        solh_row.append(_mean_mse(oracle, data.histogram, truth, rng, repeats))
+    lines.append(f"{'SOLH (optimal)':<22}" + "".join(f"  {v:<14.3e}" for v in solh_row))
+
+    fixed_rows: dict[int, list[float]] = {}
+    for fixed in FIXED_D_PRIMES:
+        row = []
+        for eps_c in EPS_GRID:
+            oracle, __ = SOLH.for_central_target(
+                data.d, eps_c, data.n, DELTA, d_prime=fixed
+            )
+            row.append(_mean_mse(oracle, data.histogram, truth, rng, repeats))
+        fixed_rows[fixed] = row
+        lines.append(
+            f"{f'SOLH (d-prime={fixed})':<22}" + "".join(f"  {v:<14.3e}" for v in row)
+        )
+
+    rap_r_row = []
+    for eps_c in EPS_GRID:
+        oracle, __ = make_rap_r(data.d, eps_c, data.n, DELTA)
+        rap_r_row.append(_mean_mse(oracle, data.histogram, truth, rng, repeats))
+    lines.append(f"{'RAP_R':<22}" + "".join(f"  {v:<14.3e}" for v in rap_r_row))
+
+    lines.append("")
+    lines.append(
+        f"Kosarak-like: n={data.n}, d={data.d} (paper: n=990002, d=42178; "
+        f"scale={bench_scale()}), {repeats} repeats."
+    )
+    lines.append(
+        "Communication per report: SOLH 8B (seed+value) vs RAP_R "
+        f"{data.d // 8}B (one bit per domain value) — the paper's 8B vs 5KB."
+    )
+
+    # Shape checks: mis-tuned d'=1000 is catastrophic at small eps_c (the
+    # bound admits no amplification there); RAP_R is the accuracy winner.
+    ok_fixed = solh_row[0] < fixed_rows[1000][0] / 10
+    ok_rap = sum(r < s for r, s in zip(rap_r_row, solh_row)) >= 3
+    lines.append(
+        f"  [{'ok' if ok_fixed else 'MISMATCH'}] optimal d' beats fixed d'=1000 "
+        "by >10x at eps_c=0.2"
+    )
+    lines.append(
+        f"  [{'ok' if ok_rap else 'MISMATCH'}] RAP_R more accurate than SOLH "
+        "(it spends 2x the budget)"
+    )
+    return "\n".join(lines)
+
+
+def bench_table2(benchmark):
+    """Regenerate Table II (d' choices and utility comparison)."""
+    table = run_once(benchmark, _experiment)
+    emit("table2_kosarak", table)
+    assert "MISMATCH" not in table

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Scenario: finding the most frequent search queries privately.
+
+The succinct-histogram case study of Section VII-C: the domain is all
+48-bit strings (2^48 values — no frequency oracle can enumerate it), so
+TreeHist walks a prefix tree, pruning to the top 32 prefixes per round
+with a pluggable private frequency estimator.
+
+We run the same task with the paper's SOLH (shuffle model), plain-LDP OLH,
+and the central-DP Laplace upper bound, and report top-32 precision.
+
+Run:  python examples/heavy_hitters.py
+"""
+
+import numpy as np
+
+from repro.analysis import precision_at_k, treehist
+from repro.data import aol_like
+
+EPS = 1.0
+DELTA = 1e-9
+K = 32
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    data = aol_like(rng, scale=0.4)
+    distinct = len(np.unique(data.values))
+    print(f"query log: {data.n} queries, {distinct} distinct 48-bit strings")
+    print(f"task: find the top-{K} queries under ({EPS}, {DELTA})-DP\n")
+
+    truth = data.top_k(K)
+    truth_set = {int(v) for v in truth}
+
+    for method in ("SOLH", "OLH", "Lap"):
+        result = treehist(data, method, EPS, DELTA, rng, k=K)
+        precision = precision_at_k(truth, result.discovered)
+        model = {
+            "SOLH": "shuffle model (every user, eps/6 per round)",
+            "OLH": "local model (users split into 6 groups)",
+            "Lap": "central model (trusted curator)",
+        }[method]
+        print(f"{method:<5} [{model}]")
+        print(f"      precision@{K} = {precision:.2f}")
+        hits = [
+            f"0x{int(v):012x}" for v in result.discovered[:5] if int(v) in truth_set
+        ]
+        print(f"      first true heavy hitters found: {', '.join(hits) or '(none)'}\n")
+
+    print("takeaway: the shuffle model makes the heavy-hitter task feasible at")
+    print("budgets where plain LDP finds essentially nothing (Figure 4).")
+
+
+if __name__ == "__main__":
+    main()

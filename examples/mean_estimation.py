@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Scenario: private mean estimation of a numerical attribute.
+
+Beyond histograms, the other canonical shuffle-model task (the related
+work the paper points to in Section VIII): estimate the average of a
+bounded numerical value — say, daily screen-time minutes in [0, 600] —
+over 200k users. We compare the one-bit mechanism locally vs through the
+shuffler, with confidence intervals from the analytical variance bound.
+
+Run:  python examples/mean_estimation.py
+"""
+
+import numpy as np
+
+from repro.frequency_oracles import (
+    OneBitMeanEstimator,
+    make_shuffled_mean_estimator,
+    mean_confidence_halfwidth,
+)
+
+N_USERS = 200_000
+LOW, HIGH = 0.0, 600.0   # minutes per day
+EPS_C = 0.3
+DELTA = 1e-9
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    # A plausible screen-time population: lognormal-ish, clipped.
+    values = np.clip(rng.lognormal(mean=5.0, sigma=0.6, size=N_USERS), LOW, HIGH)
+    true_mean = float(values.mean())
+    print(f"population: {N_USERS} users, values in [{LOW:.0f}, {HIGH:.0f}] minutes")
+    print(f"true mean: {true_mean:.2f} minutes")
+    print(f"central target: ({EPS_C}, {DELTA})-DP\n")
+
+    local = OneBitMeanEstimator(LOW, HIGH, EPS_C)
+    local_estimate = local.run(values, rng)
+    local_halfwidth = mean_confidence_halfwidth(local, N_USERS)
+    print(f"local model    eps_local={local.eps:.3f}  "
+          f"estimate={local_estimate:7.2f} +- {local_halfwidth:.2f} (95%)")
+
+    shuffled, amplification = make_shuffled_mean_estimator(
+        LOW, HIGH, EPS_C, N_USERS, DELTA
+    )
+    shuffled_estimate = shuffled.run(values, rng)
+    shuffled_halfwidth = mean_confidence_halfwidth(shuffled, N_USERS)
+    print(f"shuffle model  eps_local={shuffled.eps:.3f}  "
+          f"estimate={shuffled_estimate:7.2f} +- {shuffled_halfwidth:.2f} (95%)")
+
+    print(f"\namplification gain: users spend "
+          f"{amplification.gain:.1f}x the central budget locally")
+    print(f"interval width shrinks {local_halfwidth / shuffled_halfwidth:.1f}x "
+          "just by routing reports through a shuffler")
+
+
+if __name__ == "__main__":
+    main()

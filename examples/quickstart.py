@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: private frequency estimation in the shuffle model.
+
+A server wants the histogram of a sensitive categorical attribute over
+~60k users without learning any individual's value.  We compare:
+
+* plain local DP (OLH) at the same central guarantee, and
+* SOLH — the paper's shuffler-optimal mechanism — which exploits the
+  shuffle model's privacy amplification to add far less noise.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analysis import mse
+from repro.core import solh_variance_shuffled
+from repro.data import ipums_like
+from repro.frequency_oracles import OLH, SOLH
+
+EPS_C = 0.5     # central privacy target against the server
+DELTA = 1e-9
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # A census-shaped population: 915 cities, ~60k users.
+    data = ipums_like(rng, scale=0.1)
+    print(f"population: n={data.n} users, d={data.d} values")
+    print(f"central target: ({EPS_C}, {DELTA})-DP against the server\n")
+
+    # --- local DP baseline -------------------------------------------------
+    olh = OLH(data.d, EPS_C)
+    olh_estimates = olh.estimate_from_histogram(data.histogram, rng)
+    print(f"OLH  (local model)   d'={olh.d_prime:<5} eps_local={olh.eps:.3f}  "
+          f"MSE={mse(data.frequencies, olh_estimates):.3e}")
+
+    # --- SOLH in the shuffle model ------------------------------------------
+    solh, amplification = SOLH.for_central_target(data.d, EPS_C, data.n, DELTA)
+    solh_estimates = solh.estimate_from_histogram(data.histogram, rng)
+    print(f"SOLH (shuffle model) d'={solh.d_prime:<5} eps_local={solh.eps:.3f}  "
+          f"MSE={mse(data.frequencies, solh_estimates):.3e}")
+    print(f"\namplification: each user spends eps_l={amplification.eps_l:.3f} "
+          f"locally ({amplification.gain:.1f}x the central target) because the "
+          "shuffler breaks report-user linkage")
+    print(f"predicted SOLH variance (Prop. 6): "
+          f"{solh_variance_shuffled(EPS_C, data.n, DELTA):.3e}")
+
+    # --- what the server actually learns ------------------------------------
+    top = np.argsort(-data.frequencies)[:5]
+    print("\ntop-5 values, true vs SOLH estimate:")
+    for v in top:
+        print(f"  value {v:>4}: true={data.frequencies[v]:.4f}  "
+              f"estimate={solh_estimates[v]:.4f}")
+
+
+if __name__ == "__main__":
+    main()

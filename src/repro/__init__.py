@@ -1,0 +1,51 @@
+"""repro — reproduction of "Improving Utility and Security of the
+Shuffler-based Differential Privacy" (Wang et al., VLDB 2020).
+
+Layout:
+
+* :mod:`repro.core` — shuffle-model accounting: amplification bounds
+  (Table I, Theorems 1-3), utility analysis (Propositions 4-6, Eq. 5),
+  PEOS privacy/utility (Corollaries 8-9), and the Section VI-D planner.
+* :mod:`repro.frequency_oracles` — GRR, OLH, Hadamard, RAPPOR variants,
+  AUE, SOLH, and central baselines.
+* :mod:`repro.hashing` — seeded universal hash families.
+* :mod:`repro.crypto` — Paillier, DGK, AES-128-CBC, secp256r1 ElGamal,
+  additive secret sharing, onion encryption.
+* :mod:`repro.shuffle` — single shuffler, sequential SS, oblivious
+  shuffle, and EOS.
+* :mod:`repro.protocol` — PEOS end to end, parties/adversaries, attacks,
+  cost accounting.
+* :mod:`repro.data` — paper-shaped synthetic workloads.
+* :mod:`repro.analysis` — metrics, experiment harness, TreeHist.
+
+Quick start::
+
+    import numpy as np
+    from repro.data import ipums_like
+    from repro.frequency_oracles import SOLH
+
+    rng = np.random.default_rng(0)
+    data = ipums_like(rng, scale=0.1)
+    oracle, amplification = SOLH.for_central_target(
+        d=data.d, eps_c=0.5, n=data.n, delta=1e-9
+    )
+    estimates = oracle.estimate_from_histogram(data.histogram, rng)
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, core, costs, crypto, data, frequency_oracles, hashing
+from . import protocol, shuffle
+
+__all__ = [
+    "__version__",
+    "analysis",
+    "core",
+    "costs",
+    "crypto",
+    "data",
+    "frequency_oracles",
+    "hashing",
+    "protocol",
+    "shuffle",
+]

@@ -1,0 +1,47 @@
+"""Evaluation layer: metrics, the experiment harness, and TreeHist."""
+
+from .confidence import (
+    IntervalBand,
+    frequency_band,
+    minimum_detectable_frequency,
+    z_score,
+)
+from .experiments import (
+    FIGURE3_METHODS,
+    METHODS,
+    SweepResult,
+    build_method,
+    format_sweep_table,
+    run_sweep,
+    run_trial,
+)
+from .metrics import (
+    max_absolute_error,
+    mean_absolute_error,
+    mse,
+    precision_at_k,
+    top_k_from_estimates,
+)
+from .treehist import LOCAL_METHODS, TreeHistResult, treehist
+
+__all__ = [
+    "FIGURE3_METHODS",
+    "IntervalBand",
+    "LOCAL_METHODS",
+    "METHODS",
+    "SweepResult",
+    "TreeHistResult",
+    "build_method",
+    "frequency_band",
+    "format_sweep_table",
+    "max_absolute_error",
+    "mean_absolute_error",
+    "mse",
+    "minimum_detectable_frequency",
+    "precision_at_k",
+    "run_sweep",
+    "run_trial",
+    "top_k_from_estimates",
+    "treehist",
+    "z_score",
+]

@@ -1,0 +1,198 @@
+"""Experiment harness: the method registry and sweep runners behind the
+Figure 3 / Table II / Figure 4 reproductions.
+
+Every competitor from Section VII-A is constructible by name for a given
+``(d, n, eps_c, delta)``:
+
+========  ==================================================================
+name      mechanism
+========  ==================================================================
+OLH       local-model optimized local hashing at ``eps = eps_c``
+Had       local-model Hadamard response at ``eps = eps_c``
+SH        shuffled GRR [9] (amplified; falls back below the threshold)
+SOLH      the paper's shuffler-optimal local hashing
+AUE       appended unary encoding [8] (central target, not LDP)
+RAP       shuffled basic RAPPOR (Theorem 2)
+RAP_R     removal-LDP RAPPOR [31]
+Base      uniform-guess baseline
+Lap       central-DP Laplace mechanism
+========  ==================================================================
+
+Each built method exposes ``estimate_from_histogram(histogram, rng)``; the
+sweep runner repeats trials and aggregates any metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..frequency_oracles import (
+    AUE,
+    GRR,
+    OLH,
+    SOLH,
+    HadamardResponse,
+    LaplaceMechanism,
+    UniformBaseline,
+    make_rap,
+    make_rap_r,
+    make_sh,
+)
+from .metrics import mse
+
+MethodFactory = Callable[[int, int, float, float], object]
+
+
+def _build_olh(d: int, n: int, eps_c: float, delta: float) -> OLH:
+    return OLH(d, eps_c)
+
+
+def _build_had(d: int, n: int, eps_c: float, delta: float) -> HadamardResponse:
+    return HadamardResponse(d, eps_c)
+
+
+def _build_sh(d: int, n: int, eps_c: float, delta: float) -> GRR:
+    oracle, _ = make_sh(d, eps_c, n, delta)
+    return oracle
+
+
+def _build_solh(d: int, n: int, eps_c: float, delta: float) -> SOLH:
+    oracle, _ = SOLH.for_central_target(d, eps_c, n, delta)
+    return oracle
+
+
+def _build_aue(d: int, n: int, eps_c: float, delta: float) -> AUE:
+    return AUE(d, eps_c, n, delta)
+
+
+def _build_rap(d: int, n: int, eps_c: float, delta: float):
+    oracle, _ = make_rap(d, eps_c, n, delta)
+    return oracle
+
+
+def _build_rap_r(d: int, n: int, eps_c: float, delta: float):
+    oracle, _ = make_rap_r(d, eps_c, n, delta)
+    return oracle
+
+
+def _build_base(d: int, n: int, eps_c: float, delta: float) -> UniformBaseline:
+    return UniformBaseline(d)
+
+
+def _build_lap(d: int, n: int, eps_c: float, delta: float) -> LaplaceMechanism:
+    return LaplaceMechanism(d, eps_c)
+
+
+#: The Section VII-A competitor registry.
+METHODS: Dict[str, MethodFactory] = {
+    "OLH": _build_olh,
+    "Had": _build_had,
+    "SH": _build_sh,
+    "SOLH": _build_solh,
+    "AUE": _build_aue,
+    "RAP": _build_rap,
+    "RAP_R": _build_rap_r,
+    "Base": _build_base,
+    "Lap": _build_lap,
+}
+
+#: Figure 3's plotting order.
+FIGURE3_METHODS = ("OLH", "Had", "Base", "SH", "SOLH", "AUE", "RAP", "RAP_R", "Lap")
+
+
+def build_method(name: str, d: int, n: int, eps_c: float, delta: float):
+    """Construct a registered method; raises ``KeyError`` on unknown names."""
+    return METHODS[name](d, n, eps_c, delta)
+
+
+@dataclass
+class SweepResult:
+    """Aggregated metric values for one method across an epsilon sweep."""
+
+    method: str
+    eps_values: list[float] = field(default_factory=list)
+    means: list[float] = field(default_factory=list)
+    stds: list[float] = field(default_factory=list)
+
+    def row(self) -> dict:
+        return {
+            "method": self.method,
+            "eps": list(self.eps_values),
+            "mean": list(self.means),
+            "std": list(self.stds),
+        }
+
+
+def run_trial(
+    method,
+    histogram: np.ndarray,
+    rng: np.random.Generator,
+    metric: Callable[[np.ndarray, np.ndarray], float] = mse,
+) -> float:
+    """One mechanism run on a population, scored against the truth."""
+    histogram = np.asarray(histogram, dtype=np.int64)
+    true_frequencies = histogram / histogram.sum()
+    estimates = method.estimate_from_histogram(histogram, rng)
+    return metric(true_frequencies, estimates)
+
+
+def run_sweep(
+    method_names: Sequence[str],
+    histogram: np.ndarray,
+    eps_values: Iterable[float],
+    delta: float,
+    rng: np.random.Generator,
+    repeats: int = 10,
+    metric: Callable[[np.ndarray, np.ndarray], float] = mse,
+    skip_errors: bool = True,
+) -> list[SweepResult]:
+    """The Figure 3 experiment: every method, at every ``eps_c``, repeated.
+
+    ``skip_errors=True`` records NaN where a method cannot be configured
+    (e.g. AUE's noise probability exceeding 1 at tiny ``eps_c * n``),
+    matching how the paper's plots simply omit infeasible points.
+    """
+    histogram = np.asarray(histogram, dtype=np.int64)
+    n, d = int(histogram.sum()), len(histogram)
+    results = []
+    for name in method_names:
+        result = SweepResult(method=name)
+        for eps_c in eps_values:
+            try:
+                method = build_method(name, d, n, eps_c, delta)
+            except (ValueError, KeyError):
+                if not skip_errors:
+                    raise
+                result.eps_values.append(float(eps_c))
+                result.means.append(float("nan"))
+                result.stds.append(float("nan"))
+                continue
+            scores = [run_trial(method, histogram, rng, metric) for _ in range(repeats)]
+            result.eps_values.append(float(eps_c))
+            result.means.append(float(np.mean(scores)))
+            result.stds.append(float(np.std(scores)))
+        results.append(result)
+    return results
+
+
+def format_sweep_table(
+    results: Sequence[SweepResult], caption: Optional[str] = None
+) -> str:
+    """Render sweep results as the paper-style text table benches print."""
+    if not results:
+        return "(no results)"
+    eps_values = results[0].eps_values
+    header = "method  " + "  ".join(f"eps={e:<8.3g}" for e in eps_values)
+    lines = [header, "-" * len(header)]
+    for result in results:
+        cells = "  ".join(
+            f"{m:<12.4e}" if np.isfinite(m) else f"{'n/a':<12}"
+            for m in result.means
+        )
+        lines.append(f"{result.method:<7} {cells}")
+    if caption:
+        lines.append(caption)
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Evaluation metrics used throughout the paper's experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse(true_frequencies: np.ndarray, estimates: np.ndarray) -> float:
+    """Mean squared error over the domain (the paper's primary metric):
+    ``MSE = (1/|D|) sum_v (f_v - f_hat_v)^2``.
+    """
+    true_frequencies = np.asarray(true_frequencies, dtype=float)
+    estimates = np.asarray(estimates, dtype=float)
+    if true_frequencies.shape != estimates.shape:
+        raise ValueError(
+            f"shape mismatch: {true_frequencies.shape} vs {estimates.shape}"
+        )
+    return float(np.mean((true_frequencies - estimates) ** 2))
+
+
+def mean_absolute_error(
+    true_frequencies: np.ndarray, estimates: np.ndarray
+) -> float:
+    """Mean absolute error over the domain."""
+    true_frequencies = np.asarray(true_frequencies, dtype=float)
+    estimates = np.asarray(estimates, dtype=float)
+    if true_frequencies.shape != estimates.shape:
+        raise ValueError(
+            f"shape mismatch: {true_frequencies.shape} vs {estimates.shape}"
+        )
+    return float(np.mean(np.abs(true_frequencies - estimates)))
+
+
+def max_absolute_error(
+    true_frequencies: np.ndarray, estimates: np.ndarray
+) -> float:
+    """Worst-case per-value error (the "< 0.01%" headline of Section VII)."""
+    true_frequencies = np.asarray(true_frequencies, dtype=float)
+    estimates = np.asarray(estimates, dtype=float)
+    return float(np.max(np.abs(true_frequencies - estimates)))
+
+
+def precision_at_k(true_top_k, reported_top_k) -> float:
+    """Fraction of the reported top-k that belongs to the true top-k.
+
+    The Figure 4 metric: both sets have size ``k``, so this equals recall.
+    """
+    true_set = set(int(v) for v in true_top_k)
+    reported = [int(v) for v in reported_top_k]
+    if not reported:
+        return 0.0
+    hits = sum(1 for v in reported if v in true_set)
+    return hits / len(reported)
+
+
+def top_k_from_estimates(estimates: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest estimates (stable tie-breaking)."""
+    estimates = np.asarray(estimates, dtype=float)
+    if not 0 < k <= len(estimates):
+        raise ValueError(f"invalid k={k} for {len(estimates)} values")
+    return np.argsort(-estimates, kind="stable")[:k]

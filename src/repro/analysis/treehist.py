@@ -1,0 +1,148 @@
+"""TreeHist — succinct histograms over huge domains (Section VII-C, [12]).
+
+The domain is the set of fixed-length bit strings (48 bits in the AOL case
+study: 2^48 values, far too large for direct frequency oracles).  TreeHist
+walks a prefix tree breadth-first: at round ``t`` the candidate set is the
+children of the prefixes that survived round ``t - 1``; a frequency oracle
+estimates each candidate's frequency (users whose value does not match any
+candidate report a dummy), and only the top ``k`` survive.
+
+Budget allocation follows the paper's evaluation:
+
+* **local-model** oracles (OLH, Had): users are split into ``T`` disjoint
+  groups, one group per round, each spending the full ``eps``;
+* **shuffle-model / central** methods (SH, SOLH, AUE, RAP, RAP_R, Lap):
+  every user participates in every round with budget ``eps_c / T`` and
+  slack ``delta / T`` (sequential composition) — the better strategy the
+  paper points out for the shuffle model.
+
+The frequency estimator is pluggable through the Section VII-A method
+registry, which is exactly how Figure 4 swaps competitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..data.datasets import StringDataset
+from .experiments import build_method
+
+#: Methods whose users must be split into per-round groups (plain LDP).
+LOCAL_METHODS = frozenset({"OLH", "Had"})
+
+
+@dataclass
+class TreeHistResult:
+    """Outcome of one TreeHist execution."""
+
+    #: the reported top-k full-length strings
+    discovered: np.ndarray
+    #: their estimated frequencies (aligned with ``discovered``)
+    estimates: np.ndarray
+    #: surviving-candidate counts per round (diagnostic)
+    candidates_per_round: list[int] = field(default_factory=list)
+
+
+def treehist(
+    dataset: StringDataset,
+    method_name: str,
+    eps: float,
+    delta: float,
+    rng: np.random.Generator,
+    k: int = 32,
+    bits_per_round: int = 8,
+    keep_per_round: Optional[int] = None,
+    composition: str = "basic",
+) -> TreeHistResult:
+    """Find the top-``k`` strings of ``dataset`` under privacy budget ``eps``.
+
+    Parameters
+    ----------
+    dataset:
+        The string population (e.g. :func:`repro.data.aol_like`).
+    method_name:
+        A Section VII-A registry name ("SOLH", "SH", "OLH", ...).
+    eps / delta:
+        The total privacy budget (central target for shuffle methods,
+        local budget for LDP methods).
+    k:
+        How many heavy hitters to output.
+    bits_per_round:
+        Prefix growth per round (8 = one character, as in the paper).
+    keep_per_round:
+        Candidates kept between rounds (default ``k``, the paper's choice).
+    composition:
+        Budget allocation across rounds for shuffle/central methods:
+        ``"basic"`` (the paper's ``eps/T``) or ``"advanced"``
+        (Dwork-Rothblum-Vadhan, larger per-round budgets when it helps —
+        the extension the composition ablation measures).  Ignored for
+        local methods, which use disjoint user groups instead.
+    """
+    if dataset.string_bits % bits_per_round:
+        raise ValueError(
+            f"{dataset.string_bits}-bit strings not divisible by "
+            f"{bits_per_round}-bit rounds"
+        )
+    keep = keep_per_round if keep_per_round is not None else k
+    n_rounds = dataset.string_bits // bits_per_round
+    branch = 1 << bits_per_round
+    local = method_name in LOCAL_METHODS
+
+    if local:
+        # Disjoint user groups, full budget each round.
+        group_ids = rng.integers(0, n_rounds, size=dataset.n)
+        round_eps, round_delta = eps, delta
+    else:
+        from ..core.composition import split_budget
+
+        group_ids = None
+        split = split_budget(eps, delta, n_rounds, method=composition)
+        round_eps, round_delta = split.eps_per_round, split.delta_per_round
+
+    survivors = np.zeros(1, dtype=np.int64)  # the empty prefix
+    survivor_estimates = np.zeros(1)
+    candidates_per_round: list[int] = []
+
+    for round_index in range(n_rounds):
+        prefix_bits = (round_index + 1) * bits_per_round
+        # Children of every surviving prefix.
+        candidates = (
+            (survivors[:, None] << bits_per_round)
+            | np.arange(branch, dtype=np.int64)[None, :]
+        ).reshape(-1)
+        candidates.sort()
+        candidates_per_round.append(len(candidates))
+
+        if local:
+            mask = group_ids == round_index
+            user_prefixes = dataset.prefixes(prefix_bits)[mask]
+        else:
+            user_prefixes = dataset.prefixes(prefix_bits)
+        n_round = len(user_prefixes)
+
+        # Map users onto candidate indices; non-matching users -> dummy.
+        positions = np.searchsorted(candidates, user_prefixes)
+        positions = np.clip(positions, 0, len(candidates) - 1)
+        matched = candidates[positions] == user_prefixes
+        domain = len(candidates) + 1  # + dummy slot
+        mapped = np.where(matched, positions, len(candidates))
+        histogram = np.bincount(mapped, minlength=domain)
+
+        method = build_method(method_name, domain, n_round, round_eps, round_delta)
+        estimates = method.estimate_from_histogram(histogram, rng)
+        candidate_estimates = np.asarray(estimates[:len(candidates)], dtype=float)
+
+        n_keep = min(keep, len(candidates))
+        top = np.argsort(-candidate_estimates, kind="stable")[:n_keep]
+        survivors = candidates[top]
+        survivor_estimates = candidate_estimates[top]
+
+    order = np.argsort(-survivor_estimates, kind="stable")[:k]
+    return TreeHistResult(
+        discovered=survivors[order],
+        estimates=survivor_estimates[order],
+        candidates_per_round=candidates_per_round,
+    )

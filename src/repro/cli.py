@@ -1,0 +1,189 @@
+"""Command-line interface: run any of the paper's experiments directly.
+
+``python -m repro.cli <experiment> [options]`` regenerates one table or
+figure without going through pytest — convenient for parameter sweeps:
+
+.. code-block:: bash
+
+    python -m repro.cli fig3 --scale 0.2 --repeats 10
+    python -m repro.cli table2 --eps 0.2 0.4 0.6 0.8
+    python -m repro.cli fig4 --scale 0.5
+    python -m repro.cli plan --eps1 0.5 --eps2 2.0 --eps3 5.0 --n 500000 --d 200
+    python -m repro.cli table1
+
+The heavy protocol benchmark (Table III) stays in
+``benchmarks/bench_table3_overhead.py`` because its timing harness needs
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.core import (
+        csuzz_amplified_epsilon,
+        efmrtt_amplified_epsilon,
+        grr_amplified_epsilon,
+    )
+
+    print(f"{'eps_l':>6}  {'EFMRTT19':>10}  {'CSUZZ19':>10}  {'BBGN19':>10}")
+    for eps_l in args.eps:
+        try:
+            efmrtt = f"{efmrtt_amplified_epsilon(eps_l, args.n, args.delta):10.4f}"
+        except ValueError:
+            efmrtt = f"{'n/a':>10}"
+        csuzz = csuzz_amplified_epsilon(eps_l, args.n, args.delta)
+        bbgn = grr_amplified_epsilon(eps_l, args.n, 2, args.delta)
+        print(f"{eps_l:6.2f}  {efmrtt}  {csuzz:10.4f}  {bbgn:10.4f}")
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.analysis import FIGURE3_METHODS, format_sweep_table, run_sweep
+    from repro.data import ipums_like
+
+    rng = np.random.default_rng(args.seed)
+    data = ipums_like(rng, scale=args.scale)
+    results = run_sweep(
+        FIGURE3_METHODS, data.histogram, args.eps, args.delta, rng,
+        repeats=args.repeats,
+    )
+    print(format_sweep_table(
+        results, caption=f"IPUMS-like n={data.n}, d={data.d}, MSE"
+    ))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.analysis import mse
+    from repro.core import solh_optimal_d_prime
+    from repro.data import kosarak_like
+    from repro.frequency_oracles import SOLH, make_rap_r
+
+    rng = np.random.default_rng(args.seed)
+    data = kosarak_like(rng, scale=args.scale)
+    truth = data.frequencies
+    print(f"Kosarak-like n={data.n}, d={data.d}")
+    print(f"{'eps_c':>6}  {'d-prime':>8}  {'SOLH MSE':>12}  {'RAP_R MSE':>12}")
+    for eps_c in args.eps:
+        d_prime = solh_optimal_d_prime(eps_c, data.n, args.delta)
+        solh, __ = SOLH.for_central_target(data.d, eps_c, data.n, args.delta)
+        rap_r, __ = make_rap_r(data.d, eps_c, data.n, args.delta)
+        solh_mse = np.mean([
+            mse(truth, solh.estimate_from_histogram(data.histogram, rng))
+            for __ in range(args.repeats)
+        ])
+        rap_r_mse = np.mean([
+            mse(truth, rap_r.estimate_from_histogram(data.histogram, rng))
+            for __ in range(args.repeats)
+        ])
+        print(f"{eps_c:>6.2f}  {d_prime:>8}  {solh_mse:>12.3e}  {rap_r_mse:>12.3e}")
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.analysis import precision_at_k, treehist
+    from repro.data import aol_like
+
+    rng = np.random.default_rng(args.seed)
+    data = aol_like(rng, scale=args.scale)
+    truth = data.top_k(args.k)
+    print(f"AOL-like n={data.n}; top-{args.k} precision")
+    print(f"{'method':<7}" + "".join(f"  eps={e:<6}" for e in args.eps))
+    for method in args.methods:
+        cells = []
+        for eps in args.eps:
+            try:
+                result = treehist(
+                    data, method, eps, args.delta, rng, k=args.k,
+                    composition=args.composition,
+                )
+                cells.append(f"{precision_at_k(truth, result.discovered):<10.2f}")
+            except ValueError:
+                cells.append(f"{'n/a':<10}")
+        print(f"{method:<7}  " + "  ".join(cells))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core import plan_peos
+
+    plan = plan_peos(
+        args.eps1, args.eps2, args.eps3, args.n, args.d, args.delta
+    )
+    print(f"mechanism : {plan.mechanism}")
+    print(f"eps_l     : {plan.eps_l:.4f}")
+    print(f"d'        : {plan.d_prime}")
+    print(f"n_r       : {plan.n_r}")
+    print(f"variance  : {plan.variance:.3e}")
+    print(f"achieved  : Adv={plan.eps_server:.4f}  Adv_u={plan.eps_collusion:.4f}  "
+          f"Adv_a={plan.eps_local:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce experiments from the shuffle-DP paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=2020)
+        p.add_argument("--delta", type=float, default=1e-9)
+        p.add_argument("--scale", type=float, default=0.1,
+                       help="population scale vs the paper's n")
+        p.add_argument("--repeats", type=int, default=5)
+
+    p = sub.add_parser("table1", help="amplification-bound comparison")
+    p.add_argument("--eps", type=float, nargs="+",
+                   default=[0.1, 0.25, 0.49, 1.0, 2.0])
+    p.add_argument("--n", type=int, default=602_325)
+    p.add_argument("--delta", type=float, default=1e-9)
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("fig3", help="MSE vs eps_c on IPUMS")
+    common(p)
+    p.add_argument("--eps", type=float, nargs="+",
+                   default=[0.1, 0.2, 0.4, 0.6, 0.8, 1.0])
+    p.set_defaults(func=_cmd_fig3)
+
+    p = sub.add_parser("table2", help="SOLH vs RAP_R on Kosarak")
+    common(p)
+    p.add_argument("--eps", type=float, nargs="+", default=[0.2, 0.4, 0.6, 0.8])
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("fig4", help="succinct-histogram precision on AOL")
+    common(p)
+    p.add_argument("--eps", type=float, nargs="+", default=[0.2, 0.6, 1.0])
+    p.add_argument("--k", type=int, default=32)
+    p.add_argument("--methods", nargs="+",
+                   default=["OLH", "SH", "SOLH", "RAP_R", "Lap"])
+    p.add_argument("--composition", choices=["basic", "advanced"],
+                   default="basic")
+    p.set_defaults(func=_cmd_fig4)
+
+    p = sub.add_parser("plan", help="Section VI-D PEOS planner")
+    p.add_argument("--eps1", type=float, required=True)
+    p.add_argument("--eps2", type=float, required=True)
+    p.add_argument("--eps3", type=float, required=True)
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--d", type=int, required=True)
+    p.add_argument("--delta", type=float, default=1e-9)
+    p.set_defaults(func=_cmd_plan)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

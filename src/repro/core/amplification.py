@@ -1,0 +1,306 @@
+"""Privacy-amplification accounting for the shuffle model.
+
+This module implements, as plain closed-form functions:
+
+* Theorem 1 (binomial mechanism): the central ``(eps_c, delta)`` guarantee
+  provided by ``Bin(n, p)`` noise on each histogram component.
+* The three amplification bounds compared in Table I —
+  EFMRTT'19 [32], CSUZZ'19 [21], and the privacy-blanket bound BBGN'19 [9]
+  that the paper builds on.
+* Theorem 2 (unary encoding after shuffling) and Theorem 3 (SOLH after
+  shuffling).
+* The *inversions* of those bounds: given a central target ``eps_c`` the
+  library must pick the local budget ``eps_l`` each user actually spends.
+  Every inversion returns ``None`` when the bound admits no amplification at
+  that target (the regime where SH collapses in Figure 3), and callers fall
+  back to ``eps_l = eps_c``.
+
+Conventions: ``n`` is the number of users, ``d`` the value-domain size,
+``d_prime`` the hash output domain, ``delta`` the additive DP slack, and all
+epsilons are natural-log based.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+#: The constant ``14`` of Theorem 3.1 in BBGN'19, as used throughout the paper.
+_BLANKET_CONSTANT = 14.0
+
+
+def _check_common(n: int, delta: float) -> None:
+    if n < 2:
+        raise ValueError(f"need at least two users, got n={n}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+
+
+def binomial_mechanism_epsilon(n: int, p: float, delta: float) -> float:
+    """Theorem 1: the ``eps_c`` of binomial noise ``Bin(n, p)`` per component.
+
+    ``eps_c = sqrt(14 ln(2/delta) / (n p))``.  Valid (i.e. meaningful) when
+    the result is at most 1, mirroring the theorem's applicability condition.
+    """
+    _check_common(n, delta)
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"p must be in (0, 1], got {p}")
+    return math.sqrt(_BLANKET_CONSTANT * math.log(2.0 / delta) / (n * p))
+
+
+def grr_blanket_gamma(eps_l: float, d: int) -> float:
+    """Total-variation blanket mass of GRR: ``gamma = d / (e^eps_l + d - 1)``."""
+    if d < 2:
+        raise ValueError(f"domain size must be >= 2, got d={d}")
+    return d / (math.exp(eps_l) + d - 1)
+
+
+# ---------------------------------------------------------------------------
+# Forward bounds (Table I rows, Theorems 2-3): eps_l -> eps_c
+# ---------------------------------------------------------------------------
+
+def efmrtt_amplified_epsilon(eps_l: float, n: int, delta: float) -> float:
+    """Table I row 1 (EFMRTT'19 [32]): ``sqrt(144 ln(1/delta) eps_l^2 / n)``.
+
+    Applicability requires ``eps_l < 1/2``; raises outside that regime.
+    """
+    _check_common(n, delta)
+    if eps_l >= 0.5:
+        raise ValueError(f"EFMRTT'19 requires eps_l < 1/2, got {eps_l}")
+    return math.sqrt(144.0 * math.log(1.0 / delta) * eps_l**2 / n)
+
+
+def csuzz_amplified_epsilon(eps_l: float, n: int, delta: float) -> float:
+    """Table I row 2 (CSUZZ'19 [21], binary domain):
+    ``sqrt(32 ln(4/delta) (e^eps_l + 1) / n)``.
+    """
+    _check_common(n, delta)
+    return math.sqrt(32.0 * math.log(4.0 / delta) * (math.exp(eps_l) + 1.0) / n)
+
+
+def grr_amplified_epsilon(eps_l: float, n: int, d: int, delta: float) -> float:
+    """Table I row 3 (BBGN'19 [9]) — GRR after shuffling:
+    ``eps_c = sqrt(14 ln(2/delta) (e^eps_l + d - 1) / (n - 1))``.
+    """
+    _check_common(n, delta)
+    if d < 2:
+        raise ValueError(f"domain size must be >= 2, got d={d}")
+    return math.sqrt(
+        _BLANKET_CONSTANT * math.log(2.0 / delta) * (math.exp(eps_l) + d - 1)
+        / (n - 1)
+    )
+
+
+def unary_amplified_epsilon(eps_l: float, n: int, delta: float) -> float:
+    """Theorem 2 — an ``eps_l``-LDP unary-encoding method after shuffling:
+    ``eps_c = 2 sqrt(14 ln(4/delta) (e^{eps_l/2} + 1) / (n - 1))``.
+    """
+    _check_common(n, delta)
+    return 2.0 * math.sqrt(
+        _BLANKET_CONSTANT * math.log(4.0 / delta)
+        * (math.exp(eps_l / 2.0) + 1.0) / (n - 1)
+    )
+
+
+def solh_amplified_epsilon(
+    eps_l: float, n: int, d_prime: int, delta: float
+) -> float:
+    """Theorem 3 — SOLH after shuffling:
+    ``eps_c = sqrt(14 ln(2/delta) (e^eps_l + d' - 1) / (n - 1))``.
+    """
+    _check_common(n, delta)
+    if d_prime < 2:
+        raise ValueError(f"hash output domain must be >= 2, got {d_prime}")
+    return math.sqrt(
+        _BLANKET_CONSTANT * math.log(2.0 / delta)
+        * (math.exp(eps_l) + d_prime - 1) / (n - 1)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Inversions: eps_c -> eps_l (None means "no amplification possible")
+# ---------------------------------------------------------------------------
+
+def blanket_budget(eps_c: float, n: int, delta: float) -> float:
+    """The quantity ``m = eps_c^2 (n-1) / (14 ln(2/delta))``.
+
+    ``m`` is the privacy-blanket "budget": BBGN-style bounds all take the
+    form ``e^{eps_l} + (support size) - 1 = m``, so ``m`` caps how much
+    probability mass the blanket must supply.  Larger ``m`` means more local
+    budget for the same central guarantee.
+    """
+    _check_common(n, delta)
+    if eps_c <= 0.0:
+        raise ValueError(f"eps_c must be positive, got {eps_c}")
+    return eps_c**2 * (n - 1) / (_BLANKET_CONSTANT * math.log(2.0 / delta))
+
+
+def invert_grr(eps_c: float, n: int, d: int, delta: float) -> Optional[float]:
+    """Largest ``eps_l`` such that shuffled GRR satisfies ``(eps_c, delta)``-DP.
+
+    Solves ``e^{eps_l} = m - d + 1`` for the BBGN'19 bound.  Returns ``None``
+    when ``m <= d`` (then ``e^{eps_l} <= 1``: shuffling gives no
+    amplification and the caller should run plain ``eps_c``-LDP GRR).
+    """
+    if d < 2:
+        raise ValueError(f"domain size must be >= 2, got d={d}")
+    m = blanket_budget(eps_c, n, delta)
+    if m - d + 1 <= 1.0:
+        return None
+    return math.log(m - d + 1)
+
+
+def invert_unary(eps_c: float, n: int, delta: float) -> Optional[float]:
+    """Largest ``eps_l`` for shuffled unary encoding (Theorem 2 inverted).
+
+    Solves ``e^{eps_l/2} + 1 = eps_c^2 (n-1) / (56 ln(4/delta))``; returns
+    ``None`` when the right-hand side is at most 2.
+    """
+    _check_common(n, delta)
+    if eps_c <= 0.0:
+        raise ValueError(f"eps_c must be positive, got {eps_c}")
+    m2 = eps_c**2 * (n - 1) / (4.0 * _BLANKET_CONSTANT * math.log(4.0 / delta))
+    if m2 - 1.0 <= 1.0:
+        return None
+    return 2.0 * math.log(m2 - 1.0)
+
+
+def invert_unary_removal(eps_c: float, n: int, delta: float) -> Optional[float]:
+    """Largest ``eps_l`` for the removal-LDP unary method (RAP_R, [31]).
+
+    Removal-LDP does not halve the budget across the two flipped bits, so a
+    removal method at ``eps_c`` behaves like RAP at ``2 eps_c`` (Section
+    IV-B4): ``e^{eps_l} + 1 = eps_c^2 (n-1) / (14 ln(4/delta))``.
+    """
+    _check_common(n, delta)
+    if eps_c <= 0.0:
+        raise ValueError(f"eps_c must be positive, got {eps_c}")
+    m2 = eps_c**2 * (n - 1) / (_BLANKET_CONSTANT * math.log(4.0 / delta))
+    if m2 - 1.0 <= 1.0:
+        return None
+    return math.log(m2 - 1.0)
+
+
+def invert_solh(
+    eps_c: float, n: int, d_prime: int, delta: float
+) -> Optional[float]:
+    """Largest ``eps_l`` for SOLH with a *given* ``d_prime`` (Theorem 3).
+
+    Solves ``e^{eps_l} = m - d' + 1``; ``None`` when that is at most 1.
+    """
+    if d_prime < 2:
+        raise ValueError(f"hash output domain must be >= 2, got {d_prime}")
+    m = blanket_budget(eps_c, n, delta)
+    if m - d_prime + 1 <= 1.0:
+        return None
+    return math.log(m - d_prime + 1)
+
+
+def solh_optimal_d_prime(eps_c: float, n: int, delta: float) -> int:
+    """Equation (5): the variance-optimal hash domain ``d' = (m + 2) / 3``.
+
+    Implemented as ``floor((m+2)/3)`` clamped to at least 2, exactly as the
+    paper's implementation note prescribes.
+    """
+    m = blanket_budget(eps_c, n, delta)
+    return max(2, int((m + 2.0) // 3.0))
+
+
+@dataclass(frozen=True)
+class ShuffleAmplification:
+    """Resolved shuffle-model parameters for one mechanism run.
+
+    Attributes
+    ----------
+    eps_c:
+        The central privacy target against the server (``Adv``).
+    eps_l:
+        The local budget each user's randomizer actually spends.  When
+        ``amplified`` is False this equals ``eps_c`` (fallback, no benefit).
+    delta:
+        The central DP slack.
+    amplified:
+        Whether the shuffle bound produced ``eps_l > eps_c``.
+    """
+
+    eps_c: float
+    eps_l: float
+    delta: float
+    amplified: bool
+
+    @property
+    def gain(self) -> float:
+        """Multiplicative budget gain ``eps_l / eps_c`` from shuffling."""
+        return self.eps_l / self.eps_c
+
+
+def resolve_grr(eps_c: float, n: int, d: int, delta: float) -> ShuffleAmplification:
+    """Resolve the SH (shuffled GRR) local budget for a central target.
+
+    Falls back to ``eps_l = eps_c`` below the amplification threshold
+    ``eps_c < sqrt(14 ln(2/delta) d / (n-1))`` — the regime where Figure 3
+    shows SH degrading to worse-than-baseline accuracy.
+    """
+    eps_l = invert_grr(eps_c, n, d, delta)
+    if eps_l is None or eps_l <= eps_c:
+        return ShuffleAmplification(eps_c, eps_c, delta, amplified=False)
+    return ShuffleAmplification(eps_c, eps_l, delta, amplified=True)
+
+
+def resolve_unary(eps_c: float, n: int, delta: float) -> ShuffleAmplification:
+    """Resolve the shuffled-RAPPOR local budget for a central target."""
+    eps_l = invert_unary(eps_c, n, delta)
+    if eps_l is None or eps_l <= eps_c:
+        return ShuffleAmplification(eps_c, eps_c, delta, amplified=False)
+    return ShuffleAmplification(eps_c, eps_l, delta, amplified=True)
+
+
+def resolve_unary_removal(
+    eps_c: float, n: int, delta: float
+) -> ShuffleAmplification:
+    """Resolve the removal-LDP unary (RAP_R) local budget."""
+    eps_l = invert_unary_removal(eps_c, n, delta)
+    if eps_l is None or eps_l <= eps_c:
+        return ShuffleAmplification(eps_c, eps_c, delta, amplified=False)
+    return ShuffleAmplification(eps_c, eps_l, delta, amplified=True)
+
+
+def resolve_solh(
+    eps_c: float, n: int, delta: float, d_prime: Optional[int] = None
+) -> tuple[ShuffleAmplification, int]:
+    """Resolve SOLH's ``(eps_l, d')`` for a central target.
+
+    When ``d_prime`` is None the Eq. (5) optimum is used; if even ``d' = 2``
+    then admits no amplification, falls back to local OLH at
+    ``eps_l = eps_c`` with the LDP-optimal ``d' = e^{eps_c} + 1``.
+
+    An *explicit* ``d_prime`` is always honored (Table II's fixed-``d'``
+    ablation): when Theorem 3 admits no amplification at that ``d'`` the
+    mechanism runs locally at ``eps_l = eps_c`` with the requested domain —
+    the catastrophic mis-tuning regime the paper demonstrates.
+
+    Returns the amplification record and the hash domain to use.
+    """
+    explicit = d_prime is not None
+    if d_prime is None:
+        d_prime = solh_optimal_d_prime(eps_c, n, delta)
+    eps_l = invert_solh(eps_c, n, d_prime, delta)
+    if eps_l is not None and eps_l > eps_c:
+        return ShuffleAmplification(eps_c, eps_l, delta, amplified=True), d_prime
+    if explicit:
+        return ShuffleAmplification(eps_c, eps_c, delta, amplified=False), d_prime
+    # Retry at the smallest possible hash domain before giving up.
+    eps_l = invert_solh(eps_c, n, 2, delta)
+    if eps_l is not None and eps_l > eps_c:
+        return ShuffleAmplification(eps_c, eps_l, delta, amplified=True), 2
+    fallback_d = max(2, int(round(math.exp(eps_c))) + 1)
+    return ShuffleAmplification(eps_c, eps_c, delta, amplified=False), fallback_d
+
+
+def grr_amplification_threshold(n: int, d: int, delta: float) -> float:
+    """The smallest ``eps_c`` at which shuffled GRR amplifies at all:
+    ``sqrt(14 ln(2/delta) d / (n - 1))`` (condition column of Table I).
+    """
+    _check_common(n, delta)
+    return math.sqrt(_BLANKET_CONSTANT * math.log(2.0 / delta) * d / (n - 1))

@@ -1,0 +1,264 @@
+"""Parameter selection for PEOS deployments (Section VI-D "Choosing Parameters").
+
+Given desired privacy levels ``eps_1, eps_2, eps_3`` against the three
+adversaries ``Adv`` (server), ``Adv_u`` (server + other users), ``Adv_a``
+(server + majority of shufflers), plus ``(n, d, delta)``, configure PEOS:
+
+1. ``Adv_a`` sees raw LDP reports, so the local budget must satisfy
+   ``eps_l <= eps_3``.
+2. ``Adv_u`` is protected only by fake reports, fixing a lower bound on
+   ``n_r`` given ``d'`` (Corollary 8's ``eps_s``).
+3. ``Adv`` combines both noise sources; meeting ``eps_c <= eps_1`` may need
+   extra fake reports or a lower ``eps_l``.
+
+The paper prescribes a numerical search over ``(n_r, eps_l, d')`` using the
+closed-form privacy and utility expressions; :func:`plan_peos` implements
+that search and returns the utility-optimal feasible configuration for both
+GRR and SOLH, selecting the better one (Section IV-B3's comparison rule).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .peos_analysis import (
+    peos_epsilon_collusion_grr,
+    peos_epsilon_collusion_solh,
+    peos_epsilon_server_grr,
+    peos_epsilon_server_solh,
+    peos_optimal_d_prime,
+    peos_variance_grr,
+    peos_variance_solh,
+    required_fake_reports,
+)
+
+
+@dataclass(frozen=True)
+class PeosPlan:
+    """A fully resolved PEOS configuration.
+
+    Attributes
+    ----------
+    mechanism:
+        ``"grr"`` or ``"solh"`` — the frequency oracle to deploy.
+    eps_l:
+        Local budget each user spends.
+    d_prime:
+        Report domain (for GRR this equals the value domain ``d``).
+    n_r:
+        Number of fake reports the shufflers jointly insert.
+    variance:
+        Predicted per-value estimation variance (Section VI-C).
+    eps_server / eps_collusion / eps_local:
+        Achieved guarantees against ``Adv`` / ``Adv_u`` / ``Adv_a``.
+    """
+
+    mechanism: str
+    eps_l: float
+    d_prime: int
+    n_r: int
+    variance: float
+    eps_server: float
+    eps_collusion: float
+    eps_local: float
+    delta: float
+
+
+class InfeasiblePlanError(ValueError):
+    """Raised when no PEOS configuration meets the requested guarantees."""
+
+
+def _solh_candidate(
+    eps_1: float,
+    eps_2: float,
+    eps_3: float,
+    n: int,
+    d: int,
+    delta: float,
+    n_r_grid: int,
+    max_n_r: int,
+) -> Optional[PeosPlan]:
+    """Best feasible SOLH plan, or None."""
+    best: Optional[PeosPlan] = None
+    # n_r must at least cover eps_2 at the smallest d'; sweep upward from
+    # there on a geometric grid (variance is monotone in n_r past the
+    # feasibility knee, so a modest grid suffices).
+    n_r_floor = required_fake_reports(eps_2, 2, delta)
+    if n_r_floor > max_n_r:
+        return None
+    for step in range(n_r_grid):
+        n_r = min(max_n_r, int(n_r_floor * (1.25**step)))
+        d_prime = peos_optimal_d_prime(eps_1, n, n_r, delta)
+        # Enforce eps_2: larger d' weakens the collusion guarantee, so shrink
+        # d' until the fake reports cover it.
+        while d_prime > 2 and peos_epsilon_collusion_solh(d_prime, n_r, delta) > eps_2:
+            d_prime -= max(1, d_prime // 10)
+        if peos_epsilon_collusion_solh(d_prime, n_r, delta) > eps_2:
+            continue
+        # Enforce eps_1 and eps_3 through the local budget.
+        implied_eps_l = _max_eps_l_solh(eps_1, d_prime, n, n_r, delta)
+        eps_l = min(eps_3, implied_eps_l)
+        if eps_l <= 0.0:
+            continue
+        eps_server = peos_epsilon_server_solh(eps_l, d_prime, n, n_r, delta)
+        if eps_server > eps_1 * (1.0 + 1e-9):
+            continue
+        # The Section VI-C closed form assumes eps_l saturates the server
+        # bound; when the eps_3 cap binds, price the capped budget instead.
+        variance = _solh_variance_from_eps_l(eps_l, d_prime, n, n_r)
+        plan = PeosPlan(
+            mechanism="solh",
+            eps_l=eps_l,
+            d_prime=d_prime,
+            n_r=n_r,
+            variance=variance,
+            eps_server=eps_server,
+            eps_collusion=peos_epsilon_collusion_solh(d_prime, n_r, delta),
+            eps_local=eps_l,
+            delta=delta,
+        )
+        if best is None or plan.variance < best.variance:
+            best = plan
+    return best
+
+
+def _grr_candidate(
+    eps_1: float,
+    eps_2: float,
+    eps_3: float,
+    n: int,
+    d: int,
+    delta: float,
+    n_r_grid: int,
+    max_n_r: int,
+) -> Optional[PeosPlan]:
+    """Best feasible GRR plan, or None."""
+    best: Optional[PeosPlan] = None
+    n_r_floor = required_fake_reports(eps_2, d, delta)
+    if n_r_floor > max_n_r:
+        return None
+    for step in range(n_r_grid):
+        n_r = min(max_n_r, int(n_r_floor * (1.25**step)))
+        if peos_epsilon_collusion_grr(d, n_r, delta) > eps_2:
+            continue
+        eps_l = min(eps_3, _max_eps_l_grr(eps_1, d, n, n_r, delta))
+        if eps_l <= 0.0:
+            continue
+        eps_server = peos_epsilon_server_grr(eps_l, d, n, n_r, delta)
+        if eps_server > eps_1 * (1.0 + 1e-9):
+            continue
+        variance = _grr_variance_from_eps_l(eps_l, d, n, n_r)
+        plan = PeosPlan(
+            mechanism="grr",
+            eps_l=eps_l,
+            d_prime=d,
+            n_r=n_r,
+            variance=variance,
+            eps_server=eps_server,
+            eps_collusion=peos_epsilon_collusion_grr(d, n_r, delta),
+            eps_local=eps_l,
+            delta=delta,
+        )
+        if best is None or plan.variance < best.variance:
+            best = plan
+    return best
+
+
+def _max_eps_l_solh(
+    eps_1: float, d_prime: int, n: int, n_r: int, delta: float
+) -> float:
+    """Largest eps_l meeting the server target, +inf if unconstrained."""
+    from .peos_analysis import invert_peos_solh
+
+    eps_l = invert_peos_solh(eps_1, d_prime, n, n_r, delta)
+    if eps_l is None:
+        return 0.0
+    return eps_l
+
+
+def _max_eps_l_grr(eps_1: float, d: int, n: int, n_r: int, delta: float) -> float:
+    """GRR counterpart of :func:`_max_eps_l_solh`."""
+    from .peos_analysis import invert_peos_grr
+
+    eps_l = invert_peos_grr(eps_1, d, n, n_r, delta)
+    if eps_l is None:
+        return 0.0
+    return eps_l
+
+
+def _solh_variance_from_eps_l(eps_l: float, d_prime: int, n: int, n_r: int) -> float:
+    """SOLH variance with ``n + n_r`` reports at an explicit local budget.
+
+    Eq. (4) over ``n + n_r`` reports, rescaled by ``((n+n_r)/n)^2`` for the
+    Eq. (6) post-processing: ``(n+n_r)/n^2 * (e+d'-1)^2/((e-1)^2 (d'-1))``.
+    """
+    e = math.exp(eps_l)
+    per_report = (e + d_prime - 1.0) ** 2 / ((e - 1.0) ** 2 * (d_prime - 1.0))
+    return (n + n_r) / n**2 * per_report
+
+
+def _grr_variance_from_eps_l(eps_l: float, d: int, n: int, n_r: int) -> float:
+    """GRR variance with ``n + n_r`` reports at an explicit local budget.
+
+    Proposition 4's per-report form over ``n + n_r`` reports, rescaled by
+    ``((n+n_r)/n)^2``: ``(n+n_r)/n^2 * (e+d-2)/(e-1)^2``.
+    """
+    e = math.exp(eps_l)
+    per_report = (e + d - 2.0) / ((e - 1.0) ** 2)
+    return (n + n_r) / n**2 * per_report
+
+
+def plan_peos(
+    eps_1: float,
+    eps_2: float,
+    eps_3: float,
+    n: int,
+    d: int,
+    delta: float,
+    n_r_grid: int = 32,
+    max_fake_factor: float = 10.0,
+) -> PeosPlan:
+    """Find the utility-optimal PEOS configuration meeting all three targets.
+
+    Parameters
+    ----------
+    eps_1, eps_2, eps_3:
+        Privacy budgets against ``Adv``, ``Adv_u``, ``Adv_a``.  Must satisfy
+        ``eps_1 <= eps_2 <= eps_3`` (stronger guarantees against stronger
+        positions of the adversary would be vacuous otherwise).
+    n, d, delta:
+        Population size, value-domain size, and DP slack.
+    n_r_grid:
+        Number of geometric steps in the fake-report sweep.
+    max_fake_factor:
+        Practicality cap: the shufflers will not inject more than
+        ``max_fake_factor * n`` fake reports (beyond that the protocol
+        technically meets the targets but the estimate is useless and the
+        communication blows up).
+
+    Raises
+    ------
+    InfeasiblePlanError
+        If neither GRR nor SOLH can meet the targets at any swept ``n_r``.
+    """
+    if not eps_1 <= eps_2 <= eps_3:
+        raise ValueError(
+            f"expected eps_1 <= eps_2 <= eps_3, got {eps_1}, {eps_2}, {eps_3}"
+        )
+    max_n_r = int(max_fake_factor * n)
+    candidates = [
+        plan
+        for plan in (
+            _solh_candidate(eps_1, eps_2, eps_3, n, d, delta, n_r_grid, max_n_r),
+            _grr_candidate(eps_1, eps_2, eps_3, n, d, delta, n_r_grid, max_n_r),
+        )
+        if plan is not None
+    ]
+    if not candidates:
+        raise InfeasiblePlanError(
+            f"no PEOS configuration meets eps=({eps_1}, {eps_2}, {eps_3}) "
+            f"with n={n}, d={d}, delta={delta}"
+        )
+    return min(candidates, key=lambda plan: plan.variance)

@@ -1,0 +1,270 @@
+"""Privacy and utility analysis of PEOS (Section VI-B / VI-C).
+
+PEOS adds ``n_r`` uniformly random fake reports, contributed share-wise by
+the shufflers.  Privacy then has two regimes:
+
+* against the server alone (``Adv``): the blanket is the users' random
+  reports *plus* the fake reports (Corollaries 8 and 9);
+* against the server colluding with all other users (``Adv_u``): only the
+  fake reports remain, giving the ``eps_s`` guarantee.
+
+Utility pays for the fake reports through the Eq. (6) post-processing; the
+variance picks up a ``(n + n_r)/n^2`` factor (Section VI-C).
+
+The paper's closed-form optimal ``d'`` under fake reports appears with a
+sign typo (see ``peos_optimal_d_prime``); we derive the formula from the
+variance expression and additionally expose an exact integer search so the
+two can be cross-checked (done in tests and the ablation bench).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+_BLANKET_CONSTANT = 14.0
+
+
+def _check(n: int, n_r: int, delta: float) -> None:
+    if n < 2:
+        raise ValueError(f"need at least two users, got n={n}")
+    if n_r < 0:
+        raise ValueError(f"fake-report count must be >= 0, got {n_r}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+
+
+# ---------------------------------------------------------------------------
+# Privacy (Corollaries 8 and 9)
+# ---------------------------------------------------------------------------
+
+def peos_epsilon_server_solh(
+    eps_l: float, d_prime: int, n: int, n_r: int, delta: float
+) -> float:
+    """Corollary 8, ``eps_c``: PEOS+SOLH guarantee against the server.
+
+    ``eps_c = sqrt(14 ln(2/delta) / ((n-1)/(e^eps_l + d' - 1) + n_r/d'))``.
+    """
+    _check(n, n_r, delta)
+    if d_prime < 2:
+        raise ValueError(f"hash output domain must be >= 2, got {d_prime}")
+    blanket_mass = (n - 1) / (math.exp(eps_l) + d_prime - 1) + n_r / d_prime
+    return math.sqrt(_BLANKET_CONSTANT * math.log(2.0 / delta) / blanket_mass)
+
+
+def peos_epsilon_collusion_solh(d_prime: int, n_r: int, delta: float) -> float:
+    """Corollary 8, ``eps_s``: guarantee when all other users collude.
+
+    ``eps_s = sqrt(14 ln(2/delta) d' / n_r)``.  Infinite when ``n_r = 0``
+    (no fake reports -> colluding users recover the victim's LDP report).
+    """
+    if d_prime < 2:
+        raise ValueError(f"hash output domain must be >= 2, got {d_prime}")
+    if n_r == 0:
+        return math.inf
+    return math.sqrt(_BLANKET_CONSTANT * math.log(2.0 / delta) * d_prime / n_r)
+
+
+def peos_epsilon_server_grr(
+    eps_l: float, d: int, n: int, n_r: int, delta: float
+) -> float:
+    """Corollary 9, ``eps_c``: PEOS+GRR guarantee against the server."""
+    _check(n, n_r, delta)
+    if d < 2:
+        raise ValueError(f"domain size must be >= 2, got d={d}")
+    blanket_mass = (n - 1) / (math.exp(eps_l) + d - 1) + n_r / d
+    return math.sqrt(_BLANKET_CONSTANT * math.log(2.0 / delta) / blanket_mass)
+
+
+def peos_epsilon_collusion_grr(d: int, n_r: int, delta: float) -> float:
+    """Corollary 9, ``eps_s``: GRR variant of the collusion guarantee."""
+    if d < 2:
+        raise ValueError(f"domain size must be >= 2, got d={d}")
+    if n_r == 0:
+        return math.inf
+    return math.sqrt(_BLANKET_CONSTANT * math.log(2.0 / delta) * d / n_r)
+
+
+def invert_peos_solh(
+    eps_c: float, d_prime: int, n: int, n_r: int, delta: float
+) -> Optional[float]:
+    """Largest ``eps_l`` meeting a central target under ``n_r`` fake reports.
+
+    Solves Corollary 8 for ``e^{eps_l} = (n-1)/(a - n_r/d') - d' + 1`` with
+    ``a = 14 ln(2/delta) / eps_c^2``.  Returns ``None`` when no positive
+    local budget meets the target.  When the fake reports alone already
+    provide ``eps_c`` (``a <= n_r/d'``), returns ``math.inf`` — users could
+    report in the clear and the DP constraint would still hold, though
+    callers will normally cap ``eps_l`` at the ``Adv_a`` requirement.
+    """
+    _check(n, n_r, delta)
+    if eps_c <= 0.0:
+        raise ValueError(f"eps_c must be positive, got {eps_c}")
+    a = _BLANKET_CONSTANT * math.log(2.0 / delta) / eps_c**2
+    residual = a - n_r / d_prime
+    if residual <= 0.0:
+        return math.inf
+    e_eps = (n - 1) / residual - d_prime + 1
+    if e_eps <= 1.0:
+        return None
+    return math.log(e_eps)
+
+
+def invert_peos_grr(
+    eps_c: float, d: int, n: int, n_r: int, delta: float
+) -> Optional[float]:
+    """GRR counterpart of :func:`invert_peos_solh` (Corollary 9 inverted)."""
+    _check(n, n_r, delta)
+    if eps_c <= 0.0:
+        raise ValueError(f"eps_c must be positive, got {eps_c}")
+    a = _BLANKET_CONSTANT * math.log(2.0 / delta) / eps_c**2
+    residual = a - n_r / d
+    if residual <= 0.0:
+        return math.inf
+    e_eps = (n - 1) / residual - d + 1
+    if e_eps <= 1.0:
+        return None
+    return math.log(e_eps)
+
+
+def required_fake_reports(eps_s: float, d_prime: int, delta: float) -> int:
+    """Smallest ``n_r`` achieving collusion guarantee ``eps_s`` (Cor. 8 inverted).
+
+    ``n_r = ceil(14 ln(2/delta) d' / eps_s^2)``.
+    """
+    if eps_s <= 0.0:
+        raise ValueError(f"eps_s must be positive, got {eps_s}")
+    return math.ceil(_BLANKET_CONSTANT * math.log(2.0 / delta) * d_prime / eps_s**2)
+
+
+# ---------------------------------------------------------------------------
+# Utility (Section VI-C)
+# ---------------------------------------------------------------------------
+
+def peos_variance_solh(
+    eps_c: float,
+    n: int,
+    n_r: int,
+    delta: float,
+    d_prime: Optional[int] = None,
+) -> float:
+    """PEOS+SOLH estimation variance after Eq. (6) post-processing.
+
+    ``Var = (n + n_r) b^2 / (n^2 (b + n_r - a d')^2 (d' - 1))`` with
+    ``a = 14 ln(2/delta)/eps_c^2`` and ``b = n - 1`` (Section VI-C).  With
+    ``d_prime=None`` the optimal value from :func:`peos_optimal_d_prime` is
+    used.
+    """
+    if d_prime is None:
+        d_prime = peos_optimal_d_prime(eps_c, n, n_r, delta)
+    eps_l = invert_peos_solh(eps_c, d_prime, n, n_r, delta)
+    if eps_l is None:
+        raise ValueError(
+            f"PEOS+SOLH cannot meet eps_c={eps_c} with d'={d_prime}, n_r={n_r}"
+        )
+    a = _BLANKET_CONSTANT * math.log(2.0 / delta) / eps_c**2
+    b = n - 1
+    denominator = (b + n_r - a * d_prime) ** 2 * (d_prime - 1)
+    return (n + n_r) * b**2 / (n**2 * denominator)
+
+
+def peos_variance_grr(
+    eps_c: float, n: int, n_r: int, d: int, delta: float
+) -> float:
+    """PEOS+GRR estimation variance after Eq. (6) post-processing.
+
+    Proposition 4 with ``n + n_r`` total reports and the ``(n+n_r)/n^2``
+    rescaling factor.
+    """
+    eps_l = invert_peos_grr(eps_c, d, n, n_r, delta)
+    if eps_l is None:
+        raise ValueError(
+            f"PEOS+GRR cannot meet eps_c={eps_c} with d={d}, n_r={n_r}"
+        )
+    a = _BLANKET_CONSTANT * math.log(2.0 / delta) / eps_c**2
+    b = n - 1
+    # m = total blanket-equivalent budget observed by the server
+    m = b / (a - n_r / d) if a > n_r / d else math.inf
+    if math.isinf(m):
+        # Fake reports alone satisfy the target; variance is dominated by
+        # the d-ary uniform noise of the n_r fake reports.
+        return (n + n_r) / n**2 * (1.0 / d) * (1.0 - 1.0 / d)
+    return (n + n_r) / n**2 * (m - 1.0) / ((m - d) ** 2)
+
+
+def peos_optimal_d_prime(eps_c: float, n: int, n_r: int, delta: float) -> int:
+    """Variance-optimal ``d'`` for PEOS+SOLH under ``n_r`` fake reports.
+
+    Setting the derivative of the Section VI-C variance to zero gives
+    ``d' = ((b + n_r)/a + 2) / 3`` with ``a = 14 ln(2/delta)/eps_c^2`` and
+    ``b = n - 1``.  (The paper prints ``n - 1 - n_r`` at this step; the
+    algebra of its own variance expression yields ``n - 1 + n_r``, which is
+    what the exact integer search in :func:`peos_search_d_prime` confirms.
+    At ``n_r = 0`` both reduce to Eq. (5).)
+    """
+    _check(n, n_r, delta)
+    a = _BLANKET_CONSTANT * math.log(2.0 / delta) / eps_c**2
+    b = n - 1
+    return max(2, int(((b + n_r) / a + 2.0) // 3.0))
+
+
+def peos_search_d_prime(
+    eps_c: float, n: int, n_r: int, delta: float, d_max: Optional[int] = None
+) -> int:
+    """Exact integer-search optimum of the PEOS+SOLH variance over ``d'``.
+
+    Scans ``d' in [2, d_max]`` (default: twice the closed-form optimum) and
+    returns the feasible minimiser.  Used to validate the closed form and by
+    callers who prefer robustness over speed.
+    """
+    closed_form = peos_optimal_d_prime(eps_c, n, n_r, delta)
+    if d_max is None:
+        d_max = max(8, 2 * closed_form)
+    best_d, best_var = 2, math.inf
+    for d_prime in range(2, d_max + 1):
+        if invert_peos_solh(eps_c, d_prime, n, n_r, delta) is None:
+            continue
+        var = peos_variance_solh(eps_c, n, n_r, delta, d_prime=d_prime)
+        if var < best_var:
+            best_d, best_var = d_prime, var
+    return best_d
+
+
+@dataclass(frozen=True)
+class PeosGuarantees:
+    """Full privacy picture of one PEOS configuration (Section VI-D).
+
+    ``eps_server`` bounds ``Adv`` (server alone), ``eps_collusion`` bounds
+    ``Adv_u`` (server + all other users), and ``eps_local`` bounds ``Adv_a``
+    (server + more than ``floor(r/2)`` shufflers, i.e. the raw LDP guarantee).
+    """
+
+    eps_server: float
+    eps_collusion: float
+    eps_local: float
+    delta: float
+    d_prime: int
+    n_r: int
+
+    def dominates(self, other: "PeosGuarantees") -> bool:
+        """True when every guarantee is at least as strong as ``other``'s."""
+        return (
+            self.eps_server <= other.eps_server
+            and self.eps_collusion <= other.eps_collusion
+            and self.eps_local <= other.eps_local
+        )
+
+
+def analyze_peos_solh(
+    eps_l: float, d_prime: int, n: int, n_r: int, delta: float
+) -> PeosGuarantees:
+    """Compute all three adversary guarantees for a PEOS+SOLH configuration."""
+    return PeosGuarantees(
+        eps_server=peos_epsilon_server_solh(eps_l, d_prime, n, n_r, delta),
+        eps_collusion=peos_epsilon_collusion_solh(d_prime, n_r, delta),
+        eps_local=eps_l,
+        delta=delta,
+        d_prime=d_prime,
+        n_r=n_r,
+    )

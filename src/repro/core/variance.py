@@ -1,0 +1,208 @@
+"""Analytical utility (variance / MSE) of shuffle-model frequency oracles.
+
+Implements Propositions 4-6 and the surrounding analysis of Section IV-B3:
+for a fixed central target ``eps_c`` each mechanism's estimation variance is
+a closed-form function of ``(eps_c, n, d, delta)``.  These formulas drive
+
+* the GRR-vs-SOLH mechanism choice (``choose_mechanism``),
+* the Eq. (5) optimal hash domain,
+* analytical overlays / sanity checks for the Figure 3 and Table II
+  benchmarks (empirical MSE should match these up to sampling noise).
+
+All variances are *per-value* expected squared errors of the frequency
+estimate ``f_hat_v`` for a rare value (the paper's ``f_v ~ 0`` regime), which
+is also what MSE over a large sparse domain measures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .amplification import (
+    blanket_budget,
+    invert_solh,
+    invert_unary,
+    invert_unary_removal,
+    resolve_grr,
+    solh_optimal_d_prime,
+)
+
+_BLANKET_CONSTANT = 14.0
+
+
+# ---------------------------------------------------------------------------
+# Local-model building blocks (Wang et al. USENIX'17 Theorem 2 instances)
+# ---------------------------------------------------------------------------
+
+def grr_variance_local(eps_l: float, n: int, d: int) -> float:
+    """Variance of GRR at local budget ``eps_l``: ``(e^eps + d - 2)/(n (e^eps - 1)^2)``."""
+    if d < 2:
+        raise ValueError(f"domain size must be >= 2, got d={d}")
+    e = math.exp(eps_l)
+    return (e + d - 2.0) / (n * (e - 1.0) ** 2)
+
+
+def olh_variance_local(eps_l: float, n: int, d_prime: int) -> float:
+    """Variance of local hashing with domain ``d'`` (Eq. 4 / Eq. 10 of [54]):
+    ``(e^eps + d' - 1)^2 / (n (e^eps - 1)^2 (d' - 1))``.
+    """
+    if d_prime < 2:
+        raise ValueError(f"hash output domain must be >= 2, got {d_prime}")
+    e = math.exp(eps_l)
+    return (e + d_prime - 1.0) ** 2 / (n * (e - 1.0) ** 2 * (d_prime - 1.0))
+
+
+def rappor_variance_local(eps_l: float, n: int) -> float:
+    """Variance of symmetric unary encoding (RAPPOR) at ``eps_l``:
+    ``e^{eps/2} / (n (e^{eps/2} - 1)^2)``.
+    """
+    e_half = math.exp(eps_l / 2.0)
+    return e_half / (n * (e_half - 1.0) ** 2)
+
+
+def rappor_removal_variance_local(eps_l: float, n: int) -> float:
+    """Variance of the removal-LDP unary method at ``eps_l`` (budget not
+    halved): ``e^{eps} / (n (e^{eps} - 1)^2)``.
+    """
+    e = math.exp(eps_l)
+    return e / (n * (e - 1.0) ** 2)
+
+
+# ---------------------------------------------------------------------------
+# Shuffle-model variances at a fixed central target (Props 4-6)
+# ---------------------------------------------------------------------------
+
+def grr_variance_shuffled(eps_c: float, n: int, d: int, delta: float) -> float:
+    """Proposition 4: shuffled-GRR variance at central target ``eps_c``.
+
+    ``(m - 1) / (n (m - d)^2)`` with ``m = eps_c^2 (n-1)/(14 ln(2/delta))``.
+    Falls back to the *local* GRR variance at ``eps_l = eps_c`` when the
+    amplification bound yields no benefit (the SH cliff).
+    """
+    resolution = resolve_grr(eps_c, n, d, delta)
+    if not resolution.amplified:
+        return grr_variance_local(eps_c, n, d)
+    m = blanket_budget(eps_c, n, delta)
+    return (m - 1.0) / (n * (m - d) ** 2)
+
+
+def unary_variance_shuffled(eps_c: float, n: int, delta: float) -> float:
+    """Proposition 5: shuffled-RAPPOR variance at central target ``eps_c``.
+
+    ``(m2 - 1) / (n (m2 - 2)^2)`` with
+    ``m2 = eps_c^2 (n-1) / (56 ln(4/delta))``; local fallback otherwise.
+    """
+    eps_l = invert_unary(eps_c, n, delta)
+    if eps_l is None or eps_l <= eps_c:
+        return rappor_variance_local(eps_c, n)
+    m2 = eps_c**2 * (n - 1) / (4.0 * _BLANKET_CONSTANT * math.log(4.0 / delta))
+    return (m2 - 1.0) / (n * (m2 - 2.0) ** 2)
+
+
+def unary_removal_variance_shuffled(eps_c: float, n: int, delta: float) -> float:
+    """Shuffled RAP_R variance: RAP at budget ``2 eps_c`` (Section IV-B4)."""
+    eps_l = invert_unary_removal(eps_c, n, delta)
+    if eps_l is None or eps_l <= eps_c:
+        return rappor_removal_variance_local(eps_c, n)
+    m2 = eps_c**2 * (n - 1) / (_BLANKET_CONSTANT * math.log(4.0 / delta))
+    return (m2 - 1.0) / (n * (m2 - 2.0) ** 2)
+
+
+def solh_variance_shuffled(
+    eps_c: float,
+    n: int,
+    delta: float,
+    d_prime: Optional[int] = None,
+) -> float:
+    """Proposition 6: SOLH variance at central target ``eps_c``.
+
+    ``m^2 / (n (m - d')^2 (d' - 1))``; with ``d_prime=None`` the Eq. (5)
+    optimum is used.  Falls back to local hashing at ``eps_l = eps_c`` when
+    no amplification is possible — at the LDP-optimal domain when ``d'`` was
+    left free, at the *requested* domain when it was explicit (the
+    catastrophic mis-tuning cells of Table II).
+    """
+    explicit = d_prime is not None
+    if d_prime is None:
+        d_prime = solh_optimal_d_prime(eps_c, n, delta)
+    eps_l = invert_solh(eps_c, n, d_prime, delta)
+    if eps_l is None or eps_l <= eps_c:
+        if explicit:
+            return olh_variance_local(eps_c, n, d_prime)
+        fallback_d = max(2, int(round(math.exp(eps_c))) + 1)
+        return olh_variance_local(eps_c, n, fallback_d)
+    m = blanket_budget(eps_c, n, delta)
+    return m**2 / (n * (m - d_prime) ** 2 * (d_prime - 1.0))
+
+
+def aue_variance(eps_c: float, n: int, delta: float) -> float:
+    """Variance of AUE (Balcer-Cheu [8]) per location.
+
+    Each location receives Bernoulli(q) increments with
+    ``q = 200 ln(4/delta) / (eps_c^2 n)``; the aggregated-noise variance on a
+    frequency estimate is ``q (1 - q) / n``.
+    """
+    q = aue_noise_probability(eps_c, n, delta)
+    return q * (1.0 - q) / n
+
+
+def aue_noise_probability(eps_c: float, n: int, delta: float) -> float:
+    """AUE per-location increment probability ``200 ln(4/delta)/(eps_c^2 n)``.
+
+    Raises when the formula exceeds 1 (target unreachable at this ``n``).
+    """
+    if eps_c <= 0.0:
+        raise ValueError(f"eps_c must be positive, got {eps_c}")
+    q = 200.0 * math.log(4.0 / delta) / (eps_c**2 * n)
+    if q >= 1.0:
+        raise ValueError(
+            f"AUE cannot meet eps_c={eps_c} with n={n}: noise probability {q} >= 1"
+        )
+    return q
+
+
+def laplace_variance_central(eps: float, n: int) -> float:
+    """Variance of the central-DP Laplace mechanism on frequencies.
+
+    Histogram sensitivity under replacement neighbours is 2, so each
+    frequency gets ``Lap(2 / (n eps))`` noise of variance ``8 / (n eps)^2``.
+    """
+    if eps <= 0.0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    return 8.0 / (n * eps) ** 2
+
+
+def base_variance(true_frequencies) -> float:
+    """MSE of the trivial baseline that always answers ``1/d``."""
+    d = len(true_frequencies)
+    return float(sum((f - 1.0 / d) ** 2 for f in true_frequencies) / d)
+
+
+# ---------------------------------------------------------------------------
+# Mechanism selection (Section IV-B3 "Comparison of the Methods")
+# ---------------------------------------------------------------------------
+
+def choose_mechanism(eps_c: float, n: int, d: int, delta: float) -> str:
+    """Pick GRR or SOLH by comparing Prop. 4 with Var(m, (m+2)/3).
+
+    Returns ``"grr"`` or ``"solh"``, the procedure PEOS's setup uses to pick
+    its frequency oracle (Section VI-D).
+    """
+    grr_var = grr_variance_shuffled(eps_c, n, d, delta)
+    solh_var = solh_variance_shuffled(eps_c, n, delta)
+    return "grr" if grr_var <= solh_var else "solh"
+
+
+def solh_variance_profile(
+    eps_c: float, n: int, delta: float, d_prime_values
+) -> list[tuple[int, float]]:
+    """Evaluate Prop. 6 over a sweep of ``d'`` values (Table II ablation).
+
+    Entries whose ``d'`` admits no amplification are reported with the local
+    fallback variance, matching how a deployment would behave.
+    """
+    return [
+        (int(dp), solh_variance_shuffled(eps_c, n, delta, d_prime=int(dp)))
+        for dp in d_prime_values
+    ]

@@ -1,0 +1,218 @@
+"""Pure-Python AES-128 with CBC mode and PKCS#7 padding.
+
+The SS (sequential shuffle) baseline of Section VII-D encrypts each onion
+layer with AES-128-CBC under a fresh key; ``pycrypto`` is unavailable
+offline, so this module implements FIPS-197 AES-128 directly (validated
+against the FIPS-197 and NIST SP 800-38A test vectors in
+``tests/crypto/test_aes.py``).
+
+This is a straightforward table-based implementation — fine for a protocol
+reproduction, *not* hardened against timing side channels.
+"""
+
+from __future__ import annotations
+
+# FIPS-197 S-box and its inverse.
+_SBOX = bytes.fromhex(
+    "637c777bf26b6fc53001672bfed7ab76ca82c97dfa5947f0add4a2af9ca472c0"
+    "b7fd9326363ff7cc34a5e5f171d8311504c723c31896059a071280e2eb27b275"
+    "09832c1a1b6e5aa0523bd6b329e32f8453d100ed20fcb15b6acbbe394a4c58cf"
+    "d0efaafb434d338545f9027f503c9fa851a3408f929d38f5bcb6da2110fff3d2"
+    "cd0c13ec5f974417c4a77e3d645d197360814fdc222a908846eeb814de5e0bdb"
+    "e0323a0a4906245cc2d3ac629195e479e7c8376d8dd54ea96c56f4ea657aae08"
+    "ba78252e1ca6b4c6e8dd741f4bbd8b8a703eb5664803f60e613557b986c11d9e"
+    "e1f8981169d98e949b1e87e9ce5528df8ca1890dbfe6426841992d0fb054bb16"
+)
+_INV_SBOX = bytes.fromhex(
+    "52096ad53036a538bf40a39e81f3d7fb7ce339829b2fff87348e4344c4dee9cb"
+    "547b9432a6c2233dee4c950b42fac34e082ea16628d924b2765ba2496d8bd125"
+    "72f8f66486689816d4a45ccc5d65b6926c704850fdedb9da5e154657a78d9d84"
+    "90d8ab008cbcd30af7e45805b8b34506d02c1e8fca3f0f02c1afbd0301138a6b"
+    "3a9111414f67dcea97f2cfcef0b4e67396ac7422e7ad3585e2f937e81c75df6e"
+    "47f11a711d29c5896fb7620eaa18be1bfc563e4bc6d279209adbc0fe78cd5af4"
+    "1fdda8338807c731b11210592780ec5f60517fa919b54a0d2de57a9f93c99cef"
+    "a0e03b4dae2af5b0c8ebbb3c83539961172b047eba77d626e169146355210c7d"
+)
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x in GF(2^8)."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """GF(2^8) multiplication (Russian-peasant)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+def expand_key(key: bytes) -> list[list[int]]:
+    """AES-128 key schedule: 11 round keys of 16 bytes each."""
+    if len(key) != 16:
+        raise ValueError(f"AES-128 key must be 16 bytes, got {len(key)}")
+    words = [list(key[i:i + 4]) for i in range(0, 16, 4)]
+    for i in range(4, 44):
+        word = list(words[i - 1])
+        if i % 4 == 0:
+            word = word[1:] + word[:1]
+            word = [_SBOX[b] for b in word]
+            word[0] ^= _RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], word)])
+    return [sum(words[4 * r:4 * r + 4], []) for r in range(11)]
+
+
+def _add_round_key(state: list[int], round_key: list[int]) -> None:
+    for i in range(16):
+        state[i] ^= round_key[i]
+
+
+def _sub_bytes(state: list[int], box: bytes) -> None:
+    for i in range(16):
+        state[i] = box[state[i]]
+
+
+# State layout: state[4*c + r] is row r, column c (column-major, as in FIPS-197
+# byte order of the input block).
+
+def _shift_rows(state: list[int]) -> None:
+    for r in range(1, 4):
+        row = [state[4 * c + r] for c in range(4)]
+        row = row[r:] + row[:r]
+        for c in range(4):
+            state[4 * c + r] = row[c]
+
+
+def _inv_shift_rows(state: list[int]) -> None:
+    for r in range(1, 4):
+        row = [state[4 * c + r] for c in range(4)]
+        row = row[-r:] + row[:-r]
+        for c in range(4):
+            state[4 * c + r] = row[c]
+
+
+def _mix_columns(state: list[int]) -> None:
+    for c in range(4):
+        col = state[4 * c:4 * c + 4]
+        state[4 * c + 0] = _gf_mul(col[0], 2) ^ _gf_mul(col[1], 3) ^ col[2] ^ col[3]
+        state[4 * c + 1] = col[0] ^ _gf_mul(col[1], 2) ^ _gf_mul(col[2], 3) ^ col[3]
+        state[4 * c + 2] = col[0] ^ col[1] ^ _gf_mul(col[2], 2) ^ _gf_mul(col[3], 3)
+        state[4 * c + 3] = _gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ _gf_mul(col[3], 2)
+
+
+def _inv_mix_columns(state: list[int]) -> None:
+    for c in range(4):
+        col = state[4 * c:4 * c + 4]
+        state[4 * c + 0] = (_gf_mul(col[0], 14) ^ _gf_mul(col[1], 11)
+                            ^ _gf_mul(col[2], 13) ^ _gf_mul(col[3], 9))
+        state[4 * c + 1] = (_gf_mul(col[0], 9) ^ _gf_mul(col[1], 14)
+                            ^ _gf_mul(col[2], 11) ^ _gf_mul(col[3], 13))
+        state[4 * c + 2] = (_gf_mul(col[0], 13) ^ _gf_mul(col[1], 9)
+                            ^ _gf_mul(col[2], 14) ^ _gf_mul(col[3], 11))
+        state[4 * c + 3] = (_gf_mul(col[0], 11) ^ _gf_mul(col[1], 13)
+                            ^ _gf_mul(col[2], 9) ^ _gf_mul(col[3], 14))
+
+
+def encrypt_block(block: bytes, round_keys: list[list[int]]) -> bytes:
+    """Encrypt one 16-byte block with an expanded AES-128 key."""
+    if len(block) != 16:
+        raise ValueError(f"block must be 16 bytes, got {len(block)}")
+    state = list(block)
+    _add_round_key(state, round_keys[0])
+    for rnd in range(1, 10):
+        _sub_bytes(state, _SBOX)
+        _shift_rows(state)
+        _mix_columns(state)
+        _add_round_key(state, round_keys[rnd])
+    _sub_bytes(state, _SBOX)
+    _shift_rows(state)
+    _add_round_key(state, round_keys[10])
+    return bytes(state)
+
+
+def decrypt_block(block: bytes, round_keys: list[list[int]]) -> bytes:
+    """Decrypt one 16-byte block with an expanded AES-128 key."""
+    if len(block) != 16:
+        raise ValueError(f"block must be 16 bytes, got {len(block)}")
+    state = list(block)
+    _add_round_key(state, round_keys[10])
+    for rnd in range(9, 0, -1):
+        _inv_shift_rows(state)
+        _sub_bytes(state, _INV_SBOX)
+        _add_round_key(state, round_keys[rnd])
+        _inv_mix_columns(state)
+    _inv_shift_rows(state)
+    _sub_bytes(state, _INV_SBOX)
+    _add_round_key(state, round_keys[0])
+    return bytes(state)
+
+
+def pkcs7_pad(data: bytes, block_size: int = 16) -> bytes:
+    """Append PKCS#7 padding (always adds at least one byte)."""
+    pad_len = block_size - len(data) % block_size
+    return data + bytes([pad_len]) * pad_len
+
+
+def pkcs7_unpad(data: bytes, block_size: int = 16) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not data or len(data) % block_size:
+        raise ValueError("invalid padded length")
+    pad_len = data[-1]
+    if not 1 <= pad_len <= block_size or data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise ValueError("invalid PKCS#7 padding")
+    return data[:-pad_len]
+
+
+class AES128CBC:
+    """AES-128 in CBC mode with PKCS#7 padding."""
+
+    block_size = 16
+
+    def __init__(self, key: bytes):
+        self._round_keys = expand_key(key)
+
+    def encrypt(self, plaintext: bytes, iv: bytes) -> bytes:
+        """CBC-encrypt ``plaintext`` (padded) under the 16-byte ``iv``."""
+        if len(iv) != self.block_size:
+            raise ValueError(f"IV must be {self.block_size} bytes, got {len(iv)}")
+        data = pkcs7_pad(plaintext, self.block_size)
+        out = bytearray()
+        previous = iv
+        for start in range(0, len(data), self.block_size):
+            block = bytes(
+                a ^ b for a, b in zip(data[start:start + self.block_size], previous)
+            )
+            previous = encrypt_block(block, self._round_keys)
+            out += previous
+        return bytes(out)
+
+    def decrypt(self, ciphertext: bytes, iv: bytes) -> bytes:
+        """CBC-decrypt and strip padding."""
+        if len(iv) != self.block_size:
+            raise ValueError(f"IV must be {self.block_size} bytes, got {len(iv)}")
+        if len(ciphertext) % self.block_size:
+            raise ValueError("ciphertext length not a multiple of the block size")
+        out = bytearray()
+        previous = iv
+        for start in range(0, len(ciphertext), self.block_size):
+            block = ciphertext[start:start + self.block_size]
+            plain = decrypt_block(block, self._round_keys)
+            out += bytes(a ^ b for a, b in zip(plain, previous))
+            previous = block
+        return pkcs7_unpad(bytes(out), self.block_size)
+
+    def encrypt_block_raw(self, block: bytes) -> bytes:
+        """Single-block ECB encryption (used by test vectors only)."""
+        return encrypt_block(block, self._round_keys)
+
+    def decrypt_block_raw(self, block: bytes) -> bytes:
+        """Single-block ECB decryption (used by test vectors only)."""
+        return decrypt_block(block, self._round_keys)

@@ -1,0 +1,204 @@
+"""Elliptic-curve ElGamal (hybrid) over secp256r1 / NIST P-256.
+
+The SS baseline (Section VII-A) encrypts each onion layer's AES key with
+ElGamal over secp256r1.  We implement the curve arithmetic from the domain
+parameters and a hashed-ElGamal / ECIES-style hybrid: an ephemeral scalar
+``k`` yields the shared point ``k * Pub`` whose x-coordinate is hashed
+(SHA-256) into the AES-128 key that encrypts the payload.  Costs match the
+paper's "ElGamal encrypts the AES key" construction: one scalar
+multiplication pair per layer.
+
+Point arithmetic is affine with modular inverses — slow but simple and easy
+to audit; benchmark extrapolations account for the constant factor.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+from .aes import AES128CBC
+from .math_utils import RandomLike, as_random, invmod
+
+# secp256r1 (NIST P-256) domain parameters.
+P = 0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF
+A = P - 3
+B = 0x5AC635D8AA3A93E7B3EBBD55769886BC651D06B0CC53B0F63BCE3C3E27D2604B
+N = 0xFFFFFFFF00000000FFFFFFFFFFFFFFFFBCE6FAADA7179E84F3B9CAC2FC632551
+G_X = 0x6B17D1F2E12C4247F8BCE6E563A440F277037D812DEB33A0F4A13945D898C296
+G_Y = 0x4FE342E2FE1A7F9B8EE7EB4A7C0F9E162BCE33576B315ECECBB6406837BF51F5
+
+
+@dataclass(frozen=True)
+class Point:
+    """Affine point on P-256; ``None`` coordinates encode the identity."""
+
+    x: Optional[int]
+    y: Optional[int]
+
+    @property
+    def is_identity(self) -> bool:
+        return self.x is None
+
+
+IDENTITY = Point(None, None)
+GENERATOR = Point(G_X, G_Y)
+
+
+def is_on_curve(point: Point) -> bool:
+    """Check the curve equation ``y^2 = x^3 + ax + b (mod p)``."""
+    if point.is_identity:
+        return True
+    x, y = point.x, point.y
+    return (y * y - (x * x * x + A * x + B)) % P == 0
+
+
+def point_add(p1: Point, p2: Point) -> Point:
+    """Affine point addition with the standard doubling/inverse cases."""
+    if p1.is_identity:
+        return p2
+    if p2.is_identity:
+        return p1
+    if p1.x == p2.x:
+        if (p1.y + p2.y) % P == 0:
+            return IDENTITY
+        return point_double(p1)
+    slope = (p2.y - p1.y) * invmod(p2.x - p1.x, P) % P
+    x3 = (slope * slope - p1.x - p2.x) % P
+    y3 = (slope * (p1.x - x3) - p1.y) % P
+    return Point(x3, y3)
+
+
+def point_double(point: Point) -> Point:
+    """Affine point doubling."""
+    if point.is_identity or point.y == 0:
+        return IDENTITY
+    slope = (3 * point.x * point.x + A) * invmod(2 * point.y, P) % P
+    x3 = (slope * slope - 2 * point.x) % P
+    y3 = (slope * (point.x - x3) - point.y) % P
+    return Point(x3, y3)
+
+
+def _jacobian_double(x: int, y: int, z: int) -> tuple[int, int, int]:
+    """Point doubling in Jacobian coordinates (a = -3 shortcut)."""
+    if not y:
+        return 0, 1, 0
+    ysq = y * y % P
+    s = 4 * x * ysq % P
+    zsq = z * z % P
+    # m = 3x^2 + a z^4 with a = -3: 3 (x - z^2)(x + z^2)
+    m = 3 * (x - zsq) * (x + zsq) % P
+    nx = (m * m - 2 * s) % P
+    ny = (m * (s - nx) - 8 * ysq * ysq) % P
+    nz = 2 * y * z % P
+    return nx, ny, nz
+
+
+def _jacobian_add(
+    x1: int, y1: int, z1: int, x2: int, y2: int, z2: int
+) -> tuple[int, int, int]:
+    """Mixed/general Jacobian addition."""
+    if not z1:
+        return x2, y2, z2
+    if not z2:
+        return x1, y1, z1
+    z1sq = z1 * z1 % P
+    z2sq = z2 * z2 % P
+    u1 = x1 * z2sq % P
+    u2 = x2 * z1sq % P
+    s1 = y1 * z2sq * z2 % P
+    s2 = y2 * z1sq * z1 % P
+    if u1 == u2:
+        if s1 != s2:
+            return 0, 1, 0
+        return _jacobian_double(x1, y1, z1)
+    h = (u2 - u1) % P
+    rr = (s2 - s1) % P
+    hsq = h * h % P
+    hcube = hsq * h % P
+    u1hsq = u1 * hsq % P
+    nx = (rr * rr - hcube - 2 * u1hsq) % P
+    ny = (rr * (u1hsq - nx) - s1 * hcube) % P
+    nz = h * z1 * z2 % P
+    return nx, ny, nz
+
+
+def scalar_mult(scalar: int, point: Point) -> Point:
+    """Scalar multiplication in Jacobian coordinates (one final inversion)."""
+    scalar %= N
+    if scalar == 0 or point.is_identity:
+        return IDENTITY
+    rx, ry, rz = 0, 1, 0
+    ax, ay, az = point.x, point.y, 1
+    while scalar:
+        if scalar & 1:
+            rx, ry, rz = _jacobian_add(rx, ry, rz, ax, ay, az)
+        ax, ay, az = _jacobian_double(ax, ay, az)
+        scalar >>= 1
+    if not rz:
+        return IDENTITY
+    z_inv = invmod(rz, P)
+    z_inv_sq = z_inv * z_inv % P
+    return Point(rx * z_inv_sq % P, ry * z_inv_sq * z_inv % P)
+
+
+@dataclass(frozen=True)
+class ECKeyPair:
+    """A P-256 keypair: secret scalar and public point."""
+
+    private: int
+    public: Point
+
+
+def generate_keypair(rng: RandomLike = None) -> ECKeyPair:
+    """Draw a uniform nonzero scalar and derive the public point."""
+    rand = as_random(rng)
+    private = rand.randrange(1, N)
+    return ECKeyPair(private=private, public=scalar_mult(private, GENERATOR))
+
+
+def _derive_key(shared: Point) -> bytes:
+    """KDF: SHA-256 of the shared x-coordinate, truncated to AES-128."""
+    if shared.is_identity:
+        raise ValueError("shared secret is the identity point")
+    return hashlib.sha256(shared.x.to_bytes(32, "big")).digest()[:16]
+
+
+@dataclass(frozen=True)
+class HybridCiphertext:
+    """EC-ElGamal hybrid ciphertext: ephemeral point + IV + AES payload."""
+
+    ephemeral: Point
+    iv: bytes
+    payload: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: 64-byte uncompressed point + IV + payload."""
+        return 64 + len(self.iv) + len(self.payload)
+
+
+def encrypt(
+    message: bytes, public: Point, rng: RandomLike = None
+) -> HybridCiphertext:
+    """Hashed-ElGamal hybrid encryption of an arbitrary byte string."""
+    rand = as_random(rng)
+    while True:
+        k = rand.randrange(1, N)
+        shared = scalar_mult(k, public)
+        if not shared.is_identity:
+            break
+    key = _derive_key(shared)
+    iv = bytes(rand.getrandbits(8) for _ in range(16))
+    payload = AES128CBC(key).encrypt(message, iv)
+    return HybridCiphertext(
+        ephemeral=scalar_mult(k, GENERATOR), iv=iv, payload=payload
+    )
+
+
+def decrypt(ciphertext: HybridCiphertext, private: int) -> bytes:
+    """Invert :func:`encrypt` with the recipient's secret scalar."""
+    shared = scalar_mult(private, ciphertext.ephemeral)
+    key = _derive_key(shared)
+    return AES128CBC(key).decrypt(ciphertext.payload, ciphertext.iv)

@@ -1,0 +1,90 @@
+"""Onion encryption for the sequential-shuffle (SS) baseline.
+
+Section VI-A1: each user wraps their LDP report in one encryption layer per
+shuffler plus an innermost layer for the server.  Every hop peels one layer
+(so a shuffler sees neither the report nor the remaining routing), shuffles,
+and forwards.  Following the paper's prototype, each layer is a hybrid
+EC-ElGamal(secp256r1) + AES-128-CBC encryption (Section VII-A).
+
+Layer ordering convention: ``public_keys[0]`` is the *outermost* layer (the
+first shuffler to touch the message) and ``public_keys[-1]`` the innermost
+(the server).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from . import elgamal_ec
+from .elgamal_ec import HybridCiphertext, Point
+from .math_utils import RandomLike, as_random
+
+
+@dataclass(frozen=True)
+class OnionCiphertext:
+    """One onion layer; ``inner`` is the serialized next layer or payload."""
+
+    layer: HybridCiphertext
+
+    @property
+    def size_bytes(self) -> int:
+        return self.layer.size_bytes
+
+
+def _serialize(ciphertext: HybridCiphertext) -> bytes:
+    """Flat wire encoding: point (64) || iv (16) || payload."""
+    return (
+        ciphertext.ephemeral.x.to_bytes(32, "big")
+        + ciphertext.ephemeral.y.to_bytes(32, "big")
+        + ciphertext.iv
+        + ciphertext.payload
+    )
+
+
+def _deserialize(data: bytes) -> HybridCiphertext:
+    if len(data) < 64 + 16:
+        raise ValueError("onion layer too short")
+    x = int.from_bytes(data[:32], "big")
+    y = int.from_bytes(data[32:64], "big")
+    return HybridCiphertext(
+        ephemeral=Point(x, y), iv=data[64:80], payload=data[80:]
+    )
+
+
+def wrap(
+    payload: bytes, public_keys: Sequence[Point], rng: RandomLike = None
+) -> OnionCiphertext:
+    """Encrypt ``payload`` under all layers, innermost (last key) first."""
+    if not public_keys:
+        raise ValueError("need at least one layer key")
+    rand = as_random(rng)
+    data = payload
+    for public in reversed(public_keys):
+        data = _serialize(elgamal_ec.encrypt(data, public, rand))
+    return OnionCiphertext(layer=_deserialize(data))
+
+
+def peel(onion: OnionCiphertext, private: int) -> tuple[bytes, OnionCiphertext]:
+    """Remove one layer with the hop's secret key.
+
+    Returns ``(inner_bytes, inner_onion)``; the caller uses ``inner_onion``
+    when forwarding to the next hop and ``inner_bytes`` when this was the
+    final (server) layer.
+    """
+    inner = elgamal_ec.decrypt(onion.layer, private)
+    try:
+        return inner, OnionCiphertext(layer=_deserialize(inner))
+    except ValueError:
+        # Innermost layer: the plaintext payload is shorter than a layer.
+        return inner, OnionCiphertext(layer=onion.layer)
+
+
+def unwrap_all(
+    onion: OnionCiphertext, private_keys: Sequence[int]
+) -> bytes:
+    """Peel every layer in hop order and return the payload."""
+    data = _serialize(onion.layer)
+    for private in private_keys:
+        data = elgamal_ec.decrypt(_deserialize(data), private)
+    return data

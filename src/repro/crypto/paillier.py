@@ -1,0 +1,113 @@
+"""Paillier additively homomorphic encryption.
+
+The workhorse AHE of the library: plaintext space ``Z_N`` for an RSA-style
+modulus ``N``, with ``Enc(a) * Enc(b) = Enc(a + b mod N)``.  PEOS uses it to
+keep one secret share encrypted through the oblivious shuffle; because share
+sums never approach ``N`` (shares live in a report group of at most ~2^96),
+reducing the decrypted sum modulo the share group is exact.
+
+Implementation notes:
+
+* Standard simplification ``g = N + 1``, so ``Enc(m; r) = (1 + mN) r^N
+  mod N^2`` needs one modular exponentiation.
+* Decryption uses ``lambda = lcm(p-1, q-1)`` and ``mu = lambda^{-1} mod N``.
+* ``key_bits`` is configurable; tests use small keys (256-512 bits) for
+  speed, benchmarks report timings for the configured size.  This is a
+  reproduction — do not use for actual sensitive data without a constant-
+  time bignum backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .math_utils import RandomLike, as_random, invmod, lcm, random_prime
+
+
+@dataclass(frozen=True)
+class PaillierPublicKey:
+    """Public key: the modulus ``N`` (generator is implicitly ``N + 1``)."""
+
+    n: int
+
+    @property
+    def n_squared(self) -> int:
+        return self.n * self.n
+
+    @property
+    def plaintext_space(self) -> int:
+        return self.n
+
+    def encrypt(self, message: int, rng: RandomLike = None) -> int:
+        """``Enc(m; r) = (1 + mN) * r^N mod N^2`` with fresh unit ``r``."""
+        message %= self.n
+        rand = as_random(rng)
+        while True:
+            r = rand.randrange(1, self.n)
+            # gcd(r, N) != 1 happens with probability ~2/sqrt(N); retry.
+            if _coprime(r, self.n):
+                break
+        return (1 + message * self.n) * pow(r, self.n, self.n_squared) % self.n_squared
+
+    def add(self, ciphertext_a: int, ciphertext_b: int) -> int:
+        """Homomorphic addition: ``Enc(a) (*) Enc(b) = Enc(a + b)``."""
+        return ciphertext_a * ciphertext_b % self.n_squared
+
+    def add_plain(self, ciphertext: int, plain: int) -> int:
+        """Add a plaintext constant: ``Enc(a) (*) g^b = Enc(a + b)``."""
+        plain %= self.n
+        return ciphertext * (1 + plain * self.n) % self.n_squared
+
+    def multiply_plain(self, ciphertext: int, scalar: int) -> int:
+        """Multiply the plaintext by a constant: ``Enc(a)^k = Enc(k a)``."""
+        return pow(ciphertext, scalar % self.n, self.n_squared)
+
+    def rerandomize(self, ciphertext: int, rng: RandomLike = None) -> int:
+        """Refresh the randomness without changing the plaintext."""
+        return self.add(ciphertext, self.encrypt(0, rng))
+
+    @property
+    def ciphertext_bytes(self) -> int:
+        """Serialized ciphertext size (the Table III communication unit)."""
+        return (self.n_squared.bit_length() + 7) // 8
+
+
+@dataclass(frozen=True)
+class PaillierPrivateKey:
+    """Private key: ``lambda = lcm(p-1, q-1)`` and ``mu = lambda^{-1} mod N``."""
+
+    public_key: PaillierPublicKey
+    lam: int
+    mu: int
+
+    def decrypt(self, ciphertext: int) -> int:
+        """``Dec(c) = L(c^lambda mod N^2) * mu mod N`` with ``L(x)=(x-1)/N``."""
+        n = self.public_key.n
+        x = pow(ciphertext, self.lam, self.public_key.n_squared)
+        return (x - 1) // n * self.mu % n
+
+
+def _coprime(a: int, b: int) -> bool:
+    while b:
+        a, b = b, a % b
+    return a == 1
+
+
+def generate_keypair(
+    key_bits: int = 1024, rng: RandomLike = None
+) -> tuple[PaillierPublicKey, PaillierPrivateKey]:
+    """Generate a Paillier keypair with an RSA modulus of ``key_bits`` bits."""
+    if key_bits < 64:
+        raise ValueError(f"key size too small to function: {key_bits} bits")
+    rand = as_random(rng)
+    half = key_bits // 2
+    while True:
+        p = random_prime(half, rand)
+        q = random_prime(key_bits - half, rand)
+        if p != q and (p * q).bit_length() == key_bits:
+            break
+    n = p * q
+    lam = lcm(p - 1, q - 1)
+    public = PaillierPublicKey(n)
+    private = PaillierPrivateKey(public, lam, invmod(lam, n))
+    return public, private

@@ -1,0 +1,31 @@
+"""Synthetic datasets shaped like the paper's evaluation workloads."""
+
+from .datasets import (
+    Dataset,
+    StringDataset,
+    aol_like,
+    dataset_by_name,
+    ipums_like,
+    kosarak_like,
+)
+from .synthetic import (
+    mixture_histogram,
+    uniform_histogram,
+    values_from_histogram,
+    zipf_histogram,
+    zipf_probabilities,
+)
+
+__all__ = [
+    "Dataset",
+    "StringDataset",
+    "aol_like",
+    "dataset_by_name",
+    "ipums_like",
+    "kosarak_like",
+    "mixture_histogram",
+    "uniform_histogram",
+    "values_from_histogram",
+    "zipf_histogram",
+    "zipf_probabilities",
+]

@@ -1,0 +1,152 @@
+"""Paper-shaped dataset surrogates (Section VII-A).
+
+Each factory returns a :class:`Dataset` whose ``(n, d)`` match the paper's
+real dataset exactly and whose histogram is Zipf-shaped (see DESIGN.md for
+the substitution argument).  ``scale`` lets tests and quick benchmark runs
+shrink ``n`` (and for Kosarak ``d``) proportionally while keeping the
+shape; the full-size defaults reproduce the paper's setting.
+
+* IPUMS 1940 ``city``: n=602,325 users, d=915 cities.
+* Kosarak click streams: n=990,002 users, d=42,178 items.
+* AOL queries: ~0.5M six-byte (48-bit) strings with ~0.12M distinct values
+  (used by the succinct-histogram case study, Section VII-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .synthetic import zipf_histogram, zipf_probabilities
+
+
+@dataclass
+class Dataset:
+    """A categorical population: histogram over ``[d]`` plus metadata."""
+
+    name: str
+    histogram: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of users."""
+        return int(self.histogram.sum())
+
+    @property
+    def d(self) -> int:
+        """Domain size."""
+        return len(self.histogram)
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        """True frequency vector ``f_v = n_v / n``."""
+        return self.histogram / self.n
+
+    def top_k(self, k: int) -> np.ndarray:
+        """Indices of the ``k`` most frequent values (ties broken by index)."""
+        return np.argsort(-self.histogram, kind="stable")[:k]
+
+    def values(self, rng: np.random.Generator) -> np.ndarray:
+        """Expand to a shuffled per-user value array."""
+        values = np.repeat(np.arange(self.d), self.histogram)
+        rng.shuffle(values)
+        return values
+
+
+def ipums_like(
+    rng: np.random.Generator, scale: float = 1.0, exponent: float = 1.05
+) -> Dataset:
+    """IPUMS-1940-shaped population: d=915 cities, n=602,325 users.
+
+    US city populations are classically Zipf with exponent near 1; we use
+    1.05 which reproduces the head/tail balance that drives Figure 3.
+    """
+    n = max(1, int(602_325 * scale))
+    return Dataset("ipums", zipf_histogram(n, 915, exponent, rng))
+
+
+def kosarak_like(
+    rng: np.random.Generator, scale: float = 1.0, exponent: float = 1.5
+) -> Dataset:
+    """Kosarak-shaped population: d=42,178 items, n=990,002 click streams.
+
+    Click data is more skewed than census cities; exponent 1.5 gives the
+    sparse long tail that makes GRR collapse and motivates SOLH (Table II).
+    ``scale`` shrinks ``n`` only — the domain size is the point of this
+    dataset, so it stays at 42,178 unless ``scale < 0.01`` (then reduced
+    proportionally to keep n >= d sensible for quick tests).
+    """
+    n = max(1, int(990_002 * scale))
+    d = 42_178 if scale >= 0.01 else max(100, int(42_178 * scale * 100))
+    return Dataset("kosarak", zipf_histogram(n, d, exponent, rng))
+
+
+@dataclass
+class StringDataset:
+    """Fixed-length bit-string population for the succinct-histogram task.
+
+    ``values`` holds one integer (< 2^string_bits) per user.  The *true*
+    domain is astronomically large (2^48); only the realized support
+    matters, which mirrors the AOL query log.
+    """
+
+    name: str
+    values: np.ndarray
+    string_bits: int
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    def top_k(self, k: int) -> np.ndarray:
+        """The ``k`` most frequent strings."""
+        uniques, counts = np.unique(self.values, return_counts=True)
+        order = np.argsort(-counts, kind="stable")
+        return uniques[order[:k]]
+
+    def prefixes(self, bits: int) -> np.ndarray:
+        """Every user's leading ``bits``-bit prefix."""
+        if not 0 < bits <= self.string_bits:
+            raise ValueError(f"prefix bits {bits} out of range")
+        return self.values >> (self.string_bits - bits)
+
+
+def aol_like(
+    rng: np.random.Generator,
+    scale: float = 1.0,
+    string_bits: int = 48,
+    vocabulary: int = 200_000,
+    exponent: float = 1.0,
+) -> StringDataset:
+    """AOL-shaped query strings: ~0.5M users, ~0.12M distinct 48-bit strings.
+
+    A vocabulary of ``vocabulary`` distinct random 48-bit strings gets
+    Zipf(``exponent``) probabilities; users sample from it.  Query logs are
+    classically Zipf(~1): that puts ~8% of the mass on the top string and
+    ~0.26% on rank 32 — the regime where the paper's top-32 task is
+    solvable by shuffle methods but hard for plain LDP — and makes the
+    realized distinct count at full scale ~0.11M, matching the AOL log.
+    """
+    n = max(1, int(500_000 * scale))
+    if string_bits % 8:
+        raise ValueError(f"string_bits must be a multiple of 8, got {string_bits}")
+    vocabulary = max(64, int(vocabulary * max(scale, 0.05)))
+    # Distinct random strings: sample until unique (collision odds in 2^48
+    # are negligible; one dedup pass keeps it exact).
+    words = rng.integers(0, 1 << string_bits, size=int(vocabulary * 1.05), dtype=np.int64)
+    words = np.unique(words)[:vocabulary]
+    probabilities = zipf_probabilities(len(words), exponent)
+    picks = rng.choice(len(words), size=n, p=probabilities)
+    return StringDataset("aol", words[picks], string_bits)
+
+
+def dataset_by_name(
+    name: str, rng: np.random.Generator, scale: float = 1.0
+) -> Optional[Dataset]:
+    """Lookup used by benchmark harnesses: "ipums" or "kosarak"."""
+    factories = {"ipums": ipums_like, "kosarak": kosarak_like}
+    if name not in factories:
+        return None
+    return factories[name](rng, scale=scale)

@@ -1,0 +1,78 @@
+"""Frequency oracles: every mechanism evaluated in the paper.
+
+Local-model mechanisms take a *local* budget ``eps``; shuffle-model
+constructors (``make_sh``, ``make_rap``, ``make_rap_r``,
+``SOLH.for_central_target``, ``AUE``) take the *central* target
+``(eps_c, delta)`` plus the population size ``n`` and resolve the local
+budget through the amplification bounds of :mod:`repro.core.amplification`.
+"""
+
+from .base import (
+    FrequencyOracle,
+    normalize_estimates,
+    perturbation_probabilities,
+    randomized_response,
+)
+from .central import LaplaceMechanism, UniformBaseline
+from .grr import GRR, make_sh
+from .hadamard import (
+    HadamardReports,
+    HadamardResponse,
+    fast_walsh_hadamard,
+    hadamard_entry,
+    next_power_of_two,
+)
+from .olh import OLH, SOLH, LocalHashingOracle, LocalHashReports
+from .numeric import (
+    NumericReports,
+    OneBitMeanEstimator,
+    make_shuffled_mean_estimator,
+    mean_confidence_halfwidth,
+)
+from .oue import OUE, oue_variance_local
+from .subset import SubsetReports, SubsetSelection, subset_variance_local
+from .unary import (
+    AUE,
+    RAPPOR,
+    RemovalRAPPOR,
+    SymmetricUnaryEncoding,
+    make_rap,
+    make_rap_r,
+    one_hot_matrix,
+)
+
+__all__ = [
+    "AUE",
+    "FrequencyOracle",
+    "GRR",
+    "HadamardReports",
+    "HadamardResponse",
+    "LaplaceMechanism",
+    "LocalHashReports",
+    "LocalHashingOracle",
+    "NumericReports",
+    "OneBitMeanEstimator",
+    "OLH",
+    "OUE",
+    "RAPPOR",
+    "RemovalRAPPOR",
+    "SOLH",
+    "SubsetReports",
+    "SubsetSelection",
+    "SymmetricUnaryEncoding",
+    "UniformBaseline",
+    "fast_walsh_hadamard",
+    "hadamard_entry",
+    "make_rap",
+    "make_rap_r",
+    "make_sh",
+    "make_shuffled_mean_estimator",
+    "mean_confidence_halfwidth",
+    "next_power_of_two",
+    "normalize_estimates",
+    "one_hot_matrix",
+    "oue_variance_local",
+    "perturbation_probabilities",
+    "randomized_response",
+    "subset_variance_local",
+]

@@ -1,0 +1,76 @@
+"""Central-model baselines for the Figure 3 / Figure 4 comparisons.
+
+* :class:`LaplaceMechanism` — the centralized-DP lower bound (``Lap`` in the
+  paper's plots): the trusted curator adds ``Lap(2 / (n eps))`` noise to
+  every true frequency (histogram sensitivity 2 under replacement
+  neighbours).
+* :class:`UniformBaseline` — ``Base``: always answers ``1/d``, the
+  "random guess" floor that SH sinks below once amplification vanishes.
+
+Both consume the *true histogram* (they model parties that see raw data),
+so they implement ``estimate_from_histogram`` directly rather than the
+report pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LaplaceMechanism:
+    """Centralized-DP Laplace mechanism on frequencies at budget ``eps``."""
+
+    name = "Lap"
+
+    def __init__(self, d: int, eps: float):
+        if d < 2:
+            raise ValueError(f"domain size must be >= 2, got d={d}")
+        if eps <= 0.0:
+            raise ValueError(f"epsilon must be positive, got {eps}")
+        self.d = int(d)
+        self.eps = float(eps)
+
+    def __repr__(self) -> str:
+        return f"LaplaceMechanism(d={self.d}, eps={self.eps:.4f})"
+
+    def noise_scale(self, n: int) -> float:
+        """Laplace scale on frequencies: ``2 / (n eps)``."""
+        return 2.0 / (n * self.eps)
+
+    def estimate_from_histogram(
+        self, histogram: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """True frequencies plus ``Lap(2/(n eps))`` noise per value."""
+        histogram = np.asarray(histogram, dtype=np.int64)
+        if histogram.shape != (self.d,):
+            raise ValueError(
+                f"histogram must have shape ({self.d},), got {histogram.shape}"
+            )
+        n = int(histogram.sum())
+        frequencies = histogram / n
+        return frequencies + rng.laplace(0.0, self.noise_scale(n), size=self.d)
+
+
+class UniformBaseline:
+    """The ``Base`` method: always output the uniform distribution ``1/d``."""
+
+    name = "Base"
+
+    def __init__(self, d: int):
+        if d < 2:
+            raise ValueError(f"domain size must be >= 2, got d={d}")
+        self.d = int(d)
+
+    def __repr__(self) -> str:
+        return f"UniformBaseline(d={self.d})"
+
+    def estimate_from_histogram(
+        self, histogram: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """``1/d`` for every value, ignoring the data (and the rng)."""
+        histogram = np.asarray(histogram)
+        if histogram.shape != (self.d,):
+            raise ValueError(
+                f"histogram must have shape ({self.d},), got {histogram.shape}"
+            )
+        return np.full(self.d, 1.0 / self.d)

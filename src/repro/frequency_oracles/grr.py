@@ -1,0 +1,116 @@
+"""Generalized randomized response (GRR) and its shuffle-model wrapper SH.
+
+GRR (Section II-B, Eq. (1)): the user reports the true value with
+probability ``p = e^eps / (e^eps + d - 1)`` and any other fixed value with
+probability ``q = 1 / (e^eps + d - 1)``.  The server debiases with Eq. (2).
+
+SH (Section III-B) is GRR run through a shuffler: utility-wise it is GRR at
+the *amplified* local budget obtained by inverting the BBGN'19 bound for a
+central target ``(eps_c, delta)``; :func:`make_sh` performs that resolution,
+including the no-amplification fallback visible as the cliff in Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.amplification import ShuffleAmplification, resolve_grr
+from .base import (
+    ArrayLike,
+    FrequencyOracle,
+    perturbation_probabilities,
+    randomized_response,
+)
+
+
+class GRR(FrequencyOracle):
+    """Generalized randomized response over ``[d]`` at local budget ``eps``."""
+
+    name = "GRR"
+
+    def __init__(self, d: int, eps: float):
+        super().__init__(d)
+        self.eps = float(eps)
+        self.p, self.q = perturbation_probabilities(eps, d)
+
+    def __repr__(self) -> str:
+        return f"GRR(d={self.d}, eps={self.eps:.4f})"
+
+    @property
+    def blanket_gamma(self) -> float:
+        """Blanket mass ``gamma = d q``: probability the report is uniform."""
+        return self.d * self.q
+
+    def privatize(self, values: ArrayLike, rng: np.random.Generator) -> np.ndarray:
+        """Apply Eq. (1) to each value; reports are integers in ``[d]``."""
+        return randomized_response(np.asarray(values), self.d, self.p, rng)
+
+    def support_counts(
+        self, reports: np.ndarray, candidates: Optional[ArrayLike] = None
+    ) -> np.ndarray:
+        """A report supports ``v`` iff it equals ``v`` (Eq. (2) numerator)."""
+        full = np.bincount(np.asarray(reports, dtype=np.int64), minlength=self.d)
+        if candidates is None:
+            return full.astype(float)
+        return full[np.asarray(candidates, dtype=np.int64)].astype(float)
+
+    def estimate(self, counts: np.ndarray, n: int) -> np.ndarray:
+        """Eq. (2): ``f_hat = (C/n - q) / (p - q)``."""
+        counts = np.asarray(counts, dtype=float)
+        return (counts / n - self.q) / (self.p - self.q)
+
+    def sample_support_counts(
+        self, histogram: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Exact O(d) sampling via the blanket decomposition.
+
+        GRR's output is the true value w.p. ``1 - gamma`` and uniform over
+        ``[d]`` w.p. ``gamma = d q`` — so the report histogram is the sum of
+        per-value binomial "truthful" counts and one multinomial blanket.
+        This reproduces the *joint* distribution of the counts exactly.
+        """
+        histogram = np.asarray(histogram, dtype=np.int64)
+        if histogram.shape != (self.d,):
+            raise ValueError(
+                f"histogram must have shape ({self.d},), got {histogram.shape}"
+            )
+        truthful = rng.binomial(histogram, 1.0 - self.blanket_gamma)
+        blanket_total = int(histogram.sum() - truthful.sum())
+        blanket = rng.multinomial(blanket_total, np.full(self.d, 1.0 / self.d))
+        return (truthful + blanket).astype(float)
+
+    # -- PEOS integration --------------------------------------------------
+
+    @property
+    def report_space(self) -> int:
+        """A GRR report is already an ordinal value in ``[d]``."""
+        return self.d
+
+    def encode_reports(self, reports: np.ndarray) -> np.ndarray:
+        return np.asarray(reports, dtype=np.int64)
+
+    def decode_reports(self, encoded: np.ndarray) -> np.ndarray:
+        encoded = np.asarray(encoded, dtype=np.int64)
+        if encoded.size and (encoded.min() < 0 or encoded.max() >= self.d):
+            raise ValueError("encoded GRR report outside [0, d)")
+        return encoded
+
+    def fake_report_bias(self) -> float:
+        """A uniform fake report supports ``v`` w.p. ``1/d``; calibrated
+        through Eq. (2) this contributes ``(1/d - q)/(p - q) = 1/d``."""
+        return 1.0 / self.d
+
+
+def make_sh(
+    d: int, eps_c: float, n: int, delta: float
+) -> tuple[GRR, ShuffleAmplification]:
+    """Build the SH mechanism (shuffled GRR, [9]) for a central target.
+
+    Returns the GRR instance at the amplified local budget together with the
+    amplification record (``amplified=False`` marks the fallback regime
+    where SH gains nothing from the shuffler).
+    """
+    resolution = resolve_grr(eps_c, n, d, delta)
+    return GRR(d, resolution.eps_l), resolution

@@ -1,0 +1,176 @@
+"""Hadamard response (Had) — the communication-light LDP mechanism of [5].
+
+Utility-wise this is OLH with ``d' = 2`` (each user reveals one perturbed
+bit), but the hash family is structured: user ``i`` draws a row index
+``s_i`` of the ``K x K`` Hadamard matrix (``K`` = smallest power of two
+larger than ``d``) and reports ``(s_i, RR(H_K[s_i, v_i + 1]))``.
+
+The structure buys the server a fast aggregation path: all ``d`` support
+counts come from a single fast Walsh-Hadamard transform, ``O(n + K log K)``
+instead of O(n*d) — exactly the server-side speedup the paper credits Had
+with in Section VII-B.
+
+Values are mapped to column ``v + 1`` so that the all-ones column 0 is never
+used (it would make "agreement" carry no information).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .base import ArrayLike, FrequencyOracle, perturbation_probabilities
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two >= ``value``."""
+    if value < 1:
+        raise ValueError(f"need a positive value, got {value}")
+    return 1 << (value - 1).bit_length()
+
+
+def hadamard_entry(row: int, col: int) -> int:
+    """Entry of the Sylvester Hadamard matrix in {+1, -1}.
+
+    ``H[row, col] = (-1)^{popcount(row & col)}``.
+    """
+    return 1 - 2 * (bin(row & col).count("1") & 1)
+
+
+def hadamard_entries(rows: np.ndarray, col: int) -> np.ndarray:
+    """Vectorized ``H[rows, col]`` in {+1, -1} via popcount parity."""
+    masked = np.asarray(rows, dtype=np.uint64) & np.uint64(col)
+    parity = np.zeros(masked.shape, dtype=np.uint64)
+    while masked.any():
+        parity ^= masked & np.uint64(1)
+        masked = masked >> np.uint64(1)
+    return (1 - 2 * parity.astype(np.int64)).astype(np.int64)
+
+
+def fast_walsh_hadamard(vector: np.ndarray) -> np.ndarray:
+    """In-place-style fast Walsh-Hadamard transform (unnormalized).
+
+    Input length must be a power of two; returns ``H @ vector``.
+    """
+    vector = np.asarray(vector, dtype=np.float64).copy()
+    size = len(vector)
+    if size & (size - 1):
+        raise ValueError(f"length must be a power of two, got {size}")
+    h = 1
+    while h < size:
+        vector = vector.reshape(-1, 2 * h)
+        left = vector[:, :h].copy()
+        right = vector[:, h:].copy()
+        vector[:, :h] = left + right
+        vector[:, h:] = left - right
+        vector = vector.reshape(-1)
+        h *= 2
+    return vector
+
+
+@dataclass
+class HadamardReports:
+    """One ``(row index, +/-1 bit)`` pair per user."""
+
+    rows: np.ndarray  # int64 row indices in [K)
+    bits: np.ndarray  # int64 in {+1, -1}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class HadamardResponse(FrequencyOracle):
+    """Hadamard response at local budget ``eps``."""
+
+    name = "Had"
+
+    def __init__(self, d: int, eps: float):
+        super().__init__(d)
+        self.eps = float(eps)
+        self.K = next_power_of_two(d + 1)
+        # Binary randomized response on the +/-1 bit.
+        self.p, self.q = perturbation_probabilities(eps, 2)
+
+    def __repr__(self) -> str:
+        return f"HadamardResponse(d={self.d}, eps={self.eps:.4f}, K={self.K})"
+
+    def privatize(
+        self, values: ArrayLike, rng: np.random.Generator
+    ) -> HadamardReports:
+        """Draw a row, evaluate the +/-1 entry at column ``v+1``, flip w.p. ``1-p``."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.size and (values.min() < 0 or values.max() >= self.d):
+            raise ValueError(f"values outside domain [0, {self.d})")
+        rows = rng.integers(0, self.K, size=len(values), dtype=np.int64)
+        masked = rows.astype(np.uint64) & (values + 1).astype(np.uint64)
+        parity = np.zeros(masked.shape, dtype=np.uint64)
+        while masked.any():
+            parity ^= masked & np.uint64(1)
+            masked = masked >> np.uint64(1)
+        bits = (1 - 2 * parity.astype(np.int64)).astype(np.int64)
+        flip = rng.random(len(values)) >= self.p
+        bits = np.where(flip, -bits, bits)
+        return HadamardReports(rows=rows, bits=bits)
+
+    def support_counts(
+        self, reports: HadamardReports, candidates: Optional[ArrayLike] = None
+    ) -> np.ndarray:
+        """Support of ``v``: reports whose bit matches ``H[s, v+1]``.
+
+        Computed for the whole domain with one Walsh-Hadamard transform of
+        the signed row-histogram ``z[s] = sum of bits of reports with row s``:
+        ``C_v = (n + (H z)[v+1]) / 2``.
+        """
+        z = np.bincount(
+            reports.rows, weights=reports.bits.astype(np.float64), minlength=self.K
+        )
+        agreement = fast_walsh_hadamard(z)
+        counts = (len(reports) + agreement[1:self.d + 1]) / 2.0
+        if candidates is None:
+            return counts
+        return counts[np.asarray(candidates, dtype=np.int64)]
+
+    def estimate(self, counts: np.ndarray, n: int) -> np.ndarray:
+        """Binary-RR debiasing: ``f_hat = (C/n - 1/2) / (p - 1/2)``."""
+        counts = np.asarray(counts, dtype=float)
+        return (counts / n - 0.5) / (self.p - 0.5)
+
+    def sample_support_counts(
+        self, histogram: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Marginally exact O(d) sampling: for column ``v+1`` a same-value
+        report agrees w.p. ``p`` and any other report w.p. exactly ``1/2``
+        (distinct nonzero Hadamard columns agree on half the rows)."""
+        histogram = np.asarray(histogram, dtype=np.int64)
+        if histogram.shape != (self.d,):
+            raise ValueError(
+                f"histogram must have shape ({self.d},), got {histogram.shape}"
+            )
+        n = int(histogram.sum())
+        true_hits = rng.binomial(histogram, self.p)
+        cross_hits = rng.binomial(n - histogram, 0.5)
+        return (true_hits + cross_hits).astype(float)
+
+    # -- PEOS integration --------------------------------------------------
+
+    @property
+    def report_space(self) -> int:
+        """Ordinal group ``K * 2``: row index times the sign bit."""
+        return self.K * 2
+
+    def encode_reports(self, reports: HadamardReports) -> np.ndarray:
+        bit01 = ((1 - reports.bits) // 2).astype(np.int64)  # +1 -> 0, -1 -> 1
+        return (reports.rows * 2 + bit01).astype(np.int64)
+
+    def decode_reports(self, encoded: np.ndarray) -> HadamardReports:
+        encoded = np.asarray(encoded, dtype=np.int64)
+        rows = encoded // 2
+        bits = 1 - 2 * (encoded % 2)
+        return HadamardReports(rows=rows, bits=bits.astype(np.int64))
+
+    def fake_report_bias(self) -> float:
+        """A uniform fake report agrees with any column w.p. 1/2, the
+        estimator baseline, so it contributes nothing after calibration."""
+        return 0.0

@@ -1,0 +1,86 @@
+"""Optimized Unary Encoding (OUE) — the asymmetric-flip variant of [54].
+
+The paper's unary-encoding discussion (Section IV-B1) uses *symmetric*
+RAPPOR flips; Wang et al.'s USENIX'17 framework (the paper's reference
+[54] for all variance formulas) additionally optimizes the two flip
+probabilities separately: keep a 1-bit with ``p = 1/2`` and flip a 0-bit
+with ``q = 1/(e^eps + 1)``.  In the *local* model OUE strictly dominates
+symmetric RAPPOR for small ``eps``; in the shuffle model the privacy
+blanket of an asymmetric method is weaker, which is exactly why the paper
+sticks to symmetric flips there.  We provide OUE to make that comparison
+runnable (see ``tests/frequency_oracles/test_oue.py`` and the local-model
+ablation), completing the unary-encoding family.
+
+OUE satisfies ``eps``-LDP: the worst-case ratio is attained on the flipped
+one-bit, ``(p / q) * ((1 - q) / (1 - p)) = e^eps`` with ``p = 1/2``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from .base import ArrayLike, FrequencyOracle
+from .unary import one_hot_matrix
+
+
+class OUE(FrequencyOracle):
+    """Optimized unary encoding at local budget ``eps``."""
+
+    name = "OUE"
+
+    def __init__(self, d: int, eps: float):
+        super().__init__(d)
+        if eps <= 0.0:
+            raise ValueError(f"epsilon must be positive, got {eps}")
+        self.eps = float(eps)
+        self.p = 0.5
+        self.q = 1.0 / (math.exp(eps) + 1.0)
+
+    def __repr__(self) -> str:
+        return f"OUE(d={self.d}, eps={self.eps:.4f})"
+
+    def privatize(self, values: ArrayLike, rng: np.random.Generator) -> np.ndarray:
+        """One-hot encode; keep 1-bits w.p. 1/2, set 0-bits w.p. ``q``."""
+        matrix = one_hot_matrix(np.asarray(values), self.d)
+        uniform = rng.random(matrix.shape)
+        keep_ones = (matrix == 1) & (uniform < self.p)
+        flip_zeros = (matrix == 0) & (uniform < self.q)
+        return (keep_ones | flip_zeros).astype(np.uint8)
+
+    def support_counts(
+        self, reports: np.ndarray, candidates: Optional[ArrayLike] = None
+    ) -> np.ndarray:
+        full = np.asarray(reports, dtype=np.int64).sum(axis=0)
+        if candidates is None:
+            return full.astype(float)
+        return full[np.asarray(candidates, dtype=np.int64)].astype(float)
+
+    def estimate(self, counts: np.ndarray, n: int) -> np.ndarray:
+        """``f_hat = (C/n - q) / (p - q)`` with the asymmetric (p, q)."""
+        counts = np.asarray(counts, dtype=float)
+        return (counts / n - self.q) / (self.p - self.q)
+
+    def sample_support_counts(
+        self, histogram: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Exact O(d): ``C_v ~ Bin(n_v, 1/2) + Bin(n - n_v, q)``."""
+        histogram = np.asarray(histogram, dtype=np.int64)
+        if histogram.shape != (self.d,):
+            raise ValueError(
+                f"histogram must have shape ({self.d},), got {histogram.shape}"
+            )
+        n = int(histogram.sum())
+        ones_kept = rng.binomial(histogram, self.p)
+        zeros_set = rng.binomial(n - histogram, self.q)
+        return (ones_kept + zeros_set).astype(float)
+
+
+def oue_variance_local(eps: float, n: int) -> float:
+    """OUE's local-model variance: ``4 e^eps / (n (e^eps - 1)^2)`` [54]."""
+    if eps <= 0.0:
+        raise ValueError(f"epsilon must be positive, got {eps}")
+    e = math.exp(eps)
+    return 4.0 * e / (n * (e - 1.0) ** 2)

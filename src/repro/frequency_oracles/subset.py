@@ -1,0 +1,130 @@
+"""Subset selection — the other known LDP-optimal frequency oracle.
+
+Alongside OLH, subset selection (Ye-Barg 2018 / Wang et al. 2016) attains
+the optimal local-model variance: each user reports a random *subset* of
+size ``k = round(d / (e^eps + 1))`` that contains the true value with
+probability ``p = e^eps k / (e^eps k + d - k)`` and is otherwise uniform
+among the subsets excluding it.
+
+Included to round out the frequency-oracle family the paper builds on:
+in the local model it matches OLH's variance (the test suite checks this),
+and its report — a ``k``-subset — is an instructive contrast with local
+hashing in the shuffle model, where its large report space makes the
+blanket analysis weaker (the reason the paper's shuffle candidates are GRR
+and SOLH).
+
+Implementation notes: a report is stored as a sorted index array; the
+sampling path draws "value in subset" first, then the remaining members
+uniformly without replacement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .base import ArrayLike, FrequencyOracle
+
+
+@dataclass
+class SubsetReports:
+    """One ``(n, k)`` matrix of subset member indices per user (sorted)."""
+
+    members: np.ndarray  # int64, shape (n, k)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+class SubsetSelection(FrequencyOracle):
+    """Subset-selection frequency oracle at local budget ``eps``."""
+
+    name = "Subset"
+
+    def __init__(self, d: int, eps: float, k: Optional[int] = None):
+        super().__init__(d)
+        if eps <= 0.0:
+            raise ValueError(f"epsilon must be positive, got {eps}")
+        self.eps = float(eps)
+        if k is None:
+            k = max(1, int(round(d / (math.exp(eps) + 1.0))))
+        if not 1 <= k < d:
+            raise ValueError(f"subset size {k} outside [1, {d})")
+        self.k = int(k)
+        e = math.exp(eps)
+        # Probability the true value is in the reported subset.
+        self.p_true = e * self.k / (e * self.k + self.d - self.k)
+        # Probability a fixed OTHER value is in the subset.
+        k, d = self.k, self.d
+        self.p_other = (
+            self.p_true * (k - 1) / (d - 1)
+            + (1.0 - self.p_true) * k / (d - 1)
+        )
+
+    def __repr__(self) -> str:
+        return f"SubsetSelection(d={self.d}, eps={self.eps:.4f}, k={self.k})"
+
+    def privatize(self, values: ArrayLike, rng: np.random.Generator) -> SubsetReports:
+        """Draw each user's subset: include the true value w.p. ``p_true``,
+        fill the rest uniformly from the other values."""
+        values = np.asarray(values, dtype=np.int64)
+        if values.size and (values.min() < 0 or values.max() >= self.d):
+            raise ValueError(f"values outside domain [0, {self.d})")
+        n = len(values)
+        members = np.empty((n, self.k), dtype=np.int64)
+        include = rng.random(n) < self.p_true
+        for i in range(n):
+            others = rng.choice(self.d - 1, size=self.k - include[i], replace=False)
+            others += (others >= values[i]).astype(np.int64)
+            if include[i]:
+                row = np.concatenate([[values[i]], others])
+            else:
+                row = others
+            row.sort()
+            members[i] = row
+        return SubsetReports(members=members)
+
+    def support_counts(
+        self, reports: SubsetReports, candidates: Optional[ArrayLike] = None
+    ) -> np.ndarray:
+        """Support of ``v``: reports whose subset contains ``v``."""
+        flat = reports.members.reshape(-1)
+        full = np.bincount(flat, minlength=self.d).astype(float)
+        if candidates is None:
+            return full
+        return full[np.asarray(candidates, dtype=np.int64)]
+
+    def estimate(self, counts: np.ndarray, n: int) -> np.ndarray:
+        """Debias: ``f_hat = (C/n - p_other) / (p_true - p_other)``."""
+        counts = np.asarray(counts, dtype=float)
+        return (counts / n - self.p_other) / (self.p_true - self.p_other)
+
+    def sample_support_counts(
+        self, histogram: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Marginally exact O(d): ``C_v ~ Bin(n_v, p_true) + Bin(n - n_v,
+        p_other)`` (subset membership correlations across values ignored,
+        as with local hashing)."""
+        histogram = np.asarray(histogram, dtype=np.int64)
+        if histogram.shape != (self.d,):
+            raise ValueError(
+                f"histogram must have shape ({self.d},), got {histogram.shape}"
+            )
+        n = int(histogram.sum())
+        true_hits = rng.binomial(histogram, self.p_true)
+        cross_hits = rng.binomial(n - histogram, self.p_other)
+        return (true_hits + cross_hits).astype(float)
+
+
+def subset_variance_local(eps: float, n: int, d: int) -> float:
+    """Closed-form local variance of subset selection at the optimal ``k``.
+
+    ``Var = p_other (1 - p_other) / (n (p_true - p_other)^2)`` for rare
+    values (the same rare-value convention as Propositions 4-6).
+    """
+    oracle = SubsetSelection(d, eps)
+    p_t, p_o = oracle.p_true, oracle.p_other
+    return p_o * (1.0 - p_o) / (n * (p_t - p_o) ** 2)

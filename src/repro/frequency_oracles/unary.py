@@ -1,0 +1,219 @@
+"""Unary-encoding frequency oracles: RAPPOR (RAP), removal-LDP RAPPOR
+(RAP_R), and AUE (appended unary encoding, Balcer-Cheu [8]).
+
+All three transform the value into a length-``d`` one-hot vector and
+randomize per location, so each report costs O(d) communication — the price
+the paper holds against them when arguing for SOLH.
+
+* **RAP** (Section IV-B1): symmetric bit flips with probability
+  ``1 / (e^{eps/2} + 1)`` (the budget halves because neighbouring one-hot
+  vectors differ in two bits).  Theorem 2 gives its shuffle amplification.
+* **RAP_R** ([31], Section IV-B4): same encoding under *removal* LDP, where
+  the budget is not halved; at a replacement-central target ``eps_c`` it
+  behaves like RAP at ``2 eps_c``.
+* **AUE** ([8]): sends the exact one-hot vector and appends Bernoulli(q)
+  increments per location with ``q = 200 ln(4/delta) / (eps_c^2 n)``.  It is
+  *not* an LDP protocol — the true value is sent in the clear modulo the
+  appended noise — which is the paper's security criticism of it.
+
+Reports are dense uint8 matrices; the streaming ``sample_support_counts``
+path (exact, O(d)) is what large-scale benchmarks use.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..core.amplification import ShuffleAmplification, resolve_unary, resolve_unary_removal
+from ..core.variance import aue_noise_probability
+from .base import ArrayLike, FrequencyOracle
+
+
+def one_hot_matrix(values: np.ndarray, d: int) -> np.ndarray:
+    """Encode values as an ``(n, d)`` one-hot uint8 matrix."""
+    values = np.asarray(values, dtype=np.int64)
+    if values.size and (values.min() < 0 or values.max() >= d):
+        raise ValueError(f"values outside domain [0, {d})")
+    matrix = np.zeros((len(values), d), dtype=np.uint8)
+    matrix[np.arange(len(values)), values] = 1
+    return matrix
+
+
+class SymmetricUnaryEncoding(FrequencyOracle):
+    """Unary encoding with symmetric per-bit flip probability ``flip_prob``.
+
+    Base class for RAP and RAP_R, which differ only in how ``flip_prob``
+    derives from the privacy budget.
+    """
+
+    name = "UE"
+
+    def __init__(self, d: int, flip_prob: float):
+        super().__init__(d)
+        if not 0.0 < flip_prob < 0.5:
+            raise ValueError(f"flip probability must be in (0, 0.5), got {flip_prob}")
+        self.flip_prob = float(flip_prob)
+        # Per-location keep/fake probabilities: a 1-bit stays 1 w.p. p,
+        # a 0-bit becomes 1 w.p. q.
+        self.p = 1.0 - flip_prob
+        self.q = flip_prob
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(d={self.d}, flip_prob={self.flip_prob:.6f})"
+
+    def privatize(self, values: ArrayLike, rng: np.random.Generator) -> np.ndarray:
+        """One-hot encode then flip every bit independently."""
+        matrix = one_hot_matrix(np.asarray(values), self.d)
+        flips = (rng.random(matrix.shape) < self.flip_prob).astype(np.uint8)
+        return matrix ^ flips
+
+    def support_counts(
+        self, reports: np.ndarray, candidates: Optional[ArrayLike] = None
+    ) -> np.ndarray:
+        """Support of ``v`` is the number of set bits at location ``v``."""
+        full = np.asarray(reports, dtype=np.int64).sum(axis=0)
+        if candidates is None:
+            return full.astype(float)
+        return full[np.asarray(candidates, dtype=np.int64)].astype(float)
+
+    def estimate(self, counts: np.ndarray, n: int) -> np.ndarray:
+        """Per-location debiasing ``f_hat = (C/n - q) / (p - q)``."""
+        counts = np.asarray(counts, dtype=float)
+        return (counts / n - self.q) / (self.p - self.q)
+
+    def sample_support_counts(
+        self, histogram: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Exact O(d) sampling: locations are independent given the
+        histogram, with ``C_v ~ Bin(n_v, p) + Bin(n - n_v, q)``."""
+        histogram = np.asarray(histogram, dtype=np.int64)
+        if histogram.shape != (self.d,):
+            raise ValueError(
+                f"histogram must have shape ({self.d},), got {histogram.shape}"
+            )
+        n = int(histogram.sum())
+        ones_kept = rng.binomial(histogram, self.p)
+        zeros_flipped = rng.binomial(n - histogram, self.q)
+        return (ones_kept + zeros_flipped).astype(float)
+
+
+class RAPPOR(SymmetricUnaryEncoding):
+    """Basic RAPPOR [33] at *replacement* local budget ``eps``.
+
+    Flip probability ``1 / (e^{eps/2} + 1)`` — the budget is split across
+    the two bits that differ between neighbouring encodings.
+    """
+
+    name = "RAP"
+
+    def __init__(self, d: int, eps: float):
+        if eps <= 0.0:
+            raise ValueError(f"epsilon must be positive, got {eps}")
+        super().__init__(d, 1.0 / (math.exp(eps / 2.0) + 1.0))
+        self.eps = float(eps)
+
+
+class RemovalRAPPOR(SymmetricUnaryEncoding):
+    """Removal-LDP RAPPOR (RAP_R, [31]) at removal budget ``eps``.
+
+    The removal notion compares against the empty input, so neighbouring
+    encodings differ in one bit and the budget is not halved:
+    flip probability ``1 / (e^eps + 1)``.  Any ``eps``-removal-LDP algorithm
+    is ``2 eps``-replacement-LDP (Section IV-B4).
+    """
+
+    name = "RAP_R"
+
+    def __init__(self, d: int, eps: float):
+        if eps <= 0.0:
+            raise ValueError(f"epsilon must be positive, got {eps}")
+        super().__init__(d, 1.0 / (math.exp(eps) + 1.0))
+        self.eps = float(eps)
+
+    @property
+    def replacement_eps(self) -> float:
+        """The equivalent replacement-LDP budget, ``2 eps``."""
+        return 2.0 * self.eps
+
+
+class AUE(FrequencyOracle):
+    """Appended unary encoding (Balcer-Cheu [8]) for a central target.
+
+    Each user sends their exact one-hot vector; independently, every
+    location gains a Bernoulli(``noise_prob``) increment.  The aggregated
+    noise ``Bin(n, noise_prob)`` per location provides the central
+    ``(eps_c, delta)``-DP guarantee.  Not LDP.
+    """
+
+    name = "AUE"
+
+    def __init__(self, d: int, eps_c: float, n: int, delta: float):
+        super().__init__(d)
+        self.eps_c = float(eps_c)
+        self.n = int(n)
+        self.delta = float(delta)
+        self.noise_prob = aue_noise_probability(eps_c, n, delta)
+
+    def __repr__(self) -> str:
+        return (
+            f"AUE(d={self.d}, eps_c={self.eps_c:.4f}, n={self.n}, "
+            f"noise_prob={self.noise_prob:.3e})"
+        )
+
+    def privatize(self, values: ArrayLike, rng: np.random.Generator) -> np.ndarray:
+        """One-hot vector plus per-location Bernoulli increments.
+
+        Entries can reach 2 (true bit plus an increment); reports are uint8.
+        """
+        matrix = one_hot_matrix(np.asarray(values), self.d)
+        increments = (rng.random(matrix.shape) < self.noise_prob).astype(np.uint8)
+        return matrix + increments
+
+    def support_counts(
+        self, reports: np.ndarray, candidates: Optional[ArrayLike] = None
+    ) -> np.ndarray:
+        full = np.asarray(reports, dtype=np.int64).sum(axis=0)
+        if candidates is None:
+            return full.astype(float)
+        return full[np.asarray(candidates, dtype=np.int64)].astype(float)
+
+    def estimate(self, counts: np.ndarray, n: int) -> np.ndarray:
+        """Subtract the expected noise: ``f_hat = C/n - noise_prob``."""
+        counts = np.asarray(counts, dtype=float)
+        return counts / n - self.noise_prob
+
+    def sample_support_counts(
+        self, histogram: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Exact O(d) sampling: ``C_v = n_v + Bin(n, noise_prob)``."""
+        histogram = np.asarray(histogram, dtype=np.int64)
+        if histogram.shape != (self.d,):
+            raise ValueError(
+                f"histogram must have shape ({self.d},), got {histogram.shape}"
+            )
+        n = int(histogram.sum())
+        noise = rng.binomial(n, self.noise_prob, size=self.d)
+        return (histogram + noise).astype(float)
+
+
+def make_rap(
+    d: int, eps_c: float, n: int, delta: float
+) -> tuple[RAPPOR, ShuffleAmplification]:
+    """Build shuffled RAPPOR for a central target (Theorem 2 inverted)."""
+    resolution = resolve_unary(eps_c, n, delta)
+    return RAPPOR(d, resolution.eps_l), resolution
+
+
+def make_rap_r(
+    d: int, eps_c: float, n: int, delta: float
+) -> tuple[RemovalRAPPOR, ShuffleAmplification]:
+    """Build shuffled removal-RAPPOR for a central target (Section IV-B4).
+
+    The resolved ``eps_l`` is the *removal* budget; the fallback (no
+    amplification) runs at removal budget ``eps_c``.
+    """
+    resolution = resolve_unary_removal(eps_c, n, delta)
+    return RemovalRAPPOR(d, resolution.eps_l), resolution

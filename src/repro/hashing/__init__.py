@@ -1,0 +1,22 @@
+"""Seeded hash families for local-hashing frequency oracles."""
+
+from .families import (
+    CarterWegmanHashFamily,
+    HashFamily,
+    MultiplyShiftHashFamily,
+    XXHash32Family,
+    default_family,
+    splitmix64,
+)
+from .xxhash32 import xxhash32, xxhash32_int
+
+__all__ = [
+    "CarterWegmanHashFamily",
+    "HashFamily",
+    "MultiplyShiftHashFamily",
+    "XXHash32Family",
+    "default_family",
+    "splitmix64",
+    "xxhash32",
+    "xxhash32_int",
+]

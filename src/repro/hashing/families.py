@@ -1,0 +1,280 @@
+"""Seeded universal hash families used by local-hashing frequency oracles.
+
+OLH/SOLH require every user to draw a random function ``H`` from a universal
+family mapping the value domain ``[d]`` into a report domain ``[d_out]``.
+The server later has to evaluate ``H_i(v)`` for *every* user ``i`` and *every*
+candidate value ``v`` (an ``O(n * d)`` workload), so each family exposes both
+a scalar API and chunk-vectorized numpy APIs.
+
+Three families are provided:
+
+* :class:`CarterWegmanHashFamily` — the classic 2-universal family
+  ``h(v) = ((a*v + b) mod p) mod d_out`` with the Mersenne prime
+  ``p = 2^31 - 1``.  2-universality is what the SOLH analysis assumes, and
+  the Mersenne modulus makes the family evaluable with pure 64-bit numpy
+  arithmetic.  This is the default.
+* :class:`XXHash32Family` — seeded xxHash32, matching the paper's prototype
+  (4-byte seeds).  Scalar-only hot path; useful for cross-checking.
+* :class:`MultiplyShiftHashFamily` — a fast splitmix-style mixer; not
+  provably universal but empirically well distributed, included for
+  ablations on the family choice.
+
+A *seed* is a single 64-bit integer; it fully determines the hash function,
+which makes reports compact (seed + hashed value) exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .xxhash32 import xxhash32_int
+
+_MERSENNE31 = (1 << 31) - 1
+_MASK64 = (1 << 64) - 1
+
+ArrayLike = Union[Sequence[int], np.ndarray]
+
+
+def splitmix64(value: int) -> int:
+    """One step of the splitmix64 mixer (public-domain constants).
+
+    Used to expand a 64-bit seed into the per-function parameters of the
+    Carter-Wegman and multiply-shift families.
+    """
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+def _splitmix64_np(values: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 over a uint64 array."""
+    with np.errstate(over="ignore"):
+        values = values + np.uint64(0x9E3779B97F4A7C15)
+        values = (values ^ (values >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        values = (values ^ (values >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return values ^ (values >> np.uint64(31))
+
+
+def _mod_mersenne31(values: np.ndarray) -> np.ndarray:
+    """Reduce a uint64 array modulo the Mersenne prime ``2^31 - 1``.
+
+    Valid for inputs below ``2^62``; two folding rounds plus a conditional
+    subtraction give an exact reduction without 128-bit arithmetic.
+    """
+    prime = np.uint64(_MERSENNE31)
+    values = (values >> np.uint64(31)) + (values & prime)
+    values = (values >> np.uint64(31)) + (values & prime)
+    return np.where(values >= prime, values - prime, values)
+
+
+class HashFamily(ABC):
+    """A seeded family of hash functions ``[domain] -> [d_out]``.
+
+    Subclasses must be deterministic: the same ``(seed, value, d_out)``
+    triple always produces the same output, across processes.  That property
+    is what lets the server re-evaluate users' hash functions.
+    """
+
+    #: short name used in logs, reports, and benchmark tables
+    name: str = "abstract"
+
+    #: number of distinct seeds (the family size ``h`` in the paper's proof)
+    seed_space: int = 1 << 64
+
+    def sample_seed(self, rng: np.random.Generator) -> int:
+        """Draw a uniform seed identifying one function of the family."""
+        return int(rng.integers(0, self.seed_space, dtype=np.uint64))
+
+    def sample_seeds(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` independent uniform seeds as a uint64 array."""
+        return rng.integers(0, self.seed_space, size=count, dtype=np.uint64)
+
+    @abstractmethod
+    def hash_value(self, seed: int, value: int, d_out: int) -> int:
+        """Evaluate the function identified by ``seed`` on one value."""
+
+    @abstractmethod
+    def hash_values(self, seed: int, values: ArrayLike, d_out: int) -> np.ndarray:
+        """Evaluate one function on an array of values (one user, many values)."""
+
+    @abstractmethod
+    def hash_outer(
+        self, seeds: np.ndarray, values: ArrayLike, d_out: int
+    ) -> np.ndarray:
+        """Evaluate ``seeds[i]`` on ``values[j]`` for all pairs.
+
+        Returns an ``(len(seeds), len(values))`` integer matrix.  This is the
+        server-side aggregation hot path; implementations should stay within
+        vectorized numpy where possible.
+        """
+
+    def hash_pairwise(
+        self, seeds: np.ndarray, values: ArrayLike, d_out: int
+    ) -> np.ndarray:
+        """Evaluate ``seeds[i]`` on ``values[i]`` element-wise.
+
+        Used on the user side: each user hashes their own value with their
+        own seed.  The default implementation diagonalizes ``hash_outer``
+        chunk by chunk; subclasses override with an O(n) vector path.
+        """
+        seeds = np.asarray(seeds, dtype=np.uint64)
+        values = np.asarray(values)
+        out = np.empty(len(seeds), dtype=np.int64)
+        for i in range(len(seeds)):
+            out[i] = self.hash_value(int(seeds[i]), int(values[i]), d_out)
+        return out
+
+
+class CarterWegmanHashFamily(HashFamily):
+    """2-universal family ``h_{a,b}(v) = ((a v + b) mod p) mod d_out``.
+
+    ``p = 2^31 - 1``; the pair ``(a, b)`` is derived from the 64-bit seed by
+    two splitmix64 steps, with ``a`` forced nonzero.  Domain values must be
+    below ``p`` (about 2.1e9), which covers every workload in the paper.
+    """
+
+    name = "carter-wegman"
+
+    def _params(self, seed: int) -> tuple[int, int]:
+        a = splitmix64(seed) % (_MERSENNE31 - 1) + 1
+        b = splitmix64(seed ^ 0xD1B54A32D192ED03) % _MERSENNE31
+        return a, b
+
+    def _params_np(self, seeds: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        seeds = np.asarray(seeds, dtype=np.uint64)
+        a = _splitmix64_np(seeds) % np.uint64(_MERSENNE31 - 1) + np.uint64(1)
+        b = _splitmix64_np(seeds ^ np.uint64(0xD1B54A32D192ED03)) % np.uint64(
+            _MERSENNE31
+        )
+        return a, b
+
+    def hash_value(self, seed: int, value: int, d_out: int) -> int:
+        if not 0 <= value < _MERSENNE31:
+            raise ValueError(f"value {value} outside [0, 2^31-1)")
+        a, b = self._params(seed)
+        return ((a * value + b) % _MERSENNE31) % d_out
+
+    def hash_values(self, seed: int, values: ArrayLike, d_out: int) -> np.ndarray:
+        a, b = self._params(seed)
+        values = np.asarray(values, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            mixed = values * np.uint64(a) + np.uint64(b)
+        return (_mod_mersenne31(mixed) % np.uint64(d_out)).astype(np.int64)
+
+    def hash_outer(
+        self, seeds: np.ndarray, values: ArrayLike, d_out: int
+    ) -> np.ndarray:
+        a, b = self._params_np(seeds)
+        values = np.asarray(values, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            mixed = a[:, None] * values[None, :] + b[:, None]
+        return (_mod_mersenne31(mixed) % np.uint64(d_out)).astype(np.int64)
+
+    def hash_pairwise(
+        self, seeds: np.ndarray, values: ArrayLike, d_out: int
+    ) -> np.ndarray:
+        a, b = self._params_np(seeds)
+        values = np.asarray(values, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            mixed = a * values + b
+        return (_mod_mersenne31(mixed) % np.uint64(d_out)).astype(np.int64)
+
+
+class MultiplyShiftHashFamily(HashFamily):
+    """Splitmix-style mixing family: fast, not provably universal.
+
+    ``h(v) = splitmix64(v * C xor seed) mod d_out``.  Included to ablate the
+    effect of the family choice on SOLH accuracy.
+    """
+
+    name = "multiply-shift"
+
+    _C = 0x9E3779B97F4A7C15
+
+    def hash_value(self, seed: int, value: int, d_out: int) -> int:
+        mixed = splitmix64((value * self._C ^ seed) & _MASK64)
+        return mixed % d_out
+
+    def hash_values(self, seed: int, values: ArrayLike, d_out: int) -> np.ndarray:
+        values = np.asarray(values, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            mixed = _splitmix64_np(values * np.uint64(self._C) ^ np.uint64(seed))
+        return (mixed % np.uint64(d_out)).astype(np.int64)
+
+    def hash_outer(
+        self, seeds: np.ndarray, values: ArrayLike, d_out: int
+    ) -> np.ndarray:
+        seeds = np.asarray(seeds, dtype=np.uint64)
+        values = np.asarray(values, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            mixed = _splitmix64_np(
+                values[None, :] * np.uint64(self._C) ^ seeds[:, None]
+            )
+        return (mixed % np.uint64(d_out)).astype(np.int64)
+
+    def hash_pairwise(
+        self, seeds: np.ndarray, values: ArrayLike, d_out: int
+    ) -> np.ndarray:
+        seeds = np.asarray(seeds, dtype=np.uint64)
+        values = np.asarray(values, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            mixed = _splitmix64_np(values * np.uint64(self._C) ^ seeds)
+        return (mixed % np.uint64(d_out)).astype(np.int64)
+
+
+class XXHash32Family(HashFamily):
+    """Seeded xxHash32 family matching the paper's prototype.
+
+    Seeds are 32-bit (4 bytes in each report, as in Section VII-D).  The
+    outer evaluation falls back to Python loops, so prefer
+    :class:`CarterWegmanHashFamily` for large aggregations.
+    """
+
+    name = "xxhash32"
+    seed_space = 1 << 32
+
+    def hash_value(self, seed: int, value: int, d_out: int) -> int:
+        return xxhash32_int(value, seed) % d_out
+
+    def hash_values(self, seed: int, values: ArrayLike, d_out: int) -> np.ndarray:
+        return np.array(
+            [xxhash32_int(int(v), seed) % d_out for v in np.asarray(values)],
+            dtype=np.int64,
+        )
+
+    def hash_outer(
+        self, seeds: np.ndarray, values: ArrayLike, d_out: int
+    ) -> np.ndarray:
+        values = np.asarray(values)
+        out = np.empty((len(seeds), len(values)), dtype=np.int64)
+        for i, seed in enumerate(np.asarray(seeds, dtype=np.uint64)):
+            out[i] = self.hash_values(int(seed), values, d_out)
+        return out
+
+    def hash_pairwise(
+        self, seeds: np.ndarray, values: ArrayLike, d_out: int
+    ) -> np.ndarray:
+        seeds = np.asarray(seeds, dtype=np.uint64)
+        values = np.asarray(values)
+        return np.array(
+            [
+                xxhash32_int(int(values[i]), int(seeds[i])) % d_out
+                for i in range(len(seeds))
+            ],
+            dtype=np.int64,
+        )
+
+
+_DEFAULT_FAMILY: Optional[CarterWegmanHashFamily] = None
+
+
+def default_family() -> CarterWegmanHashFamily:
+    """Return the module-wide default hash family (Carter-Wegman)."""
+    global _DEFAULT_FAMILY
+    if _DEFAULT_FAMILY is None:
+        _DEFAULT_FAMILY = CarterWegmanHashFamily()
+    return _DEFAULT_FAMILY

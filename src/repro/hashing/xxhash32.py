@@ -1,0 +1,105 @@
+"""Pure-Python implementation of the xxHash32 non-cryptographic hash.
+
+The paper's prototype uses ``python-xxhash`` seeds (4 bytes) as the random
+hash functions of OLH/SOLH.  That package is not available offline, so this
+module re-implements the XXH32 algorithm exactly (validated against the
+reference test vectors in ``tests/hashing/test_xxhash32.py``).
+
+The implementation follows the canonical specification at
+https://github.com/Cyan4973/xxHash/blob/dev/doc/xxhash_spec.md.
+"""
+
+from __future__ import annotations
+
+_PRIME1 = 0x9E3779B1
+_PRIME2 = 0x85EBCA77
+_PRIME3 = 0xC2B2AE3D
+_PRIME4 = 0x27D4EB2F
+_PRIME5 = 0x165667B1
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _rotl32(value: int, count: int) -> int:
+    """Rotate a 32-bit integer left by ``count`` bits."""
+    value &= _MASK32
+    return ((value << count) | (value >> (32 - count))) & _MASK32
+
+
+def _round(acc: int, lane: int) -> int:
+    """One accumulator round: mix a 32-bit lane into ``acc``."""
+    acc = (acc + lane * _PRIME2) & _MASK32
+    acc = _rotl32(acc, 13)
+    return (acc * _PRIME1) & _MASK32
+
+
+def _avalanche(acc: int) -> int:
+    """Final mixing stage that spreads entropy across all output bits."""
+    acc ^= acc >> 15
+    acc = (acc * _PRIME2) & _MASK32
+    acc ^= acc >> 13
+    acc = (acc * _PRIME3) & _MASK32
+    acc ^= acc >> 16
+    return acc
+
+
+def xxhash32(data: bytes, seed: int = 0) -> int:
+    """Hash ``data`` with 32-bit xxHash using ``seed``.
+
+    Parameters
+    ----------
+    data:
+        The byte string to hash.
+    seed:
+        A 32-bit unsigned seed selecting the hash function.
+
+    Returns
+    -------
+    int
+        The 32-bit unsigned hash value.
+    """
+    seed &= _MASK32
+    length = len(data)
+    index = 0
+
+    if length >= 16:
+        acc1 = (seed + _PRIME1 + _PRIME2) & _MASK32
+        acc2 = (seed + _PRIME2) & _MASK32
+        acc3 = seed
+        acc4 = (seed - _PRIME1) & _MASK32
+        limit = length - 16
+        while index <= limit:
+            acc1 = _round(acc1, int.from_bytes(data[index:index + 4], "little"))
+            acc2 = _round(acc2, int.from_bytes(data[index + 4:index + 8], "little"))
+            acc3 = _round(acc3, int.from_bytes(data[index + 8:index + 12], "little"))
+            acc4 = _round(acc4, int.from_bytes(data[index + 12:index + 16], "little"))
+            index += 16
+        acc = (
+            _rotl32(acc1, 1) + _rotl32(acc2, 7) + _rotl32(acc3, 12) + _rotl32(acc4, 18)
+        ) & _MASK32
+    else:
+        acc = (seed + _PRIME5) & _MASK32
+
+    acc = (acc + length) & _MASK32
+
+    while index + 4 <= length:
+        lane = int.from_bytes(data[index:index + 4], "little")
+        acc = (acc + lane * _PRIME3) & _MASK32
+        acc = (_rotl32(acc, 17) * _PRIME4) & _MASK32
+        index += 4
+
+    while index < length:
+        acc = (acc + data[index] * _PRIME5) & _MASK32
+        acc = (_rotl32(acc, 11) * _PRIME1) & _MASK32
+        index += 1
+
+    return _avalanche(acc)
+
+
+def xxhash32_int(value: int, seed: int = 0) -> int:
+    """Hash a non-negative integer by its 8-byte little-endian encoding.
+
+    This is the encoding the frequency-oracle layer uses when hashing domain
+    values with a seeded xxHash function.
+    """
+    return xxhash32(int(value).to_bytes(8, "little"), seed)

@@ -1,0 +1,25 @@
+"""Protocol layer: parties, cost accounting, PEOS execution, and attacks."""
+
+from . import attacks, serialization
+from .channel import CostTracker, PartyCost, share_bytes
+from .parties import (
+    Adversary,
+    PEOSDeployment,
+    ThreatReport,
+    privacy_against,
+)
+from .peos import PEOSResult, run_peos
+
+__all__ = [
+    "Adversary",
+    "CostTracker",
+    "PEOSDeployment",
+    "PEOSResult",
+    "PartyCost",
+    "ThreatReport",
+    "attacks",
+    "serialization",
+    "privacy_against",
+    "run_peos",
+    "share_bytes",
+]

@@ -1,0 +1,256 @@
+"""Attack analyses of Section V-C and VI: what adversaries see and do.
+
+Three families of attack, each with a simulation the tests verify:
+
+* **User collusion** (``Adv_u``): the server knows every non-victim user's
+  LDP report and subtracts them from the shuffled multiset; what remains is
+  the victim's report hidden among the fake reports.
+  :func:`residual_multiset` computes that residual view.
+* **Data poisoning in SS**: a sequential-shuffle shuffler can (a) inject
+  fake reports from a *skewed* distribution to bias the estimate —
+  undetectable, since randomness cannot be proven — or (b) replace users'
+  reports, detectable by spot-check dummy accounts.
+  :func:`biased_fake_distribution` and :func:`replacement_tamper` build the
+  corresponding tamper hooks; :func:`spot_check_detection_probability`
+  gives the analytical detection rate.
+* **Data poisoning in PEOS**: a malicious shuffler biases its fake-report
+  *shares*; because the fake report is the mod-``M`` sum over all
+  shufflers' shares, a single honest shuffler's uniform share makes the sum
+  uniform.  :func:`simulate_fake_reports` produces the resulting fake
+  reports under any corruption pattern so the uniformity can be tested.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..crypto.secret_sharing import _uniform_array
+from ..crypto import onion
+from ..crypto.onion import OnionCiphertext
+from ..crypto.math_utils import RandomLike, as_random
+
+
+# ---------------------------------------------------------------------------
+# User collusion (Adv_u)
+# ---------------------------------------------------------------------------
+
+def residual_multiset(
+    shuffled_reports: Sequence[int], known_reports: Sequence[int]
+) -> Counter:
+    """The colluding server's residual view after subtracting known reports.
+
+    With all non-victim users colluding, ``known_reports`` holds their LDP
+    outputs; the residual is the victim's report plus the fake reports —
+    exactly the view Corollary 8's ``eps_s`` bounds.
+
+    Raises if a known report is missing (would indicate tampering upstream).
+    """
+    residual = Counter(int(v) for v in shuffled_reports)
+    for report in known_reports:
+        report = int(report)
+        if residual[report] <= 0:
+            raise ValueError(
+                f"known report {report} absent from the shuffled multiset"
+            )
+        residual[report] -= 1
+    return +residual  # drop zero entries
+
+
+# ---------------------------------------------------------------------------
+# Data poisoning against SS
+# ---------------------------------------------------------------------------
+
+def biased_fake_distribution(
+    target_value: int,
+    n_extra: int,
+    remaining_public_keys,
+    report_width: int,
+    crypto_rng: RandomLike = None,
+) -> Callable[[int, list[OnionCiphertext]], list[OnionCiphertext]]:
+    """Tamper hook: a shuffler injects ``n_extra`` fakes all voting for one
+    target report — the undetectable skewed-noise attack of Section VI-A1."""
+    crypto_rand = as_random(crypto_rng)
+
+    def tamper(
+        shuffler_index: int, batch: list[OnionCiphertext]
+    ) -> list[OnionCiphertext]:
+        payload = int(target_value).to_bytes(report_width, "big")
+        extra = [
+            onion.wrap(payload, remaining_public_keys, crypto_rand)
+            for _ in range(n_extra)
+        ]
+        return batch + extra
+
+    return tamper
+
+
+def replacement_tamper(
+    replacement_value: int,
+    fraction: float,
+    remaining_public_keys,
+    report_width: int,
+    rng: np.random.Generator,
+    crypto_rng: RandomLike = None,
+) -> Callable[[int, list[OnionCiphertext]], list[OnionCiphertext]]:
+    """Tamper hook: replace a fraction of the batch with a chosen report.
+
+    Unlike injection, replacement destroys genuine reports — including,
+    possibly, the server's spot-check dummies, which is what makes it
+    detectable.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    crypto_rand = as_random(crypto_rng)
+
+    def tamper(
+        shuffler_index: int, batch: list[OnionCiphertext]
+    ) -> list[OnionCiphertext]:
+        n_replace = int(round(fraction * len(batch)))
+        victims = rng.choice(len(batch), size=n_replace, replace=False)
+        payload = int(replacement_value).to_bytes(report_width, "big")
+        out = list(batch)
+        for index in victims:
+            out[index] = onion.wrap(payload, remaining_public_keys, crypto_rand)
+        return out
+
+    return tamper
+
+
+def spot_check_detection_probability(
+    n_total: int, n_spot: int, n_replaced: int
+) -> float:
+    """Probability at least one of ``n_spot`` planted reports is destroyed
+    when ``n_replaced`` of ``n_total`` messages are replaced uniformly.
+
+    ``1 - C(n_total - n_spot, n_replaced) / C(n_total, n_replaced)``.
+    """
+    if n_spot < 0 or n_replaced < 0 or n_total < n_spot + 0:
+        raise ValueError("invalid spot-check parameters")
+    if n_replaced > n_total:
+        raise ValueError("cannot replace more messages than exist")
+    survive = 1.0
+    for i in range(n_replaced):
+        survive *= (n_total - n_spot - i) / (n_total - i)
+    return 1.0 - survive
+
+
+# ---------------------------------------------------------------------------
+# Data poisoning against PEOS
+# ---------------------------------------------------------------------------
+
+def constant_share_attack(value: int) -> Callable[[int, np.ndarray], np.ndarray]:
+    """Malicious share generator: always contribute ``value`` (maximally
+    skewed — a would-be vote for one report)."""
+
+    def attack(n_fake: int, honest_shares: np.ndarray) -> np.ndarray:
+        out = np.empty(n_fake, dtype=honest_shares.dtype)
+        out[:] = value
+        return out
+
+    return attack
+
+
+def low_entropy_share_attack(
+    support: Sequence[int], rng: np.random.Generator
+) -> Callable[[int, np.ndarray], np.ndarray]:
+    """Malicious share generator drawing from a tiny support set."""
+    support = list(support)
+
+    def attack(n_fake: int, honest_shares: np.ndarray) -> np.ndarray:
+        picks = rng.integers(0, len(support), size=n_fake)
+        return np.array([support[int(i)] for i in picks], dtype=honest_shares.dtype)
+
+    return attack
+
+
+def simulate_fake_reports(
+    r: int,
+    n_fake: int,
+    modulus: int,
+    rng: np.random.Generator,
+    malicious: Optional[dict[int, Callable[[int, np.ndarray], np.ndarray]]] = None,
+) -> np.ndarray:
+    """Fake reports as reconstructed by the server under a corruption pattern.
+
+    Each shuffler contributes one share vector; entries of ``malicious``
+    replace the named shuffler's honest (uniform) shares.  Returns the
+    elementwise sum mod ``modulus`` — uniform as long as at least one
+    shuffler stayed honest, the property PEOS's poisoning resistance rests
+    on (statistically verified in the test suite).
+    """
+    if r < 1:
+        raise ValueError(f"need at least one shuffler, got r={r}")
+    malicious = malicious or {}
+    total = np.zeros(n_fake, dtype=object)
+    for j in range(r):
+        honest = _uniform_array(modulus, n_fake, rng)
+        shares = malicious[j](n_fake, honest) if j in malicious else honest
+        for i in range(n_fake):
+            total[i] = (int(total[i]) + int(shares[i])) % modulus
+    if modulus < (1 << 62):
+        return total.astype(np.int64)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# The averaging attack (Section V-C)
+# ---------------------------------------------------------------------------
+
+def averaging_attack_posterior(
+    fo,
+    true_value: int,
+    repetitions: int,
+    rng: np.random.Generator,
+    memoize: bool = False,
+) -> np.ndarray:
+    """Simulate re-running a collection and the server averaging the victim.
+
+    Section V-C: if the auxiliary server denies service and the protocol is
+    redone, users must *remember* (memoize) their first report — otherwise
+    each rerun draws fresh LDP noise and the server, which can link the
+    victim's reports across reruns (it knows which runs happened), averages
+    the noise away.
+
+    Returns the support-count vector the server accumulates for the victim
+    across ``repetitions`` runs: with ``memoize=False`` it concentrates on
+    the true value as repetitions grow; with ``memoize=True`` it stays at a
+    single report's worth of information.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    value = np.array([true_value])
+    if memoize:
+        reports = fo.privatize(value, rng)
+        counts = fo.support_counts(reports)
+        return counts * repetitions
+    total = np.zeros(fo.d, dtype=float)
+    for __ in range(repetitions):
+        total += fo.support_counts(fo.privatize(value, rng))
+    return total
+
+
+def averaging_attack_success_rate(
+    fo,
+    repetitions: int,
+    rng: np.random.Generator,
+    trials: int = 50,
+    memoize: bool = False,
+) -> float:
+    """Fraction of trials where averaging pins the victim's true value.
+
+    The adversary guesses the value with the largest accumulated support.
+    Without memoization this tends to 1 as ``repetitions`` grows — the
+    quantitative form of the paper's warning.
+    """
+    hits = 0
+    for trial in range(trials):
+        true_value = int(rng.integers(0, fo.d))
+        counts = averaging_attack_posterior(
+            fo, true_value, repetitions, rng, memoize=memoize
+        )
+        if int(np.argmax(counts)) == true_value:
+            hits += 1
+    return hits / trials

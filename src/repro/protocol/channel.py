@@ -1,0 +1,5 @@
+"""Re-export of :mod:`repro.costs` under its historical protocol-layer name."""
+
+from ..costs import CostTracker, PartyCost, share_bytes
+
+__all__ = ["CostTracker", "PartyCost", "share_bytes"]

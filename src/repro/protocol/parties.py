@@ -1,0 +1,179 @@
+"""The system model of Section V: parties, adversaries, and what each sees.
+
+Three kinds of parties (Figure 1): ``n`` users, ``r`` auxiliary servers
+(shufflers), and the server.  The paper's security analysis names three
+adversary positions:
+
+* ``Adv``   — the server alone;
+* ``Adv_u`` — the server colluding with all users except the victim;
+* ``Adv_a`` — the server colluding with auxiliary servers.
+
+:class:`Adversary` encodes a position; :func:`privacy_against` evaluates
+the ``(eps, delta)`` guarantee a PEOS configuration gives against it,
+implementing the Section VI-B case analysis:
+
+* more than ``floor(r/2)`` corrupted shufflers -> raw LDP only (``eps_l``);
+* colluding users -> only the fake reports blanket (Cor. 8/9 ``eps_s``);
+* server alone -> users' blanket + fake reports (Cor. 8/9 ``eps_c``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.peos_analysis import (
+    peos_epsilon_collusion_grr,
+    peos_epsilon_collusion_solh,
+    peos_epsilon_server_grr,
+    peos_epsilon_server_solh,
+)
+
+
+@dataclass(frozen=True)
+class Adversary:
+    """An adversary position in the shuffle-model system.
+
+    The server is always part of the adversary (it is the party the DP
+    guarantee is argued against); flags add colluding parties.
+    """
+
+    colluding_users: bool = False
+    corrupted_shufflers: int = 0
+
+    @classmethod
+    def server(cls) -> "Adversary":
+        """``Adv``: the honest-but-curious server alone."""
+        return cls()
+
+    @classmethod
+    def with_users(cls) -> "Adversary":
+        """``Adv_u``: server plus every user except the victim."""
+        return cls(colluding_users=True)
+
+    @classmethod
+    def with_shufflers(cls, count: int) -> "Adversary":
+        """``Adv_a``: server plus ``count`` corrupted auxiliary servers."""
+        if count < 0:
+            raise ValueError(f"corrupted shuffler count must be >= 0, got {count}")
+        return cls(corrupted_shufflers=count)
+
+    def describe(self) -> str:
+        parts = ["server"]
+        if self.colluding_users:
+            parts.append("all non-victim users")
+        if self.corrupted_shufflers:
+            parts.append(f"{self.corrupted_shufflers} shuffler(s)")
+        return " + ".join(parts)
+
+
+@dataclass(frozen=True)
+class PEOSDeployment:
+    """A concrete PEOS configuration whose guarantees can be evaluated."""
+
+    mechanism: str  # "grr" or "solh"
+    eps_l: float
+    report_domain: int  # d for GRR, d' for SOLH
+    n: int
+    n_r: int
+    r: int
+    delta: float
+
+    def __post_init__(self) -> None:
+        if self.mechanism not in ("grr", "solh"):
+            raise ValueError(f"unknown mechanism {self.mechanism!r}")
+        if self.r < 2:
+            raise ValueError(f"PEOS needs at least 2 shufflers, got r={self.r}")
+
+    @property
+    def honest_majority_threshold(self) -> int:
+        """Corrupting more than ``floor(r/2)`` shufflers breaks EOS privacy."""
+        return self.r // 2
+
+
+def privacy_against(deployment: PEOSDeployment, adversary: Adversary) -> float:
+    """The epsilon guarantee of a PEOS deployment against an adversary.
+
+    Implements the Section VI-B case analysis; returns ``math.inf`` only
+    if no mechanism-level noise protects the victim at all (never the case
+    while ``eps_l`` is finite).
+    """
+    if adversary.corrupted_shufflers > deployment.honest_majority_threshold:
+        # EOS broken: the server sees each user's LDP report. Raw LDP only.
+        return deployment.eps_l
+    if adversary.colluding_users:
+        # Only the fake reports stand between the victim and the adversary.
+        if deployment.mechanism == "solh":
+            return min(
+                deployment.eps_l,
+                peos_epsilon_collusion_solh(
+                    deployment.report_domain, deployment.n_r, deployment.delta
+                ),
+            )
+        return min(
+            deployment.eps_l,
+            peos_epsilon_collusion_grr(
+                deployment.report_domain, deployment.n_r, deployment.delta
+            ),
+        )
+    # Server alone: the other users' blanket plus the fake reports.
+    if deployment.mechanism == "solh":
+        return min(
+            deployment.eps_l,
+            peos_epsilon_server_solh(
+                deployment.eps_l,
+                deployment.report_domain,
+                deployment.n,
+                deployment.n_r,
+                deployment.delta,
+            ),
+        )
+    return min(
+        deployment.eps_l,
+        peos_epsilon_server_grr(
+            deployment.eps_l,
+            deployment.report_domain,
+            deployment.n,
+            deployment.n_r,
+            deployment.delta,
+        ),
+    )
+
+
+@dataclass
+class ThreatReport:
+    """Guarantees of one deployment against the three canonical adversaries."""
+
+    deployment: PEOSDeployment
+    guarantees: dict = field(default_factory=dict)
+
+    @classmethod
+    def evaluate(cls, deployment: PEOSDeployment) -> "ThreatReport":
+        adversaries = {
+            "Adv (server)": Adversary.server(),
+            "Adv_u (server + users)": Adversary.with_users(),
+            "Adv_a (server + minority shufflers)": Adversary.with_shufflers(
+                deployment.honest_majority_threshold
+            ),
+            "Adv_a (server + majority shufflers)": Adversary.with_shufflers(
+                deployment.honest_majority_threshold + 1
+            ),
+        }
+        report = cls(deployment=deployment)
+        for name, adversary in adversaries.items():
+            report.guarantees[name] = privacy_against(deployment, adversary)
+        return report
+
+    def rows(self) -> list[tuple[str, float]]:
+        """(adversary, epsilon) rows for printing."""
+        return sorted(self.guarantees.items())
+
+
+def ldp_fallback_epsilon(deployment: PEOSDeployment) -> float:
+    """What remains when everything but LDP fails: the local budget."""
+    return deployment.eps_l
+
+
+def is_meaningful(epsilon: float, ceiling: float = 20.0) -> bool:
+    """Crude check that a guarantee is not vacuous (used in examples)."""
+    return math.isfinite(epsilon) and epsilon <= ceiling

@@ -1,0 +1,222 @@
+"""PEOS — Private Encrypted Oblivious Shuffle (Algorithm 1), end to end.
+
+The full protocol over ``n`` users, ``r`` shufflers, and one server:
+
+1. every user runs the agreed frequency oracle (GRR or SOLH per the
+   Section IV-B3 comparison), encodes the report into the ordinal group
+   ``Z_M`` (Section VI-A2), splits it into ``r`` additive shares, encrypts
+   the ``r``-th share under the server's AHE key, and uploads share ``j``
+   to shuffler ``j``;
+2. shufflers ``1..r-1`` draw plaintext shares of ``n_r`` fake reports;
+   shuffler ``r`` draws its fake shares and encrypts them;
+3. the shufflers run EOS (:mod:`repro.shuffle.eos`);
+4. the server collects the final shares, decrypts the encrypted vector,
+   reconstructs the shuffled report multiset, estimates frequencies over
+   ``n + n_r`` reports, and removes the fake-report mass with Eq. (6).
+
+Because each fake report is the mod-``M`` sum of one share from *every*
+shuffler, a single honest shuffler makes all fake reports uniform — the
+data-poisoning resistance PEOS is designed for (validated statistically in
+``tests/protocol/test_attacks.py``).
+
+Performance note: the protocol is exact at any scale, but pure-Python AHE
+makes per-report costs milliseconds; benchmarks run reduced ``n`` and
+extrapolate (see DESIGN.md and Table III bench).  For protocol runs prefer
+the 32-bit-seed hash family (:class:`repro.hashing.XXHash32Family`) so the
+report group fits in 64-bit arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..crypto.math_utils import RandomLike, as_random
+from ..crypto.secret_sharing import _uniform_array, share_vector
+from ..frequency_oracles.base import FrequencyOracle
+from ..shuffle.eos import EOSState, encrypted_oblivious_shuffle, server_reconstruct
+from ..costs import CostTracker, share_bytes
+
+
+@dataclass
+class PEOSResult:
+    """Outcome of one PEOS execution."""
+
+    #: calibrated frequency estimates over the value domain (Eq. (6))
+    estimates: np.ndarray
+    #: the shuffled, decoded report multiset the server saw (n + n_r entries)
+    shuffled_reports: np.ndarray
+    #: the EOS state (for transcript inspection in tests / attacks)
+    eos_state: EOSState
+    n_users: int
+    n_fake: int
+
+
+def run_peos(
+    values: Sequence[int],
+    fo: FrequencyOracle,
+    r: int,
+    n_fake: int,
+    ahe_public,
+    ahe_decrypt: Callable[[int], int],
+    rng: np.random.Generator,
+    crypto_rng: RandomLike = None,
+    tracker: Optional[CostTracker] = None,
+    malicious_fake_shares: Optional[dict[int, Callable[[int, np.ndarray], np.ndarray]]] = None,
+    rerandomize: bool = True,
+) -> PEOSResult:
+    """Execute Algorithm 1.
+
+    Parameters
+    ----------
+    values:
+        The users' private values in ``[0, fo.d)``.
+    fo:
+        The frequency oracle (must be ordinal-encodable: GRR or a
+        local-hashing oracle).
+    r:
+        Number of shufflers (honest majority assumed: the server must not
+        corrupt more than ``floor(r/2)`` of them).
+    n_fake:
+        Total fake reports ``n_r`` injected by the shufflers.
+    ahe_public / ahe_decrypt:
+        The server's AHE public key (Paillier or DGK) and decryption
+        callable.
+    malicious_fake_shares:
+        Optional map ``shuffler index -> f(n_fake, honest_shares) -> shares``
+        letting attack analyses replace a shuffler's fake-share vector with
+        a biased one.  Honest shufflers still mask it (PEOS's guarantee).
+    """
+    if r < 2:
+        raise ValueError(f"PEOS needs at least 2 shufflers, got r={r}")
+    values = np.asarray(values)
+    n = len(values)
+    modulus = fo.report_space
+    width = share_bytes(modulus)
+    crypto_rand = as_random(crypto_rng)
+
+    # ---- 1. users: privatize, encode, share, encrypt the last share -----
+    def _user_phase():
+        reports = fo.privatize(values, rng)
+        encoded = fo.encode_reports(reports)
+        shares = share_vector(np.asarray(encoded, dtype=object), r, modulus, rng)
+        encrypted_last = [
+            ahe_public.encrypt(int(s) % modulus, crypto_rand) for s in shares[r - 1]
+        ]
+        return shares, encrypted_last
+
+    if tracker is None:
+        shares, encrypted_last = _user_phase()
+    else:
+        with tracker.compute("user"):
+            shares, encrypted_last = _user_phase()
+        for j in range(r - 1):
+            tracker.send("user", f"shuffler:{j}", n * width)
+        tracker.send("user", f"shuffler:{r - 1}", n * ahe_public.ciphertext_bytes)
+
+    # ---- 2. shufflers draw shares of the fake reports --------------------
+    plain_vectors: list[np.ndarray] = []
+    for j in range(r - 1):
+        def _draw(j: int = j) -> np.ndarray:
+            fake = _uniform_array(modulus, n_fake, rng)
+            if malicious_fake_shares and j in malicious_fake_shares:
+                fake = malicious_fake_shares[j](n_fake, fake)
+            return _concat(shares[j], fake, modulus)
+
+        if tracker is None:
+            plain_vectors.append(_draw())
+        else:
+            with tracker.compute(f"shuffler:{j}"):
+                plain_vectors.append(_draw())
+
+    def _draw_encrypted() -> list[int]:
+        fake = _uniform_array(modulus, n_fake, rng)
+        if malicious_fake_shares and (r - 1) in malicious_fake_shares:
+            fake = malicious_fake_shares[r - 1](n_fake, fake)
+        return encrypted_last + [
+            ahe_public.encrypt(int(f) % modulus, crypto_rand) for f in fake
+        ]
+
+    if tracker is None:
+        encrypted_vector = _draw_encrypted()
+    else:
+        with tracker.compute(f"shuffler:{r - 1}"):
+            encrypted_vector = _draw_encrypted()
+
+    # The holder's plaintext slot is zero (its share arrived encrypted).
+    total = n + n_fake
+    zero_holder = _zeros(total, modulus)
+    plain_shares = [
+        _concat_pad(vec, total, modulus) for vec in plain_vectors
+    ] + [zero_holder]
+
+    # ---- 3. EOS -----------------------------------------------------------
+    state = encrypted_oblivious_shuffle(
+        plain_shares,
+        encrypted_vector,
+        holder=r - 1,
+        modulus=modulus,
+        ahe=ahe_public,
+        rng=rng,
+        crypto_rng=crypto_rand,
+        tracker=tracker,
+        rerandomize=rerandomize,
+    )
+
+    # ---- 4. server reconstructs, estimates, calibrates -------------------
+    def _server_phase() -> tuple[np.ndarray, np.ndarray]:
+        encoded = server_reconstruct(
+            state,
+            modulus,
+            ahe_decrypt,
+            tracker=tracker,
+            ciphertext_bytes=ahe_public.ciphertext_bytes,
+        )
+        decoded = fo.decode_reports(np.asarray(encoded, dtype=object))
+        counts = fo.support_counts(decoded)
+        raw = fo.estimate(counts, total)
+        calibrated = fo.calibrate_with_fakes(raw, n, n_fake)
+        return np.asarray(encoded), calibrated
+
+    if tracker is None:
+        encoded, estimates = _server_phase()
+    else:
+        with tracker.compute("server"):
+            encoded, estimates = _server_phase()
+
+    return PEOSResult(
+        estimates=estimates,
+        shuffled_reports=encoded,
+        eos_state=state,
+        n_users=n,
+        n_fake=n_fake,
+    )
+
+
+def _concat(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
+    if modulus < (1 << 62):
+        return np.concatenate(
+            [np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)]
+        )
+    out = np.empty(len(a) + len(b), dtype=object)
+    out[:len(a)] = [int(x) for x in a]
+    out[len(a):] = [int(x) for x in b]
+    return out
+
+
+def _concat_pad(vec: np.ndarray, total: int, modulus: int) -> np.ndarray:
+    if len(vec) != total:
+        raise ValueError(f"share vector length {len(vec)} != {total}")
+    if modulus < (1 << 62):
+        return np.asarray(vec, dtype=np.int64)
+    return np.asarray(vec, dtype=object)
+
+
+def _zeros(n: int, modulus: int) -> np.ndarray:
+    if modulus < (1 << 62):
+        return np.zeros(n, dtype=np.int64)
+    out = np.empty(n, dtype=object)
+    out[:] = 0
+    return out

@@ -1,0 +1,30 @@
+"""Shuffling substrates: single shuffler, sequential (SS) chain, oblivious
+shuffle, and the encrypted oblivious shuffle (EOS) inside PEOS."""
+
+from .eos import EOSState, encrypted_oblivious_shuffle, server_reconstruct
+from .oblivious import (
+    ShuffleRound,
+    ShuffleTranscript,
+    hider_count,
+    oblivious_shuffle,
+    shuffle_rounds,
+)
+from .sequential import SSKeys, SSResult, generate_keys, sequential_shuffle
+from .single import SingleShuffleResult, single_shuffle
+
+__all__ = [
+    "EOSState",
+    "SSKeys",
+    "SSResult",
+    "ShuffleRound",
+    "ShuffleTranscript",
+    "SingleShuffleResult",
+    "encrypted_oblivious_shuffle",
+    "generate_keys",
+    "hider_count",
+    "oblivious_shuffle",
+    "sequential_shuffle",
+    "server_reconstruct",
+    "shuffle_rounds",
+    "single_shuffle",
+]

@@ -1,0 +1,165 @@
+"""Resharing-based oblivious shuffle (Laur, Willemson, Zhang [42]).
+
+Section II-C: ``r`` shufflers each hold one additive share vector of the
+``N`` secrets.  Let ``t = floor(r/2) + 1`` ("hiders") and ``r - t``
+("seekers").  For each of the ``C(r, t)`` hider subsets:
+
+1. every seeker splits its share vector into ``t`` fresh sub-shares and
+   sends one to each hider;
+2. hiders fold the received sub-shares into their own vectors, then apply a
+   jointly agreed random permutation;
+3. each hider resplits its permuted vector into ``r`` sub-shares and
+   distributes them to all ``r`` shufflers.
+
+After all rounds, every coalition of at most ``r - t`` shufflers misses at
+least one round's permutation, so the overall order is oblivious to it.
+
+The simulation keeps a :class:`ShuffleTranscript` (rounds, hider sets,
+permutations) so tests can verify both correctness (composition of round
+permutations equals the net permutation) and the obliviousness counting
+argument (every minority coalition is excluded from >= 1 round).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..crypto.secret_sharing import add_share_vectors, share_vector
+from ..costs import CostTracker, share_bytes
+
+
+@dataclass
+class ShuffleRound:
+    """One hide-and-seek round: who hid, and (secretly) how they permuted."""
+
+    hiders: tuple[int, ...]
+    permutation: np.ndarray
+
+
+@dataclass
+class ShuffleTranscript:
+    """Everything a global observer would know about one shuffle run."""
+
+    rounds: list[ShuffleRound] = field(default_factory=list)
+
+    @property
+    def net_permutation(self) -> np.ndarray:
+        """Composition of all round permutations (first round applied first).
+
+        ``output[i] = input[net[i]]`` — i.e. ``net`` maps output positions to
+        original positions.
+        """
+        if not self.rounds:
+            raise ValueError("transcript has no rounds")
+        net = self.rounds[0].permutation.copy()
+        for rnd in self.rounds[1:]:
+            net = net[rnd.permutation]
+        return net
+
+    def known_to(self, coalition: Sequence[int]) -> bool:
+        """Would this coalition of shuffler indices learn the net permutation?
+
+        A coalition learns the net permutation iff it contains a hider of
+        *every* round (each round's permutation is known only to that
+        round's hiders).
+        """
+        coalition_set = set(coalition)
+        return all(coalition_set & set(rnd.hiders) for rnd in self.rounds)
+
+
+def hider_count(r: int) -> int:
+    """``t = floor(r/2) + 1`` — the majority size used by the protocol."""
+    if r < 2:
+        raise ValueError(f"need at least 2 shufflers, got r={r}")
+    return r // 2 + 1
+
+
+def shuffle_rounds(r: int) -> list[tuple[int, ...]]:
+    """The ``C(r, t)`` hider subsets, in deterministic order."""
+    return list(combinations(range(r), hider_count(r)))
+
+
+def oblivious_shuffle(
+    shares: Sequence[np.ndarray],
+    modulus: int,
+    rng: np.random.Generator,
+    tracker: Optional[CostTracker] = None,
+    party_prefix: str = "shuffler",
+) -> tuple[list[np.ndarray], ShuffleTranscript]:
+    """Run the full resharing-based oblivious shuffle.
+
+    Parameters
+    ----------
+    shares:
+        ``r`` share vectors of equal length over ``Z_modulus``.
+    modulus:
+        The share group size.
+    rng:
+        Source of sub-share randomness and round permutations (in a real
+        deployment each round's permutation is agreed among that round's
+        hiders; the simulation draws it centrally but records who knows it).
+    tracker:
+        Optional cost ledger; parties are ``f"{party_prefix}:{i}"``.
+
+    Returns the new share vectors and the transcript.
+    """
+    r = len(shares)
+    if r < 2:
+        raise ValueError(f"need at least 2 shufflers, got r={r}")
+    n = len(shares[0])
+    for share in shares:
+        if len(share) != n:
+            raise ValueError("share vectors have inconsistent lengths")
+    width = share_bytes(modulus)
+    vectors = [np.asarray(share) for share in shares]
+    transcript = ShuffleTranscript()
+
+    for hiders in shuffle_rounds(r):
+        seekers = [j for j in range(r) if j not in hiders]
+        # 1. Seekers split their vectors among the hiders.
+        incoming: dict[int, list[np.ndarray]] = {h: [] for h in hiders}
+        for s in seekers:
+            parts = share_vector(vectors[s], len(hiders), modulus, rng)
+            for h, part in zip(hiders, parts):
+                incoming[h].append(part)
+                if tracker is not None:
+                    tracker.send(
+                        f"{party_prefix}:{s}", f"{party_prefix}:{h}", n * width
+                    )
+            vectors[s] = _zeros_like(vectors[s])
+        # 2. Hiders accumulate and apply the agreed permutation.
+        permutation = rng.permutation(n)
+        for h in hiders:
+            accumulated = vectors[h]
+            for part in incoming[h]:
+                accumulated = add_share_vectors(accumulated, part, modulus)
+            vectors[h] = accumulated[permutation]
+        transcript.rounds.append(
+            ShuffleRound(hiders=tuple(hiders), permutation=permutation)
+        )
+        # 3. Hiders reshare among all r shufflers.
+        fresh = [_zeros_like(vectors[0]) for _ in range(r)]
+        for h in hiders:
+            parts = share_vector(vectors[h], r, modulus, rng)
+            for j, part in enumerate(parts):
+                fresh[j] = add_share_vectors(fresh[j], part, modulus)
+                if tracker is not None and j != h:
+                    tracker.send(
+                        f"{party_prefix}:{h}", f"{party_prefix}:{j}", n * width
+                    )
+        vectors = fresh
+
+    return vectors, transcript
+
+
+def _zeros_like(vector: np.ndarray) -> np.ndarray:
+    """Zero share vector matching dtype conventions (int64 or object)."""
+    if vector.dtype == object:
+        out = np.empty(len(vector), dtype=object)
+        out[:] = 0
+        return out
+    return np.zeros(len(vector), dtype=np.int64)

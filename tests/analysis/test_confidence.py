@@ -1,0 +1,71 @@
+"""Confidence bands for frequency estimates."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    frequency_band,
+    minimum_detectable_frequency,
+    z_score,
+)
+from repro.core import solh_variance_shuffled
+from repro.frequency_oracles import SOLH
+
+
+class TestZScore:
+    def test_known_quantiles(self):
+        assert z_score(0.95) == pytest.approx(1.95996, abs=1e-4)
+        assert z_score(0.99) == pytest.approx(2.57583, abs=1e-4)
+        assert z_score(0.6827) == pytest.approx(1.0, abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            z_score(0.0)
+        with pytest.raises(ValueError):
+            z_score(1.0)
+
+
+class TestBand:
+    def test_geometry(self):
+        band = frequency_band(np.array([0.5, 0.1]), variance=0.01, confidence=0.95)
+        assert band.halfwidth == pytest.approx(z_score(0.95) * 0.1)
+        assert (band.upper - band.lower == pytest.approx(2 * band.halfwidth))
+
+    def test_covers(self):
+        band = frequency_band(np.array([0.5]), variance=0.0001, confidence=0.95)
+        assert band.covers(np.array([0.5]))[0]
+        assert not band.covers(np.array([0.9]))[0]
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError):
+            frequency_band(np.zeros(3), variance=-1.0)
+
+    def test_empirical_coverage_solh(self, rng):
+        """The analytical band should cover ~95% of values on a real run."""
+        n, d, eps_c, delta = 100_000, 64, 0.5, 1e-9
+        histogram = rng.multinomial(n, np.full(d, 1 / d))
+        truth = histogram / n
+        oracle, __ = SOLH.for_central_target(d, eps_c, n, delta)
+        variance = solh_variance_shuffled(eps_c, n, delta)
+        coverages = []
+        for __ in range(10):
+            estimates = oracle.estimate_from_histogram(histogram, rng)
+            band = frequency_band(estimates, variance, confidence=0.95)
+            coverages.append(band.coverage(truth))
+        assert np.mean(coverages) > 0.85
+
+
+class TestDetectability:
+    def test_formula(self):
+        assert minimum_detectable_frequency(0.0001, 0.95) == pytest.approx(
+            2 * z_score(0.95) * 0.01
+        )
+
+    def test_shrinks_with_variance(self):
+        assert minimum_detectable_frequency(1e-8) < minimum_detectable_frequency(1e-4)
+
+    def test_paper_headline_regime(self):
+        """At the paper's IPUMS scale, SOLH's detectability threshold is in
+        the 'absolute errors < 0.01%' ballpark of Section VII."""
+        variance = solh_variance_shuffled(0.8, 602_325, 1e-9)
+        assert minimum_detectable_frequency(variance) < 1e-3

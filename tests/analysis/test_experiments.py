@@ -1,0 +1,92 @@
+"""Experiment harness: registry and sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    FIGURE3_METHODS,
+    METHODS,
+    build_method,
+    format_sweep_table,
+    run_sweep,
+    run_trial,
+)
+
+N, D, DELTA = 50_000, 32, 1e-9
+
+
+class TestRegistry:
+    def test_all_figure3_methods_registered(self):
+        for name in FIGURE3_METHODS:
+            assert name in METHODS
+
+    @pytest.mark.parametrize("name", sorted(METHODS))
+    def test_buildable_at_moderate_epsilon(self, name):
+        method = build_method(name, D, N, 0.8, DELTA)
+        assert hasattr(method, "estimate_from_histogram")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_method("FANCY", D, N, 0.5, DELTA)
+
+    def test_shuffle_methods_resolve_amplification(self):
+        solh = build_method("SOLH", D, N, 0.8, DELTA)
+        assert solh.eps > 0.8  # amplified local budget
+
+    def test_local_methods_use_central_epsilon(self):
+        olh = build_method("OLH", D, N, 0.8, DELTA)
+        assert olh.eps == pytest.approx(0.8)
+
+
+class TestTrials:
+    def test_run_trial_returns_metric(self, rng, small_histogram):
+        method = build_method("SOLH", 16, int(small_histogram.sum()), 0.8, DELTA)
+        score = run_trial(method, small_histogram, rng)
+        assert score >= 0.0
+
+    def test_run_trial_custom_metric(self, rng, small_histogram):
+        from repro.analysis import max_absolute_error
+
+        method = build_method("Base", 16, int(small_histogram.sum()), 0.8, DELTA)
+        score = run_trial(method, small_histogram, rng, metric=max_absolute_error)
+        assert score > 0.0
+
+
+class TestSweeps:
+    def test_structure(self, rng, small_histogram):
+        results = run_sweep(
+            ["Base", "SOLH"], small_histogram, [0.4, 0.8], DELTA, rng, repeats=2
+        )
+        assert [r.method for r in results] == ["Base", "SOLH"]
+        for result in results:
+            assert result.eps_values == [0.4, 0.8]
+            assert len(result.means) == 2
+            assert len(result.stds) == 2
+
+    def test_infeasible_recorded_as_nan(self, rng):
+        histogram = np.full(8, 10)  # n=80: AUE infeasible at eps=0.1
+        results = run_sweep(["AUE"], histogram, [0.1], DELTA, rng, repeats=1)
+        assert np.isnan(results[0].means[0])
+
+    def test_infeasible_raises_when_asked(self, rng):
+        histogram = np.full(8, 10)
+        with pytest.raises(ValueError):
+            run_sweep(
+                ["AUE"], histogram, [0.1], DELTA, rng, repeats=1, skip_errors=False
+            )
+
+    def test_shuffle_beats_local_in_sweep(self, rng):
+        histogram = rng.multinomial(100_000, np.full(64, 1 / 64))
+        results = run_sweep(
+            ["OLH", "SOLH"], histogram, [0.5], DELTA, rng, repeats=3
+        )
+        olh, solh = results
+        assert solh.means[0] < olh.means[0]
+
+    def test_format_table(self, rng, small_histogram):
+        results = run_sweep(["Base"], small_histogram, [0.5], DELTA, rng, repeats=1)
+        table = format_sweep_table(results, caption="cap")
+        assert "Base" in table and "eps=0.5" in table and "cap" in table
+
+    def test_format_empty(self):
+        assert format_sweep_table([]) == "(no results)"

@@ -1,0 +1,73 @@
+"""Evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    max_absolute_error,
+    mean_absolute_error,
+    mse,
+    precision_at_k,
+    top_k_from_estimates,
+)
+
+
+class TestMSE:
+    def test_zero_for_perfect_estimate(self):
+        truth = np.array([0.5, 0.3, 0.2])
+        assert mse(truth, truth) == 0.0
+
+    def test_known_value(self):
+        assert mse(np.array([0.0, 0.0]), np.array([0.1, 0.3])) == pytest.approx(
+            (0.01 + 0.09) / 2
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+
+class TestAbsoluteErrors:
+    def test_mean_absolute(self):
+        assert mean_absolute_error(
+            np.array([0.0, 0.0]), np.array([0.1, -0.3])
+        ) == pytest.approx(0.2)
+
+    def test_max_absolute(self):
+        assert max_absolute_error(
+            np.array([0.0, 0.0]), np.array([0.1, -0.3])
+        ) == pytest.approx(0.3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error(np.zeros(3), np.zeros(4))
+
+
+class TestPrecision:
+    def test_perfect(self):
+        assert precision_at_k([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_half(self):
+        assert precision_at_k([1, 2, 3, 4], [1, 2, 9, 8]) == 0.5
+
+    def test_empty_reported(self):
+        assert precision_at_k([1, 2], []) == 0.0
+
+    def test_numpy_inputs(self):
+        assert precision_at_k(np.array([5, 6]), np.array([6, 7])) == 0.5
+
+
+class TestTopK:
+    def test_selects_largest(self):
+        estimates = np.array([0.1, 0.5, 0.3, 0.2])
+        assert top_k_from_estimates(estimates, 2).tolist() == [1, 2]
+
+    def test_stable_ties(self):
+        estimates = np.array([0.5, 0.5, 0.1])
+        assert top_k_from_estimates(estimates, 2).tolist() == [0, 1]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_from_estimates(np.zeros(3), 0)
+        with pytest.raises(ValueError):
+            top_k_from_estimates(np.zeros(3), 4)

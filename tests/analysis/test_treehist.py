@@ -1,0 +1,85 @@
+"""TreeHist succinct-histogram search."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import precision_at_k, treehist
+from repro.analysis.treehist import LOCAL_METHODS
+from repro.data import StringDataset, aol_like
+
+
+def _concentrated_dataset(rng, n=30_000, heavy=8, bits=16):
+    """A 16-bit dataset where `heavy` strings own 80% of the mass."""
+    heavy_values = rng.choice(1 << bits, size=heavy, replace=False).astype(np.int64)
+    n_heavy = int(n * 0.8)
+    values = np.concatenate(
+        [
+            heavy_values[rng.integers(0, heavy, n_heavy)],
+            rng.integers(0, 1 << bits, n - n_heavy, dtype=np.int64),
+        ]
+    )
+    rng.shuffle(values)
+    return StringDataset("toy", values, bits), heavy_values
+
+
+class TestCorrectness:
+    def test_finds_heavy_hitters_easy_setting(self, rng):
+        dataset, heavy = _concentrated_dataset(rng)
+        result = treehist(dataset, "SOLH", 4.0, 1e-9, rng, k=8)
+        assert precision_at_k(heavy, result.discovered) >= 0.75
+
+    def test_laplace_nearly_perfect(self, rng):
+        dataset, heavy = _concentrated_dataset(rng)
+        result = treehist(dataset, "Lap", 1.0, 1e-9, rng, k=8)
+        assert precision_at_k(heavy, result.discovered) >= 0.85
+
+    def test_estimates_ordered(self, rng):
+        dataset, __ = _concentrated_dataset(rng)
+        result = treehist(dataset, "SOLH", 4.0, 1e-9, rng, k=8)
+        assert (np.diff(result.estimates) <= 1e-12).all()
+
+    def test_round_structure(self, rng):
+        dataset, __ = _concentrated_dataset(rng)
+        result = treehist(dataset, "SOLH", 4.0, 1e-9, rng, k=8, bits_per_round=8)
+        # 16-bit strings, 8 bits per round: 2 rounds; round 1 has 256
+        # candidates, round 2 at most 8 * 256.
+        assert result.candidates_per_round[0] == 256
+        assert result.candidates_per_round[1] <= 8 * 256
+
+    def test_discovered_count(self, rng):
+        dataset, __ = _concentrated_dataset(rng)
+        result = treehist(dataset, "SOLH", 4.0, 1e-9, rng, k=8)
+        assert len(result.discovered) == 8
+        assert len(result.estimates) == 8
+
+
+class TestBudgetAllocation:
+    def test_local_methods_grouped(self):
+        assert "OLH" in LOCAL_METHODS and "Had" in LOCAL_METHODS
+        assert "SOLH" not in LOCAL_METHODS
+
+    def test_local_method_runs(self, rng):
+        dataset, __ = _concentrated_dataset(rng)
+        result = treehist(dataset, "OLH", 4.0, 1e-9, rng, k=8)
+        assert len(result.discovered) == 8
+
+    def test_shuffle_beats_local_on_aol(self, rng):
+        dataset = aol_like(rng, scale=0.3)
+        truth = dataset.top_k(32)
+        solh = treehist(dataset, "SOLH", 1.0, 1e-9, rng, k=32)
+        olh = treehist(dataset, "OLH", 1.0, 1e-9, rng, k=32)
+        assert precision_at_k(truth, solh.discovered) > (
+            precision_at_k(truth, olh.discovered)
+        )
+
+
+class TestValidation:
+    def test_rejects_unaligned_rounds(self, rng):
+        dataset, __ = _concentrated_dataset(rng)
+        with pytest.raises(ValueError):
+            treehist(dataset, "SOLH", 1.0, 1e-9, rng, bits_per_round=5)
+
+    def test_keep_per_round_widens_search(self, rng):
+        dataset, __ = _concentrated_dataset(rng)
+        result = treehist(dataset, "SOLH", 4.0, 1e-9, rng, k=8, keep_per_round=32)
+        assert result.candidates_per_round[1] <= 32 * 256

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """Deterministic numpy generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_histogram(rng):
+    """A small skewed histogram: d=16, n=20000."""
+    probabilities = np.array([2.0 ** (-i) for i in range(16)])
+    probabilities /= probabilities.sum()
+    return rng.multinomial(20_000, probabilities)
+
+
+@pytest.fixture(scope="session")
+def paillier_keys():
+    """Session-scoped small Paillier keypair (keygen is not free)."""
+    from repro.crypto import paillier
+
+    return paillier.generate_keypair(key_bits=512, rng=2024)
+
+
+@pytest.fixture(scope="session")
+def dgk_keys():
+    """Session-scoped DGK keypair with 32-bit plaintexts."""
+    from repro.crypto import dgk
+
+    return dgk.generate_keypair(l=32, key_bits=640, subgroup_bits=96, rng=2024)

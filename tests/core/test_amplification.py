@@ -1,0 +1,217 @@
+"""Amplification bounds (Table I, Theorems 1-3) and their inversions."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import amplification as amp
+
+N, D, DELTA = 100_000, 100, 1e-9
+
+
+class TestBinomialMechanism:
+    def test_theorem1_formula(self):
+        eps = amp.binomial_mechanism_epsilon(N, 0.01, DELTA)
+        assert eps == pytest.approx(
+            math.sqrt(14 * math.log(2 / DELTA) / (N * 0.01))
+        )
+
+    def test_more_noise_less_epsilon(self):
+        assert amp.binomial_mechanism_epsilon(N, 0.5, DELTA) < (
+            amp.binomial_mechanism_epsilon(N, 0.01, DELTA)
+        )
+
+    def test_more_users_less_epsilon(self):
+        assert amp.binomial_mechanism_epsilon(10 * N, 0.01, DELTA) < (
+            amp.binomial_mechanism_epsilon(N, 0.01, DELTA)
+        )
+
+    @pytest.mark.parametrize("bad_p", [0.0, -0.1, 1.5])
+    def test_rejects_bad_probability(self, bad_p):
+        with pytest.raises(ValueError):
+            amp.binomial_mechanism_epsilon(N, bad_p, DELTA)
+
+
+class TestForwardBounds:
+    def test_grr_matches_table1_row3(self):
+        eps_l = 2.0
+        expected = math.sqrt(
+            14 * math.log(2 / DELTA) * (math.exp(eps_l) + D - 1) / (N - 1)
+        )
+        assert amp.grr_amplified_epsilon(eps_l, N, D, DELTA) == pytest.approx(expected)
+
+    def test_csuzz_matches_table1_row2(self):
+        eps_l = 1.0
+        expected = math.sqrt(32 * math.log(4 / DELTA) * (math.exp(eps_l) + 1) / N)
+        assert amp.csuzz_amplified_epsilon(eps_l, N, DELTA) == pytest.approx(expected)
+
+    def test_efmrtt_matches_table1_row1(self):
+        eps_l = 0.3
+        expected = math.sqrt(144 * math.log(1 / DELTA) * eps_l**2 / N)
+        assert amp.efmrtt_amplified_epsilon(eps_l, N, DELTA) == pytest.approx(expected)
+
+    def test_efmrtt_requires_small_epsilon(self):
+        with pytest.raises(ValueError):
+            amp.efmrtt_amplified_epsilon(0.6, N, DELTA)
+
+    def test_unary_matches_theorem2(self):
+        eps_l = 2.0
+        expected = 2 * math.sqrt(
+            14 * math.log(4 / DELTA) * (math.exp(eps_l / 2) + 1) / (N - 1)
+        )
+        assert amp.unary_amplified_epsilon(eps_l, N, DELTA) == pytest.approx(expected)
+
+    def test_solh_matches_theorem3(self):
+        eps_l, d_prime = 2.0, 16
+        expected = math.sqrt(
+            14 * math.log(2 / DELTA) * (math.exp(eps_l) + d_prime - 1) / (N - 1)
+        )
+        assert amp.solh_amplified_epsilon(eps_l, N, d_prime, DELTA) == pytest.approx(
+            expected
+        )
+
+    def test_amplified_epsilon_grows_with_local_budget(self):
+        values = [amp.grr_amplified_epsilon(e, N, D, DELTA) for e in (0.5, 1.0, 2.0)]
+        assert values[0] < values[1] < values[2]
+
+    def test_bbgn_beats_csuzz_binary_at_scale(self):
+        # BBGN'19 is the strongest bound of Table I (smaller eps_c).
+        eps_l = 1.0
+        assert amp.grr_amplified_epsilon(eps_l, N, 2, DELTA) < (
+            amp.csuzz_amplified_epsilon(eps_l, N, DELTA)
+        )
+
+
+class TestInversions:
+    def test_grr_roundtrip(self):
+        # Must sit above the amplification threshold (~0.55 at these n, d).
+        eps_c = 0.8
+        eps_l = amp.invert_grr(eps_c, N, D, DELTA)
+        assert eps_l is not None
+        assert amp.grr_amplified_epsilon(eps_l, N, D, DELTA) == pytest.approx(eps_c)
+
+    def test_solh_roundtrip(self):
+        eps_c, d_prime = 0.5, 8
+        eps_l = amp.invert_solh(eps_c, N, d_prime, DELTA)
+        assert eps_l is not None
+        assert amp.solh_amplified_epsilon(eps_l, N, d_prime, DELTA) == pytest.approx(
+            eps_c
+        )
+
+    def test_unary_roundtrip(self):
+        eps_c = 0.5
+        eps_l = amp.invert_unary(eps_c, N, DELTA)
+        assert eps_l is not None
+        assert amp.unary_amplified_epsilon(eps_l, N, DELTA) == pytest.approx(eps_c)
+
+    def test_grr_none_below_threshold(self):
+        threshold = amp.grr_amplification_threshold(N, D, DELTA)
+        assert amp.invert_grr(threshold * 0.9, N, D, DELTA) is None
+
+    def test_grr_some_above_threshold(self):
+        threshold = amp.grr_amplification_threshold(N, D, DELTA)
+        assert amp.invert_grr(threshold * 1.5, N, D, DELTA) is not None
+
+    def test_removal_equivalent_to_double_budget_rap(self):
+        # RAP_R at eps_c should spend the same flip probability as RAP at
+        # 2*eps_c: e^{eps_R} == e^{eps_RAP/2}.
+        eps_c = 0.4
+        eps_removal = amp.invert_unary_removal(eps_c, N, DELTA)
+        eps_rap = amp.invert_unary(2 * eps_c, N, DELTA)
+        assert eps_removal == pytest.approx(eps_rap / 2)
+
+    def test_larger_d_prime_means_less_local_budget(self):
+        small = amp.invert_solh(0.5, N, 4, DELTA)
+        large = amp.invert_solh(0.5, N, 64, DELTA)
+        assert small > large
+
+
+class TestOptimalDPrime:
+    def test_equation5(self):
+        m = amp.blanket_budget(0.5, N, DELTA)
+        assert amp.solh_optimal_d_prime(0.5, N, DELTA) == max(2, int((m + 2) // 3))
+
+    def test_grows_with_epsilon(self):
+        values = [amp.solh_optimal_d_prime(e, N, DELTA) for e in (0.2, 0.5, 1.0)]
+        assert values[0] <= values[1] <= values[2]
+
+    def test_grows_with_population(self):
+        assert amp.solh_optimal_d_prime(0.5, 10 * N, DELTA) > (
+            amp.solh_optimal_d_prime(0.5, N, DELTA)
+        )
+
+    def test_floor_is_two(self):
+        assert amp.solh_optimal_d_prime(0.01, 1000, DELTA) == 2
+
+
+class TestResolvers:
+    def test_resolve_grr_amplifies_at_scale(self):
+        resolution = amp.resolve_grr(0.8, N, D, DELTA)
+        assert resolution.amplified
+        assert resolution.eps_l > resolution.eps_c
+        assert resolution.gain > 1.0
+
+    def test_resolve_grr_fallback_below_threshold(self):
+        resolution = amp.resolve_grr(0.05, 2000, 1000, DELTA)
+        assert not resolution.amplified
+        assert resolution.eps_l == resolution.eps_c
+
+    def test_resolve_solh_uses_optimal_d_prime(self):
+        resolution, d_prime = amp.resolve_solh(0.5, N, DELTA)
+        assert d_prime == amp.solh_optimal_d_prime(0.5, N, DELTA)
+        assert resolution.amplified
+
+    def test_resolve_solh_fallback_small_population(self):
+        resolution, d_prime = amp.resolve_solh(0.1, 200, DELTA)
+        assert not resolution.amplified
+        assert resolution.eps_l == pytest.approx(0.1)
+        assert d_prime >= 2
+
+    def test_resolve_unary_amplifies_at_scale(self):
+        resolution = amp.resolve_unary(0.5, N, DELTA)
+        assert resolution.amplified
+
+    def test_resolve_unary_removal_beats_rap(self):
+        rap = amp.resolve_unary(0.5, N, DELTA)
+        rap_r = amp.resolve_unary_removal(0.5, N, DELTA)
+        # Removal semantics do not halve the budget: more local budget is
+        # spent per bit for the same central target.
+        assert 2 * rap_r.eps_l > rap.eps_l
+
+
+class TestValidation:
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            amp.grr_amplified_epsilon(1.0, 1, D, DELTA)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.5])
+    def test_rejects_bad_delta(self, delta):
+        with pytest.raises(ValueError):
+            amp.blanket_budget(0.5, N, delta)
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(ValueError):
+            amp.blanket_budget(0.0, N, DELTA)
+
+    def test_rejects_small_domains(self):
+        with pytest.raises(ValueError):
+            amp.grr_amplified_epsilon(1.0, N, 1, DELTA)
+        with pytest.raises(ValueError):
+            amp.solh_amplified_epsilon(1.0, N, 1, DELTA)
+
+
+@given(
+    eps_c=st.floats(min_value=0.05, max_value=1.0),
+    n=st.integers(min_value=10_000, max_value=1_000_000),
+    d_prime=st.integers(min_value=2, max_value=64),
+)
+@settings(max_examples=100, deadline=None)
+def test_solh_inversion_roundtrip_property(eps_c, n, d_prime):
+    """Property: whenever the inversion succeeds, the forward bound returns
+    exactly the requested central epsilon."""
+    eps_l = amp.invert_solh(eps_c, n, d_prime, DELTA)
+    if eps_l is not None:
+        forward = amp.solh_amplified_epsilon(eps_l, n, d_prime, DELTA)
+        assert forward == pytest.approx(eps_c, rel=1e-9)

@@ -1,0 +1,99 @@
+"""DP composition accounting."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    advanced_composition,
+    advanced_composition_total,
+    basic_composition,
+    group_privacy_epsilon,
+    split_budget,
+)
+
+
+class TestBasic:
+    def test_even_split(self):
+        split = basic_composition(1.2, 1e-8, 6)
+        assert split.eps_per_round == pytest.approx(0.2)
+        assert split.delta_per_round == pytest.approx(1e-8 / 6)
+        assert split.method == "basic"
+
+    def test_total_recovers_budget(self):
+        split = basic_composition(1.2, 1e-8, 6)
+        assert split.total_eps_basic == pytest.approx(1.2)
+
+    @pytest.mark.parametrize("bad", [(0.0, 1e-8, 6), (1.0, 0.0, 6), (1.0, 1e-8, 0)])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            basic_composition(*bad)
+
+
+class TestAdvancedTotal:
+    def test_formula(self):
+        eps_i, rounds, slack = 0.1, 10, 1e-6
+        expected = (
+            math.sqrt(2 * rounds * math.log(1 / slack)) * eps_i
+            + rounds * eps_i * (math.exp(eps_i) - 1)
+        )
+        assert advanced_composition_total(eps_i, rounds, slack) == pytest.approx(
+            expected
+        )
+
+    def test_monotone_in_rounds(self):
+        assert advanced_composition_total(0.1, 100, 1e-6) > (
+            advanced_composition_total(0.1, 10, 1e-6)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            advanced_composition_total(0.0, 10, 1e-6)
+        with pytest.raises(ValueError):
+            advanced_composition_total(0.1, 10, 2.0)
+
+
+class TestAdvanced:
+    def test_respects_budget(self):
+        split = advanced_composition(1.0, 1e-8, 50)
+        if split.method == "advanced":
+            total = advanced_composition_total(
+                split.eps_per_round, 50, 1e-8 * 0.5
+            )
+            assert total <= 1.0 * (1 + 1e-6)
+
+    def test_beats_basic_at_many_rounds(self):
+        basic = basic_composition(1.0, 1e-8, 200)
+        advanced = advanced_composition(1.0, 1e-8, 200)
+        assert advanced.eps_per_round > basic.eps_per_round
+        assert advanced.method == "advanced"
+
+    def test_falls_back_to_basic_at_few_rounds(self):
+        split = advanced_composition(1.0, 1e-8, 2)
+        assert split.method == "basic"
+        assert split.eps_per_round == pytest.approx(0.5)
+
+    def test_slack_fraction_validated(self):
+        with pytest.raises(ValueError):
+            advanced_composition(1.0, 1e-8, 10, slack_fraction=1.5)
+
+
+class TestDispatchAndGroup:
+    def test_split_budget_dispatch(self):
+        assert split_budget(1.0, 1e-8, 4, "basic").method == "basic"
+        assert split_budget(1.0, 1e-8, 300, "advanced").method == "advanced"
+
+    def test_split_budget_unknown(self):
+        with pytest.raises(ValueError):
+            split_budget(1.0, 1e-8, 4, "renyi")
+
+    def test_group_privacy(self):
+        assert group_privacy_epsilon(0.7, 2) == pytest.approx(1.4)
+
+    def test_group_privacy_validation(self):
+        with pytest.raises(ValueError):
+            group_privacy_epsilon(0.7, 0)
+
+    def test_removal_to_replacement_is_group_two(self):
+        # Section IV-B4: eps-removal-LDP implies 2eps-replacement-LDP.
+        assert group_privacy_epsilon(1.0, 2) == 2.0

@@ -1,0 +1,69 @@
+"""The Section VI-D PEOS deployment planner."""
+
+import pytest
+
+from repro.core import InfeasiblePlanError, plan_peos
+from repro.core.peos_analysis import (
+    peos_epsilon_collusion_grr,
+    peos_epsilon_collusion_solh,
+    peos_epsilon_server_grr,
+    peos_epsilon_server_solh,
+)
+
+N, D, DELTA = 500_000, 100, 1e-9
+
+
+class TestFeasiblePlans:
+    def test_returns_plan(self):
+        plan = plan_peos(0.5, 2.0, 4.0, N, D, DELTA)
+        assert plan.mechanism in ("grr", "solh")
+        assert plan.n_r > 0
+        assert plan.variance > 0
+
+    def test_server_target_met(self):
+        plan = plan_peos(0.5, 2.0, 4.0, N, D, DELTA)
+        assert plan.eps_server <= 0.5 * (1 + 1e-6)
+
+    def test_collusion_target_met(self):
+        plan = plan_peos(0.5, 2.0, 4.0, N, D, DELTA)
+        assert plan.eps_collusion <= 2.0 * (1 + 1e-6)
+
+    def test_local_target_met(self):
+        plan = plan_peos(0.5, 2.0, 4.0, N, D, DELTA)
+        assert plan.eps_local <= 4.0 * (1 + 1e-6)
+
+    def test_guarantees_recomputable(self):
+        plan = plan_peos(0.5, 2.0, 4.0, N, D, DELTA)
+        if plan.mechanism == "solh":
+            server = peos_epsilon_server_solh(
+                plan.eps_l, plan.d_prime, N, plan.n_r, DELTA
+            )
+            collusion = peos_epsilon_collusion_solh(plan.d_prime, plan.n_r, DELTA)
+        else:
+            server = peos_epsilon_server_grr(plan.eps_l, D, N, plan.n_r, DELTA)
+            collusion = peos_epsilon_collusion_grr(D, plan.n_r, DELTA)
+        assert server == pytest.approx(plan.eps_server, rel=1e-6)
+        assert collusion == pytest.approx(plan.eps_collusion, rel=1e-6)
+
+    def test_small_domain_can_choose_grr(self):
+        plan = plan_peos(0.8, 3.0, 6.0, 5_000_000, 4, DELTA)
+        # Either mechanism may win, but the plan must be valid; GRR keeps
+        # d_prime equal to the domain.
+        if plan.mechanism == "grr":
+            assert plan.d_prime == 4
+
+    def test_tighter_targets_cost_utility(self):
+        loose = plan_peos(0.8, 3.0, 6.0, N, D, DELTA)
+        tight = plan_peos(0.2, 1.0, 4.0, N, D, DELTA)
+        assert tight.variance >= loose.variance
+
+
+class TestValidation:
+    def test_rejects_unordered_targets(self):
+        with pytest.raises(ValueError):
+            plan_peos(2.0, 1.0, 4.0, N, D, DELTA)
+
+    def test_infeasible_raises(self):
+        # A tiny population cannot meet an aggressive collusion target.
+        with pytest.raises(InfeasiblePlanError):
+            plan_peos(0.0001, 0.0002, 0.0003, 50, D, DELTA)

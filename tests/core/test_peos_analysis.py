@@ -1,0 +1,197 @@
+"""PEOS privacy (Corollaries 8-9) and utility (Section VI-C)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import amplification as amp
+from repro.core import peos_analysis as peos
+
+N, DELTA = 200_000, 1e-9
+
+
+class TestCorollary8:
+    def test_server_epsilon_formula(self):
+        eps_l, d_prime, n_r = 2.0, 16, 10_000
+        blanket = (N - 1) / (math.exp(eps_l) + d_prime - 1) + n_r / d_prime
+        expected = math.sqrt(14 * math.log(2 / DELTA) / blanket)
+        assert peos.peos_epsilon_server_solh(
+            eps_l, d_prime, N, n_r, DELTA
+        ) == pytest.approx(expected)
+
+    def test_collusion_epsilon_formula(self):
+        expected = math.sqrt(14 * math.log(2 / DELTA) * 16 / 10_000)
+        assert peos.peos_epsilon_collusion_solh(16, 10_000, DELTA) == pytest.approx(
+            expected
+        )
+
+    def test_no_fakes_means_no_collusion_protection(self):
+        assert peos.peos_epsilon_collusion_solh(16, 0, DELTA) == math.inf
+
+    def test_fakes_strictly_improve_server_guarantee(self):
+        without = peos.peos_epsilon_server_solh(2.0, 16, N, 0, DELTA)
+        with_fakes = peos.peos_epsilon_server_solh(2.0, 16, N, 50_000, DELTA)
+        assert with_fakes < without
+
+    def test_zero_fakes_reduces_to_theorem3(self):
+        assert peos.peos_epsilon_server_solh(2.0, 16, N, 0, DELTA) == pytest.approx(
+            amp.solh_amplified_epsilon(2.0, N, 16, DELTA)
+        )
+
+    def test_more_fakes_better_collusion_guarantee(self):
+        assert peos.peos_epsilon_collusion_solh(16, 100_000, DELTA) < (
+            peos.peos_epsilon_collusion_solh(16, 10_000, DELTA)
+        )
+
+
+class TestCorollary9:
+    def test_grr_zero_fakes_reduces_to_bbgn(self):
+        assert peos.peos_epsilon_server_grr(2.0, 100, N, 0, DELTA) == pytest.approx(
+            amp.grr_amplified_epsilon(2.0, N, 100, DELTA)
+        )
+
+    def test_grr_collusion_formula(self):
+        expected = math.sqrt(14 * math.log(2 / DELTA) * 100 / 5000)
+        assert peos.peos_epsilon_collusion_grr(100, 5000, DELTA) == pytest.approx(
+            expected
+        )
+
+    def test_grr_collusion_no_fakes_infinite(self):
+        assert peos.peos_epsilon_collusion_grr(100, 0, DELTA) == math.inf
+
+
+class TestInversions:
+    def test_solh_roundtrip(self):
+        # n_r small enough that the fake reports alone do NOT meet eps_c.
+        eps_c, d_prime, n_r = 0.5, 16, 10_000
+        eps_l = peos.invert_peos_solh(eps_c, d_prime, N, n_r, DELTA)
+        assert eps_l is not None and math.isfinite(eps_l)
+        assert peos.peos_epsilon_server_solh(
+            eps_l, d_prime, N, n_r, DELTA
+        ) == pytest.approx(eps_c)
+
+    def test_grr_roundtrip(self):
+        eps_c, d, n_r = 0.5, 50, 20_000
+        eps_l = peos.invert_peos_grr(eps_c, d, N, n_r, DELTA)
+        assert eps_l is not None and math.isfinite(eps_l)
+        assert peos.peos_epsilon_server_grr(eps_l, d, N, n_r, DELTA) == pytest.approx(
+            eps_c
+        )
+
+    def test_fakes_buy_local_budget(self):
+        base = peos.invert_peos_solh(0.5, 16, N, 0, DELTA)
+        boosted = peos.invert_peos_solh(0.5, 16, N, 50_000, DELTA)
+        assert boosted > base
+
+    def test_infinite_when_fakes_alone_suffice(self):
+        # Enough fake reports meet the target with no user noise at all.
+        a = 14 * math.log(2 / DELTA) / 0.5**2
+        n_r = int(a * 16) + 1000
+        assert peos.invert_peos_solh(0.5, 16, N, n_r, DELTA) == math.inf
+
+    def test_none_when_target_unreachable(self):
+        assert peos.invert_peos_solh(0.001, 16, 1000, 0, DELTA) is None
+
+
+class TestRequiredFakeReports:
+    def test_formula(self):
+        expected = math.ceil(14 * math.log(2 / DELTA) * 16 / 0.5**2)
+        assert peos.required_fake_reports(0.5, 16, DELTA) == expected
+
+    def test_achieves_target(self):
+        n_r = peos.required_fake_reports(0.5, 16, DELTA)
+        assert peos.peos_epsilon_collusion_solh(16, n_r, DELTA) <= 0.5
+
+    def test_minimality(self):
+        n_r = peos.required_fake_reports(0.5, 16, DELTA)
+        assert peos.peos_epsilon_collusion_solh(16, n_r - 1, DELTA) > 0.5
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(ValueError):
+            peos.required_fake_reports(0.0, 16, DELTA)
+
+
+class TestUtility:
+    def test_variance_positive(self):
+        assert peos.peos_variance_solh(0.5, N, 20_000, DELTA) > 0
+
+    def test_zero_fakes_matches_prop6(self):
+        from repro.core.variance import solh_variance_shuffled
+
+        assert peos.peos_variance_solh(0.5, N, 0, DELTA) == pytest.approx(
+            solh_variance_shuffled(0.5, N, DELTA), rel=0.02
+        )
+
+    def test_fakes_cost_utility_at_fixed_everything(self):
+        # At fixed eps_c and optimal configuration the extra reports add
+        # noise mass; variance should not improve dramatically.
+        base = peos.peos_variance_solh(0.5, N, 0, DELTA)
+        heavy = peos.peos_variance_solh(0.5, N, N, DELTA)
+        assert heavy > 0 and base > 0
+
+    def test_raises_when_unreachable(self):
+        with pytest.raises(ValueError):
+            peos.peos_variance_solh(0.001, 1000, 0, DELTA, d_prime=16)
+
+    def test_grr_variance_positive(self):
+        assert peos.peos_variance_grr(0.5, N, 20_000, 50, DELTA) > 0
+
+
+class TestOptimalDPrimeUnderFakes:
+    def test_reduces_to_eq5_without_fakes(self):
+        assert peos.peos_optimal_d_prime(0.5, N, 0, DELTA) == (
+            amp.solh_optimal_d_prime(0.5, N, DELTA)
+        )
+
+    def test_closed_form_matches_exact_search(self):
+        eps_c, n_r = 0.5, 30_000
+        closed = peos.peos_optimal_d_prime(eps_c, N, n_r, DELTA)
+        searched = peos.peos_search_d_prime(eps_c, N, n_r, DELTA)
+        # Integer rounding tolerance.
+        assert abs(closed - searched) <= 2
+
+    def test_fakes_increase_optimal_d_prime(self):
+        # The derivation in peos_analysis (and the exact search) show the
+        # optimum grows with n_r — see the module docstring for the
+        # discrepancy with the paper's printed formula.
+        without = peos.peos_optimal_d_prime(0.5, N, 0, DELTA)
+        with_fakes = peos.peos_optimal_d_prime(0.5, N, 100_000, DELTA)
+        assert with_fakes >= without
+
+
+class TestGuaranteeReports:
+    def test_analyze_consistency(self):
+        report = peos.analyze_peos_solh(2.0, 16, N, 20_000, DELTA)
+        assert report.eps_server == pytest.approx(
+            peos.peos_epsilon_server_solh(2.0, 16, N, 20_000, DELTA)
+        )
+        assert report.eps_collusion == pytest.approx(
+            peos.peos_epsilon_collusion_solh(16, 20_000, DELTA)
+        )
+        assert report.eps_local == 2.0
+
+    def test_server_weakest_adversary(self):
+        report = peos.analyze_peos_solh(2.0, 16, N, 20_000, DELTA)
+        assert report.eps_server <= report.eps_collusion <= report.eps_local
+
+    def test_dominates(self):
+        strong = peos.analyze_peos_solh(1.0, 16, N, 100_000, DELTA)
+        weak = peos.analyze_peos_solh(2.0, 16, N, 20_000, DELTA)
+        assert strong.dominates(weak)
+        assert not weak.dominates(strong)
+
+
+@given(
+    eps_c=st.floats(min_value=0.1, max_value=1.0),
+    n_r=st.integers(min_value=0, max_value=100_000),
+    d_prime=st.integers(min_value=2, max_value=64),
+)
+@settings(max_examples=100, deadline=None)
+def test_peos_inversion_roundtrip_property(eps_c, n_r, d_prime):
+    """Property: finite successful inversions reproduce the central target."""
+    eps_l = peos.invert_peos_solh(eps_c, d_prime, N, n_r, DELTA)
+    if eps_l is not None and math.isfinite(eps_l):
+        forward = peos.peos_epsilon_server_solh(eps_l, d_prime, N, n_r, DELTA)
+        assert forward == pytest.approx(eps_c, rel=1e-9)

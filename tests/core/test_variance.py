@@ -1,0 +1,162 @@
+"""Variance analysis: Propositions 4-6, Eq. (5), and mechanism choice."""
+
+import math
+
+import pytest
+
+from repro.core import amplification as amp
+from repro.core import variance as var
+
+N, D, DELTA = 200_000, 100, 1e-9
+
+
+class TestLocalVariances:
+    def test_grr_local_formula(self):
+        e = math.exp(2.0)
+        assert var.grr_variance_local(2.0, N, D) == pytest.approx(
+            (e + D - 2) / (N * (e - 1) ** 2)
+        )
+
+    def test_olh_local_formula(self):
+        e = math.exp(2.0)
+        assert var.olh_variance_local(2.0, N, 8) == pytest.approx(
+            (e + 7) ** 2 / (N * (e - 1) ** 2 * 7)
+        )
+
+    def test_grr_variance_grows_with_domain(self):
+        assert var.grr_variance_local(1.0, N, 1000) > var.grr_variance_local(1.0, N, 10)
+
+    def test_olh_variance_independent_of_domain(self):
+        # Eq. (4) has no d in it; OLH's utility does not degrade with d.
+        assert var.olh_variance_local(1.0, N, 8) == var.olh_variance_local(1.0, N, 8)
+
+    def test_rappor_local_formula(self):
+        e_half = math.exp(1.0)
+        assert var.rappor_variance_local(2.0, N) == pytest.approx(
+            e_half / (N * (e_half - 1) ** 2)
+        )
+
+    def test_removal_beats_rappor_at_same_budget(self):
+        assert var.rappor_removal_variance_local(2.0, N) < (
+            var.rappor_variance_local(2.0, N)
+        )
+
+
+class TestShuffledVariances:
+    def test_prop4_formula(self):
+        m = amp.blanket_budget(0.5, N, DELTA)
+        assert var.grr_variance_shuffled(0.5, N, D, DELTA) == pytest.approx(
+            (m - 1) / (N * (m - D) ** 2)
+        )
+
+    def test_prop6_formula(self):
+        d_prime = amp.solh_optimal_d_prime(0.5, N, DELTA)
+        m = amp.blanket_budget(0.5, N, DELTA)
+        assert var.solh_variance_shuffled(0.5, N, DELTA) == pytest.approx(
+            m**2 / (N * (m - d_prime) ** 2 * (d_prime - 1))
+        )
+
+    def test_prop5_formula(self):
+        m2 = 0.5**2 * (N - 1) / (56 * math.log(4 / DELTA))
+        assert var.unary_variance_shuffled(0.5, N, DELTA) == pytest.approx(
+            (m2 - 1) / (N * (m2 - 2) ** 2)
+        )
+
+    def test_sh_falls_back_to_local_below_threshold(self):
+        threshold = amp.grr_amplification_threshold(2000, 1000, DELTA)
+        eps_c = threshold * 0.5
+        assert var.grr_variance_shuffled(eps_c, 2000, 1000, DELTA) == pytest.approx(
+            var.grr_variance_local(eps_c, 2000, 1000)
+        )
+
+    def test_solh_beats_sh_on_large_domain(self):
+        d_large = 5000
+        assert var.solh_variance_shuffled(0.5, N, DELTA) < (
+            var.grr_variance_shuffled(0.5, N, d_large, DELTA)
+        )
+
+    def test_rap_r_beats_rap(self):
+        assert var.unary_removal_variance_shuffled(0.5, N, DELTA) < (
+            var.unary_variance_shuffled(0.5, N, DELTA)
+        )
+
+    def test_variance_decreases_with_epsilon(self):
+        values = [
+            var.solh_variance_shuffled(e, N, DELTA) for e in (0.2, 0.5, 1.0)
+        ]
+        assert values[0] > values[1] > values[2]
+
+
+class TestOptimalDPrimeIsOptimal:
+    def test_eq5_minimizes_over_integer_sweep(self):
+        eps_c = 0.5
+        optimal = amp.solh_optimal_d_prime(eps_c, N, DELTA)
+        best = min(
+            range(2, 3 * optimal),
+            key=lambda dp: var.solh_variance_shuffled(eps_c, N, DELTA, d_prime=dp),
+        )
+        # Integer rounding can shift by one.
+        assert abs(best - optimal) <= 1
+
+    def test_profile_shape_is_unimodal_around_optimum(self):
+        eps_c = 0.5
+        optimal = amp.solh_optimal_d_prime(eps_c, N, DELTA)
+        profile = var.solh_variance_profile(
+            eps_c, N, DELTA, [max(2, optimal // 4), optimal, optimal * 2]
+        )
+        assert profile[1][1] <= profile[0][1]
+        assert profile[1][1] <= profile[2][1]
+
+
+class TestAUE:
+    def test_noise_probability_formula(self):
+        q = var.aue_noise_probability(0.5, N, DELTA)
+        assert q == pytest.approx(200 * math.log(4 / DELTA) / (0.25 * N))
+
+    def test_variance_is_bernoulli_over_n(self):
+        q = var.aue_noise_probability(0.5, N, DELTA)
+        assert var.aue_variance(0.5, N, DELTA) == pytest.approx(q * (1 - q) / N)
+
+    def test_infeasible_at_tiny_population(self):
+        with pytest.raises(ValueError):
+            var.aue_noise_probability(0.1, 100, DELTA)
+
+    def test_comparable_to_solh_within_constant(self):
+        # Section IV-B4: AUE and SOLH differ by only a constant factor.
+        aue = var.aue_variance(0.5, N, DELTA)
+        solh = var.solh_variance_shuffled(0.5, N, DELTA)
+        ratio = aue / solh
+        assert 0.05 < ratio < 50
+
+
+class TestCentralBaselines:
+    def test_laplace_variance(self):
+        assert var.laplace_variance_central(0.5, N) == pytest.approx(
+            8.0 / (N * 0.5) ** 2
+        )
+
+    def test_laplace_beats_shuffle_methods(self):
+        assert var.laplace_variance_central(0.5, N) < (
+            var.solh_variance_shuffled(0.5, N, DELTA)
+        )
+
+    def test_base_variance_uniform_data_zero(self):
+        assert var.base_variance([0.25, 0.25, 0.25, 0.25]) == pytest.approx(0.0)
+
+    def test_base_variance_skewed_positive(self):
+        assert var.base_variance([0.9, 0.1, 0.0, 0.0]) > 0
+
+
+class TestChooseMechanism:
+    def test_small_domain_prefers_grr(self):
+        assert var.choose_mechanism(1.0, 10_000_000, 3, DELTA) == "grr"
+
+    def test_large_domain_prefers_solh(self):
+        assert var.choose_mechanism(0.5, N, 50_000, DELTA) == "solh"
+
+    def test_choice_matches_direct_comparison(self):
+        for d in (5, 100, 5000):
+            chosen = var.choose_mechanism(0.5, N, d, DELTA)
+            grr = var.grr_variance_shuffled(0.5, N, d, DELTA)
+            solh = var.solh_variance_shuffled(0.5, N, DELTA)
+            assert chosen == ("grr" if grr <= solh else "solh")

@@ -1,0 +1,127 @@
+"""AES-128-CBC against FIPS-197 / NIST SP 800-38A vectors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import AES128CBC
+from repro.crypto.aes import pkcs7_pad, pkcs7_unpad
+
+
+class TestFIPS197:
+    def test_single_block_encrypt(self):
+        cipher = AES128CBC(bytes.fromhex("000102030405060708090a0b0c0d0e0f"))
+        ct = cipher.encrypt_block_raw(
+            bytes.fromhex("00112233445566778899aabbccddeeff")
+        )
+        assert ct.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_single_block_decrypt(self):
+        cipher = AES128CBC(bytes.fromhex("000102030405060708090a0b0c0d0e0f"))
+        pt = cipher.decrypt_block_raw(
+            bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        )
+        assert pt.hex() == "00112233445566778899aabbccddeeff"
+
+    def test_appendix_b_vector(self):
+        cipher = AES128CBC(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+        ct = cipher.encrypt_block_raw(
+            bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        )
+        assert ct.hex() == "3925841d02dc09fbdc118597196a0b32"
+
+
+class TestSP80038A:
+    """NIST SP 800-38A F.2.1 CBC-AES128 vectors."""
+
+    KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    IV = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    BLOCKS = [
+        ("6bc1bee22e409f96e93d7e117393172a", "7649abac8119b246cee98e9b12e9197d"),
+        ("ae2d8a571e03ac9c9eb76fac45af8e51", "5086cb9b507219ee95db113a917678b2"),
+        ("f69f2445df4f9b17ad2b417be66c3710", "b2eb05e2c39be9fcda6c19078c6a9d1b"),
+    ]
+
+    def test_chained_blocks(self):
+        plaintext = b"".join(bytes.fromhex(p) for p, __ in self.BLOCKS[:3])
+        # Skipping block 3 of the NIST chain (we use 3 of 4 blocks).
+        ciphertext = AES128CBC(self.KEY).encrypt(plaintext, self.IV)
+        expected_first = bytes.fromhex(self.BLOCKS[0][1])
+        assert ciphertext[:16] == expected_first
+        # Second block chains on the first ciphertext block.
+        expected_second = bytes.fromhex(
+            "5086cb9b507219ee95db113a917678b2"
+        )
+        assert ciphertext[16:32] == expected_second
+
+    def test_decrypt_inverts(self):
+        plaintext = bytes.fromhex(self.BLOCKS[0][0])
+        ct = AES128CBC(self.KEY).encrypt(plaintext, self.IV)
+        assert AES128CBC(self.KEY).decrypt(ct, self.IV) == plaintext
+
+
+class TestCBCBehaviour:
+    KEY = b"0123456789abcdef"
+    IV = b"fedcba9876543210"
+
+    def test_roundtrip_various_lengths(self):
+        cipher = AES128CBC(self.KEY)
+        for length in (0, 1, 15, 16, 17, 100):
+            message = bytes(range(256))[:length]
+            assert cipher.decrypt(cipher.encrypt(message, self.IV), self.IV) == message
+
+    def test_padding_always_added(self):
+        cipher = AES128CBC(self.KEY)
+        # 16-byte input -> 32-byte ciphertext (full padding block).
+        assert len(cipher.encrypt(b"x" * 16, self.IV)) == 32
+
+    def test_wrong_iv_fails_or_garbles(self):
+        cipher = AES128CBC(self.KEY)
+        ct = cipher.encrypt(b"hello world, this is a test!", self.IV)
+        try:
+            wrong = cipher.decrypt(ct, b"0" * 16)
+            assert wrong != b"hello world, this is a test!"
+        except ValueError:
+            pass  # padding check caught it
+
+    def test_rejects_bad_iv_length(self):
+        cipher = AES128CBC(self.KEY)
+        with pytest.raises(ValueError):
+            cipher.encrypt(b"data", b"short")
+
+    def test_rejects_partial_ciphertext(self):
+        cipher = AES128CBC(self.KEY)
+        with pytest.raises(ValueError):
+            cipher.decrypt(b"12345", self.IV)
+
+    def test_rejects_bad_key_length(self):
+        with pytest.raises(ValueError):
+            AES128CBC(b"short")
+
+
+class TestPKCS7:
+    def test_pad_length(self):
+        assert pkcs7_pad(b"abc") == b"abc" + bytes([13]) * 13
+
+    def test_full_block_pad(self):
+        assert pkcs7_pad(b"x" * 16)[-16:] == bytes([16]) * 16
+
+    def test_unpad_roundtrip(self):
+        for length in range(0, 33):
+            data = b"q" * length
+            assert pkcs7_unpad(pkcs7_pad(data)) == data
+
+    def test_unpad_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            pkcs7_unpad(b"x" * 15 + bytes([3]))
+        with pytest.raises(ValueError):
+            pkcs7_unpad(b"")
+
+
+@given(message=st.binary(max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_cbc_roundtrip_property(message):
+    """Property: decrypt(encrypt(m)) == m for arbitrary messages."""
+    cipher = AES128CBC(b"0123456789abcdef")
+    iv = b"fedcba9876543210"
+    assert cipher.decrypt(cipher.encrypt(message, iv), iv) == message

@@ -1,0 +1,52 @@
+"""Onion encryption for the SS chain."""
+
+import pytest
+
+from repro.crypto import elgamal_ec, onion
+
+
+@pytest.fixture(scope="module")
+def chain_keys():
+    return [elgamal_ec.generate_keypair(rng=i) for i in range(4)]
+
+
+class TestWrapPeel:
+    def test_single_layer(self, chain_keys):
+        wrapped = onion.wrap(b"payload", [chain_keys[0].public], rng=7)
+        payload, __ = onion.peel(wrapped, chain_keys[0].private)
+        assert payload == b"payload"
+
+    @pytest.mark.parametrize("layers", [2, 3, 4])
+    def test_multi_layer_peeling(self, chain_keys, layers):
+        publics = [kp.public for kp in chain_keys[:layers]]
+        wrapped = onion.wrap(b"report-7", publics, rng=9)
+        current = wrapped
+        payload = None
+        for kp in chain_keys[:layers]:
+            payload, current = onion.peel(current, kp.private)
+        assert payload == b"report-7"
+
+    def test_unwrap_all(self, chain_keys):
+        publics = [kp.public for kp in chain_keys]
+        privates = [kp.private for kp in chain_keys]
+        wrapped = onion.wrap(b"x" * 40, publics, rng=3)
+        assert onion.unwrap_all(wrapped, privates) == b"x" * 40
+
+    def test_wrong_order_fails(self, chain_keys):
+        publics = [kp.public for kp in chain_keys[:2]]
+        wrapped = onion.wrap(b"secret", publics, rng=3)
+        # Peeling with the second key first must not produce the payload.
+        try:
+            payload, __ = onion.peel(wrapped, chain_keys[1].private)
+            assert payload != b"secret"
+        except ValueError:
+            pass
+
+    def test_requires_keys(self):
+        with pytest.raises(ValueError):
+            onion.wrap(b"data", [], rng=1)
+
+    def test_size_grows_with_layers(self, chain_keys):
+        one = onion.wrap(b"data", [chain_keys[0].public], rng=1)
+        three = onion.wrap(b"data", [kp.public for kp in chain_keys[:3]], rng=1)
+        assert three.size_bytes > one.size_bytes

@@ -1,0 +1,91 @@
+"""Paillier AHE: correctness and homomorphic laws."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import paillier
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return paillier.generate_keypair(key_bits=512, rng=99)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("message", [0, 1, 255, 2**32 - 1, 2**64 + 12345])
+    def test_encrypt_decrypt(self, keys, message):
+        pub, priv = keys
+        assert priv.decrypt(pub.encrypt(message, rng=1)) == message
+
+    def test_ciphertexts_randomized(self, keys):
+        pub, __ = keys
+        assert pub.encrypt(42, rng=1) != pub.encrypt(42, rng=2)
+
+    def test_message_reduced_mod_n(self, keys):
+        pub, priv = keys
+        assert priv.decrypt(pub.encrypt(pub.n + 5, rng=1)) == 5
+
+
+class TestHomomorphism:
+    def test_add(self, keys):
+        pub, priv = keys
+        c = pub.add(pub.encrypt(1111, rng=1), pub.encrypt(2222, rng=2))
+        assert priv.decrypt(c) == 3333
+
+    def test_add_plain(self, keys):
+        pub, priv = keys
+        c = pub.add_plain(pub.encrypt(1000, rng=1), 234)
+        assert priv.decrypt(c) == 1234
+
+    def test_multiply_plain(self, keys):
+        pub, priv = keys
+        c = pub.multiply_plain(pub.encrypt(111, rng=1), 9)
+        assert priv.decrypt(c) == 999
+
+    def test_rerandomize_preserves_plaintext(self, keys):
+        pub, priv = keys
+        c = pub.encrypt(777, rng=1)
+        c2 = pub.rerandomize(c, rng=2)
+        assert c2 != c
+        assert priv.decrypt(c2) == 777
+
+    def test_long_addition_chain(self, keys):
+        pub, priv = keys
+        total = pub.encrypt(0, rng=1)
+        for i in range(50):
+            total = pub.add(total, pub.encrypt(i, rng=i + 2))
+        assert priv.decrypt(total) == sum(range(50))
+
+    @given(
+        a=st.integers(min_value=0, max_value=2**48),
+        b=st.integers(min_value=0, max_value=2**48),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_addition_property(self, keys, a, b):
+        pub, priv = keys
+        c = pub.add(pub.encrypt(a, rng=1), pub.encrypt(b, rng=2))
+        assert priv.decrypt(c) == a + b
+
+
+class TestParameters:
+    def test_key_bits_respected(self, keys):
+        pub, __ = keys
+        assert pub.n.bit_length() == 512
+
+    def test_ciphertext_bytes(self, keys):
+        pub, __ = keys
+        assert pub.ciphertext_bytes == (pub.n_squared.bit_length() + 7) // 8
+
+    def test_plaintext_space(self, keys):
+        pub, __ = keys
+        assert pub.plaintext_space == pub.n
+
+    def test_rejects_tiny_keys(self):
+        with pytest.raises(ValueError):
+            paillier.generate_keypair(key_bits=32)
+
+    def test_deterministic_keygen(self):
+        a = paillier.generate_keypair(key_bits=256, rng=7)
+        b = paillier.generate_keypair(key_bits=256, rng=7)
+        assert a[0].n == b[0].n

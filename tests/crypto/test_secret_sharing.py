@@ -1,0 +1,96 @@
+"""Additive secret sharing over Z_M."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    add_share_vectors,
+    reconstruct_value,
+    reconstruct_vector,
+    share_value,
+    share_vector,
+)
+
+
+class TestScalar:
+    def test_roundtrip(self, rng):
+        shares = share_value(12345, 3, 2**16, rng)
+        assert reconstruct_value(shares, 2**16) == 12345
+
+    def test_share_count(self, rng):
+        assert len(share_value(7, 5, 100, rng)) == 5
+
+    def test_rejects_single_share(self, rng):
+        with pytest.raises(ValueError):
+            share_value(7, 1, 100, rng)
+
+    def test_shares_in_range(self, rng):
+        for __ in range(20):
+            shares = share_value(50, 4, 97, rng)
+            assert all(0 <= s < 97 for s in shares)
+
+
+class TestVector:
+    def test_roundtrip_int64(self, rng):
+        values = rng.integers(0, 2**32, 100, dtype=np.int64)
+        shares = share_vector(values, 4, 2**32, rng)
+        assert (reconstruct_vector(shares, 2**32) == values).all()
+
+    def test_roundtrip_big_modulus(self, rng):
+        modulus = (1 << 64) * 12  # exceeds int64: object path
+        values = np.array([modulus - 1, 0, 1, modulus // 2], dtype=object)
+        shares = share_vector(values, 3, modulus, rng)
+        assert list(reconstruct_vector(shares, modulus)) == list(values)
+
+    def test_single_missing_share_is_uninformative(self, rng):
+        # Without one share the partial sum is uniform: check statistically
+        # that partial sums of a fixed secret cover the group.
+        partials = []
+        for __ in range(2000):
+            shares = share_vector(np.array([5]), 3, 16, rng)
+            partials.append(int((shares[0][0] + shares[1][0]) % 16))
+        counts = np.bincount(partials, minlength=16)
+        assert counts.min() > 2000 / 16 * 0.6
+        assert counts.max() < 2000 / 16 * 1.5
+
+    def test_mismatched_lengths_rejected(self, rng):
+        with pytest.raises(ValueError):
+            reconstruct_vector(
+                [np.zeros(3, dtype=np.int64), np.zeros(4, dtype=np.int64)], 16
+            )
+
+    def test_add_share_vectors(self, rng):
+        a = np.array([15, 1], dtype=np.int64)
+        b = np.array([2, 15], dtype=np.int64)
+        assert add_share_vectors(a, b, 16).tolist() == [1, 0]
+
+    def test_add_share_vectors_big_modulus(self):
+        modulus = 1 << 70
+        a = np.array([modulus - 1], dtype=object)
+        b = np.array([2], dtype=object)
+        assert list(add_share_vectors(a, b, modulus)) == [1]
+
+    def test_homomorphic_under_addition(self, rng):
+        """Share-wise sums reconstruct to the sum of secrets."""
+        m = 2**20
+        x = rng.integers(0, m, 50, dtype=np.int64)
+        y = rng.integers(0, m, 50, dtype=np.int64)
+        sx = share_vector(x, 3, m, rng)
+        sy = share_vector(y, 3, m, rng)
+        combined = [add_share_vectors(a, b, m) for a, b in zip(sx, sy)]
+        assert (reconstruct_vector(combined, m) == (x + y) % m).all()
+
+
+@given(
+    secret=st.integers(min_value=0, max_value=2**31 - 1),
+    r=st.integers(min_value=2, max_value=7),
+    modulus=st.sampled_from([2**8, 2**16, 2**31, 2**32, 997, 10**9 + 7]),
+)
+@settings(max_examples=100, deadline=None)
+def test_share_roundtrip_property(secret, r, modulus):
+    """Property: sharing then reconstructing is the identity mod M."""
+    rng = np.random.default_rng(0)
+    shares = share_value(secret % modulus, r, modulus, rng)
+    assert reconstruct_value(shares, modulus) == secret % modulus

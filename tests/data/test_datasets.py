@@ -1,0 +1,96 @@
+"""Paper-shaped dataset surrogates."""
+
+import numpy as np
+import pytest
+
+from repro.data import aol_like, dataset_by_name, ipums_like, kosarak_like
+
+
+class TestIpums:
+    def test_paper_shape(self, rng):
+        data = ipums_like(rng)
+        assert data.n == 602_325
+        assert data.d == 915
+
+    def test_scaled(self, rng):
+        data = ipums_like(rng, scale=0.1)
+        assert data.n == 60_232
+        assert data.d == 915
+
+    def test_frequencies(self, rng):
+        data = ipums_like(rng, scale=0.05)
+        assert data.frequencies.sum() == pytest.approx(1.0)
+
+    def test_heavy_tailed(self, rng):
+        data = ipums_like(rng, scale=0.1)
+        top10 = np.sort(data.histogram)[-10:].sum()
+        assert top10 > 0.15 * data.n  # a real head exists
+
+    def test_top_k(self, rng):
+        data = ipums_like(rng, scale=0.05)
+        top = data.top_k(10)
+        assert len(top) == 10
+        threshold = data.histogram[top].min()
+        others = np.delete(data.histogram, top)
+        assert (others <= threshold).all()
+
+    def test_values_roundtrip(self, rng):
+        data = ipums_like(rng, scale=0.01)
+        values = data.values(rng)
+        assert (np.bincount(values, minlength=data.d) == data.histogram).all()
+
+
+class TestKosarak:
+    def test_paper_shape(self, rng):
+        data = kosarak_like(rng, scale=0.02)
+        assert data.d == 42_178
+        assert data.n == 19_800
+
+    def test_tiny_scale_shrinks_domain(self, rng):
+        data = kosarak_like(rng, scale=0.001)
+        assert data.d < 42_178
+
+    def test_sparser_than_ipums(self, rng):
+        data = kosarak_like(rng, scale=0.02)
+        assert (data.histogram == 0).mean() > 0.3  # long empty tail
+
+
+class TestAol:
+    def test_shape(self, rng):
+        data = aol_like(rng, scale=0.1)
+        assert data.n == 50_000
+        assert data.string_bits == 48
+        assert data.values.max() < (1 << 48)
+
+    def test_distinct_ratio_realistic(self, rng):
+        data = aol_like(rng, scale=0.5)
+        distinct = len(np.unique(data.values))
+        # The AOL log has ~24% distinct; accept a generous band.
+        assert 0.10 < distinct / data.n < 0.45
+
+    def test_prefixes(self, rng):
+        data = aol_like(rng, scale=0.01)
+        prefix8 = data.prefixes(8)
+        assert (prefix8 == data.values >> 40).all()
+        with pytest.raises(ValueError):
+            data.prefixes(0)
+        with pytest.raises(ValueError):
+            data.prefixes(49)
+
+    def test_top_k_by_count(self, rng):
+        data = aol_like(rng, scale=0.05)
+        top = data.top_k(5)
+        assert len(top) == 5
+        counts = {v: (data.values == v).sum() for v in top}
+        assert counts[top[0]] >= counts[top[4]]
+
+    def test_rejects_unaligned_bits(self, rng):
+        with pytest.raises(ValueError):
+            aol_like(rng, string_bits=47)
+
+
+class TestLookup:
+    def test_by_name(self, rng):
+        assert dataset_by_name("ipums", rng, scale=0.01).name == "ipums"
+        assert dataset_by_name("kosarak", rng, scale=0.001).name == "kosarak"
+        assert dataset_by_name("unknown", rng) is None

@@ -1,0 +1,64 @@
+"""Synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    mixture_histogram,
+    uniform_histogram,
+    values_from_histogram,
+    zipf_histogram,
+    zipf_probabilities,
+)
+
+
+class TestZipf:
+    def test_probabilities_sum_to_one(self):
+        assert zipf_probabilities(100, 1.1).sum() == pytest.approx(1.0)
+
+    def test_probabilities_decreasing(self):
+        p = zipf_probabilities(50, 1.5)
+        assert (np.diff(p) <= 0).all()
+
+    def test_exponent_controls_skew(self):
+        flat = zipf_probabilities(100, 0.5)
+        steep = zipf_probabilities(100, 2.0)
+        assert steep[0] > flat[0]
+
+    def test_histogram_total(self, rng):
+        histogram = zipf_histogram(10_000, 64, 1.2, rng)
+        assert histogram.sum() == 10_000
+        assert len(histogram) == 64
+
+    def test_shuffle_ranks_moves_head(self, rng):
+        fixed = zipf_histogram(100_000, 64, 1.5, rng, shuffle_ranks=False)
+        assert fixed.argmax() == 0  # head at index 0 when unshuffled
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, 0.0)
+
+
+class TestOtherGenerators:
+    def test_uniform_histogram(self, rng):
+        histogram = uniform_histogram(64_000, 64, rng)
+        assert histogram.sum() == 64_000
+        assert abs(histogram.mean() - 1000) < 1
+
+    def test_mixture_head_mass(self, rng):
+        histogram = mixture_histogram(100_000, 100, rng, head_values=5, head_mass=0.8)
+        top5 = np.sort(histogram)[-5:].sum()
+        assert top5 > 0.7 * 100_000
+
+    def test_mixture_validation(self, rng):
+        with pytest.raises(ValueError):
+            mixture_histogram(100, 10, rng, head_mass=1.5)
+        with pytest.raises(ValueError):
+            mixture_histogram(100, 10, rng, head_values=11)
+
+    def test_values_from_histogram(self, rng):
+        histogram = np.array([3, 0, 2])
+        values = values_from_histogram(histogram, rng)
+        assert sorted(values.tolist()) == [0, 0, 0, 2, 2]

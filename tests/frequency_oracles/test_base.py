@@ -1,0 +1,130 @@
+"""The shared FO plumbing: perturbation probabilities, randomized response,
+estimate normalization, and fake-report calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frequency_oracles import (
+    GRR,
+    normalize_estimates,
+    perturbation_probabilities,
+    randomized_response,
+)
+
+
+class TestPerturbationProbabilities:
+    def test_eq1_values(self):
+        p, q = perturbation_probabilities(np.log(3.0), 4)
+        assert p == pytest.approx(3.0 / 6.0)
+        assert q == pytest.approx(1.0 / 6.0)
+
+    def test_ratio_is_e_eps(self):
+        for eps in (0.5, 1.0, 3.0):
+            p, q = perturbation_probabilities(eps, 10)
+            assert p / q == pytest.approx(np.exp(eps))
+
+    def test_normalized(self):
+        p, q = perturbation_probabilities(1.0, 7)
+        assert p + 6 * q == pytest.approx(1.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            perturbation_probabilities(0.0, 4)
+        with pytest.raises(ValueError):
+            perturbation_probabilities(1.0, 1)
+
+
+class TestRandomizedResponse:
+    def test_keeps_with_probability_p(self, rng):
+        values = np.zeros(50_000, dtype=np.int64)
+        out = randomized_response(values, 4, 0.7, rng)
+        kept = float((out == 0).mean())
+        assert abs(kept - 0.7) < 0.02
+
+    def test_other_values_uniform(self, rng):
+        values = np.zeros(90_000, dtype=np.int64)
+        out = randomized_response(values, 4, 0.4, rng)
+        others = np.bincount(out, minlength=4)[1:]
+        expected = 90_000 * 0.6 / 3
+        assert (np.abs(others - expected) < 4 * np.sqrt(expected)).all()
+
+    def test_never_outputs_out_of_range(self, rng):
+        out = randomized_response(rng.integers(0, 5, 1000), 5, 0.5, rng)
+        assert out.min() >= 0 and out.max() < 5
+
+    def test_rejects_out_of_domain_values(self, rng):
+        with pytest.raises(ValueError):
+            randomized_response(np.array([7]), 4, 0.5, rng)
+
+    def test_p_one_is_identity(self, rng):
+        values = rng.integers(0, 8, 100)
+        assert (randomized_response(values, 8, 1.0, rng) == values).all()
+
+
+class TestNormalizeEstimates:
+    def test_none_is_copy(self):
+        estimates = np.array([0.5, -0.1, 0.7])
+        out = normalize_estimates(estimates, "none")
+        assert (out == estimates).all()
+        out[0] = 99.0
+        assert estimates[0] == 0.5
+
+    def test_clip(self):
+        out = normalize_estimates(np.array([-0.2, 0.5, 1.4]), "clip")
+        assert out.tolist() == [0.0, 0.5, 1.0]
+
+    def test_norm_sums_to_one(self):
+        out = normalize_estimates(np.array([0.5, -0.1, 0.7]), "norm")
+        assert out.sum() == pytest.approx(1.0)
+        assert (out >= 0).all()
+
+    def test_norm_all_negative_stays_zero(self):
+        out = normalize_estimates(np.array([-0.5, -0.1]), "norm")
+        assert out.sum() == 0.0
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            normalize_estimates(np.array([0.5]), "sigmoid")
+
+
+class TestCalibrateWithFakes:
+    def test_eq6_grr(self):
+        fo = GRR(10, 2.0)
+        estimates = np.full(10, 0.1)
+        n, n_r = 1000, 200
+        calibrated = fo.calibrate_with_fakes(estimates, n, n_r)
+        expected = ((n + n_r) * 0.1 - n_r * (1.0 / 10)) / n
+        assert calibrated[0] == pytest.approx(expected)
+
+    def test_no_fakes_identity(self):
+        fo = GRR(10, 2.0)
+        estimates = np.linspace(0, 0.3, 10)
+        assert fo.calibrate_with_fakes(estimates, 1000, 0) == pytest.approx(estimates)
+
+    def test_rejects_negative_fakes(self):
+        fo = GRR(10, 2.0)
+        with pytest.raises(ValueError):
+            fo.calibrate_with_fakes(np.zeros(10), 100, -1)
+
+    def test_preserves_sum_one_for_grr(self):
+        # Fakes are uniform over [d]; Eq. (6) keeps a simplex estimate on
+        # the simplex.
+        fo = GRR(10, 2.0)
+        estimates = np.full(10, 0.1)
+        calibrated = fo.calibrate_with_fakes(estimates, 1000, 300)
+        assert calibrated.sum() == pytest.approx(1.0)
+
+
+@given(
+    p=st.floats(min_value=0.01, max_value=0.99),
+    k=st.integers(min_value=2, max_value=64),
+)
+@settings(max_examples=50, deadline=None)
+def test_randomized_response_range_property(p, k):
+    """Property: RR output always lies in the report domain."""
+    rng = np.random.default_rng(0)
+    values = rng.integers(0, k, 200)
+    out = randomized_response(values, k, p, rng)
+    assert out.min() >= 0 and out.max() < k

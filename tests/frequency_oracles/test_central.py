@@ -1,0 +1,60 @@
+"""Central-model baselines: Laplace and the uniform guess."""
+
+import numpy as np
+import pytest
+
+from repro.core import laplace_variance_central
+from repro.frequency_oracles import LaplaceMechanism, UniformBaseline
+
+
+class TestLaplace:
+    def test_noise_scale(self):
+        assert LaplaceMechanism(10, 0.5).noise_scale(1000) == pytest.approx(
+            2.0 / (1000 * 0.5)
+        )
+
+    def test_unbiased(self, rng, small_histogram):
+        mech = LaplaceMechanism(16, 0.5)
+        runs = np.stack(
+            [mech.estimate_from_histogram(small_histogram, rng) for _ in range(100)]
+        )
+        truth = small_histogram / small_histogram.sum()
+        standard_error = runs.std(axis=0) / np.sqrt(100)
+        assert (np.abs(runs.mean(axis=0) - truth) < 5 * standard_error).all()
+
+    def test_empirical_variance(self, rng, small_histogram):
+        mech = LaplaceMechanism(16, 0.5)
+        truth = small_histogram / small_histogram.sum()
+        errors = [
+            np.mean((mech.estimate_from_histogram(small_histogram, rng) - truth) ** 2)
+            for _ in range(200)
+        ]
+        n = int(small_histogram.sum())
+        assert np.mean(errors) == pytest.approx(
+            laplace_variance_central(0.5, n), rel=0.3
+        )
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(16, 0.5).estimate_from_histogram(np.zeros(4, int), rng)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            LaplaceMechanism(16, 0.0)
+
+
+class TestBase:
+    def test_always_uniform(self, rng, small_histogram):
+        base = UniformBaseline(16)
+        estimates = base.estimate_from_histogram(small_histogram, rng)
+        assert estimates == pytest.approx(np.full(16, 1 / 16))
+
+    def test_ignores_data(self, rng):
+        base = UniformBaseline(4)
+        a = base.estimate_from_histogram(np.array([100, 0, 0, 0]), rng)
+        b = base.estimate_from_histogram(np.array([25, 25, 25, 25]), rng)
+        assert (a == b).all()
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            UniformBaseline(16).estimate_from_histogram(np.zeros(4, int), rng)

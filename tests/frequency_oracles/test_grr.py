@@ -1,0 +1,142 @@
+"""GRR: probabilities, estimation, the exact fast path, and SH resolution."""
+
+import numpy as np
+import pytest
+
+from repro.core import grr_variance_local
+from repro.frequency_oracles import GRR, make_sh
+
+
+class TestMechanics:
+    def test_eq1_probabilities(self):
+        fo = GRR(4, np.log(3.0))
+        assert fo.p == pytest.approx(0.5)
+        assert fo.q == pytest.approx(1.0 / 6.0)
+
+    def test_blanket_gamma(self):
+        fo = GRR(4, np.log(3.0))
+        assert fo.blanket_gamma == pytest.approx(4.0 / 6.0)
+
+    def test_privatize_keeps_domain(self, rng):
+        fo = GRR(8, 1.0)
+        out = fo.privatize(rng.integers(0, 8, 1000), rng)
+        assert out.min() >= 0 and out.max() < 8
+
+    def test_privatize_ldp_ratio(self, rng):
+        # Empirically check Pr[A(v)=v] / Pr[A(v')=v] ~ e^eps.
+        fo = GRR(4, 1.0)
+        n = 200_000
+        from_v = fo.privatize(np.zeros(n, dtype=int), rng)
+        from_w = fo.privatize(np.ones(n, dtype=int), rng)
+        p_same = (from_v == 0).mean()
+        p_cross = (from_w == 0).mean()
+        assert p_same / p_cross == pytest.approx(np.exp(1.0), rel=0.05)
+
+    def test_rejects_small_domain(self):
+        with pytest.raises(ValueError):
+            GRR(1, 1.0)
+
+
+class TestEstimation:
+    def test_unbiased(self, rng, small_histogram):
+        fo = GRR(16, 2.0)
+        runs = np.stack(
+            [fo.estimate_from_histogram(small_histogram, rng) for _ in range(60)]
+        )
+        truth = small_histogram / small_histogram.sum()
+        bias = np.abs(runs.mean(axis=0) - truth)
+        # Standard error of the mean at 60 runs bounds the allowed bias.
+        standard_error = runs.std(axis=0) / np.sqrt(60)
+        assert (bias < 5 * standard_error + 1e-4).all()
+
+    def test_empirical_variance_matches_analysis(self, rng):
+        d, n, eps = 16, 50_000, 1.0
+        histogram = rng.multinomial(n, np.full(d, 1 / d))
+        fo = GRR(d, eps)
+        truth = histogram / n
+        errors = [
+            np.mean((fo.estimate_from_histogram(histogram, rng) - truth) ** 2)
+            for _ in range(40)
+        ]
+        predicted = grr_variance_local(eps, n, d)
+        assert np.mean(errors) == pytest.approx(predicted, rel=0.25)
+
+    def test_support_counts_full_domain(self, rng):
+        fo = GRR(5, 10.0)  # nearly no noise
+        reports = fo.privatize(np.array([0, 0, 1, 4]), rng)
+        counts = fo.support_counts(reports)
+        assert counts.sum() == 4
+
+    def test_support_counts_candidates_subset(self, rng):
+        fo = GRR(5, 10.0)
+        reports = np.array([0, 0, 1, 4])
+        counts = fo.support_counts(reports, candidates=[0, 4])
+        assert counts.tolist() == [2.0, 1.0]
+
+    def test_estimate_identity_at_huge_epsilon(self, rng):
+        fo = GRR(4, 20.0)
+        values = np.array([0] * 70 + [1] * 20 + [2] * 10)
+        estimates = fo.run(values, rng)
+        assert estimates == pytest.approx([0.7, 0.2, 0.1, 0.0], abs=0.02)
+
+
+class TestFastPath:
+    def test_sample_matches_per_user_distribution(self, rng):
+        """The blanket-decomposition sampler must match per-user reports."""
+        d, eps = 6, 1.0
+        histogram = np.array([500, 300, 100, 50, 30, 20])
+        fo = GRR(d, eps)
+        fast = np.stack(
+            [fo.sample_support_counts(histogram, rng) for _ in range(300)]
+        )
+        values = np.repeat(np.arange(d), histogram)
+        slow = np.stack(
+            [fo.support_counts(fo.privatize(values, rng)) for _ in range(300)]
+        )
+        # Means and variances agree within sampling tolerance.
+        assert fast.mean(axis=0) == pytest.approx(slow.mean(axis=0), rel=0.1)
+        assert fast.var(axis=0) == pytest.approx(slow.var(axis=0), rel=0.5, abs=5)
+
+    def test_sample_total_preserved(self, rng):
+        fo = GRR(8, 1.0)
+        histogram = rng.multinomial(5000, np.full(8, 1 / 8))
+        counts = fo.sample_support_counts(histogram, rng)
+        assert counts.sum() == 5000
+
+    def test_sample_rejects_wrong_shape(self, rng):
+        fo = GRR(8, 1.0)
+        with pytest.raises(ValueError):
+            fo.sample_support_counts(np.zeros(5, dtype=int), rng)
+
+
+class TestOrdinalEncoding:
+    def test_report_space_is_domain(self):
+        assert GRR(37, 1.0).report_space == 37
+
+    def test_roundtrip(self, rng):
+        fo = GRR(12, 1.0)
+        reports = fo.privatize(rng.integers(0, 12, 200), rng)
+        encoded = fo.encode_reports(reports)
+        decoded = fo.decode_reports(encoded)
+        assert (decoded == reports).all()
+
+    def test_decode_rejects_out_of_range(self):
+        fo = GRR(12, 1.0)
+        with pytest.raises(ValueError):
+            fo.decode_reports(np.array([12]))
+
+    def test_fake_bias_is_one_over_d(self):
+        assert GRR(25, 1.0).fake_report_bias() == pytest.approx(1.0 / 25)
+
+
+class TestSH:
+    def test_amplifies_at_scale(self):
+        oracle, resolution = make_sh(100, 0.8, 1_000_000, 1e-9)
+        assert resolution.amplified
+        assert oracle.eps == pytest.approx(resolution.eps_l)
+        assert oracle.eps > 0.8
+
+    def test_fallback_below_threshold(self):
+        oracle, resolution = make_sh(1000, 0.1, 10_000, 1e-9)
+        assert not resolution.amplified
+        assert oracle.eps == pytest.approx(0.1)

@@ -1,0 +1,107 @@
+"""Hadamard response: transform correctness and estimation."""
+
+import numpy as np
+import pytest
+
+from repro.frequency_oracles import (
+    HadamardResponse,
+    fast_walsh_hadamard,
+    hadamard_entry,
+    next_power_of_two,
+)
+
+
+class TestHadamardPrimitives:
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(100) == 128
+        assert next_power_of_two(128) == 128
+
+    def test_entry_parity(self):
+        # H[1,1] = (-1)^popcount(1) = -1; H[0,c] = +1.
+        assert hadamard_entry(0, 5) == 1
+        assert hadamard_entry(1, 1) == -1
+        assert hadamard_entry(3, 3) == 1  # popcount(3)=2
+
+    def test_rows_orthogonal(self):
+        K = 16
+        H = np.array(
+            [[hadamard_entry(r, c) for c in range(K)] for r in range(K)]
+        )
+        assert (H @ H.T == K * np.eye(K)).all()
+
+    def test_fwht_matches_matrix_multiply(self, rng):
+        K = 32
+        vector = rng.normal(size=K)
+        H = np.array(
+            [[hadamard_entry(r, c) for c in range(K)] for r in range(K)]
+        )
+        assert fast_walsh_hadamard(vector) == pytest.approx(H @ vector)
+
+    def test_fwht_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fast_walsh_hadamard(np.ones(12))
+
+
+class TestMechanism:
+    def test_k_larger_than_domain(self):
+        fo = HadamardResponse(100, 1.0)
+        assert fo.K == 128
+        assert fo.K > fo.d
+
+    def test_unbiased(self, rng, small_histogram):
+        fo = HadamardResponse(16, 2.0)
+        runs = np.stack(
+            [fo.estimate_from_histogram(small_histogram, rng) for _ in range(60)]
+        )
+        truth = small_histogram / small_histogram.sum()
+        standard_error = runs.std(axis=0) / np.sqrt(60)
+        assert (np.abs(runs.mean(axis=0) - truth) < 5 * standard_error + 1e-4).all()
+
+    def test_per_user_matches_fast_path_mean(self, rng):
+        d = 8
+        histogram = np.array([300, 200, 150, 100, 100, 80, 40, 30])
+        fo = HadamardResponse(d, 1.5)
+        values = np.repeat(np.arange(d), histogram)
+        slow = np.stack(
+            [fo.support_counts(fo.privatize(values, rng)) for _ in range(200)]
+        )
+        fast = np.stack(
+            [fo.sample_support_counts(histogram, rng) for _ in range(200)]
+        )
+        assert fast.mean(axis=0) == pytest.approx(slow.mean(axis=0), rel=0.08)
+
+    def test_support_counts_via_wht_match_naive(self, rng):
+        fo = HadamardResponse(10, 2.0)
+        reports = fo.privatize(rng.integers(0, 10, 100), rng)
+        counts = fo.support_counts(reports)
+        naive = np.zeros(10)
+        for i in range(100):
+            for v in range(10):
+                if hadamard_entry(int(reports.rows[i]), v + 1) == reports.bits[i]:
+                    naive[v] += 1
+        assert counts == pytest.approx(naive)
+
+    def test_estimate_at_huge_epsilon(self, rng):
+        fo = HadamardResponse(4, 12.0)
+        values = np.array([0] * 600 + [1] * 300 + [2] * 100)
+        estimates = fo.run(values, rng)
+        assert estimates == pytest.approx([0.6, 0.3, 0.1, 0.0], abs=0.08)
+
+
+class TestOrdinalEncoding:
+    def test_report_space(self):
+        fo = HadamardResponse(100, 1.0)
+        assert fo.report_space == 128 * 2
+
+    def test_roundtrip(self, rng):
+        fo = HadamardResponse(20, 1.0)
+        reports = fo.privatize(rng.integers(0, 20, 100), rng)
+        decoded = fo.decode_reports(fo.encode_reports(reports))
+        assert (decoded.rows == reports.rows).all()
+        assert (decoded.bits == reports.bits).all()
+
+    def test_fake_bias_zero(self):
+        assert HadamardResponse(20, 1.0).fake_report_bias() == 0.0

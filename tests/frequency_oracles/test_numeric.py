@@ -1,0 +1,110 @@
+"""One-bit mean estimation in the shuffle model."""
+
+import numpy as np
+import pytest
+
+from repro.frequency_oracles import (
+    OneBitMeanEstimator,
+    make_shuffled_mean_estimator,
+    mean_confidence_halfwidth,
+)
+
+
+class TestMechanics:
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            OneBitMeanEstimator(5.0, 5.0, 1.0)
+
+    def test_rejects_out_of_range_values(self, rng):
+        estimator = OneBitMeanEstimator(0.0, 10.0, 1.0)
+        with pytest.raises(ValueError):
+            estimator.privatize([11.0], rng)
+
+    def test_reports_are_bits(self, rng):
+        estimator = OneBitMeanEstimator(0.0, 1.0, 1.0)
+        reports = estimator.privatize(rng.random(500), rng)
+        assert set(np.unique(reports.bits)) <= {0, 1}
+
+
+class TestEstimation:
+    def test_unbiased(self, rng):
+        estimator = OneBitMeanEstimator(0.0, 100.0, 2.0)
+        values = rng.uniform(20, 80, 5000)
+        estimates = [estimator.run(values, rng) for __ in range(80)]
+        true_mean = float(values.mean())
+        standard_error = np.std(estimates) / np.sqrt(80)
+        assert abs(np.mean(estimates) - true_mean) < 5 * standard_error
+
+    def test_handles_negative_range(self, rng):
+        estimator = OneBitMeanEstimator(-50.0, 50.0, 3.0)
+        values = rng.uniform(-10, 30, 20_000)
+        estimate = np.mean([estimator.run(values, rng) for __ in range(20)])
+        assert estimate == pytest.approx(float(values.mean()), abs=2.0)
+
+    def test_variance_bound_holds(self, rng):
+        estimator = OneBitMeanEstimator(0.0, 1.0, 1.0)
+        values = rng.random(2000)
+        estimates = [estimator.run(values, rng) for __ in range(200)]
+        empirical = float(np.var(estimates))
+        assert empirical <= estimator.variance_bound(2000) * 1.3
+
+    def test_more_budget_less_noise(self, rng):
+        low = OneBitMeanEstimator(0.0, 1.0, 0.5)
+        high = OneBitMeanEstimator(0.0, 1.0, 4.0)
+        assert high.variance_bound(1000) < low.variance_bound(1000)
+
+
+class TestShuffleResolution:
+    def test_amplifies_at_scale(self):
+        estimator, resolution = make_shuffled_mean_estimator(
+            0.0, 1.0, 0.3, 1_000_000, 1e-9
+        )
+        assert resolution.amplified
+        assert estimator.eps > 0.3
+
+    def test_fallback_small_population(self):
+        estimator, resolution = make_shuffled_mean_estimator(
+            0.0, 1.0, 0.05, 500, 1e-9
+        )
+        assert not resolution.amplified
+        assert estimator.eps == pytest.approx(0.05)
+
+    def test_shuffled_beats_local_empirically(self, rng):
+        n = 200_000
+        values = rng.uniform(0.2, 0.7, n)
+        local = OneBitMeanEstimator(0.0, 1.0, 0.3)
+        shuffled, __ = make_shuffled_mean_estimator(0.0, 1.0, 0.3, n, 1e-9)
+        local_err = np.std([local.run(values, rng) for __ in range(10)])
+        shuffled_err = np.std([shuffled.run(values, rng) for __ in range(10)])
+        assert shuffled_err < local_err
+
+
+class TestConfidence:
+    def test_halfwidth_positive_and_monotone(self):
+        estimator = OneBitMeanEstimator(0.0, 1.0, 1.0)
+        hw95 = mean_confidence_halfwidth(estimator, 1000, 0.95)
+        hw99 = mean_confidence_halfwidth(estimator, 1000, 0.99)
+        assert 0 < hw95 < hw99
+
+    def test_shrinks_with_population(self):
+        estimator = OneBitMeanEstimator(0.0, 1.0, 1.0)
+        assert mean_confidence_halfwidth(estimator, 10_000) < (
+            mean_confidence_halfwidth(estimator, 100)
+        )
+
+    def test_validation(self):
+        estimator = OneBitMeanEstimator(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            mean_confidence_halfwidth(estimator, 100, confidence=1.5)
+
+    def test_empirical_coverage(self, rng):
+        estimator = OneBitMeanEstimator(0.0, 1.0, 2.0)
+        values = rng.random(3000)
+        true_mean = float(values.mean())
+        halfwidth = mean_confidence_halfwidth(estimator, 3000, 0.95)
+        covered = sum(
+            abs(estimator.run(values, rng) - true_mean) <= halfwidth
+            for __ in range(100)
+        )
+        # The bound is worst-case, so coverage should be at least nominal.
+        assert covered >= 90

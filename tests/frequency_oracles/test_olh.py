@@ -1,0 +1,168 @@
+"""Local hashing oracles: OLH mechanics and SOLH resolution."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import olh_variance_local, solh_optimal_d_prime, solh_variance_shuffled
+from repro.frequency_oracles import OLH, SOLH, LocalHashingOracle
+from repro.hashing import XXHash32Family
+
+
+class TestMechanics:
+    def test_olh_picks_optimal_d_prime(self):
+        assert OLH(100, math.log(3.0)).d_prime == 4  # round(3)+1
+
+    def test_privatize_report_shapes(self, rng):
+        fo = LocalHashingOracle(50, 1.0, 8)
+        reports = fo.privatize(rng.integers(0, 50, 200), rng)
+        assert len(reports) == 200
+        assert reports.values.min() >= 0 and reports.values.max() < 8
+
+    def test_rejects_domain_violation(self, rng):
+        fo = LocalHashingOracle(50, 1.0, 8)
+        with pytest.raises(ValueError):
+            fo.privatize(np.array([50]), rng)
+
+    def test_rejects_tiny_hash_domain(self):
+        with pytest.raises(ValueError):
+            LocalHashingOracle(50, 1.0, 1)
+
+    def test_support_counts_match_manual(self, rng):
+        fo = LocalHashingOracle(10, 2.0, 4)
+        reports = fo.privatize(rng.integers(0, 10, 50), rng)
+        counts = fo.support_counts(reports)
+        manual = np.zeros(10)
+        for i in range(50):
+            for v in range(10):
+                if fo.family.hash_value(int(reports.seeds[i]), v, 4) == reports.values[i]:
+                    manual[v] += 1
+        assert counts == pytest.approx(manual)
+
+    def test_support_counts_candidate_subset(self, rng):
+        fo = LocalHashingOracle(10, 2.0, 4)
+        reports = fo.privatize(rng.integers(0, 10, 100), rng)
+        full = fo.support_counts(reports)
+        subset = fo.support_counts(reports, candidates=[3, 7])
+        assert subset.tolist() == [full[3], full[7]]
+
+    def test_chunking_invariant(self, rng):
+        small_chunks = LocalHashingOracle(20, 2.0, 4, chunk_bytes=256)
+        reports = small_chunks.privatize(rng.integers(0, 20, 300), rng)
+        big_chunks = LocalHashingOracle(20, 2.0, 4)
+        assert small_chunks.support_counts(reports) == pytest.approx(
+            big_chunks.support_counts(reports)
+        )
+
+
+class TestEstimation:
+    def test_unbiased(self, rng, small_histogram):
+        fo = LocalHashingOracle(16, 2.0, 8)
+        runs = np.stack(
+            [fo.estimate_from_histogram(small_histogram, rng) for _ in range(60)]
+        )
+        truth = small_histogram / small_histogram.sum()
+        standard_error = runs.std(axis=0) / np.sqrt(60)
+        assert (np.abs(runs.mean(axis=0) - truth) < 5 * standard_error + 1e-4).all()
+
+    def test_empirical_variance_matches_eq4(self, rng):
+        d, n, eps, d_prime = 16, 50_000, 1.0, 4
+        histogram = rng.multinomial(n, np.full(d, 1 / d))
+        fo = LocalHashingOracle(d, eps, d_prime)
+        truth = histogram / n
+        errors = [
+            np.mean((fo.estimate_from_histogram(histogram, rng) - truth) ** 2)
+            for _ in range(40)
+        ]
+        assert np.mean(errors) == pytest.approx(
+            olh_variance_local(eps, n, d_prime), rel=0.25
+        )
+
+    def test_per_user_path_consistent_with_fast_path(self, rng):
+        d, eps, d_prime = 8, 1.5, 4
+        histogram = np.array([400, 200, 100, 100, 80, 60, 40, 20])
+        fo = LocalHashingOracle(d, eps, d_prime)
+        values = np.repeat(np.arange(d), histogram)
+        slow = np.stack(
+            [fo.support_counts(fo.privatize(values, rng)) for _ in range(200)]
+        )
+        fast = np.stack(
+            [fo.sample_support_counts(histogram, rng) for _ in range(200)]
+        )
+        assert fast.mean(axis=0) == pytest.approx(slow.mean(axis=0), rel=0.08)
+
+
+class TestOrdinalEncoding:
+    def test_report_space(self):
+        fo = LocalHashingOracle(10, 1.0, 8, family=XXHash32Family())
+        assert fo.report_space == (1 << 32) * 8
+
+    def test_roundtrip(self, rng):
+        fo = LocalHashingOracle(10, 1.0, 8, family=XXHash32Family())
+        reports = fo.privatize(rng.integers(0, 10, 100), rng)
+        decoded = fo.decode_reports(fo.encode_reports(reports))
+        assert (decoded.seeds == reports.seeds).all()
+        assert (decoded.values == reports.values).all()
+
+    def test_fake_bias_zero(self):
+        assert LocalHashingOracle(10, 1.0, 8).fake_report_bias() == 0.0
+
+
+class TestSOLHResolution:
+    N, DELTA = 500_000, 1e-9
+
+    def test_uses_eq5_d_prime(self):
+        oracle, resolution = SOLH.for_central_target(100, 0.5, self.N, self.DELTA)
+        assert oracle.d_prime == solh_optimal_d_prime(0.5, self.N, self.DELTA)
+        assert resolution.amplified
+
+    def test_respects_explicit_d_prime(self):
+        oracle, resolution = SOLH.for_central_target(
+            100, 0.5, self.N, self.DELTA, d_prime=10
+        )
+        assert oracle.d_prime == 10
+        assert resolution.amplified
+
+    def test_fallback_to_local_olh(self):
+        oracle, resolution = SOLH.for_central_target(100, 0.1, 300, self.DELTA)
+        assert not resolution.amplified
+        assert oracle.eps == pytest.approx(0.1)
+
+    def test_local_budget_exceeds_central(self):
+        __, resolution = SOLH.for_central_target(100, 0.5, self.N, self.DELTA)
+        assert resolution.eps_l > 0.5
+
+    def test_empirical_mse_matches_prop6(self, rng):
+        n, d, eps_c = 100_000, 64, 0.5
+        histogram = rng.multinomial(n, np.full(d, 1 / d))
+        oracle, __ = SOLH.for_central_target(d, eps_c, n, self.DELTA)
+        truth = histogram / n
+        errors = [
+            np.mean((oracle.estimate_from_histogram(histogram, rng) - truth) ** 2)
+            for _ in range(30)
+        ]
+        predicted = solh_variance_shuffled(eps_c, n, self.DELTA)
+        assert np.mean(errors) == pytest.approx(predicted, rel=0.3)
+
+    def test_solh_beats_sh_on_large_domain(self, rng):
+        from repro.frequency_oracles import make_sh
+
+        n, d, eps_c = 50_000, 2000, 0.5
+        histogram = rng.multinomial(n, np.full(d, 1 / d))
+        truth = histogram / n
+        solh, __ = SOLH.for_central_target(d, eps_c, n, self.DELTA)
+        sh, __ = make_sh(d, eps_c, n, self.DELTA)
+        solh_mse = np.mean(
+            [
+                np.mean((solh.estimate_from_histogram(histogram, rng) - truth) ** 2)
+                for _ in range(5)
+            ]
+        )
+        sh_mse = np.mean(
+            [
+                np.mean((sh.estimate_from_histogram(histogram, rng) - truth) ** 2)
+                for _ in range(5)
+            ]
+        )
+        assert solh_mse < sh_mse / 10

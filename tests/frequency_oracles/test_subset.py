@@ -1,0 +1,98 @@
+"""Subset-selection frequency oracle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import olh_variance_local
+from repro.frequency_oracles import SubsetSelection, subset_variance_local
+
+
+class TestMechanics:
+    def test_optimal_subset_size(self):
+        d, eps = 100, 1.0
+        expected = round(d / (math.exp(eps) + 1.0))
+        assert SubsetSelection(d, eps).k == expected
+
+    def test_probabilities_ordered(self):
+        fo = SubsetSelection(50, 1.0)
+        assert 0 < fo.p_other < fo.p_true < 1
+
+    def test_ldp_ratio(self):
+        # Pr[v in subset | true=v] / Pr[v in subset | true=w] <= e^eps.
+        fo = SubsetSelection(50, 1.0)
+        assert fo.p_true / fo.p_other <= math.exp(1.0) * 1.05
+
+    def test_reports_are_k_subsets(self, rng):
+        fo = SubsetSelection(20, 1.0)
+        reports = fo.privatize(rng.integers(0, 20, 100), rng)
+        assert reports.members.shape == (100, fo.k)
+        for row in reports.members:
+            assert len(set(row.tolist())) == fo.k  # no duplicates
+            assert row.min() >= 0 and row.max() < 20
+
+    def test_true_value_inclusion_rate(self, rng):
+        fo = SubsetSelection(20, 2.0)
+        values = np.full(4000, 7)
+        reports = fo.privatize(values, rng)
+        included = (reports.members == 7).any(axis=1).mean()
+        assert included == pytest.approx(fo.p_true, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SubsetSelection(10, 0.0)
+        with pytest.raises(ValueError):
+            SubsetSelection(10, 1.0, k=10)
+
+
+class TestEstimation:
+    def test_unbiased(self, rng, small_histogram):
+        fo = SubsetSelection(16, 2.0)
+        runs = np.stack(
+            [fo.estimate_from_histogram(small_histogram, rng) for _ in range(60)]
+        )
+        truth = small_histogram / small_histogram.sum()
+        standard_error = runs.std(axis=0) / np.sqrt(60)
+        assert (np.abs(runs.mean(axis=0) - truth) < 5 * standard_error + 1e-4).all()
+
+    def test_fast_path_matches_exact(self, rng):
+        d = 8
+        histogram = np.array([400, 250, 150, 80, 50, 40, 20, 10])
+        fo = SubsetSelection(d, 1.0)
+        values = np.repeat(np.arange(d), histogram)
+        slow = np.stack(
+            [fo.support_counts(fo.privatize(values, rng)) for _ in range(100)]
+        )
+        fast = np.stack(
+            [fo.sample_support_counts(histogram, rng) for _ in range(100)]
+        )
+        assert fast.mean(axis=0) == pytest.approx(slow.mean(axis=0), rel=0.07)
+
+    def test_variance_close_to_olh(self, rng):
+        """Subset selection and OLH are both local-model optimal: their
+        variances agree within a small constant."""
+        n, d, eps = 100_000, 64, 1.0
+        subset = subset_variance_local(eps, n, d)
+        olh = olh_variance_local(eps, n, max(2, int(round(math.exp(eps))) + 1))
+        assert 0.5 < subset / olh < 2.0
+
+    def test_empirical_variance_matches_formula(self, rng):
+        d, n, eps = 16, 30_000, 1.0
+        histogram = rng.multinomial(n, np.full(d, 1 / d))
+        fo = SubsetSelection(d, eps)
+        truth = histogram / n
+        errors = [
+            np.mean((fo.estimate_from_histogram(histogram, rng) - truth) ** 2)
+            for _ in range(40)
+        ]
+        assert np.mean(errors) == pytest.approx(
+            subset_variance_local(eps, n, d), rel=0.3
+        )
+
+    def test_candidates_subset(self, rng):
+        fo = SubsetSelection(10, 1.0)
+        reports = fo.privatize(rng.integers(0, 10, 50), rng)
+        full = fo.support_counts(reports)
+        partial = fo.support_counts(reports, candidates=[2, 8])
+        assert partial.tolist() == [full[2], full[8]]

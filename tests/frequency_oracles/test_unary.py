@@ -1,0 +1,149 @@
+"""Unary-encoding oracles: RAPPOR, removal RAPPOR, and AUE."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.frequency_oracles import (
+    AUE,
+    RAPPOR,
+    RemovalRAPPOR,
+    make_rap,
+    make_rap_r,
+    one_hot_matrix,
+)
+
+
+class TestOneHot:
+    def test_shape_and_content(self):
+        matrix = one_hot_matrix(np.array([0, 2, 2]), 4)
+        assert matrix.shape == (3, 4)
+        assert matrix.sum() == 3
+        assert matrix[1, 2] == 1 and matrix[2, 2] == 1
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(ValueError):
+            one_hot_matrix(np.array([4]), 4)
+
+
+class TestRAPPOR:
+    def test_flip_probability_halved_budget(self):
+        fo = RAPPOR(10, 2.0)
+        assert fo.flip_prob == pytest.approx(1.0 / (math.exp(1.0) + 1.0))
+
+    def test_privatize_flip_rate(self, rng):
+        fo = RAPPOR(16, 2.0)
+        reports = fo.privatize(np.zeros(8000, dtype=int), rng)
+        # Location 0 held a 1-bit: kept with probability p.
+        assert reports[:, 0].mean() == pytest.approx(fo.p, abs=0.02)
+        # All other locations held 0-bits: set with probability q.
+        assert reports[:, 1:].mean() == pytest.approx(fo.q, abs=0.01)
+
+    def test_unbiased(self, rng, small_histogram):
+        fo = RAPPOR(16, 2.0)
+        runs = np.stack(
+            [fo.estimate_from_histogram(small_histogram, rng) for _ in range(60)]
+        )
+        truth = small_histogram / small_histogram.sum()
+        standard_error = runs.std(axis=0) / np.sqrt(60)
+        assert (np.abs(runs.mean(axis=0) - truth) < 5 * standard_error + 1e-4).all()
+
+    def test_fast_path_matches_exact_path(self, rng):
+        d = 8
+        histogram = np.array([400, 250, 150, 80, 50, 40, 20, 10])
+        fo = RAPPOR(d, 1.5)
+        values = np.repeat(np.arange(d), histogram)
+        slow = np.stack(
+            [fo.support_counts(fo.privatize(values, rng)) for _ in range(200)]
+        )
+        fast = np.stack(
+            [fo.sample_support_counts(histogram, rng) for _ in range(200)]
+        )
+        assert fast.mean(axis=0) == pytest.approx(slow.mean(axis=0), rel=0.05)
+        assert fast.var(axis=0) == pytest.approx(slow.var(axis=0), rel=0.5, abs=10)
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(ValueError):
+            RAPPOR(10, 0.0)
+
+
+class TestRemovalRAPPOR:
+    def test_flip_probability_full_budget(self):
+        fo = RemovalRAPPOR(10, 2.0)
+        assert fo.flip_prob == pytest.approx(1.0 / (math.exp(2.0) + 1.0))
+
+    def test_replacement_equivalent(self):
+        assert RemovalRAPPOR(10, 1.0).replacement_eps == pytest.approx(2.0)
+
+    def test_less_noise_than_rappor_same_budget(self):
+        assert RemovalRAPPOR(10, 2.0).flip_prob < RAPPOR(10, 2.0).flip_prob
+
+    def test_unbiased(self, rng, small_histogram):
+        fo = RemovalRAPPOR(16, 1.0)
+        runs = np.stack(
+            [fo.estimate_from_histogram(small_histogram, rng) for _ in range(60)]
+        )
+        truth = small_histogram / small_histogram.sum()
+        standard_error = runs.std(axis=0) / np.sqrt(60)
+        assert (np.abs(runs.mean(axis=0) - truth) < 5 * standard_error + 1e-4).all()
+
+
+class TestAUE:
+    N, DELTA = 200_000, 1e-9
+
+    def test_noise_probability(self):
+        fo = AUE(16, 0.5, self.N, self.DELTA)
+        assert fo.noise_prob == pytest.approx(
+            200 * math.log(4 / self.DELTA) / (0.25 * self.N)
+        )
+
+    def test_reports_can_exceed_one(self, rng):
+        fo = AUE(4, 0.5, self.N, self.DELTA)
+        # Force a visible noise rate by privatizing many one-hot rows.
+        reports = fo.privatize(np.zeros(5000, dtype=int), rng)
+        assert reports.max() <= 2
+        assert (reports[:, 0] >= 1).all()  # the true bit is sent in clear
+
+    def test_not_ldp_true_value_visible(self, rng):
+        # AUE sends the exact one-hot vector: with noise_prob << 1 most
+        # reports reveal the true value exactly — the paper's criticism.
+        fo = AUE(8, 1.0, self.N, self.DELTA)
+        reports = fo.privatize(np.full(100, 3), rng)
+        exact = ((reports == one_hot_matrix(np.full(100, 3), 8)).all(axis=1)).mean()
+        assert exact > 0.5
+
+    def test_unbiased(self, rng, small_histogram):
+        fo = AUE(16, 0.5, int(small_histogram.sum()), self.DELTA)
+        runs = np.stack(
+            [fo.estimate_from_histogram(small_histogram, rng) for _ in range(60)]
+        )
+        truth = small_histogram / small_histogram.sum()
+        standard_error = runs.std(axis=0) / np.sqrt(60)
+        assert (np.abs(runs.mean(axis=0) - truth) < 5 * standard_error + 1e-4).all()
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            AUE(16, 0.1, 100, self.DELTA)
+
+
+class TestShuffleFactories:
+    N, DELTA = 500_000, 1e-9
+
+    def test_make_rap_amplifies(self):
+        oracle, resolution = make_rap(100, 0.5, self.N, self.DELTA)
+        assert resolution.amplified
+        assert oracle.eps == pytest.approx(resolution.eps_l)
+
+    def test_make_rap_r_amplifies(self):
+        oracle, resolution = make_rap_r(100, 0.5, self.N, self.DELTA)
+        assert resolution.amplified
+
+    def test_rap_r_spends_more_effective_budget(self):
+        rap, __ = make_rap(100, 0.5, self.N, self.DELTA)
+        rap_r, __ = make_rap_r(100, 0.5, self.N, self.DELTA)
+        assert rap_r.flip_prob < rap.flip_prob
+
+    def test_fallback_small_population(self):
+        __, resolution = make_rap(100, 0.05, 500, self.DELTA)
+        assert not resolution.amplified

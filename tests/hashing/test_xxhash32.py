@@ -1,0 +1,56 @@
+"""xxHash32 against the published reference vectors and basic laws."""
+
+import pytest
+
+from repro.hashing import xxhash32, xxhash32_int
+
+
+class TestReferenceVectors:
+    """Vectors from the xxHash reference implementation / python-xxhash."""
+
+    def test_empty_seed0(self):
+        assert xxhash32(b"", 0) == 0x02CC5D05
+
+    def test_single_byte(self):
+        assert xxhash32(b"a", 0) == 0x550D7456
+
+    def test_abc(self):
+        assert xxhash32(b"abc", 0) == 0x32D153FF
+
+    def test_long_string(self):
+        assert xxhash32(b"Nobody inspects the spammish repetition", 0) == 0xE2293B2F
+
+    def test_exactly_16_bytes(self):
+        # Exercises the 4-accumulator stripe path boundary.
+        assert xxhash32(b"0123456789abcdef", 0) == xxhash32(b"0123456789abcdef", 0)
+
+    def test_seed_changes_output(self):
+        assert xxhash32(b"abc", 0) != xxhash32(b"abc", 1)
+
+    def test_seed_wraps_32_bits(self):
+        assert xxhash32(b"abc", 1 << 32) == xxhash32(b"abc", 0)
+
+
+class TestProperties:
+    def test_output_is_32_bit(self):
+        for data in (b"", b"x", b"hello world" * 10):
+            for seed in (0, 1, 0xFFFFFFFF):
+                assert 0 <= xxhash32(data, seed) < (1 << 32)
+
+    def test_deterministic(self):
+        assert xxhash32(b"determinism", 7) == xxhash32(b"determinism", 7)
+
+    @pytest.mark.parametrize("length", [0, 1, 3, 4, 5, 15, 16, 17, 31, 32, 33, 100])
+    def test_all_length_paths(self, length):
+        data = bytes(range(256))[:length] * (length // max(length, 1) + 1)
+        data = data[:length]
+        value = xxhash32(data, 42)
+        assert 0 <= value < (1 << 32)
+
+    def test_int_hashing_consistent_with_bytes(self):
+        assert xxhash32_int(1234, 9) == xxhash32((1234).to_bytes(8, "little"), 9)
+
+    def test_int_hashing_distinct_values(self):
+        outputs = {xxhash32_int(v, 0) for v in range(1000)}
+        # No collisions expected among 1000 values in a 2^32 range.
+        assert len(outputs) == 1000

@@ -1,0 +1,110 @@
+"""Attack simulations: collusion views, SS poisoning, PEOS fake masking."""
+
+import numpy as np
+import pytest
+
+from repro.protocol.attacks import (
+    constant_share_attack,
+    low_entropy_share_attack,
+    residual_multiset,
+    simulate_fake_reports,
+    spot_check_detection_probability,
+)
+
+
+class TestResidualMultiset:
+    def test_subtracts_known_reports(self):
+        shuffled = [1, 1, 2, 3, 5, 5, 5]
+        known = [1, 5, 5]
+        residual = residual_multiset(shuffled, known)
+        assert residual == {1: 1, 2: 1, 3: 1, 5: 1}
+
+    def test_victim_hidden_among_fakes(self):
+        # Adv_u's view: after removing n-1 known reports, the victim's
+        # report is one among the fakes — exactly |fakes| + 1 reports left.
+        shuffled = [7] + [3, 4, 5] + [0, 1]  # victim + knowns + fakes
+        residual = residual_multiset(shuffled, [3, 4, 5])
+        assert sum(residual.values()) == 3
+
+    def test_missing_known_report_raises(self):
+        with pytest.raises(ValueError):
+            residual_multiset([1, 2], [9])
+
+
+class TestSpotCheckDetection:
+    def test_no_replacement_no_detection(self):
+        assert spot_check_detection_probability(100, 5, 0) == 0.0
+
+    def test_full_replacement_always_detected(self):
+        assert spot_check_detection_probability(100, 5, 100) == pytest.approx(1.0)
+
+    def test_monotone_in_replacement(self):
+        probs = [
+            spot_check_detection_probability(1000, 10, k) for k in (10, 100, 500)
+        ]
+        assert probs[0] < probs[1] < probs[2]
+
+    def test_matches_simulation(self, rng):
+        n_total, n_spot, n_replaced = 200, 5, 40
+        analytic = spot_check_detection_probability(n_total, n_spot, n_replaced)
+        trials = 3000
+        detected = 0
+        for __ in range(trials):
+            destroyed = rng.choice(n_total, size=n_replaced, replace=False)
+            if (destroyed < n_spot).any():  # WLOG dummies at the front
+                detected += 1
+        assert detected / trials == pytest.approx(analytic, abs=0.03)
+
+    def test_rejects_impossible_parameters(self):
+        with pytest.raises(ValueError):
+            spot_check_detection_probability(10, 2, 11)
+
+
+class TestPEOSFakeMasking:
+    """The core poisoning-resistance property of PEOS."""
+
+    M = 64
+
+    def _chi2_uniform(self, reports):
+        counts = np.bincount(np.asarray(reports, dtype=int), minlength=self.M)
+        expected = len(reports) / self.M
+        return float(((counts - expected) ** 2 / expected).sum())
+
+    # 99.9th percentile of chi-square with 63 dof.
+    CHI2_999 = 103.4
+
+    def test_honest_fakes_uniform(self, rng):
+        reports = simulate_fake_reports(3, 8000, self.M, rng)
+        assert self._chi2_uniform(reports) < self.CHI2_999
+
+    def test_one_honest_shuffler_suffices(self, rng):
+        reports = simulate_fake_reports(
+            3, 8000, self.M, rng,
+            malicious={
+                0: constant_share_attack(7),
+                1: low_entropy_share_attack([0, 1], rng),
+            },
+        )
+        assert self._chi2_uniform(reports) < self.CHI2_999
+
+    def test_all_malicious_breaks_uniformity(self, rng):
+        """Sanity: with NO honest shuffler the attack does succeed."""
+        reports = simulate_fake_reports(
+            2, 8000, self.M, rng,
+            malicious={
+                0: constant_share_attack(0),
+                1: constant_share_attack(5),
+            },
+        )
+        assert self._chi2_uniform(reports) > self.CHI2_999
+        assert (np.asarray(reports) == 5).all()
+
+    def test_attack_helpers_shapes(self, rng):
+        honest = np.arange(10, dtype=np.int64)
+        assert (constant_share_attack(3)(10, honest) == 3).all()
+        low = low_entropy_share_attack([1, 2], rng)(10, honest)
+        assert set(low.tolist()) <= {1, 2}
+
+    def test_rejects_no_shufflers(self, rng):
+        with pytest.raises(ValueError):
+            simulate_fake_reports(0, 10, self.M, rng)

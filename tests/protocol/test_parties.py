@@ -1,0 +1,98 @@
+"""System model: adversaries and their guarantees (Section V / VI-B)."""
+
+import math
+
+import pytest
+
+from repro.protocol import Adversary, PEOSDeployment, ThreatReport, privacy_against
+
+DEPLOYMENT = PEOSDeployment(
+    mechanism="solh",
+    eps_l=4.0,
+    report_domain=16,
+    n=200_000,
+    n_r=20_000,
+    r=5,
+    delta=1e-9,
+)
+
+
+class TestAdversary:
+    def test_constructors(self):
+        assert not Adversary.server().colluding_users
+        assert Adversary.with_users().colluding_users
+        assert Adversary.with_shufflers(2).corrupted_shufflers == 2
+
+    def test_describe(self):
+        assert "server" in Adversary.server().describe()
+        assert "users" in Adversary.with_users().describe()
+        assert "2 shuffler" in Adversary.with_shufflers(2).describe()
+
+    def test_rejects_negative_corruption(self):
+        with pytest.raises(ValueError):
+            Adversary.with_shufflers(-1)
+
+
+class TestGuarantees:
+    def test_server_is_weakest_adversary(self):
+        server = privacy_against(DEPLOYMENT, Adversary.server())
+        users = privacy_against(DEPLOYMENT, Adversary.with_users())
+        assert server <= users
+
+    def test_user_collusion_only_fake_blanket(self):
+        from repro.core import peos_epsilon_collusion_solh
+
+        expected = min(
+            DEPLOYMENT.eps_l,
+            peos_epsilon_collusion_solh(16, 20_000, 1e-9),
+        )
+        assert privacy_against(DEPLOYMENT, Adversary.with_users()) == pytest.approx(
+            expected
+        )
+
+    def test_minority_shuffler_corruption_harmless(self):
+        minority = privacy_against(
+            DEPLOYMENT, Adversary.with_shufflers(DEPLOYMENT.honest_majority_threshold)
+        )
+        server_only = privacy_against(DEPLOYMENT, Adversary.server())
+        assert minority == pytest.approx(server_only)
+
+    def test_majority_corruption_degrades_to_ldp(self):
+        majority = privacy_against(
+            DEPLOYMENT,
+            Adversary.with_shufflers(DEPLOYMENT.honest_majority_threshold + 1),
+        )
+        assert majority == pytest.approx(DEPLOYMENT.eps_l)
+
+    def test_honest_majority_threshold(self):
+        assert DEPLOYMENT.honest_majority_threshold == 2  # floor(5/2)
+
+    def test_grr_variant(self):
+        deployment = PEOSDeployment(
+            mechanism="grr", eps_l=3.0, report_domain=100,
+            n=200_000, n_r=50_000, r=3, delta=1e-9,
+        )
+        assert privacy_against(deployment, Adversary.server()) < 3.0
+
+    def test_rejects_unknown_mechanism(self):
+        with pytest.raises(ValueError):
+            PEOSDeployment(
+                mechanism="magic", eps_l=1.0, report_domain=4,
+                n=100, n_r=0, r=3, delta=1e-9,
+            )
+
+
+class TestThreatReport:
+    def test_covers_canonical_adversaries(self):
+        report = ThreatReport.evaluate(DEPLOYMENT)
+        assert len(report.guarantees) == 4
+        assert any("majority" in name for name in report.guarantees)
+
+    def test_rows_sorted(self):
+        report = ThreatReport.evaluate(DEPLOYMENT)
+        names = [name for name, __ in report.rows()]
+        assert names == sorted(names)
+
+    def test_all_guarantees_finite(self):
+        report = ThreatReport.evaluate(DEPLOYMENT)
+        assert all(math.isfinite(eps) for eps in report.guarantees.values())

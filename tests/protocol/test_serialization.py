@@ -1,0 +1,110 @@
+"""Wire formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.serialization import (
+    WireFormatError,
+    ciphertext_vector_wire_size,
+    decode_ciphertext_vector,
+    decode_report_batch,
+    decode_share_vector,
+    encode_ciphertext_vector,
+    encode_report_batch,
+    encode_share_vector,
+    share_vector_wire_size,
+)
+
+M = 2**32
+
+
+class TestShares:
+    def test_roundtrip(self, rng):
+        shares = rng.integers(0, M, 50, dtype=np.int64)
+        decoded = decode_share_vector(encode_share_vector(shares, M), M)
+        assert (decoded == shares).all()
+
+    def test_roundtrip_big_modulus(self):
+        modulus = (1 << 64) * 9
+        shares = [modulus - 1, 0, 123]
+        decoded = decode_share_vector(
+            encode_share_vector(shares, modulus), modulus
+        )
+        assert list(decoded) == shares
+
+    def test_empty_vector(self):
+        decoded = decode_share_vector(encode_share_vector([], M), M)
+        assert len(decoded) == 0
+
+    def test_wire_size_exact(self, rng):
+        shares = rng.integers(0, M, 17, dtype=np.int64)
+        data = encode_share_vector(shares, M)
+        assert len(data) == share_vector_wire_size(17, M)
+
+    def test_rejects_out_of_group(self):
+        with pytest.raises(WireFormatError):
+            encode_share_vector([M], M)
+
+    def test_rejects_truncation(self, rng):
+        data = encode_share_vector(rng.integers(0, M, 5, dtype=np.int64), M)
+        with pytest.raises(WireFormatError):
+            decode_share_vector(data[:-1], M)
+
+    def test_rejects_bad_magic(self, rng):
+        data = encode_share_vector(rng.integers(0, M, 5, dtype=np.int64), M)
+        with pytest.raises(WireFormatError):
+            decode_share_vector(b"XXXX" + data[4:], M)
+
+    def test_rejects_wrong_type(self, rng):
+        data = encode_report_batch([1, 2], M)
+        with pytest.raises(WireFormatError):
+            decode_share_vector(data, M)
+
+
+class TestCiphertexts:
+    def test_roundtrip(self):
+        values = [0, 1, 2**512 - 1, 12345678901234567890]
+        assert decode_ciphertext_vector(encode_ciphertext_vector(values)) == values
+
+    def test_wire_size_exact(self):
+        values = [1, 2**100, 2**1000]
+        assert len(encode_ciphertext_vector(values)) == (
+            ciphertext_vector_wire_size(values)
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(WireFormatError):
+            encode_ciphertext_vector([-1])
+
+    def test_rejects_trailing_garbage(self):
+        data = encode_ciphertext_vector([5]) + b"zz"
+        with pytest.raises(WireFormatError):
+            decode_ciphertext_vector(data)
+
+
+class TestReports:
+    def test_roundtrip(self, rng):
+        reports = rng.integers(0, 1000, 30, dtype=np.int64)
+        decoded = decode_report_batch(encode_report_batch(reports, 1000), 1000)
+        assert (decoded == reports).all()
+
+    def test_rejects_out_of_space(self):
+        with pytest.raises(WireFormatError):
+            encode_report_batch([1000], 1000)
+
+    def test_width_follows_space(self):
+        small = encode_report_batch([1], 256)
+        large = encode_report_batch([1], 2**32)
+        assert len(large) > len(small)
+
+
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=M - 1), max_size=40),
+)
+@settings(max_examples=100, deadline=None)
+def test_share_roundtrip_property(values):
+    """Property: encode/decode is the identity for arbitrary share vectors."""
+    decoded = decode_share_vector(encode_share_vector(values, M), M)
+    assert list(decoded) == values

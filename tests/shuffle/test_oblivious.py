@@ -1,0 +1,115 @@
+"""Resharing-based oblivious shuffle: correctness and obliviousness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.costs import CostTracker
+from repro.crypto.secret_sharing import reconstruct_vector, share_vector
+from repro.shuffle import hider_count, oblivious_shuffle, shuffle_rounds
+
+M = 2**32
+
+
+def _run(r, n, rng):
+    values = rng.integers(0, M, n, dtype=np.int64)
+    shares = share_vector(values, r, M, rng)
+    out, transcript = oblivious_shuffle(shares, M, rng)
+    return values, reconstruct_vector(out, M), transcript
+
+
+class TestStructure:
+    @pytest.mark.parametrize("r,expected", [(2, 2), (3, 2), (4, 3), (5, 3), (7, 4)])
+    def test_hider_count(self, r, expected):
+        assert hider_count(r) == expected
+
+    @pytest.mark.parametrize("r", [2, 3, 4, 5, 7])
+    def test_round_count_is_r_choose_t(self, r):
+        t = hider_count(r)
+        assert len(shuffle_rounds(r)) == math.comb(r, t)
+
+    def test_rejects_single_shuffler(self):
+        with pytest.raises(ValueError):
+            hider_count(1)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("r", [2, 3, 4, 5])
+    def test_multiset_preserved(self, rng, r):
+        values, rec, __ = _run(r, 40, rng)
+        assert sorted(rec.tolist()) == sorted(values.tolist())
+
+    def test_net_permutation_consistent(self, rng):
+        values, rec, transcript = _run(3, 60, rng)
+        assert (values[transcript.net_permutation] == rec).all()
+
+    def test_output_actually_shuffled(self, rng):
+        values, rec, __ = _run(3, 200, rng)
+        assert not (values == rec).all()
+
+    def test_big_modulus_object_path(self, rng):
+        modulus = (1 << 64) * 10
+        values = np.array([modulus - 1, 0, 7, modulus // 3], dtype=object)
+        shares = share_vector(values, 3, modulus, rng)
+        out, __ = oblivious_shuffle(shares, modulus, rng)
+        rec = reconstruct_vector(out, modulus)
+        assert sorted(int(v) for v in rec) == sorted(int(v) for v in values)
+
+    def test_mismatched_lengths_rejected(self, rng):
+        with pytest.raises(ValueError):
+            oblivious_shuffle(
+                [np.zeros(3, dtype=np.int64), np.zeros(4, dtype=np.int64)], M, rng
+            )
+
+
+class TestObliviousness:
+    """The counting argument: minority coalitions miss >= 1 permutation."""
+
+    @pytest.mark.parametrize("r", [3, 5])
+    def test_minority_coalitions_blind(self, rng, r):
+        from itertools import combinations
+
+        __, __, transcript = _run(r, 10, rng)
+        max_corrupt = r - hider_count(r)  # floor(r/2) for odd r
+        for size in range(1, max_corrupt + 1):
+            for coalition in combinations(range(r), size):
+                assert not transcript.known_to(coalition)
+
+    def test_full_coalition_knows(self, rng):
+        __, __, transcript = _run(3, 10, rng)
+        assert transcript.known_to([0, 1, 2])
+
+    def test_hider_majority_knows(self, rng):
+        __, __, transcript = _run(3, 10, rng)
+        # Any 2 of 3 shufflers include a hider of every round when t=2:
+        # each round's hider set has size 2, so any pair intersects it.
+        assert transcript.known_to([0, 1])
+
+    def test_each_round_permutation_recorded(self, rng):
+        __, __, transcript = _run(3, 25, rng)
+        assert len(transcript.rounds) == 3
+        for rnd in transcript.rounds:
+            assert sorted(rnd.permutation.tolist()) == list(range(25))
+
+
+class TestCostAccounting:
+    def test_all_shufflers_communicate(self, rng):
+        values = rng.integers(0, M, 30, dtype=np.int64)
+        shares = share_vector(values, 3, M, rng)
+        tracker = CostTracker()
+        oblivious_shuffle(shares, M, rng, tracker=tracker)
+        for j in range(3):
+            cost = tracker.cost(f"shuffler:{j}")
+            assert cost.bytes_sent > 0
+            assert cost.bytes_received > 0
+
+    def test_communication_grows_with_n(self, rng):
+        def total_bytes(n):
+            values = rng.integers(0, M, n, dtype=np.int64)
+            shares = share_vector(values, 3, M, rng)
+            tracker = CostTracker()
+            oblivious_shuffle(shares, M, rng, tracker=tracker)
+            return tracker.group_cost("shuffler").bytes_sent
+
+        assert total_bytes(100) > total_bytes(10) * 5

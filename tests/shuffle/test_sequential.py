@@ -1,0 +1,115 @@
+"""Sequential shuffle (SS): counts, spot checks, and tampering."""
+
+import numpy as np
+import pytest
+
+from repro.costs import CostTracker
+from repro.shuffle import generate_keys, sequential_shuffle
+
+M = 1 << 16
+
+
+@pytest.fixture(scope="module")
+def keys3():
+    return generate_keys(3, rng=77)
+
+
+class TestHappyPath:
+    def test_all_reports_delivered(self, rng, keys3):
+        reports = [int(v) for v in rng.integers(0, M, 20)]
+        result = sequential_shuffle(reports, M, keys3, n_fake=6, rng=rng, crypto_rng=1)
+        assert len(result.reports) == 26
+        # Original reports survive as a sub-multiset.
+        out = sorted(result.reports.tolist())
+        for report in reports:
+            assert report in out
+
+    def test_fakes_split_evenly(self, rng, keys3):
+        result = sequential_shuffle(
+            [1, 2, 3], M, keys3, n_fake=7, rng=rng, crypto_rng=1
+        )
+        assert result.fakes_per_shuffler == [3, 2, 2]
+        assert sum(result.fakes_per_shuffler) == 7
+
+    def test_order_shuffled(self, rng, keys3):
+        reports = list(range(50))
+        result = sequential_shuffle(reports, M, keys3, n_fake=0, rng=rng, crypto_rng=1)
+        assert sorted(result.reports.tolist()) == reports
+        assert result.reports.tolist() != reports
+
+    def test_spot_check_passes_honest_run(self, rng, keys3):
+        result = sequential_shuffle(
+            [5, 6], M, keys3, n_fake=3, rng=rng, crypto_rng=1,
+            spot_check_reports=[111, 222],
+        )
+        assert result.spot_check_passed
+        assert len(result.reports) == 2 + 3 + 2
+
+
+class TestTampering:
+    def test_replacement_fails_spot_check(self, rng, keys3):
+        """A shuffler replacing the whole batch destroys the dummies."""
+        from repro.crypto import onion
+
+        def replace_everything(j, batch):
+            if j != 0:
+                return batch
+            remaining = [kp.public for kp in keys3.shufflers[1:]] + [
+                keys3.server.public
+            ]
+            return [
+                onion.wrap(int(9999).to_bytes(2, "big"), remaining, 5)
+                for __ in batch
+            ]
+
+        result = sequential_shuffle(
+            [1, 2, 3, 4], M, keys3, n_fake=0, rng=rng, crypto_rng=1,
+            spot_check_reports=[1234], shuffler_tamper=replace_everything,
+        )
+        assert not result.spot_check_passed
+
+    def test_injection_evades_spot_check(self, rng, keys3):
+        """Pure injection keeps dummies intact — the undetectable attack."""
+        from repro.crypto import onion
+
+        def inject(j, batch):
+            if j != 0:
+                return batch
+            remaining = [kp.public for kp in keys3.shufflers[1:]] + [
+                keys3.server.public
+            ]
+            extra = [
+                onion.wrap(int(7).to_bytes(2, "big"), remaining, 5)
+                for __ in range(10)
+            ]
+            return batch + extra
+
+        result = sequential_shuffle(
+            [1, 2, 3], M, keys3, n_fake=0, rng=rng, crypto_rng=1,
+            spot_check_reports=[1234], shuffler_tamper=inject,
+        )
+        assert result.spot_check_passed  # attack invisible to the check
+        assert (result.reports == 7).sum() >= 10  # yet the data is poisoned
+
+
+class TestCosts:
+    def test_user_and_parties_tracked(self, rng, keys3):
+        tracker = CostTracker()
+        sequential_shuffle(
+            [1, 2, 3, 4, 5], M, keys3, n_fake=3, rng=rng, crypto_rng=1,
+            tracker=tracker,
+        )
+        assert tracker.cost("user").bytes_sent > 0
+        assert tracker.cost("user").compute_seconds > 0
+        for j in range(3):
+            assert tracker.cost(f"shuffler:{j}").compute_seconds > 0
+        assert tracker.cost("server").compute_seconds > 0
+
+    def test_onion_shrinks_along_chain(self, rng, keys3):
+        tracker = CostTracker()
+        sequential_shuffle(
+            [1] * 10, M, keys3, n_fake=0, rng=rng, crypto_rng=1, tracker=tracker,
+        )
+        first_hop = tracker.cost("shuffler:0").bytes_received
+        last_hop = tracker.cost("server").bytes_received
+        assert last_hop < first_hop  # one fewer layer of encryption

@@ -1,0 +1,32 @@
+"""Single-shuffler pipeline."""
+
+import numpy as np
+
+from repro.costs import CostTracker
+from repro.crypto import elgamal_ec
+from repro.shuffle import single_shuffle
+
+M = 1 << 16
+
+
+class TestSingleShuffle:
+    def test_multiset_preserved(self, rng):
+        keypair = elgamal_ec.generate_keypair(rng=5)
+        reports = [int(v) for v in rng.integers(0, M, 30)]
+        result = single_shuffle(reports, M, keypair, rng, crypto_rng=1)
+        assert sorted(result.reports.tolist()) == sorted(reports)
+
+    def test_permutation_applied(self, rng):
+        keypair = elgamal_ec.generate_keypair(rng=5)
+        reports = list(range(40))
+        result = single_shuffle(reports, M, keypair, rng, crypto_rng=1)
+        assert (np.asarray(reports)[result.permutation] == result.reports).all()
+        assert result.reports.tolist() != reports
+
+    def test_costs_tracked(self, rng):
+        keypair = elgamal_ec.generate_keypair(rng=5)
+        tracker = CostTracker()
+        single_shuffle([1, 2, 3], M, keypair, rng, crypto_rng=1, tracker=tracker)
+        assert tracker.cost("user").bytes_sent > 0
+        assert tracker.cost("shuffler:0").bytes_sent > 0
+        assert tracker.cost("server").compute_seconds > 0

@@ -1,0 +1,56 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.n == 602_325
+
+    def test_plan_requires_targets(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--eps1", "0.5"])
+
+
+class TestCommands:
+    def test_table1_runs(self, capsys):
+        assert main(["table1", "--eps", "0.25", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "BBGN19" in out
+
+    def test_fig3_runs_small(self, capsys):
+        assert main([
+            "fig3", "--scale", "0.01", "--repeats", "1", "--eps", "0.8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SOLH" in out and "IPUMS-like" in out
+
+    def test_table2_runs_small(self, capsys):
+        assert main([
+            "table2", "--scale", "0.02", "--repeats", "1", "--eps", "0.6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "RAP_R" in out
+
+    def test_fig4_runs_small(self, capsys):
+        assert main([
+            "fig4", "--scale", "0.05", "--eps", "1.0",
+            "--methods", "SOLH", "--k", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SOLH" in out
+
+    def test_plan_runs(self, capsys):
+        assert main([
+            "plan", "--eps1", "0.5", "--eps2", "2.0", "--eps3", "5.0",
+            "--n", "100000", "--d", "64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mechanism" in out and "n_r" in out
