@@ -1,0 +1,112 @@
+"""Streaming-service throughput: reports/sec and flush latency.
+
+Unlike the table/figure benches this one measures the new subsystem, not
+the paper, so it emits machine-readable JSON (consumed by the roadmap's
+scaling work to track regressions):
+
+* the **materialized** path — the full ``TelemetryPipeline`` with the
+  ``plain`` backend (vectorized privatize + fake injection + permutation
+  + ``support_counts``), the honest-shuffler upper bound on service
+  throughput;
+* the **statistical** path — ``IncrementalAggregator.fold_histogram``,
+  the O(d) closed-form sampling route used for paper-scale simulation.
+
+Scale knobs are shared with the other benches (``REPRO_BENCH_SCALE``
+etc.; see bench_common).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.data import zipf_histogram
+from repro.data.synthetic import values_from_histogram
+from repro.service import IncrementalAggregator, StreamConfig, TelemetryPipeline
+
+from bench_common import bench_rng, bench_scale, emit, run_once
+
+D = 64
+EPOCHS = 5
+BASE_EPOCH_SIZE = 200_000  # at scale 1.0
+DELTA = 1e-9
+EPS_TARGETS = (1.0, 3.0, 6.0)
+
+
+def _experiment() -> str:
+    rng = bench_rng()
+    epoch_size = max(1000, int(BASE_EPOCH_SIZE * bench_scale()))
+    flush_size = max(500, epoch_size // 2)
+    config = StreamConfig.from_targets(
+        d=D,
+        flush_size=flush_size,
+        eps_targets=EPS_TARGETS,
+        delta=DELTA,
+        admitted_flushes=2 * EPOCHS * ((epoch_size + flush_size - 1) // flush_size),
+    )
+    pipeline = TelemetryPipeline(config, rng)
+
+    ingest_started = time.perf_counter()
+    for __ in range(EPOCHS):
+        histogram = zipf_histogram(epoch_size, D, 1.3, rng)
+        pipeline.submit(values_from_histogram(histogram, rng))
+        pipeline.end_epoch()
+    ingest_elapsed = time.perf_counter() - ingest_started
+    result = pipeline.result()
+    latencies = [e.flush_latency_s / max(1, e.n_flushes) for e in result.epochs]
+    total_latency = sum(e.flush_latency_s for e in result.epochs)
+
+    # Statistical path: the same flush schedule (one fold per flush, each
+    # with the plan's n_r fakes) via closed-form sampling.
+    full, remainder = divmod(epoch_size, flush_size)
+    aggregator = IncrementalAggregator(pipeline.fo)
+    started = time.perf_counter()
+    statistical_folds = 0
+    for __ in range(EPOCHS):
+        for size in [flush_size] * full + ([remainder] if remainder else []):
+            histogram = zipf_histogram(size, D, 1.3, rng)
+            aggregator.fold_histogram(histogram, config.plan.n_r, rng)
+            statistical_folds += 1
+    statistical_elapsed = time.perf_counter() - started
+
+    payload = {
+        "backend": config.backend,
+        "mechanism": config.plan.mechanism,
+        "d": D,
+        "epochs": EPOCHS,
+        "epoch_size": epoch_size,
+        "flush_size": flush_size,
+        "fakes_per_flush": config.plan.n_r,
+        "released_reports": result.n_genuine,
+        # End-to-end: privatize + encode + buffer + release + fold.
+        "ingest_reports_per_sec": (
+            result.n_genuine / ingest_elapsed if ingest_elapsed > 0 else None
+        ),
+        # Release path only (backend shuffle + decode + fold).
+        "release_reports_per_sec": (
+            result.n_genuine / total_latency if total_latency > 0 else None
+        ),
+        "mean_flush_latency_s": float(np.mean(latencies)),
+        "max_flush_latency_s": float(np.max(latencies)),
+        "statistical_path": {
+            "folds": statistical_folds,
+            "reports": EPOCHS * epoch_size,
+            "reports_per_sec": (
+                EPOCHS * epoch_size / statistical_elapsed
+                if statistical_elapsed > 0
+                else None
+            ),
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def bench_service_throughput(benchmark):
+    """Measure the streaming service's sustained ingest rate."""
+    report = run_once(benchmark, _experiment)
+    emit("service_throughput", report)
+    payload = json.loads(report)
+    assert payload["released_reports"] > 0
+    assert payload["ingest_reports_per_sec"] > 0

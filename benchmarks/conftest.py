@@ -1,0 +1,17 @@
+"""Collection rules for the benchmark harness.
+
+`pyproject.toml` widens pytest's patterns to ``bench_*.py`` / ``bench_*``
+so `pytest benchmarks` runs the harness; this conftest keeps that widening
+from collecting the shared helpers (``bench_common``) or helper functions
+imported into a bench module's namespace.
+"""
+
+collect_ignore = ["bench_common.py"]
+
+
+def pytest_collection_modifyitems(items):
+    items[:] = [
+        item
+        for item in items
+        if getattr(item.function, "__module__", None) == item.module.__name__
+    ]

@@ -1,81 +1,115 @@
 #!/usr/bin/env python3
-"""Scenario: planning a PEOS deployment for app-telemetry collection.
+"""Scenario: a continuously running PEOS telemetry service.
 
-A vendor collects the most-used feature (one of 200) from 500k clients.
-Security requirements (the three adversaries of Section V):
+A vendor collects the most-used feature (one of 200) from a population of
+clients that report in daily epochs.  Security requirements per *release*
+(the three adversaries of Section V):
 
 * eps_1 = 0.5 against the server alone (``Adv``);
 * eps_2 = 2.0 even if the server controls every other client (``Adv_u``);
 * eps_3 = 5.0 even if the server corrupts a majority of the shufflers
   (``Adv_a`` — then only local randomization protects users).
 
-The Section VI-D planner searches mechanism (GRR vs SOLH), local budget,
-hash domain, and fake-report count, and we verify the result with the
-threat-model evaluator.
+The Section VI-D planner sizes one *flush* (mechanism, local budget, hash
+domain, fake-report count); the streaming service of :mod:`repro.service`
+then runs the deployment across epochs: buffering, per-flush fake
+injection, incremental aggregation, and a cross-epoch privacy accountant
+that refuses releases once the lifetime budget is spent — here the budget
+admits four epochs and the demo runs five, so the last one is dropped.
 
 Run:  python examples/private_telemetry.py
 """
 
 import numpy as np
 
-from repro.core import plan_peos
 from repro.data import zipf_histogram
-from repro.frequency_oracles import GRR, SOLH
+from repro.data.synthetic import values_from_histogram
 from repro.protocol import PEOSDeployment, ThreatReport
+from repro.service import StreamConfig, TelemetryPipeline
 
-N_CLIENTS = 500_000
+EPOCH_SIZE = 100_000  # clients reporting per epoch
+FLUSH_SIZE = 50_000  # reports per release
 N_FEATURES = 200
 DELTA = 1e-9
 EPS_TARGETS = (0.5, 2.0, 5.0)
 N_SHUFFLERS = 5
+EPOCHS = 5
+BUDGET_EPOCHS = 4  # the lifetime budget covers four epochs of releases
 
 
 def main() -> None:
     rng = np.random.default_rng(11)
 
-    print(f"clients: {N_CLIENTS}, features: {N_FEATURES}, shufflers: {N_SHUFFLERS}")
-    print(f"targets: Adv <= {EPS_TARGETS[0]}, Adv_u <= {EPS_TARGETS[1]}, "
-          f"Adv_a <= {EPS_TARGETS[2]} (delta={DELTA})\n")
+    print(f"epoch size: {EPOCH_SIZE} clients, features: {N_FEATURES}, "
+          f"shufflers: {N_SHUFFLERS}")
+    print(f"per-release targets: Adv <= {EPS_TARGETS[0]}, "
+          f"Adv_u <= {EPS_TARGETS[1]}, Adv_a <= {EPS_TARGETS[2]} "
+          f"(delta={DELTA})\n")
 
-    # --- plan the deployment -------------------------------------------------
-    plan = plan_peos(*EPS_TARGETS, n=N_CLIENTS, d=N_FEATURES, delta=DELTA)
-    print("planner output (Section VI-D):")
+    # --- plan one flush and size the lifetime budget -------------------------
+    flushes_per_epoch = EPOCH_SIZE // FLUSH_SIZE
+    config = StreamConfig.from_targets(
+        d=N_FEATURES,
+        flush_size=FLUSH_SIZE,
+        eps_targets=EPS_TARGETS,
+        delta=DELTA,
+        admitted_flushes=BUDGET_EPOCHS * flushes_per_epoch,
+        r=N_SHUFFLERS,
+    )
+    plan = config.plan
+    print("planner output (Section VI-D, per flush):")
     print(f"  mechanism     : {plan.mechanism.upper()}")
     print(f"  local budget  : eps_l = {plan.eps_l:.3f}")
     print(f"  report domain : d' = {plan.d_prime}")
     print(f"  fake reports  : n_r = {plan.n_r} "
-          f"({plan.n_r / N_CLIENTS:.1%} of the population)")
-    print(f"  predicted variance: {plan.variance:.3e}\n")
+          f"({plan.n_r / FLUSH_SIZE:.1%} of a flush)")
+    print(f"  predicted variance: {plan.variance:.3e}")
+    print(f"lifetime budget: eps = {config.eps_budget:.3f} "
+          f"(admits {BUDGET_EPOCHS * flushes_per_epoch} flushes = "
+          f"{BUDGET_EPOCHS} epochs)\n")
 
-    # --- evaluate it against every adversary position ------------------------
+    # --- evaluate one release against every adversary position ---------------
     deployment = PEOSDeployment(
         mechanism=plan.mechanism,
         eps_l=plan.eps_l,
         report_domain=plan.d_prime,
-        n=N_CLIENTS,
+        n=FLUSH_SIZE,
         n_r=plan.n_r,
         r=N_SHUFFLERS,
         delta=DELTA,
     )
-    print("threat report:")
+    print("threat report (one release):")
     for name, eps in ThreatReport.evaluate(deployment).rows():
         print(f"  {name:<38} eps = {eps:.3f}")
 
-    # --- simulate one collection round ---------------------------------------
-    histogram = zipf_histogram(N_CLIENTS, N_FEATURES, 1.3, rng)
-    truth = histogram / N_CLIENTS
-    if plan.mechanism == "solh":
-        oracle = SOLH(N_FEATURES, plan.eps_l, plan.d_prime)
-    else:
-        oracle = GRR(N_FEATURES, plan.eps_l)
-    # Statistical simulation of the mechanism noise (the full crypto
-    # pipeline, fake reports included, is exercised in
-    # examples/secure_deployment.py).
-    estimates = oracle.estimate_from_histogram(histogram, rng)
-    mse = float(np.mean((estimates - truth) ** 2))
-    print(f"\nsimulated collection round (without fake-report inflation): "
-          f"MSE = {mse:.3e} (planner predicted {plan.variance:.3e} incl. fakes)")
-    worst = float(np.max(np.abs(estimates - truth)))
+    # --- run the service across epochs ----------------------------------------
+    # The "plain" backend models honest shufflers without crypto so the demo
+    # runs at full population scale; examples/secure_deployment.py exercises
+    # the same release path through the real PEOS crypto.
+    pipeline = TelemetryPipeline(config, rng)
+    submitted = []
+    print(f"\n{'epoch':>5}  {'released':>8}  {'fakes':>7}  {'latency_s':>9}  "
+          f"{'reports/s':>10}  {'eps_spent':>9}")
+    for __ in range(EPOCHS):
+        histogram = zipf_histogram(EPOCH_SIZE, N_FEATURES, 1.3, rng)
+        submitted.append(values_from_histogram(histogram, rng))
+        pipeline.submit(submitted[-1])
+        report = pipeline.end_epoch()
+        flag = "  <- budget refused" if report.n_rejected else ""
+        print(f"{report.epoch:>5}  {report.n_reports:>8}  {report.n_fake:>7}  "
+              f"{report.flush_latency_s:>9.3f}  {report.reports_per_sec:>10.0f}  "
+              f"{report.eps_spent:>9.4f}{flag}")
+
+    result = pipeline.result()
+    print(f"\naccountant: spent eps = {result.eps_spent:.4f} of "
+          f"{config.eps_budget:.4f}; {result.n_rejected} flush(es) refused")
+
+    released = pipeline.released_values(np.concatenate(submitted))
+    truth = np.bincount(released, minlength=N_FEATURES) / result.n_genuine
+    mse = float(np.mean((result.estimates - truth) ** 2))
+    worst = float(np.max(np.abs(result.estimates - truth)))
+    print(f"incremental estimates over {result.n_genuine} released reports: "
+          f"MSE = {mse:.3e} (planner predicted {plan.variance:.3e})")
     print(f"worst per-feature absolute error: {worst:.5f} "
           f"({worst * 100:.3f} percentage points)")
 

@@ -17,6 +17,9 @@ Layout:
   cost accounting.
 * :mod:`repro.data` — paper-shaped synthetic workloads.
 * :mod:`repro.analysis` — metrics, experiment harness, TreeHist.
+* :mod:`repro.service` — streaming telemetry service: epoch buffering,
+  cross-epoch budget accounting, pluggable shuffle backends, and an
+  incremental analyzer.
 
 Quick start::
 
@@ -35,7 +38,7 @@ Quick start::
 __version__ = "1.0.0"
 
 from . import analysis, core, costs, crypto, data, frequency_oracles, hashing
-from . import protocol, shuffle
+from . import protocol, service, shuffle
 
 __all__ = [
     "__version__",
@@ -47,5 +50,6 @@ __all__ = [
     "frequency_oracles",
     "hashing",
     "protocol",
+    "service",
     "shuffle",
 ]

@@ -10,6 +10,12 @@ figure without going through pytest — convenient for parameter sweeps:
     python -m repro.cli fig4 --scale 0.5
     python -m repro.cli plan --eps1 0.5 --eps2 2.0 --eps3 5.0 --n 500000 --d 200
     python -m repro.cli table1
+    python -m repro.cli stream --epochs 4 --epoch-size 2000 --d 32
+
+``stream`` runs the continuous telemetry service of :mod:`repro.service`
+on a synthetic Zipf workload: per-epoch metrics, cross-epoch budget
+accounting, and (by default) one epoch more than the budget admits so the
+accountant's flush rejection is visible.
 
 The heavy protocol benchmark (Table III) stays in
 ``benchmarks/bench_table3_overhead.py`` because its timing harness needs
@@ -126,6 +132,102 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.core import InfeasiblePlanError
+    from repro.data import zipf_histogram
+    from repro.data.synthetic import values_from_histogram
+    from repro.service import (
+        StreamConfig,
+        TelemetryPipeline,
+        flushes_per_epoch,
+        make_backend,
+    )
+
+    if args.flush_size < 1 or args.epoch_size < 1:
+        print("error: --flush-size and --epoch-size must be >= 1",
+              file=sys.stderr)
+        return 2
+    if args.budget_epochs is not None and args.budget_epochs < 1:
+        print("error: --budget-epochs must be >= 1", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    budget_epochs = (
+        args.budget_epochs
+        if args.budget_epochs is not None
+        else max(1, args.epochs - 1)
+    )
+    admitted = budget_epochs * flushes_per_epoch(args.epoch_size, args.flush_size)
+    try:
+        config = StreamConfig.for_epochs(
+            d=args.d,
+            flush_size=args.flush_size,
+            epoch_size=args.epoch_size,
+            admitted_epochs=budget_epochs,
+            eps_targets=(args.eps1, args.eps2, args.eps3),
+            delta=args.delta,
+            backend=args.backend,
+            r=args.shufflers,
+            composition=args.composition,
+        )
+    except InfeasiblePlanError as infeasible:
+        print(f"error: {infeasible}", file=sys.stderr)
+        print("hint: relax the eps targets or enlarge --flush-size",
+              file=sys.stderr)
+        return 2
+    plan = config.plan
+    try:
+        backend = make_backend(args.backend, r=args.shufflers, crypto_rng=args.seed)
+    except ValueError as invalid:
+        print(f"error: {invalid}", file=sys.stderr)
+        return 2
+    pipeline = TelemetryPipeline(config, rng, backend=backend)
+
+    print(f"plan (per flush of {args.flush_size} reports): "
+          f"mechanism={plan.mechanism.upper()}  eps_l={plan.eps_l:.3f}  "
+          f"d'={plan.d_prime}  n_r={plan.n_r}")
+    print(f"per-flush release: eps={plan.eps_server:.4f}  delta={plan.delta:.2g}")
+    print(f"lifetime budget  : eps={config.eps_budget:.4f}  "
+          f"delta={config.delta_budget:.2g}  "
+          f"({args.composition} composition, admits {admitted} flushes; "
+          f"backend={args.backend})\n")
+
+    submitted: list[np.ndarray] = []
+    print(f"{'epoch':>5}  {'flushes':>7}  {'rejected':>8}  {'released':>8}  "
+          f"{'fakes':>7}  {'latency_s':>9}  {'reports/s':>10}  {'eps_spent':>9}")
+    for __ in range(args.epochs):
+        histogram = zipf_histogram(args.epoch_size, args.d, args.exponent, rng)
+        values = values_from_histogram(histogram, rng)
+        submitted.append(values)
+        pipeline.submit(values)
+        report = pipeline.end_epoch()
+        print(f"{report.epoch:>5}  {report.n_flushes:>7}  {report.n_rejected:>8}  "
+              f"{report.n_reports:>8}  {report.n_fake:>7}  "
+              f"{report.flush_latency_s:>9.3f}  {report.reports_per_sec:>10.0f}  "
+              f"{report.eps_spent:>9.4f}")
+
+    result = pipeline.result()
+    if result.rejections:
+        first = result.rejections[0]
+        print(f"\nbudget refusals: {result.n_rejected} flush(es) dropped "
+              f"(first at epoch {first.epoch}, flush {first.sequence}):")
+        print(f"  {first.reason}")
+
+    print(f"\nfinal estimates over {result.n_genuine} released reports "
+          f"(+{result.n_fake} fakes):")
+    if result.n_genuine > 0:
+        released = pipeline.released_values(np.concatenate(submitted))
+        truth = np.bincount(released, minlength=args.d) / result.n_genuine
+        mse = float(np.mean((result.estimates - truth) ** 2))
+        top = np.argsort(truth)[::-1][:5]
+        print(f"  MSE vs released-population truth: {mse:.3e}")
+        for v in top:
+            print(f"  value {v:>4}: true {truth[v]:.4f}  "
+                  f"estimated {result.estimates[v]:.4f}")
+    else:
+        print("  (no flush was admitted)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -167,6 +269,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--composition", choices=["basic", "advanced"],
                    default="basic")
     p.set_defaults(func=_cmd_fig4)
+
+    p = sub.add_parser("stream", help="streaming telemetry service demo")
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument("--delta", type=float, default=1e-9)
+    p.add_argument("--epochs", type=int, default=4)
+    p.add_argument("--epoch-size", type=int, default=2000)
+    p.add_argument("--flush-size", type=int, default=1000)
+    p.add_argument("--d", type=int, default=32)
+    p.add_argument("--eps1", type=float, default=1.0)
+    p.add_argument("--eps2", type=float, default=3.0)
+    p.add_argument("--eps3", type=float, default=6.0)
+    p.add_argument("--budget-epochs", type=int, default=None,
+                   help="epochs the lifetime budget admits (default one "
+                        "fewer than --epochs, so a rejection is shown)")
+    p.add_argument("--backend", choices=["plain", "sequential", "peos"],
+                   default="plain")
+    p.add_argument("--shufflers", type=int, default=3)
+    p.add_argument("--composition", choices=["basic", "advanced"],
+                   default="basic")
+    p.add_argument("--exponent", type=float, default=1.3,
+                   help="Zipf exponent of the synthetic workload")
+    p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser("plan", help="Section VI-D PEOS planner")
     p.add_argument("--eps1", type=float, required=True)

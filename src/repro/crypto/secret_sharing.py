@@ -26,7 +26,7 @@ import numpy as np
 _INT64_SAFE = 1 << 62
 
 
-def _uniform_array(m: int, size: int, rng: np.random.Generator) -> np.ndarray:
+def uniform_array(m: int, size: int, rng: np.random.Generator) -> np.ndarray:
     """Uniform draws from ``Z_M`` as int64 (small M) or object array."""
     if m <= 0:
         raise ValueError(f"modulus must be positive, got {m}")
@@ -44,6 +44,10 @@ def _uniform_array(m: int, size: int, rng: np.random.Generator) -> np.ndarray:
     return out
 
 
+#: backwards-compat alias; prefer the public name
+_uniform_array = uniform_array
+
+
 def share_vector(
     values: np.ndarray, r: int, modulus: int, rng: np.random.Generator
 ) -> list[np.ndarray]:
@@ -56,7 +60,7 @@ def share_vector(
         raise ValueError(f"need at least 2 shares, got r={r}")
     values = np.asarray(values)
     size = len(values)
-    shares = [_uniform_array(modulus, size, rng) for _ in range(r - 1)]
+    shares = [uniform_array(modulus, size, rng) for _ in range(r - 1)]
     if modulus < _INT64_SAFE:
         total = np.zeros(size, dtype=np.int64)
         for share in shares:

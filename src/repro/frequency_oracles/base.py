@@ -106,6 +106,27 @@ class FrequencyOracle(ABC):
         counts = self.sample_support_counts(histogram, rng)
         return self.estimate(counts, int(histogram.sum()))
 
+    def sample_fake_support_counts(
+        self, n_fake: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Full-domain support counts of ``n_fake`` uniform fake reports.
+
+        Fake reports are uniform draws from the ordinal report space
+        (Section VI-A2), so the default implementation materializes them
+        through ``decode_reports``; subclasses override with closed-form
+        sampling matching the exactness contract of
+        :meth:`sample_support_counts`.  Used by the streaming service's
+        statistical aggregation path (:mod:`repro.service.aggregator`).
+        """
+        from ..crypto.secret_sharing import uniform_array
+
+        if n_fake < 0:
+            raise ValueError(f"fake-report count must be >= 0, got {n_fake}")
+        if n_fake == 0:
+            return np.zeros(self.d)
+        encoded = uniform_array(self.report_space, n_fake, rng)
+        return self.support_counts(self.decode_reports(encoded))
+
     # -- PEOS integration ---------------------------------------------------
 
     @property
@@ -148,6 +169,9 @@ class FrequencyOracle(ABC):
             # Degenerate all-fake run (used by attack analyses): there is no
             # user population to estimate.
             return np.zeros_like(np.asarray(estimates, dtype=float))
+        if n_r == 0:
+            # Identity; short-circuit so the no-fakes path is bit-exact.
+            return np.asarray(estimates, dtype=float).copy()
         total = n + n_r
         return (total * np.asarray(estimates, dtype=float)
                 - n_r * self.fake_report_bias()) / n

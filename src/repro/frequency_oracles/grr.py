@@ -81,6 +81,14 @@ class GRR(FrequencyOracle):
         blanket = rng.multinomial(blanket_total, np.full(self.d, 1.0 / self.d))
         return (truthful + blanket).astype(float)
 
+    def sample_fake_support_counts(
+        self, n_fake: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Exact joint sampling: uniform fakes form one multinomial."""
+        if n_fake < 0:
+            raise ValueError(f"fake-report count must be >= 0, got {n_fake}")
+        return rng.multinomial(n_fake, np.full(self.d, 1.0 / self.d)).astype(float)
+
     # -- PEOS integration --------------------------------------------------
 
     @property

@@ -137,6 +137,20 @@ class LocalHashingOracle(FrequencyOracle):
         cross_hits = rng.binomial(n - histogram, 1.0 / self.d_prime)
         return (true_hits + cross_hits).astype(float)
 
+    def sample_fake_support_counts(
+        self, n_fake: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Marginally exact sampling, matching :meth:`sample_support_counts`.
+
+        A uniform fake ``(seed, y)`` supports any candidate ``v`` w.p.
+        exactly ``1/d'`` (``y`` is uniform over ``[d']``), so each count is
+        ``Bin(n_fake, 1/d')``; seed-induced cross-value correlation is not
+        reproduced.
+        """
+        if n_fake < 0:
+            raise ValueError(f"fake-report count must be >= 0, got {n_fake}")
+        return rng.binomial(n_fake, 1.0 / self.d_prime, size=self.d).astype(float)
+
     # -- PEOS integration --------------------------------------------------
 
     @property

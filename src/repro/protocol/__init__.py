@@ -8,7 +8,7 @@ from .parties import (
     ThreatReport,
     privacy_against,
 )
-from .peos import PEOSResult, run_peos
+from .peos import PEOSResult, peos_shuffle_encoded, run_peos
 
 __all__ = [
     "Adversary",
@@ -19,6 +19,7 @@ __all__ = [
     "ThreatReport",
     "attacks",
     "serialization",
+    "peos_shuffle_encoded",
     "privacy_against",
     "run_peos",
     "share_bytes",

@@ -27,7 +27,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from ..crypto.secret_sharing import _uniform_array
+from ..crypto.secret_sharing import uniform_array
 from ..crypto import onion
 from ..crypto.onion import OnionCiphertext
 from ..crypto.math_utils import RandomLike, as_random
@@ -186,7 +186,7 @@ def simulate_fake_reports(
     malicious = malicious or {}
     total = np.zeros(n_fake, dtype=object)
     for j in range(r):
-        honest = _uniform_array(modulus, n_fake, rng)
+        honest = uniform_array(modulus, n_fake, rng)
         shares = malicious[j](n_fake, honest) if j in malicious else honest
         for i in range(n_fake):
             total[i] = (int(total[i]) + int(shares[i])) % modulus

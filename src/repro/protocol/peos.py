@@ -34,7 +34,7 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from ..crypto.math_utils import RandomLike, as_random
-from ..crypto.secret_sharing import _uniform_array, share_vector
+from ..crypto.secret_sharing import share_vector, uniform_array
 from ..frequency_oracles.base import FrequencyOracle
 from ..shuffle.eos import EOSState, encrypted_oblivious_shuffle, server_reconstruct
 from ..costs import CostTracker, share_bytes
@@ -52,6 +52,121 @@ class PEOSResult:
     eos_state: EOSState
     n_users: int
     n_fake: int
+
+
+def peos_shuffle_encoded(
+    encoded: Sequence[int],
+    report_space: int,
+    r: int,
+    n_fake: int,
+    ahe_public,
+    ahe_decrypt: Callable[[int], int],
+    rng: np.random.Generator,
+    crypto_rng: RandomLike = None,
+    tracker: Optional[CostTracker] = None,
+    malicious_fake_shares: Optional[dict[int, Callable[[int, np.ndarray], np.ndarray]]] = None,
+    rerandomize: bool = True,
+) -> tuple[np.ndarray, EOSState]:
+    """Steps 1b-4a of Algorithm 1 over already-encoded reports.
+
+    Runs secret sharing, fake-share drawing, EOS, and the server-side
+    reconstruction for a batch of ordinal-encoded reports, returning the
+    shuffled report multiset (``n + n_fake`` entries mod ``report_space``)
+    together with the EOS transcript.  :func:`run_peos` wraps this with the
+    frequency-oracle privatize/estimate steps; the streaming service
+    (:mod:`repro.service`) calls it directly on each flushed buffer batch.
+    """
+    if r < 2:
+        raise ValueError(f"PEOS needs at least 2 shufflers, got r={r}")
+    n = len(encoded)
+    modulus = int(report_space)
+    width = share_bytes(modulus)
+    crypto_rand = as_random(crypto_rng)
+
+    # ---- 1. users: share the encoded report, encrypt the last share -----
+    def _user_phase():
+        shares = share_vector(np.asarray(encoded, dtype=object), r, modulus, rng)
+        encrypted_last = [
+            ahe_public.encrypt(int(s) % modulus, crypto_rand) for s in shares[r - 1]
+        ]
+        return shares, encrypted_last
+
+    if tracker is None:
+        shares, encrypted_last = _user_phase()
+    else:
+        with tracker.compute("user"):
+            shares, encrypted_last = _user_phase()
+        for j in range(r - 1):
+            tracker.send("user", f"shuffler:{j}", n * width)
+        tracker.send("user", f"shuffler:{r - 1}", n * ahe_public.ciphertext_bytes)
+
+    # ---- 2. shufflers draw shares of the fake reports --------------------
+    plain_vectors: list[np.ndarray] = []
+    for j in range(r - 1):
+        def _draw(j: int = j) -> np.ndarray:
+            fake = uniform_array(modulus, n_fake, rng)
+            if malicious_fake_shares and j in malicious_fake_shares:
+                fake = malicious_fake_shares[j](n_fake, fake)
+            return concat_encoded(shares[j], fake, modulus)
+
+        if tracker is None:
+            plain_vectors.append(_draw())
+        else:
+            with tracker.compute(f"shuffler:{j}"):
+                plain_vectors.append(_draw())
+
+    def _draw_encrypted() -> list[int]:
+        fake = uniform_array(modulus, n_fake, rng)
+        if malicious_fake_shares and (r - 1) in malicious_fake_shares:
+            fake = malicious_fake_shares[r - 1](n_fake, fake)
+        return encrypted_last + [
+            ahe_public.encrypt(int(f) % modulus, crypto_rand) for f in fake
+        ]
+
+    if tracker is None:
+        encrypted_vector = _draw_encrypted()
+    else:
+        with tracker.compute(f"shuffler:{r - 1}"):
+            encrypted_vector = _draw_encrypted()
+
+    # The holder's plaintext slot is zero (its share arrived encrypted).
+    total = n + n_fake
+    zero_holder = _zeros(total, modulus)
+    plain_shares = [
+        _concat_pad(vec, total, modulus) for vec in plain_vectors
+    ] + [zero_holder]
+
+    # ---- 3. EOS -----------------------------------------------------------
+    state = encrypted_oblivious_shuffle(
+        plain_shares,
+        encrypted_vector,
+        holder=r - 1,
+        modulus=modulus,
+        ahe=ahe_public,
+        rng=rng,
+        crypto_rng=crypto_rand,
+        tracker=tracker,
+        rerandomize=rerandomize,
+    )
+
+    # ---- 4a. server reconstructs the shuffled multiset -------------------
+    def _reconstruct() -> np.ndarray:
+        return np.asarray(
+            server_reconstruct(
+                state,
+                modulus,
+                ahe_decrypt,
+                tracker=tracker,
+                ciphertext_bytes=ahe_public.ciphertext_bytes,
+            )
+        )
+
+    if tracker is None:
+        shuffled = _reconstruct()
+    else:
+        with tracker.compute("server"):
+            shuffled = _reconstruct()
+    return shuffled, state
 
 
 def run_peos(
@@ -93,109 +208,59 @@ def run_peos(
         raise ValueError(f"PEOS needs at least 2 shufflers, got r={r}")
     values = np.asarray(values)
     n = len(values)
-    modulus = fo.report_space
-    width = share_bytes(modulus)
+    total = n + n_fake
     crypto_rand = as_random(crypto_rng)
 
-    # ---- 1. users: privatize, encode, share, encrypt the last share -----
-    def _user_phase():
-        reports = fo.privatize(values, rng)
-        encoded = fo.encode_reports(reports)
-        shares = share_vector(np.asarray(encoded, dtype=object), r, modulus, rng)
-        encrypted_last = [
-            ahe_public.encrypt(int(s) % modulus, crypto_rand) for s in shares[r - 1]
-        ]
-        return shares, encrypted_last
+    # ---- 1a. users run the frequency oracle locally ----------------------
+    def _privatize() -> np.ndarray:
+        return fo.encode_reports(fo.privatize(values, rng))
 
     if tracker is None:
-        shares, encrypted_last = _user_phase()
+        encoded = _privatize()
     else:
         with tracker.compute("user"):
-            shares, encrypted_last = _user_phase()
-        for j in range(r - 1):
-            tracker.send("user", f"shuffler:{j}", n * width)
-        tracker.send("user", f"shuffler:{r - 1}", n * ahe_public.ciphertext_bytes)
+            encoded = _privatize()
 
-    # ---- 2. shufflers draw shares of the fake reports --------------------
-    plain_vectors: list[np.ndarray] = []
-    for j in range(r - 1):
-        def _draw(j: int = j) -> np.ndarray:
-            fake = _uniform_array(modulus, n_fake, rng)
-            if malicious_fake_shares and j in malicious_fake_shares:
-                fake = malicious_fake_shares[j](n_fake, fake)
-            return _concat(shares[j], fake, modulus)
-
-        if tracker is None:
-            plain_vectors.append(_draw())
-        else:
-            with tracker.compute(f"shuffler:{j}"):
-                plain_vectors.append(_draw())
-
-    def _draw_encrypted() -> list[int]:
-        fake = _uniform_array(modulus, n_fake, rng)
-        if malicious_fake_shares and (r - 1) in malicious_fake_shares:
-            fake = malicious_fake_shares[r - 1](n_fake, fake)
-        return encrypted_last + [
-            ahe_public.encrypt(int(f) % modulus, crypto_rand) for f in fake
-        ]
-
-    if tracker is None:
-        encrypted_vector = _draw_encrypted()
-    else:
-        with tracker.compute(f"shuffler:{r - 1}"):
-            encrypted_vector = _draw_encrypted()
-
-    # The holder's plaintext slot is zero (its share arrived encrypted).
-    total = n + n_fake
-    zero_holder = _zeros(total, modulus)
-    plain_shares = [
-        _concat_pad(vec, total, modulus) for vec in plain_vectors
-    ] + [zero_holder]
-
-    # ---- 3. EOS -----------------------------------------------------------
-    state = encrypted_oblivious_shuffle(
-        plain_shares,
-        encrypted_vector,
-        holder=r - 1,
-        modulus=modulus,
-        ahe=ahe_public,
-        rng=rng,
+    # ---- 1b-4a. share, inject fakes, EOS, reconstruct --------------------
+    shuffled, state = peos_shuffle_encoded(
+        encoded,
+        fo.report_space,
+        r,
+        n_fake,
+        ahe_public,
+        ahe_decrypt,
+        rng,
         crypto_rng=crypto_rand,
         tracker=tracker,
+        malicious_fake_shares=malicious_fake_shares,
         rerandomize=rerandomize,
     )
 
-    # ---- 4. server reconstructs, estimates, calibrates -------------------
-    def _server_phase() -> tuple[np.ndarray, np.ndarray]:
-        encoded = server_reconstruct(
-            state,
-            modulus,
-            ahe_decrypt,
-            tracker=tracker,
-            ciphertext_bytes=ahe_public.ciphertext_bytes,
-        )
-        decoded = fo.decode_reports(np.asarray(encoded, dtype=object))
+    # ---- 4b. server estimates and calibrates -----------------------------
+    def _estimate() -> np.ndarray:
+        decoded = fo.decode_reports(np.asarray(shuffled, dtype=object))
         counts = fo.support_counts(decoded)
         raw = fo.estimate(counts, total)
-        calibrated = fo.calibrate_with_fakes(raw, n, n_fake)
-        return np.asarray(encoded), calibrated
+        return fo.calibrate_with_fakes(raw, n, n_fake)
 
     if tracker is None:
-        encoded, estimates = _server_phase()
+        estimates = _estimate()
     else:
         with tracker.compute("server"):
-            encoded, estimates = _server_phase()
+            estimates = _estimate()
 
     return PEOSResult(
         estimates=estimates,
-        shuffled_reports=encoded,
+        shuffled_reports=shuffled,
         eos_state=state,
         n_users=n,
         n_fake=n_fake,
     )
 
 
-def _concat(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
+def concat_encoded(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
+    """Concatenate two encoded-report arrays, staying in int64 when the
+    report group fits and falling back to object arrays otherwise."""
     if modulus < (1 << 62):
         return np.concatenate(
             [np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)]

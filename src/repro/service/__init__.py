@@ -1,0 +1,73 @@
+"""Streaming shuffle-DP telemetry service.
+
+Turns the one-shot reproduction pipeline into a continuously running
+collection system: clients report in epochs, a shuffler-side buffer
+releases size- or epoch-triggered flushes through a pluggable shuffle
+backend, a cross-epoch accountant enforces the lifetime privacy budget,
+and an incremental analyzer folds each released batch into running
+estimates that match a one-shot run bit for bit.
+
+* :mod:`repro.service.buffer` — report accumulation and flush carving.
+* :mod:`repro.service.accountant` — composition-based budget ledger.
+* :mod:`repro.service.aggregator` — incremental support counts + Eq. (6).
+* :mod:`repro.service.backends` — plain / SS / PEOS release paths.
+* :mod:`repro.service.pipeline` — the orchestrator and its metrics.
+
+Quick start::
+
+    import numpy as np
+    from repro.service import StreamConfig, TelemetryPipeline
+
+    rng = np.random.default_rng(0)
+    config = StreamConfig.from_targets(d=64, flush_size=1000)
+    pipeline = TelemetryPipeline(config, rng)
+    for epoch_values in value_stream:          # one array per epoch
+        pipeline.submit(epoch_values)
+        print(pipeline.end_epoch())
+    print(pipeline.estimates())
+"""
+
+from .accountant import BudgetCharge, BudgetExceededError, PrivacyAccountant
+from .aggregator import IncrementalAggregator
+from .backends import (
+    PeosShuffleBackend,
+    PlainShuffleBackend,
+    SequentialShuffleBackend,
+    ShuffleBackend,
+    make_backend,
+)
+from .buffer import FlushBatch, ReportBuffer
+from .pipeline import (
+    EpochReport,
+    FlushRejection,
+    StreamConfig,
+    StreamResult,
+    TelemetryPipeline,
+    epoch_release_epsilon,
+    flush_release_epsilon,
+    flushes_per_epoch,
+    oracle_from_plan,
+)
+
+__all__ = [
+    "BudgetCharge",
+    "BudgetExceededError",
+    "EpochReport",
+    "FlushBatch",
+    "FlushRejection",
+    "IncrementalAggregator",
+    "PeosShuffleBackend",
+    "PlainShuffleBackend",
+    "PrivacyAccountant",
+    "ReportBuffer",
+    "SequentialShuffleBackend",
+    "ShuffleBackend",
+    "StreamConfig",
+    "StreamResult",
+    "TelemetryPipeline",
+    "epoch_release_epsilon",
+    "flush_release_epsilon",
+    "flushes_per_epoch",
+    "make_backend",
+    "oracle_from_plan",
+]

@@ -1,0 +1,192 @@
+"""Cross-epoch privacy-budget accounting for the streaming service.
+
+Each flush the server observes is one ``(eps, delta)``-DP release of the
+same users' data, so a continuously running deployment degrades over time
+by DP composition.  :class:`PrivacyAccountant` holds the deployment's
+lifetime budget and is consulted *before* every flush: a flush whose
+charge would push the composed spend past the budget raises
+:class:`BudgetExceededError` and must not be released (the pipeline drops
+the batch — refusing release is the only safe response once the budget is
+gone).
+
+Accounting builds on :mod:`repro.core.composition`:
+
+* ``method="basic"`` — sequential composition, ``eps_total = sum(eps_i)``,
+  ``delta_total = sum(delta_i)`` (what the paper's evaluation uses);
+* ``method="advanced"`` — the Dwork-Rothblum-Vadhan bound.  For
+  homogeneous charges this is exactly
+  :func:`repro.core.composition.advanced_composition_total`; the
+  heterogeneous generalization used here is
+  ``eps_total = sqrt(2 ln(1/delta') sum(eps_i^2))
+  + sum(eps_i (e^{eps_i} - 1))`` with slack ``delta' =
+  slack_fraction * delta_budget`` reserved up front.  The accountant
+  always reports ``min(basic, advanced)`` — both are valid bounds.
+
+:meth:`PrivacyAccountant.for_flushes` inverts the direction: given a
+budget and a planned number of flushes, it uses
+:func:`repro.core.composition.split_budget` to suggest the per-flush
+allowance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.composition import BudgetSplit, advanced_composition_total, split_budget
+
+#: relative slack absorbing float round-off when a budget is an exact
+#: multiple of the per-flush charge
+_REL_TOL = 1e-9
+
+
+class BudgetExceededError(RuntimeError):
+    """A flush was refused because it would overrun the privacy budget."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        requested_eps: float,
+        requested_delta: float,
+        spent_eps: float,
+        spent_delta: float,
+    ):
+        super().__init__(message)
+        self.requested_eps = requested_eps
+        self.requested_delta = requested_delta
+        self.spent_eps = spent_eps
+        self.spent_delta = spent_delta
+
+
+@dataclass(frozen=True)
+class BudgetCharge:
+    """One admitted flush charge."""
+
+    eps: float
+    delta: float
+    label: str
+
+
+class PrivacyAccountant:
+    """Lifetime ``(eps, delta)`` ledger over a stream of flush charges."""
+
+    def __init__(
+        self,
+        eps_budget: float,
+        delta_budget: float,
+        method: str = "basic",
+        slack_fraction: float = 0.5,
+    ):
+        if eps_budget <= 0.0:
+            raise ValueError(f"eps budget must be positive, got {eps_budget}")
+        if not 0.0 < delta_budget < 1.0:
+            raise ValueError(f"delta budget must be in (0, 1), got {delta_budget}")
+        if method not in ("basic", "advanced"):
+            raise ValueError(f"unknown composition method: {method!r}")
+        if not 0.0 < slack_fraction < 1.0:
+            raise ValueError(f"slack fraction must be in (0, 1), got {slack_fraction}")
+        self.eps_budget = float(eps_budget)
+        self.delta_budget = float(delta_budget)
+        self.method = method
+        self.slack_fraction = float(slack_fraction)
+        self.charges: List[BudgetCharge] = []
+
+    @classmethod
+    def for_flushes(
+        cls,
+        eps_budget: float,
+        delta_budget: float,
+        flushes: int,
+        method: str = "basic",
+    ) -> Tuple["PrivacyAccountant", BudgetSplit]:
+        """Accountant plus the per-flush allowance for ``flushes`` releases."""
+        split = split_budget(eps_budget, delta_budget, flushes, method=method)
+        return cls(eps_budget, delta_budget, method=method), split
+
+    # -- ledger state ------------------------------------------------------
+
+    @property
+    def n_charges(self) -> int:
+        return len(self.charges)
+
+    def spent(self) -> Tuple[float, float]:
+        """Composed ``(eps, delta)`` of every admitted charge."""
+        return self._compose(self.charges)
+
+    def remaining_eps(self) -> float:
+        return max(0.0, self.eps_budget - self.spent()[0])
+
+    def _compose(self, charges: List[BudgetCharge]) -> Tuple[float, float]:
+        if not charges:
+            return 0.0, 0.0
+        basic_eps = math.fsum(charge.eps for charge in charges)
+        basic_delta = math.fsum(charge.delta for charge in charges)
+        if self.method == "basic":
+            return basic_eps, basic_delta
+        delta_slack = self.slack_fraction * self.delta_budget
+        eps_values = [charge.eps for charge in charges]
+        if len(set(eps_values)) == 1:
+            advanced = advanced_composition_total(
+                eps_values[0], len(charges), delta_slack
+            )
+        else:
+            advanced = math.sqrt(
+                2.0
+                * math.log(1.0 / delta_slack)
+                * math.fsum(eps * eps for eps in eps_values)
+            ) + math.fsum(eps * (math.exp(eps) - 1.0) for eps in eps_values)
+        # Both (basic_eps, basic_delta) and (advanced, basic_delta + slack)
+        # are valid bounds; report the one with the smaller eps among those
+        # whose delta still fits the budget, so reserving the slack never
+        # refuses a flush the basic bound would admit.
+        pairs = [(basic_eps, basic_delta), (advanced, basic_delta + delta_slack)]
+        fitting = [
+            pair
+            for pair in pairs
+            if pair[1] <= self.delta_budget * (1.0 + _REL_TOL)
+        ]
+        return min(fitting or pairs, key=lambda pair: pair[0])
+
+    # -- charging ----------------------------------------------------------
+
+    def admits(self, eps: float, delta: float = 0.0) -> bool:
+        """Would a ``(eps, delta)`` charge fit in the remaining budget?"""
+        self._validate_charge(eps, delta)
+        tentative = self.charges + [BudgetCharge(eps, delta, "tentative")]
+        total_eps, total_delta = self._compose(tentative)
+        return (
+            total_eps <= self.eps_budget * (1.0 + _REL_TOL)
+            and total_delta <= self.delta_budget * (1.0 + _REL_TOL)
+        )
+
+    def charge(self, eps: float, delta: float = 0.0, label: str = "flush") -> BudgetCharge:
+        """Record a flush charge, or raise :class:`BudgetExceededError`.
+
+        A refused charge leaves the ledger untouched: the caller must drop
+        the flush (its reports are never released).
+        """
+        if not self.admits(eps, delta):
+            spent_eps, spent_delta = self.spent()
+            raise BudgetExceededError(
+                f"flush {label!r} charging (eps={eps:.4g}, delta={delta:.3g}) "
+                f"would exceed the budget (eps={self.eps_budget:.4g}, "
+                f"delta={self.delta_budget:.3g}); already spent "
+                f"(eps={spent_eps:.4g}, delta={spent_delta:.3g}) "
+                f"over {self.n_charges} flushes",
+                requested_eps=eps,
+                requested_delta=delta,
+                spent_eps=spent_eps,
+                spent_delta=spent_delta,
+            )
+        charge = BudgetCharge(float(eps), float(delta), label)
+        self.charges.append(charge)
+        return charge
+
+    @staticmethod
+    def _validate_charge(eps: float, delta: float) -> None:
+        if eps <= 0.0:
+            raise ValueError(f"charge eps must be positive, got {eps}")
+        if not 0.0 <= delta < 1.0:
+            raise ValueError(f"charge delta must be in [0, 1), got {delta}")

@@ -1,0 +1,187 @@
+"""Pluggable shuffle backends for the streaming pipeline.
+
+Every backend exposes the same contract: given one flush's ordinal-encoded
+genuine reports and a fake-report order, return the released multiset
+(genuine + fake, shuffled) as encoded integers.  Three implementations
+trade security for throughput:
+
+* ``"plain"`` — an in-process honest-shuffler model: vectorized uniform
+  fake injection and one permutation, no crypto.  This is the throughput
+  reference and what benchmarks and large demos use.
+* ``"sequential"`` — the SS protocol of Section VI-A1
+  (:func:`repro.shuffle.sequential.sequential_shuffle`): an onion-encrypted
+  shuffler chain.  Real crypto, but a malicious shuffler can skew its fake
+  reports undetected.
+* ``"peos"`` — full PEOS (:func:`repro.protocol.peos.peos_shuffle_encoded`):
+  secret-shared reports, EOS, AHE — fake reports are uniform as long as one
+  shuffler is honest.  Milliseconds per report in pure Python; use small
+  flushes.
+
+Backends are constructed unprepared and lazily generate key material on
+:meth:`ShuffleBackend.prepare`, so a pipeline can be configured before any
+expensive keygen happens.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from ..crypto.math_utils import RandomLike, as_random
+from ..crypto.secret_sharing import uniform_array
+from ..frequency_oracles.base import FrequencyOracle
+from ..protocol.peos import concat_encoded
+
+
+class ShuffleBackend(ABC):
+    """Releases one flush batch: inject fakes, shuffle, return the multiset."""
+
+    #: registry name ("plain", "sequential", "peos")
+    name: str = "abstract"
+
+    def prepare(self, fo: FrequencyOracle, rng: np.random.Generator) -> None:
+        """One-time setup (key generation); idempotent."""
+
+    @abstractmethod
+    def shuffle(
+        self,
+        encoded: np.ndarray,
+        n_fake: int,
+        fo: FrequencyOracle,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return the shuffled encoded multiset of ``len(encoded) + n_fake``."""
+
+
+class PlainShuffleBackend(ShuffleBackend):
+    """Honest-shuffler model without crypto: the throughput path."""
+
+    name = "plain"
+
+    def shuffle(
+        self,
+        encoded: np.ndarray,
+        n_fake: int,
+        fo: FrequencyOracle,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        space = fo.report_space
+        fakes = uniform_array(space, n_fake, rng)
+        merged = concat_encoded(encoded, fakes, space)
+        return merged[rng.permutation(len(merged))]
+
+
+class SequentialShuffleBackend(ShuffleBackend):
+    """SS chain: onion encryption through ``r`` shufflers."""
+
+    name = "sequential"
+
+    def __init__(self, r: int = 3, crypto_rng: RandomLike = None):
+        if r < 1:
+            raise ValueError(f"need at least 1 shuffler, got r={r}")
+        self.r = int(r)
+        # Coerce once so repeated flushes keep drawing from one stream
+        # (an int seed must not be re-seeded per flush).
+        self.crypto_rng = as_random(crypto_rng)
+        self._keys = None
+
+    def prepare(self, fo: FrequencyOracle, rng: np.random.Generator) -> None:
+        from ..shuffle.sequential import generate_keys
+
+        if self._keys is None:
+            self._keys = generate_keys(self.r, self.crypto_rng)
+
+    def shuffle(
+        self,
+        encoded: np.ndarray,
+        n_fake: int,
+        fo: FrequencyOracle,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        from ..shuffle.sequential import sequential_shuffle
+
+        self.prepare(fo, rng)
+        result = sequential_shuffle(
+            [int(x) for x in encoded],
+            fo.report_space,
+            self._keys,
+            n_fake,
+            rng,
+            crypto_rng=self.crypto_rng,
+        )
+        return result.reports
+
+
+class PeosShuffleBackend(ShuffleBackend):
+    """Full PEOS: secret shares, EOS, AHE reconstruction."""
+
+    name = "peos"
+
+    def __init__(
+        self,
+        r: int = 3,
+        key_bits: int = 512,
+        crypto_rng: RandomLike = None,
+        rerandomize: bool = True,
+    ):
+        if r < 2:
+            raise ValueError(f"PEOS needs at least 2 shufflers, got r={r}")
+        self.r = int(r)
+        self.key_bits = int(key_bits)
+        # Coerce once: re-seeding an int per flush would reuse the same
+        # encryption randomness for every release.
+        self.crypto_rng = as_random(crypto_rng)
+        self.rerandomize = bool(rerandomize)
+        self._public = None
+        self._decrypt = None
+
+    def prepare(self, fo: FrequencyOracle, rng: np.random.Generator) -> None:
+        from ..crypto import paillier
+
+        if self._public is None:
+            public, private = paillier.generate_keypair(
+                key_bits=self.key_bits, rng=self.crypto_rng
+            )
+            self._public = public
+            self._decrypt = private.decrypt
+
+    def shuffle(
+        self,
+        encoded: np.ndarray,
+        n_fake: int,
+        fo: FrequencyOracle,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        from ..protocol.peos import peos_shuffle_encoded
+
+        self.prepare(fo, rng)
+        shuffled, __ = peos_shuffle_encoded(
+            encoded,
+            fo.report_space,
+            self.r,
+            n_fake,
+            self._public,
+            self._decrypt,
+            rng,
+            crypto_rng=self.crypto_rng,
+            rerandomize=self.rerandomize,
+        )
+        return shuffled
+
+
+def make_backend(
+    name: str,
+    r: int = 3,
+    crypto_rng: RandomLike = None,
+    key_bits: int = 512,
+) -> ShuffleBackend:
+    """Build a backend by registry name."""
+    if name == "plain":
+        return PlainShuffleBackend()
+    if name == "sequential":
+        return SequentialShuffleBackend(r=r, crypto_rng=crypto_rng)
+    if name == "peos":
+        return PeosShuffleBackend(r=r, key_bits=key_bits, crypto_rng=crypto_rng)
+    raise ValueError(f"unknown shuffle backend: {name!r}")

@@ -1,0 +1,153 @@
+"""Shuffler-side report buffering with size- and epoch-triggered flushes.
+
+The streaming service decouples report *arrival* from report *release*:
+clients privatize and upload continuously, but the shufflers only release
+reports to the server in batches ("flushes") large enough to carry the
+planned anonymity and fake-report noise.  :class:`ReportBuffer` implements
+the accumulation side:
+
+* a **size trigger** — as soon as ``flush_size`` reports are pending, a
+  full batch is carved off (repeatedly, if a large submission crosses the
+  threshold several times);
+* an **epoch trigger** — at the end of each collection epoch the remainder
+  is drained so that no report waits longer than one epoch.
+
+Every :class:`FlushBatch` carries the number of fake reports the shufflers
+must inject for it.  Corollary 8's collusion guarantee ``eps_s`` depends
+only on the *absolute* fake count ``n_r`` and the report domain — not on
+how many genuine reports ride along — so the buffer attaches the full
+per-flush ``n_r`` from the Section VI-D plan to every batch, including
+short epoch-end remainders.  The *server* guarantee does weaken with a
+smaller batch (less genuine blanket noise), which is why the pipeline
+prices every release at its own size
+(:func:`repro.service.pipeline.flush_release_epsilon`) rather than at the
+plan's full-flush ``eps_server``.  The actual injection happens inside
+the shuffle backend, which is the party holding the randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.params import PeosPlan
+
+
+@dataclass(frozen=True)
+class FlushBatch:
+    """One buffer flush: genuine encoded reports plus a fake-count order."""
+
+    #: collection epoch the batch belongs to
+    epoch: int
+    #: global flush sequence number (0-based, monotone across epochs)
+    sequence: int
+    #: what drained the buffer: ``"size"`` or ``"epoch"``
+    trigger: str
+    #: ordinal-encoded privatized reports (genuine only)
+    reports: np.ndarray
+    #: fake reports the shufflers must inject when releasing this batch
+    n_fake: int
+
+    @property
+    def n_reports(self) -> int:
+        return len(self.reports)
+
+
+class ReportBuffer:
+    """Accumulate encoded reports and carve them into :class:`FlushBatch` es."""
+
+    def __init__(self, flush_size: int, fakes_per_flush: int, flush_empty: bool = False):
+        """``flush_size`` reports trigger a flush; each flush orders
+        ``fakes_per_flush`` fake reports.  ``flush_empty`` controls whether
+        an epoch with no pending reports still emits an all-fake batch
+        (hiding traffic volume at the cost of pure noise)."""
+        if flush_size < 1:
+            raise ValueError(f"flush size must be >= 1, got {flush_size}")
+        if fakes_per_flush < 0:
+            raise ValueError(
+                f"fake-report count must be >= 0, got {fakes_per_flush}"
+            )
+        self.flush_size = int(flush_size)
+        self.fakes_per_flush = int(fakes_per_flush)
+        self.flush_empty = bool(flush_empty)
+        self.epoch = 0
+        self._sequence = 0
+        self._pending: List[np.ndarray] = []
+        self._pending_count = 0
+
+    @classmethod
+    def from_plan(
+        cls, plan: PeosPlan, flush_size: int, flush_empty: bool = False
+    ) -> "ReportBuffer":
+        """Size the per-flush fake injection from a Section VI-D plan."""
+        return cls(flush_size, plan.n_r, flush_empty=flush_empty)
+
+    @property
+    def pending(self) -> int:
+        """Reports accumulated but not yet flushed."""
+        return self._pending_count
+
+    def submit(self, encoded_reports: np.ndarray) -> List[FlushBatch]:
+        """Append reports; return the size-triggered flushes they caused.
+
+        Carving merges the pending chunks once and slices full batches off
+        by offset, so a submission of ``n`` reports costs O(n) regardless
+        of how many flushes it triggers.
+        """
+        encoded_reports = np.asarray(encoded_reports)
+        if encoded_reports.ndim != 1:
+            raise ValueError(
+                f"expected a flat report array, got shape {encoded_reports.shape}"
+            )
+        if len(encoded_reports):
+            self._pending.append(encoded_reports)
+            self._pending_count += len(encoded_reports)
+        batches: List[FlushBatch] = []
+        if self._pending_count >= self.flush_size:
+            merged = self._merged()
+            offset = 0
+            while self._pending_count - offset >= self.flush_size:
+                batches.append(
+                    self._make_batch(
+                        merged[offset:offset + self.flush_size], "size"
+                    )
+                )
+                offset += self.flush_size
+            remainder = merged[offset:]
+            self._pending = [remainder] if len(remainder) else []
+            self._pending_count = len(remainder)
+        return batches
+
+    def end_epoch(self) -> List[FlushBatch]:
+        """Drain the remainder (epoch trigger) and advance the epoch."""
+        batches: List[FlushBatch] = []
+        if self._pending_count > 0:
+            batches.append(self._make_batch(self._merged(), "epoch"))
+            self._pending = []
+            self._pending_count = 0
+        elif self.flush_empty:
+            batches.append(
+                self._make_batch(np.empty(0, dtype=np.int64), "epoch")
+            )
+        self.epoch += 1
+        return batches
+
+    def _merged(self) -> np.ndarray:
+        return (
+            self._pending[0]
+            if len(self._pending) == 1
+            else np.concatenate(self._pending)
+        )
+
+    def _make_batch(self, reports: np.ndarray, trigger: str) -> FlushBatch:
+        batch = FlushBatch(
+            epoch=self.epoch,
+            sequence=self._sequence,
+            trigger=trigger,
+            reports=reports,
+            n_fake=self.fakes_per_flush,
+        )
+        self._sequence += 1
+        return batch

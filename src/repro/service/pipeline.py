@@ -1,0 +1,456 @@
+"""The streaming telemetry pipeline: batcher -> buffer -> backend -> analyzer.
+
+:class:`TelemetryPipeline` wires the service together around a Section
+VI-D plan (:func:`repro.core.params.plan_peos`):
+
+1. clients arrive in vectorized batches; :meth:`TelemetryPipeline.submit`
+   privatizes and ordinal-encodes them in one numpy pass and hands the
+   encoded reports to the :class:`~repro.service.buffer.ReportBuffer`;
+2. every size- or epoch-triggered flush is first priced at the plan's
+   per-release guarantee ``(eps_server, delta)`` against the
+   :class:`~repro.service.accountant.PrivacyAccountant` — a refused flush
+   is *dropped*, never released;
+3. admitted flushes go through the configured
+   :class:`~repro.service.backends.ShuffleBackend` (fake injection +
+   shuffle) and the released multiset is folded into the
+   :class:`~repro.service.aggregator.IncrementalAggregator`;
+4. :meth:`TelemetryPipeline.end_epoch` drains the buffer and emits an
+   :class:`EpochReport` with the epoch's operational metrics
+   (reports/sec, flush latency, cumulative budget spend).
+
+Estimates are available at any time via :meth:`TelemetryPipeline.estimates`
+and are bit-identical to a one-shot run over the same released reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional
+
+import numpy as np
+
+from ..core.params import PeosPlan, plan_peos
+from ..core.peos_analysis import (
+    peos_epsilon_collusion_grr,
+    peos_epsilon_collusion_solh,
+    peos_epsilon_server_grr,
+    peos_epsilon_server_solh,
+)
+from ..frequency_oracles import GRR, SOLH
+from ..frequency_oracles.base import FrequencyOracle
+from ..hashing import XXHash32Family
+from .accountant import BudgetExceededError, PrivacyAccountant
+from .aggregator import IncrementalAggregator
+from .backends import ShuffleBackend, make_backend
+from .buffer import FlushBatch, ReportBuffer
+
+#: detailed FlushRejection records kept per pipeline; further refusals only
+#: increment the counter so an exhausted long-running service stays O(1)
+MAX_REJECTION_RECORDS = 64
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Static configuration of one streaming deployment."""
+
+    #: value-domain size
+    d: int
+    #: the Section VI-D plan (mechanism, eps_l, d', n_r, guarantees)
+    plan: PeosPlan
+    #: genuine reports per size-triggered flush
+    flush_size: int
+    #: lifetime privacy budget across all flushes
+    eps_budget: float
+    delta_budget: float
+    #: shuffle backend registry name: "plain", "sequential", or "peos"
+    backend: str = "plain"
+    #: shuffler count for the protocol backends
+    r: int = 3
+    #: accountant composition method: "basic" or "advanced"
+    composition: str = "basic"
+    #: emit an all-fake batch for epochs with no pending reports (hides
+    #: traffic volume; each such release is priced at its fakes-only eps)
+    flush_empty: bool = False
+    #: retain each flush's decoded released reports (tests / audits)
+    keep_reports: bool = False
+
+    @classmethod
+    def from_targets(
+        cls,
+        d: int,
+        flush_size: int,
+        eps_targets: tuple = (1.0, 3.0, 6.0),
+        delta: float = 1e-9,
+        admitted_flushes: int = 6,
+        **kwargs,
+    ) -> "StreamConfig":
+        """Plan per-flush parameters and size the budget for a flush count.
+
+        The plan is computed for a population of ``flush_size`` so each
+        release individually meets the three adversary targets; the
+        lifetime budget then admits exactly ``admitted_flushes`` *full*
+        releases under basic composition.  If the workload produces
+        epoch-end remainder flushes (epoch size not divisible by
+        ``flush_size``), use :meth:`for_epochs`, which prices the actual
+        schedule.
+        """
+        if admitted_flushes < 1:
+            raise ValueError(
+                f"must admit at least 1 flush, got {admitted_flushes}"
+            )
+        plan = plan_peos(*eps_targets, n=flush_size, d=d, delta=delta)
+        return cls(
+            d=d,
+            plan=plan,
+            flush_size=flush_size,
+            eps_budget=plan.eps_server * admitted_flushes,
+            delta_budget=_delta_budget(
+                plan.delta * admitted_flushes, kwargs.get("composition", "basic")
+            ),
+            **kwargs,
+        )
+
+    @classmethod
+    def for_epochs(
+        cls,
+        d: int,
+        flush_size: int,
+        epoch_size: int,
+        admitted_epochs: int,
+        eps_targets: tuple = (1.0, 3.0, 6.0),
+        delta: float = 1e-9,
+        **kwargs,
+    ) -> "StreamConfig":
+        """Size the budget for ``admitted_epochs`` epochs of ``epoch_size``.
+
+        Unlike :meth:`from_targets`, this prices the actual per-epoch flush
+        schedule — full flushes plus the (more expensive) epoch-end
+        remainder when ``epoch_size`` is not a multiple of ``flush_size``.
+        """
+        if admitted_epochs < 1:
+            raise ValueError(
+                f"must admit at least 1 epoch, got {admitted_epochs}"
+            )
+        if epoch_size < 1:
+            raise ValueError(f"epoch size must be >= 1, got {epoch_size}")
+        plan = plan_peos(*eps_targets, n=flush_size, d=d, delta=delta)
+        flushes = admitted_epochs * flushes_per_epoch(epoch_size, flush_size)
+        return cls(
+            d=d,
+            plan=plan,
+            flush_size=flush_size,
+            eps_budget=admitted_epochs
+            * epoch_release_epsilon(d, plan, epoch_size, flush_size),
+            delta_budget=_delta_budget(
+                plan.delta * flushes, kwargs.get("composition", "basic")
+            ),
+            **kwargs,
+        )
+
+
+@dataclass(frozen=True)
+class FlushRejection:
+    """Record of a flush the accountant refused."""
+
+    epoch: int
+    sequence: int
+    n_reports: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class EpochReport:
+    """Operational metrics of one collection epoch."""
+
+    epoch: int
+    n_flushes: int
+    n_rejected: int
+    n_reports: int
+    n_fake: int
+    flush_latency_s: float
+    reports_per_sec: float
+    #: cumulative composed spend after this epoch
+    eps_spent: float
+    delta_spent: float
+
+
+@dataclass
+class StreamResult:
+    """Final state of a pipeline run."""
+
+    estimates: np.ndarray
+    epochs: List[EpochReport]
+    n_genuine: int
+    n_fake: int
+    eps_spent: float
+    delta_spent: float
+    #: total refused flushes (detail records are capped, the count is not)
+    n_rejected: int = 0
+    #: first ``MAX_REJECTION_RECORDS`` refusals, with reasons
+    rejections: List[FlushRejection] = field(default_factory=list)
+
+
+def flush_release_epsilon(
+    d: int, plan: PeosPlan, n_reports: int, n_fake: int
+) -> float:
+    """Actual Corollary 8/9 ``eps_c`` of releasing one batch.
+
+    The plan's ``eps_server`` holds for a full flush of ``flush_size``
+    genuine reports; a shorter batch (an epoch-end remainder) carries less
+    genuine blanket noise, so its guarantee is *weaker* and must be priced
+    at its own ``n``.  For ``n <= 1`` the genuine blanket vanishes and the
+    bound degenerates to the fakes-only (collusion-style) form, which also
+    prices an all-fake ``flush_empty`` batch — and returns ``inf`` when
+    there are no fakes either, so the accountant refuses such a release
+    outright.
+    """
+    if n_reports < 0 or n_fake < 0:
+        raise ValueError(
+            f"report counts must be >= 0, got n={n_reports}, n_r={n_fake}"
+        )
+    if plan.mechanism == "grr":
+        if n_reports >= 2:
+            return peos_epsilon_server_grr(
+                plan.eps_l, d, n_reports, n_fake, plan.delta
+            )
+        return peos_epsilon_collusion_grr(d, n_fake, plan.delta)
+    if n_reports >= 2:
+        return peos_epsilon_server_solh(
+            plan.eps_l, plan.d_prime, n_reports, n_fake, plan.delta
+        )
+    return peos_epsilon_collusion_solh(plan.d_prime, n_fake, plan.delta)
+
+
+def flushes_per_epoch(epoch_size: int, flush_size: int) -> int:
+    """Releases one epoch produces: full flushes plus any remainder."""
+    if epoch_size < 1 or flush_size < 1:
+        raise ValueError(
+            f"sizes must be >= 1, got epoch={epoch_size}, flush={flush_size}"
+        )
+    return -(-epoch_size // flush_size)
+
+
+def _delta_budget(charged_delta: float, composition: str) -> float:
+    """Size the lifetime delta budget for the charged per-flush deltas.
+
+    Under basic composition the ledger should bind exactly at the planned
+    flush count.  Under advanced composition the accountant reserves half
+    the budget as the DRV slack and the point of the method is to admit
+    *more* flushes on the eps axis, so leave 4x headroom (2x for the
+    slack, 2x for extra admissions) — the eps budget then governs.
+    """
+    if composition == "advanced":
+        return charged_delta * 4.0
+    return charged_delta
+
+
+def epoch_release_epsilon(
+    d: int, plan: PeosPlan, epoch_size: int, flush_size: int
+) -> float:
+    """Total ``eps_c`` one epoch's releases cost: full flushes plus the
+    epoch-end remainder, each priced at its own size."""
+    full, remainder = divmod(epoch_size, flush_size)
+    total = full * flush_release_epsilon(d, plan, flush_size, plan.n_r)
+    if remainder:
+        total += flush_release_epsilon(d, plan, remainder, plan.n_r)
+    return total
+
+
+def oracle_from_plan(d: int, plan: PeosPlan) -> FrequencyOracle:
+    """Instantiate the planned mechanism.
+
+    SOLH uses the 32-bit-seed hash family so the ordinal report group fits
+    in 64-bit arithmetic (the protocol-backend requirement noted in
+    :mod:`repro.protocol.peos`).
+    """
+    if plan.mechanism == "solh":
+        return SOLH(d, plan.eps_l, plan.d_prime, family=XXHash32Family())
+    if plan.mechanism == "grr":
+        return GRR(d, plan.eps_l)
+    raise ValueError(f"unknown planned mechanism: {plan.mechanism!r}")
+
+
+class TelemetryPipeline:
+    """Continuously running shuffle-DP collection for one deployment."""
+
+    def __init__(
+        self,
+        config: StreamConfig,
+        rng: np.random.Generator,
+        backend: Optional[ShuffleBackend] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.config = config
+        self.rng = rng
+        self.clock = clock
+        self.fo = oracle_from_plan(config.d, config.plan)
+        self.buffer = ReportBuffer.from_plan(
+            config.plan, config.flush_size, flush_empty=config.flush_empty
+        )
+        self.accountant = PrivacyAccountant(
+            config.eps_budget, config.delta_budget, method=config.composition
+        )
+        self.aggregator = IncrementalAggregator(self.fo)
+        self.backend = backend if backend is not None else make_backend(
+            config.backend, r=config.r
+        )
+        self.backend.prepare(self.fo, rng)
+        self.epoch_reports: List[EpochReport] = []
+        self.rejections: List[FlushRejection] = []
+        self.n_rejected = 0
+        self.released_batches: List[np.ndarray] = []
+        #: [start, stop) index ranges into the submitted-report order that
+        #: were actually released (rejected flushes leave gaps)
+        self.released_spans: List[tuple] = []
+        self._consumed = 0
+        self._epoch_flushes = 0
+        self._epoch_rejected = 0
+        self._epoch_reports_released = 0
+        self._epoch_fakes = 0
+        self._epoch_latency = 0.0
+
+    # -- ingestion ---------------------------------------------------------
+
+    def submit(self, values) -> int:
+        """Privatize and buffer one client batch; process any size flushes.
+
+        Returns the number of flushes triggered (admitted or rejected).
+        """
+        values = np.asarray(values)
+        if len(values) == 0:
+            return 0
+        encoded = self.fo.encode_reports(self.fo.privatize(values, self.rng))
+        batches = self.buffer.submit(encoded)
+        for batch in batches:
+            self._process_flush(batch)
+        return len(batches)
+
+    def end_epoch(self) -> EpochReport:
+        """Drain the buffer, close the epoch, and report its metrics."""
+        for batch in self.buffer.end_epoch():
+            self._process_flush(batch)
+        eps_spent, delta_spent = self.accountant.spent()
+        report = EpochReport(
+            epoch=self.buffer.epoch - 1,
+            n_flushes=self._epoch_flushes,
+            n_rejected=self._epoch_rejected,
+            n_reports=self._epoch_reports_released,
+            n_fake=self._epoch_fakes,
+            flush_latency_s=self._epoch_latency,
+            reports_per_sec=(
+                self._epoch_reports_released / self._epoch_latency
+                if self._epoch_latency > 0.0
+                else 0.0
+            ),
+            eps_spent=eps_spent,
+            delta_spent=delta_spent,
+        )
+        self.epoch_reports.append(report)
+        self._epoch_flushes = 0
+        self._epoch_rejected = 0
+        self._epoch_reports_released = 0
+        self._epoch_fakes = 0
+        self._epoch_latency = 0.0
+        return report
+
+    def run(self, epoch_batches: Iterable) -> StreamResult:
+        """Feed one value batch per epoch and return the final result."""
+        for values in epoch_batches:
+            self.submit(values)
+            self.end_epoch()
+        return self.result()
+
+    # -- flush processing --------------------------------------------------
+
+    def _process_flush(self, batch: FlushBatch) -> None:
+        plan = self.config.plan
+        self._epoch_flushes += 1
+        span = (self._consumed, self._consumed + batch.n_reports)
+        self._consumed = span[1]
+        # Price the batch at its own size: an epoch-end remainder carries
+        # less genuine blanket than a full flush, so it costs more.
+        charge = flush_release_epsilon(
+            self.config.d, plan, batch.n_reports, batch.n_fake
+        )
+        try:
+            self.accountant.charge(
+                charge,
+                plan.delta,
+                label=f"epoch{batch.epoch}/flush{batch.sequence}",
+            )
+        except BudgetExceededError as refusal:
+            self._epoch_rejected += 1
+            self.n_rejected += 1
+            if len(self.rejections) < MAX_REJECTION_RECORDS:
+                self.rejections.append(
+                    FlushRejection(
+                        epoch=batch.epoch,
+                        sequence=batch.sequence,
+                        n_reports=batch.n_reports,
+                        reason=str(refusal),
+                    )
+                )
+            return
+        started = self.clock()
+        shuffled = self.backend.shuffle(
+            batch.reports, batch.n_fake, self.fo, self.rng
+        )
+        decoded = self.fo.decode_reports(shuffled)
+        self.aggregator.fold_reports(decoded, batch.n_reports, batch.n_fake)
+        self._epoch_latency += self.clock() - started
+        self._epoch_reports_released += batch.n_reports
+        self._epoch_fakes += batch.n_fake
+        self.released_spans.append(span)
+        if self.config.keep_reports:
+            self.released_batches.append(decoded)
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def exhausted(self) -> bool:
+        """True once no positive charge can ever be admitted again.
+
+        A long-running feeder should consult this and stop submitting:
+        the pipeline keeps pricing and refusing flushes either way (so
+        refusals stay visible in the epoch metrics), but past this point
+        every privatize pass is wasted work.
+        """
+        return self.accountant.remaining_eps() <= 0.0
+
+    def estimates(self) -> np.ndarray:
+        """Current calibrated frequency estimates (Eq. (6))."""
+        return self.aggregator.estimates()
+
+    def released_values(self, submitted_values: np.ndarray) -> np.ndarray:
+        """The subset of ``submitted_values`` that was actually released.
+
+        ``submitted_values`` must be every value fed to :meth:`submit`, in
+        order; rejected flushes leave gaps, which this selects around via
+        ``released_spans``.  Demo/metric helper — a real deployment never
+        holds raw values server-side.
+        """
+        submitted_values = np.asarray(submitted_values)
+        if len(submitted_values) < self._consumed:
+            raise ValueError(
+                f"expected at least {self._consumed} submitted values, "
+                f"got {len(submitted_values)}"
+            )
+        if not self.released_spans:
+            return submitted_values[:0]
+        return np.concatenate(
+            [submitted_values[start:stop] for start, stop in self.released_spans]
+        )
+
+    def result(self) -> StreamResult:
+        eps_spent, delta_spent = self.accountant.spent()
+        return StreamResult(
+            estimates=self.estimates(),
+            epochs=list(self.epoch_reports),
+            n_genuine=self.aggregator.n_genuine,
+            n_fake=self.aggregator.n_fake,
+            eps_spent=eps_spent,
+            delta_spent=delta_spent,
+            n_rejected=self.n_rejected,
+            rejections=list(self.rejections),
+        )

@@ -30,7 +30,7 @@ from typing import Optional, Protocol, Sequence
 import numpy as np
 
 from ..crypto.math_utils import RandomLike, as_random
-from ..crypto.secret_sharing import _uniform_array, add_share_vectors
+from ..crypto.secret_sharing import add_share_vectors, uniform_array
 from ..costs import CostTracker, share_bytes
 from .oblivious import ShuffleRound, ShuffleTranscript, hider_count, shuffle_rounds
 
@@ -161,7 +161,7 @@ def encrypted_oblivious_shuffle(
         cipher_dst = destinations[int(rng.integers(len(destinations)))]
         plain_dsts = [dst for dst in destinations if dst != cipher_dst]
         with compute(source):
-            pieces = {dst: _uniform_array(modulus, n, rng) for dst in plain_dsts}
+            pieces = {dst: uniform_array(modulus, n, rng) for dst in plain_dsts}
             corrections = _zeros(n, modulus)
             for piece in pieces.values():
                 corrections = add_share_vectors(corrections, piece, modulus)

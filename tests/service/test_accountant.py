@@ -1,0 +1,123 @@
+"""Cross-epoch privacy-budget accounting."""
+
+import math
+
+import pytest
+
+from repro.core.composition import advanced_composition_total, split_budget
+from repro.service import BudgetExceededError, PrivacyAccountant
+
+
+class TestBasicComposition:
+    def test_admits_exact_budget_multiple(self):
+        accountant = PrivacyAccountant(1.0, 1e-6)
+        for __ in range(4):
+            accountant.charge(0.25, 1e-9)
+        assert accountant.n_charges == 4
+        assert accountant.spent()[0] == pytest.approx(1.0)
+
+    def test_refuses_overrun_and_keeps_ledger(self):
+        accountant = PrivacyAccountant(1.0, 1e-6)
+        for __ in range(4):
+            accountant.charge(0.25)
+        with pytest.raises(BudgetExceededError) as refusal:
+            accountant.charge(0.25, label="epoch4/flush4")
+        assert accountant.n_charges == 4  # refused charge not recorded
+        assert refusal.value.requested_eps == 0.25
+        assert refusal.value.spent_eps == pytest.approx(1.0)
+        assert "epoch4/flush4" in str(refusal.value)
+
+    def test_delta_budget_enforced(self):
+        accountant = PrivacyAccountant(10.0, 1e-8)
+        accountant.charge(0.1, 9e-9)
+        with pytest.raises(BudgetExceededError):
+            accountant.charge(0.1, 9e-9)
+
+    def test_remaining_eps(self):
+        accountant = PrivacyAccountant(1.0, 1e-6)
+        accountant.charge(0.4)
+        assert accountant.remaining_eps() == pytest.approx(0.6)
+        assert accountant.admits(0.6)
+        assert not accountant.admits(0.61)
+
+
+class TestAdvancedComposition:
+    def test_homogeneous_matches_core_composition(self):
+        accountant = PrivacyAccountant(
+            5.0, 1e-6, method="advanced", slack_fraction=0.5
+        )
+        for __ in range(20):
+            accountant.charge(0.05)
+        expected = advanced_composition_total(0.05, 20, 0.5 * 1e-6)
+        eps_spent, delta_spent = accountant.spent()
+        assert eps_spent == pytest.approx(min(expected, 20 * 0.05))
+        if expected < 20 * 0.05:
+            assert delta_spent == pytest.approx(0.5 * 1e-6)
+
+    def test_advanced_never_exceeds_basic(self):
+        accountant = PrivacyAccountant(5.0, 1e-6, method="advanced")
+        charges = [0.05, 0.1, 0.02, 0.08, 0.05]
+        for eps in charges:
+            accountant.charge(eps)
+        assert accountant.spent()[0] <= math.fsum(charges) + 1e-12
+
+    def test_admits_more_small_flushes_than_basic(self):
+        basic = PrivacyAccountant(1.0, 1e-6, method="basic")
+        advanced = PrivacyAccountant(1.0, 1e-6, method="advanced")
+
+        def count(accountant):
+            admitted = 0
+            while accountant.admits(0.01) and admitted < 1000:
+                accountant.charge(0.01)
+                admitted += 1
+            return admitted
+
+        assert count(basic) == 100
+        assert count(advanced) > 100
+
+    def test_slack_never_refuses_what_basic_admits(self):
+        # 60 homogeneous charges fit the budget under basic composition;
+        # the advanced accountant must not refuse them just because the
+        # advanced bound's delta slack would overrun the delta budget.
+        basic = PrivacyAccountant(6.0, 6e-8, method="basic")
+        advanced = PrivacyAccountant(6.0, 6e-8, method="advanced")
+        for accountant in (basic, advanced):
+            for __ in range(60):
+                accountant.charge(0.1, 1e-9)
+            assert accountant.n_charges == 60
+
+    def test_heterogeneous_formula(self):
+        accountant = PrivacyAccountant(
+            10.0, 1e-6, method="advanced", slack_fraction=0.5
+        )
+        charges = [0.01] * 50 + [0.02] * 50
+        for eps in charges:
+            accountant.charge(eps)
+        delta_slack = 0.5 * 1e-6
+        expected = math.sqrt(
+            2.0 * math.log(1.0 / delta_slack) * sum(e * e for e in charges)
+        ) + sum(e * (math.exp(e) - 1.0) for e in charges)
+        assert accountant.spent()[0] == pytest.approx(min(expected, sum(charges)))
+
+
+class TestHelpers:
+    def test_for_flushes_uses_split_budget(self):
+        accountant, split = PrivacyAccountant.for_flushes(1.0, 1e-6, 10)
+        expected = split_budget(1.0, 1e-6, 10)
+        assert split.eps_per_round == expected.eps_per_round
+        for __ in range(10):
+            accountant.charge(split.eps_per_round, split.delta_per_round)
+        assert not accountant.admits(split.eps_per_round, split.delta_per_round)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrivacyAccountant(0.0, 1e-6)
+        with pytest.raises(ValueError):
+            PrivacyAccountant(1.0, 2.0)
+        with pytest.raises(ValueError):
+            PrivacyAccountant(1.0, 1e-6, method="renyi")
+        accountant = PrivacyAccountant(1.0, 1e-6)
+        with pytest.raises(ValueError):
+            accountant.charge(-0.1)
+        with pytest.raises(ValueError):
+            accountant.charge(0.1, delta=1.5)

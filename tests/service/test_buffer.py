@@ -1,0 +1,104 @@
+"""Report buffering and flush carving."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import PeosPlan
+from repro.service import ReportBuffer
+
+
+def _plan(n_r: int) -> PeosPlan:
+    return PeosPlan(
+        mechanism="grr",
+        eps_l=3.0,
+        d_prime=8,
+        n_r=n_r,
+        variance=1e-4,
+        eps_server=0.5,
+        eps_collusion=1.0,
+        eps_local=3.0,
+        delta=1e-9,
+    )
+
+
+class TestSizeTrigger:
+    def test_exact_flush_size_batches(self):
+        buffer = ReportBuffer(flush_size=10, fakes_per_flush=3)
+        batches = buffer.submit(np.arange(25))
+        assert [b.n_reports for b in batches] == [10, 10]
+        assert buffer.pending == 5
+        assert all(b.trigger == "size" for b in batches)
+
+    def test_submissions_accumulate_across_calls(self):
+        buffer = ReportBuffer(flush_size=10, fakes_per_flush=0)
+        assert buffer.submit(np.arange(6)) == []
+        batches = buffer.submit(np.arange(6))
+        assert len(batches) == 1
+        assert batches[0].n_reports == 10
+        assert buffer.pending == 2
+
+    def test_reports_preserved_in_order(self):
+        buffer = ReportBuffer(flush_size=4, fakes_per_flush=0)
+        buffer.submit(np.array([1, 2]))
+        (batch,) = buffer.submit(np.array([3, 4, 5]))
+        assert batch.reports.tolist() == [1, 2, 3, 4]
+        assert buffer.pending == 1
+
+    def test_sequence_numbers_monotone(self):
+        buffer = ReportBuffer(flush_size=5, fakes_per_flush=1)
+        batches = buffer.submit(np.arange(15))
+        batches += buffer.end_epoch()  # empty remainder: no batch
+        batches += buffer.submit(np.arange(7))
+        batches += buffer.end_epoch()
+        assert [b.sequence for b in batches] == list(range(len(batches)))
+
+
+class TestEpochTrigger:
+    def test_end_epoch_drains_remainder(self):
+        buffer = ReportBuffer(flush_size=10, fakes_per_flush=2)
+        buffer.submit(np.arange(7))
+        (batch,) = buffer.end_epoch()
+        assert batch.trigger == "epoch"
+        assert batch.n_reports == 7
+        assert batch.n_fake == 2  # full fake order even for short batches
+        assert buffer.pending == 0
+
+    def test_epoch_counter_advances(self):
+        buffer = ReportBuffer(flush_size=10, fakes_per_flush=0)
+        assert buffer.epoch == 0
+        buffer.submit(np.arange(3))
+        (batch,) = buffer.end_epoch()
+        assert batch.epoch == 0
+        assert buffer.epoch == 1
+        buffer.submit(np.arange(3))
+        (batch,) = buffer.end_epoch()
+        assert batch.epoch == 1
+
+    def test_empty_epoch_emits_nothing_by_default(self):
+        buffer = ReportBuffer(flush_size=10, fakes_per_flush=5)
+        assert buffer.end_epoch() == []
+        assert buffer.epoch == 1
+
+    def test_flush_empty_emits_all_fake_batch(self):
+        buffer = ReportBuffer(flush_size=10, fakes_per_flush=5, flush_empty=True)
+        (batch,) = buffer.end_epoch()
+        assert batch.n_reports == 0
+        assert batch.n_fake == 5
+
+
+class TestConfiguration:
+    def test_from_plan_sizes_fakes(self):
+        buffer = ReportBuffer.from_plan(_plan(n_r=42), flush_size=100)
+        (batch,) = buffer.submit(np.arange(100))
+        assert batch.n_fake == 42
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ReportBuffer(flush_size=0, fakes_per_flush=1)
+        with pytest.raises(ValueError):
+            ReportBuffer(flush_size=10, fakes_per_flush=-1)
+
+    def test_rejects_non_flat_submission(self):
+        buffer = ReportBuffer(flush_size=10, fakes_per_flush=0)
+        with pytest.raises(ValueError):
+            buffer.submit(np.zeros((2, 3)))

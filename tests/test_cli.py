@@ -18,6 +18,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["plan", "--eps1", "0.5"])
 
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.epochs == 4
+        assert args.budget_epochs is None  # resolved to epochs - 1 at run time
+        assert args.backend == "plain"
+
 
 class TestCommands:
     def test_table1_runs(self, capsys):
@@ -46,6 +52,17 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "SOLH" in out
+
+    def test_stream_runs_small(self, capsys):
+        assert main([
+            "stream", "--epochs", "3", "--epoch-size", "200",
+            "--flush-size", "100", "--d", "8", "--budget-epochs", "2",
+            "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "lifetime budget" in out
+        assert "budget refusals" in out  # epoch 2's flushes are rejected
+        assert "final estimates over 400 released reports" in out
 
     def test_plan_runs(self, capsys):
         assert main([
