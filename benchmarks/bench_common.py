@@ -13,12 +13,23 @@ Environment knobs:
 * ``REPRO_BENCH_REPEATS`` — per-point repetitions (default 5; the paper
   used 100).
 * ``REPRO_BENCH_SEED``   — RNG seed (default 2020, the paper's year).
+* ``REPRO_BENCH_WORKERS`` — trial-plan worker threads for the sweep
+  benches (default 1; results are bit-identical at any worker count).
+
+Sweep benches are also runnable standalone (``python
+benchmarks/bench_fig3_frequency_estimation.py --workers 4 --json out``),
+which is what the CI benchmark smoke job uses; :func:`standalone_main`
+implements the shared argument parsing and JSON emission.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import os
+import time
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
@@ -31,6 +42,10 @@ def bench_scale() -> float:
 
 def bench_repeats() -> int:
     return int(os.environ.get("REPRO_BENCH_REPEATS", "5"))
+
+
+def bench_workers() -> int:
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 def bench_rng() -> np.random.Generator:
@@ -49,3 +64,61 @@ def emit(name: str, text: str) -> None:
 def run_once(benchmark, func):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def emit_json(name: str, payload: dict, path: str = None) -> Path:
+    """Persist a machine-readable result under benchmarks/results/."""
+    target = Path(path) if path else RESULTS_DIR / f"{name}.json"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+def standalone_main(name: str, experiment: Callable[[], str], argv=None) -> int:
+    """Shared CLI for running one sweep bench outside pytest.
+
+    Parses the common knobs, exports them through the ``REPRO_BENCH_*``
+    environment (the single configuration channel, so pytest and
+    standalone runs read identical settings), runs the experiment once,
+    prints the table, and optionally writes a JSON result record — the
+    artifact the CI benchmark smoke job uploads.
+    """
+    parser = argparse.ArgumentParser(
+        prog=name, description=f"Run the {name} benchmark standalone."
+    )
+    parser.add_argument("--scale", type=float, default=bench_scale(),
+                        help="population scale vs the paper's n")
+    parser.add_argument("--repeats", type=int, default=bench_repeats())
+    parser.add_argument("--seed", type=int,
+                        default=int(os.environ.get("REPRO_BENCH_SEED", "2020")))
+    parser.add_argument("--workers", type=int, default=bench_workers(),
+                        help="trial-plan worker threads (bit-identical "
+                             "results at any worker count)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write a JSON result record (default "
+                             f"benchmarks/results/{name}.json)")
+    args = parser.parse_args(argv)
+
+    os.environ["REPRO_BENCH_SCALE"] = repr(args.scale)
+    os.environ["REPRO_BENCH_REPEATS"] = str(args.repeats)
+    os.environ["REPRO_BENCH_SEED"] = str(args.seed)
+    os.environ["REPRO_BENCH_WORKERS"] = str(args.workers)
+
+    started = time.perf_counter()
+    table = experiment()
+    elapsed = time.perf_counter() - started
+    emit(name, table)
+    target = emit_json(name, {
+        "name": name,
+        "elapsed_seconds": elapsed,
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "seed": args.seed,
+        "workers": args.workers,
+        "table": table,
+    }, path=args.json)
+    print(f"[{name}] {elapsed:.2f}s with workers={args.workers}; "
+          f"JSON written to {target}")
+    return 0

@@ -15,7 +15,15 @@ import numpy as np
 from repro.analysis import FIGURE3_METHODS, format_sweep_table, run_sweep
 from repro.data import ipums_like
 
-from bench_common import bench_repeats, bench_rng, bench_scale, emit, run_once
+from bench_common import (
+    bench_repeats,
+    bench_rng,
+    bench_scale,
+    bench_workers,
+    emit,
+    run_once,
+    standalone_main,
+)
 
 DELTA = 1e-9
 EPS_GRID = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
@@ -31,6 +39,7 @@ def _experiment() -> str:
         DELTA,
         rng,
         repeats=bench_repeats(),
+        workers=bench_workers(),
     )
     caption = (
         f"IPUMS-like dataset: n={data.n}, d={data.d} "
@@ -61,3 +70,9 @@ def bench_figure3(benchmark):
     table = run_once(benchmark, _experiment)
     emit("fig3_frequency_estimation", table)
     assert "MISMATCH" not in table
+
+
+if __name__ == "__main__":
+    raise SystemExit(
+        standalone_main("fig3_frequency_estimation", _experiment)
+    )

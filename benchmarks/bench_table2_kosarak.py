@@ -10,35 +10,31 @@ Rows reproduced:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis import mse
 from repro.core import solh_optimal_d_prime
 from repro.data import kosarak_like
 from repro.frequency_oracles import SOLH, make_rap_r
 
-from bench_common import bench_repeats, bench_rng, bench_scale, emit, run_once
+from bench_common import (
+    bench_repeats,
+    bench_rng,
+    bench_scale,
+    bench_workers,
+    emit,
+    run_once,
+    standalone_main,
+)
 
 DELTA = 1e-9
 EPS_GRID = [0.2, 0.4, 0.6, 0.8]
 FIXED_D_PRIMES = [10, 100, 1000]
 
 
-def _mean_mse(method, histogram, truth, rng, repeats) -> float:
-    return float(
-        np.mean(
-            [
-                mse(truth, method.estimate_from_histogram(histogram, rng))
-                for __ in range(repeats)
-            ]
-        )
-    )
-
-
 def _experiment() -> str:
+    from repro.analysis import run_trial_plan
+
     rng = bench_rng()
     data = kosarak_like(rng, scale=bench_scale())
-    truth = data.frequencies
     repeats = bench_repeats()
 
     header = f"{'metric':<22}" + "".join(f"  eps={e:<10}" for e in EPS_GRID)
@@ -49,29 +45,42 @@ def _experiment() -> str:
         f"{'SOLH optimal d-prime':<22}" + "".join(f"  {d:<14}" for d in d_prime_row)
     )
 
-    solh_row = []
-    for eps_c in EPS_GRID:
-        oracle, __ = SOLH.for_central_target(data.d, eps_c, data.n, DELTA)
-        solh_row.append(_mean_mse(oracle, data.histogram, truth, rng, repeats))
-    lines.append(f"{'SOLH (optimal)':<22}" + "".join(f"  {v:<14.3e}" for v in solh_row))
-
-    fixed_rows: dict[int, list[float]] = {}
-    for fixed in FIXED_D_PRIMES:
-        row = []
+    # One trial-plan cell per table row and eps; the engine runs them all
+    # (optionally in parallel) with per-trial seeding, then the rows are
+    # read back out of the score matrix in plan order.
+    variants: list[tuple] = [("SOLH (optimal)", None)]
+    variants += [(f"SOLH (d-prime={fixed})", fixed) for fixed in FIXED_D_PRIMES]
+    methods = []
+    for __, fixed in variants:
         for eps_c in EPS_GRID:
-            oracle, __ = SOLH.for_central_target(
+            oracle, ___ = SOLH.for_central_target(
                 data.d, eps_c, data.n, DELTA, d_prime=fixed
             )
-            row.append(_mean_mse(oracle, data.histogram, truth, rng, repeats))
-        fixed_rows[fixed] = row
-        lines.append(
-            f"{f'SOLH (d-prime={fixed})':<22}" + "".join(f"  {v:<14.3e}" for v in row)
-        )
-
-    rap_r_row = []
+            methods.append(oracle)
     for eps_c in EPS_GRID:
-        oracle, __ = make_rap_r(data.d, eps_c, data.n, DELTA)
-        rap_r_row.append(_mean_mse(oracle, data.histogram, truth, rng, repeats))
+        oracle, ___ = make_rap_r(data.d, eps_c, data.n, DELTA)
+        methods.append(oracle)
+
+    scores = run_trial_plan(
+        methods, data.histogram, repeats, rng, metric=mse,
+        workers=bench_workers(),
+    )
+    means = scores.mean(axis=1)
+    n_eps = len(EPS_GRID)
+
+    rows = {
+        label: list(means[i * n_eps:(i + 1) * n_eps])
+        for i, (label, __) in enumerate(variants)
+    }
+    rap_r_row = list(means[len(variants) * n_eps:])
+    solh_row = rows["SOLH (optimal)"]
+    fixed_rows = {
+        fixed: rows[f"SOLH (d-prime={fixed})"] for fixed in FIXED_D_PRIMES
+    }
+    for label, __ in variants:
+        lines.append(
+            f"{label:<22}" + "".join(f"  {v:<14.3e}" for v in rows[label])
+        )
     lines.append(f"{'RAP_R':<22}" + "".join(f"  {v:<14.3e}" for v in rap_r_row))
 
     lines.append("")
@@ -104,3 +113,7 @@ def bench_table2(benchmark):
     table = run_once(benchmark, _experiment)
     emit("table2_kosarak", table)
     assert "MISMATCH" not in table
+
+
+if __name__ == "__main__":
+    raise SystemExit(standalone_main("table2_kosarak", _experiment))

@@ -10,10 +10,13 @@ from .experiments import (
     FIGURE3_METHODS,
     METHODS,
     SweepResult,
+    UnknownMechanismError,
     build_method,
     format_sweep_table,
     run_sweep,
     run_trial,
+    run_trial_plan,
+    spawn_trial_seeds,
 )
 from .metrics import (
     max_absolute_error,
@@ -31,6 +34,7 @@ __all__ = [
     "METHODS",
     "SweepResult",
     "TreeHistResult",
+    "UnknownMechanismError",
     "build_method",
     "frequency_band",
     "format_sweep_table",
@@ -41,6 +45,8 @@ __all__ = [
     "precision_at_k",
     "run_sweep",
     "run_trial",
+    "run_trial_plan",
+    "spawn_trial_seeds",
     "top_k_from_estimates",
     "treehist",
     "z_score",

@@ -1,8 +1,9 @@
-"""Experiment harness: the method registry and sweep runners behind the
-Figure 3 / Table II / Figure 4 reproductions.
+"""Experiment harness: registry-driven sweeps and the parallel trial engine.
 
 Every competitor from Section VII-A is constructible by name for a given
-``(d, n, eps_c, delta)``:
+``(d, n, eps_c, delta)`` through the mechanism registry
+(:mod:`repro.core.registry`) — the same registry the CLI and the streaming
+service resolve through:
 
 ========  ==================================================================
 name      mechanism
@@ -18,94 +19,95 @@ Base      uniform-guess baseline
 Lap       central-DP Laplace mechanism
 ========  ==================================================================
 
-Each built method exposes ``estimate_from_histogram(histogram, rng)``; the
-sweep runner repeats trials and aggregates any metric.
+Each built method exposes ``estimate_from_histogram(histogram, rng)``.
+
+Sweeps run on a *trial-plan engine*: every ``(method, eps, repeat)`` trial
+is enumerated up front and given its own child of one
+``numpy.random.SeedSequence`` root (derived from the caller's generator),
+then executed by a ``workers``-sized thread pool.  Because each trial owns
+an independent bit stream and scores land in a preallocated array indexed
+by plan position, the aggregated results are **bit-identical at any worker
+count** — ``run_sweep(workers=1)`` and ``run_sweep(workers=8)`` agree to
+the last ulp (``tests/analysis/test_experiments.py`` enforces it).
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
-from ..frequency_oracles import (
-    AUE,
-    GRR,
-    OLH,
-    SOLH,
-    HadamardResponse,
-    LaplaceMechanism,
-    UniformBaseline,
-    make_rap,
-    make_rap_r,
-    make_sh,
+from ..core.registry import (
+    UnknownMechanismError,
+    build_mechanism,
+    get_spec,
+    registered_names,
+    validate_names,
 )
+
+__all__ = [
+    "FIGURE3_METHODS",
+    "METHODS",
+    "SweepResult",
+    "UnknownMechanismError",
+    "build_method",
+    "format_sweep_table",
+    "run_sweep",
+    "run_trial",
+    "run_trial_plan",
+    "spawn_trial_seeds",
+]
 from .metrics import mse
 
 MethodFactory = Callable[[int, int, float, float], object]
 
 
-def _build_olh(d: int, n: int, eps_c: float, delta: float) -> OLH:
-    return OLH(d, eps_c)
+class _RegistryMethodsView(Mapping):
+    """Live read-only view of the registry as the legacy ``METHODS`` dict.
+
+    Kept for backwards compatibility (``"SOLH" in METHODS``,
+    ``sorted(METHODS)``); new code should consult
+    :mod:`repro.core.registry` directly for specs and capability flags.
+    Like the dict it replaces, keys are *exact canonical names* — alias
+    and case-insensitive resolution belong to the registry itself
+    (``get_spec`` / ``build_mechanism``), keeping membership consistent
+    with iteration.
+    """
+
+    def __getitem__(self, name: str) -> MethodFactory:
+        spec = get_spec(name)
+        if spec.name != name:
+            raise KeyError(name)
+        return spec.factory
+
+    def __iter__(self):
+        return iter(registered_names())
+
+    def __len__(self) -> int:
+        return len(registered_names())
+
+    def __repr__(self) -> str:
+        return f"MethodsView({', '.join(registered_names())})"
 
 
-def _build_had(d: int, n: int, eps_c: float, delta: float) -> HadamardResponse:
-    return HadamardResponse(d, eps_c)
-
-
-def _build_sh(d: int, n: int, eps_c: float, delta: float) -> GRR:
-    oracle, _ = make_sh(d, eps_c, n, delta)
-    return oracle
-
-
-def _build_solh(d: int, n: int, eps_c: float, delta: float) -> SOLH:
-    oracle, _ = SOLH.for_central_target(d, eps_c, n, delta)
-    return oracle
-
-
-def _build_aue(d: int, n: int, eps_c: float, delta: float) -> AUE:
-    return AUE(d, eps_c, n, delta)
-
-
-def _build_rap(d: int, n: int, eps_c: float, delta: float):
-    oracle, _ = make_rap(d, eps_c, n, delta)
-    return oracle
-
-
-def _build_rap_r(d: int, n: int, eps_c: float, delta: float):
-    oracle, _ = make_rap_r(d, eps_c, n, delta)
-    return oracle
-
-
-def _build_base(d: int, n: int, eps_c: float, delta: float) -> UniformBaseline:
-    return UniformBaseline(d)
-
-
-def _build_lap(d: int, n: int, eps_c: float, delta: float) -> LaplaceMechanism:
-    return LaplaceMechanism(d, eps_c)
-
-
-#: The Section VII-A competitor registry.
-METHODS: Dict[str, MethodFactory] = {
-    "OLH": _build_olh,
-    "Had": _build_had,
-    "SH": _build_sh,
-    "SOLH": _build_solh,
-    "AUE": _build_aue,
-    "RAP": _build_rap,
-    "RAP_R": _build_rap_r,
-    "Base": _build_base,
-    "Lap": _build_lap,
-}
+#: The Section VII-A competitor registry (live registry view).
+METHODS: Mapping = _RegistryMethodsView()
 
 #: Figure 3's plotting order.
 FIGURE3_METHODS = ("OLH", "Had", "Base", "SH", "SOLH", "AUE", "RAP", "RAP_R", "Lap")
 
 
 def build_method(name: str, d: int, n: int, eps_c: float, delta: float):
-    """Construct a registered method; raises ``KeyError`` on unknown names."""
-    return METHODS[name](d, n, eps_c, delta)
+    """Construct a registered method.
+
+    Raises :class:`~repro.core.registry.UnknownMechanismError` (a
+    ``KeyError``) on unknown names; infeasible parameters raise the
+    factory's ``ValueError``.
+    """
+    return build_mechanism(name, d, n, eps_c, delta)
 
 
 @dataclass
@@ -139,6 +141,71 @@ def run_trial(
     return metric(true_frequencies, estimates)
 
 
+def spawn_trial_seeds(
+    rng: np.random.Generator, n_trials: int
+) -> list[np.random.SeedSequence]:
+    """Derive one independent ``SeedSequence`` per trial from a generator.
+
+    The root sequence's entropy is drawn from the caller's generator, so a
+    fixed seed still pins the whole sweep; ``SeedSequence.spawn`` then
+    gives every trial a statistically independent child stream.  Trial
+    results therefore depend only on the trial's plan position — never on
+    which worker ran it or in what order — which is what makes sweeps
+    bit-identical at any worker count.
+    """
+    entropy = [int(word) for word in rng.integers(0, 1 << 32, size=8)]
+    return np.random.SeedSequence(entropy).spawn(n_trials)
+
+
+def run_trial_plan(
+    methods: Sequence[Optional[object]],
+    histogram: np.ndarray,
+    repeats: int,
+    rng: np.random.Generator,
+    metric: Callable[[np.ndarray, np.ndarray], float] = mse,
+    workers: int = 1,
+) -> np.ndarray:
+    """Execute the full trial plan; the deterministic parallel core.
+
+    ``methods`` is one built mechanism per plan cell (``None`` marks an
+    infeasible cell, which stays NaN).  Returns a ``(len(methods),
+    repeats)`` score matrix.  Trials are seeded per plan position via
+    :func:`spawn_trial_seeds` and dispatched to a thread pool of
+    ``workers`` (the trial hot paths are numpy/GIL-releasing); any worker
+    count yields bit-identical scores.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    histogram = np.asarray(histogram, dtype=np.int64)
+    n_cells = len(methods)
+    seeds = spawn_trial_seeds(rng, n_cells * repeats)
+    scores = np.full((n_cells, repeats), np.nan)
+
+    def _one(task: tuple) -> None:
+        cell, repeat = task
+        trial_rng = np.random.default_rng(seeds[cell * repeats + repeat])
+        scores[cell, repeat] = run_trial(
+            methods[cell], histogram, trial_rng, metric
+        )
+
+    tasks = [
+        (cell, repeat)
+        for cell in range(n_cells)
+        if methods[cell] is not None
+        for repeat in range(repeats)
+    ]
+    if workers == 1 or len(tasks) <= 1:
+        for task in tasks:
+            _one(task)
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            # list() drains the iterator so worker exceptions propagate.
+            list(pool.map(_one, tasks))
+    return scores
+
+
 def run_sweep(
     method_names: Sequence[str],
     histogram: np.ndarray,
@@ -148,32 +215,53 @@ def run_sweep(
     repeats: int = 10,
     metric: Callable[[np.ndarray, np.ndarray], float] = mse,
     skip_errors: bool = True,
+    workers: int = 1,
 ) -> list[SweepResult]:
     """The Figure 3 experiment: every method, at every ``eps_c``, repeated.
 
-    ``skip_errors=True`` records NaN where a method cannot be configured
+    Method names are validated against the registry *before* anything
+    runs: a typo raises :class:`~repro.core.registry.UnknownMechanismError`
+    immediately, even under ``skip_errors=True``.  ``skip_errors`` applies
+    only to genuine infeasible-parameter ``ValueError``s at construction
     (e.g. AUE's noise probability exceeding 1 at tiny ``eps_c * n``),
-    matching how the paper's plots simply omit infeasible points.
+    recorded as NaN to match how the paper's plots omit infeasible points.
+
+    ``workers`` parallelizes the trial plan; results are bit-identical at
+    any worker count (see :func:`run_trial_plan`).
     """
+    validate_names(method_names)
     histogram = np.asarray(histogram, dtype=np.int64)
     n, d = int(histogram.sum()), len(histogram)
+    eps_list = [float(eps_c) for eps_c in eps_values]
+
+    cells: list[tuple[str, float]] = [
+        (name, eps_c) for name in method_names for eps_c in eps_list
+    ]
+    methods: list[Optional[object]] = []
+    for name, eps_c in cells:
+        try:
+            methods.append(build_method(name, d, n, eps_c, delta))
+        except ValueError:
+            if not skip_errors:
+                raise
+            methods.append(None)
+
+    scores = run_trial_plan(
+        methods, histogram, repeats, rng, metric=metric, workers=workers
+    )
+
     results = []
-    for name in method_names:
+    for m_index, name in enumerate(method_names):
         result = SweepResult(method=name)
-        for eps_c in eps_values:
-            try:
-                method = build_method(name, d, n, eps_c, delta)
-            except (ValueError, KeyError):
-                if not skip_errors:
-                    raise
-                result.eps_values.append(float(eps_c))
+        for e_index, eps_c in enumerate(eps_list):
+            cell = m_index * len(eps_list) + e_index
+            result.eps_values.append(eps_c)
+            if methods[cell] is None:
                 result.means.append(float("nan"))
                 result.stds.append(float("nan"))
-                continue
-            scores = [run_trial(method, histogram, rng, metric) for _ in range(repeats)]
-            result.eps_values.append(float(eps_c))
-            result.means.append(float(np.mean(scores)))
-            result.stds.append(float(np.std(scores)))
+            else:
+                result.means.append(float(np.mean(scores[cell])))
+                result.stds.append(float(np.std(scores[cell])))
         results.append(result)
     return results
 
@@ -181,16 +269,29 @@ def run_sweep(
 def format_sweep_table(
     results: Sequence[SweepResult], caption: Optional[str] = None
 ) -> str:
-    """Render sweep results as the paper-style text table benches print."""
-    if not results:
-        return "(no results)"
-    eps_values = results[0].eps_values
+    """Render sweep results as the paper-style text table benches print.
+
+    Tolerates empty and ragged inputs: with no results (or no epsilon
+    points anywhere) it degrades to ``"(no results)"``, and rows are
+    aligned to the union epsilon grid *by value* — a result missing some
+    grid point renders ``n/a`` there rather than shifting its neighbours
+    under the wrong header.
+    """
+    eps_values: list[float] = []
+    for result in results:
+        for eps_c in result.eps_values:
+            if eps_c not in eps_values:
+                eps_values.append(eps_c)
+    if not results or not eps_values:
+        return "(no results)" if caption is None else f"(no results)\n{caption}"
     header = "method  " + "  ".join(f"eps={e:<8.3g}" for e in eps_values)
     lines = [header, "-" * len(header)]
     for result in results:
+        by_eps = dict(zip(result.eps_values, result.means))
+        row = [by_eps.get(eps_c, float("nan")) for eps_c in eps_values]
         cells = "  ".join(
             f"{m:<12.4e}" if np.isfinite(m) else f"{'n/a':<12}"
-            for m in result.means
+            for m in row
         )
         lines.append(f"{result.method:<7} {cells}")
     if caption:

@@ -57,7 +57,7 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
     data = ipums_like(rng, scale=args.scale)
     results = run_sweep(
         FIGURE3_METHODS, data.histogram, args.eps, args.delta, rng,
-        repeats=args.repeats,
+        repeats=args.repeats, workers=args.workers,
     )
     print(format_sweep_table(
         results, caption=f"IPUMS-like n={data.n}, d={data.d}, MSE"
@@ -66,29 +66,30 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    from repro.analysis import mse
-    from repro.core import solh_optimal_d_prime
+    from repro.analysis import run_trial_plan
+    from repro.core import build_mechanism, solh_optimal_d_prime
     from repro.data import kosarak_like
-    from repro.frequency_oracles import SOLH, make_rap_r
 
     rng = np.random.default_rng(args.seed)
     data = kosarak_like(rng, scale=args.scale)
-    truth = data.frequencies
+    # One trial-plan cell per (mechanism, eps_c), resolved via the registry
+    # and executed by the deterministic parallel engine.
+    methods = [
+        build_mechanism(name, data.d, data.n, eps_c, args.delta)
+        for name in ("SOLH", "RAP_R")
+        for eps_c in args.eps
+    ]
+    scores = run_trial_plan(
+        methods, data.histogram, args.repeats, rng, workers=args.workers
+    )
+    means = scores.mean(axis=1)
+    n_eps = len(args.eps)
     print(f"Kosarak-like n={data.n}, d={data.d}")
     print(f"{'eps_c':>6}  {'d-prime':>8}  {'SOLH MSE':>12}  {'RAP_R MSE':>12}")
-    for eps_c in args.eps:
+    for i, eps_c in enumerate(args.eps):
         d_prime = solh_optimal_d_prime(eps_c, data.n, args.delta)
-        solh, __ = SOLH.for_central_target(data.d, eps_c, data.n, args.delta)
-        rap_r, __ = make_rap_r(data.d, eps_c, data.n, args.delta)
-        solh_mse = np.mean([
-            mse(truth, solh.estimate_from_histogram(data.histogram, rng))
-            for __ in range(args.repeats)
-        ])
-        rap_r_mse = np.mean([
-            mse(truth, rap_r.estimate_from_histogram(data.histogram, rng))
-            for __ in range(args.repeats)
-        ])
-        print(f"{eps_c:>6.2f}  {d_prime:>8}  {solh_mse:>12.3e}  {rap_r_mse:>12.3e}")
+        print(f"{eps_c:>6.2f}  {d_prime:>8}  {means[i]:>12.3e}  "
+              f"{means[n_eps + i]:>12.3e}")
     return 0
 
 
@@ -253,11 +254,17 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--eps", type=float, nargs="+",
                    default=[0.1, 0.2, 0.4, 0.6, 0.8, 1.0])
+    p.add_argument("--workers", type=int, default=1,
+                   help="trial-plan worker threads (results are "
+                        "bit-identical at any worker count)")
     p.set_defaults(func=_cmd_fig3)
 
     p = sub.add_parser("table2", help="SOLH vs RAP_R on Kosarak")
     common(p)
     p.add_argument("--eps", type=float, nargs="+", default=[0.2, 0.4, 0.6, 0.8])
+    p.add_argument("--workers", type=int, default=1,
+                   help="trial-plan worker threads (results are "
+                        "bit-identical at any worker count)")
     p.set_defaults(func=_cmd_table2)
 
     p = sub.add_parser("fig4", help="succinct-histogram precision on AOL")

@@ -1,0 +1,320 @@
+"""The mechanism registry: one declarative spec per competitor mechanism.
+
+Every layer that used to hand-wire mechanism construction — the Figure 3 /
+Table II sweeps (:mod:`repro.analysis.experiments`), the CLI, and the
+streaming service (:mod:`repro.service`) — resolves mechanisms here
+instead.  A :class:`MechanismSpec` names the mechanism, holds its batch
+factory ``(d, n, eps_c, delta) -> oracle``, and declares *capabilities*:
+
+``ordinal_encodable``
+    reports serialize to the ordinal group ``Z_M`` (Section VI-A2), so the
+    mechanism can ride PEOS / SS / the plain shuffle backends;
+``closed_form_sampling``
+    ``sample_support_counts`` is overridden with an O(d) closed form, so
+    paper-scale sweeps never materialize per-user reports;
+``streamable``
+    the streaming telemetry service can run it per flush (the spec carries
+    a ``plan_factory`` building the oracle from a Section VI-D plan);
+``central_only``
+    a central-model target/baseline, not a local mechanism (AUE, Laplace,
+    the uniform guess) — excluded from any LDP-only consumer.
+
+Specs register by canonical name plus aliases; lookups are
+case-insensitive, and unknown names raise :class:`UnknownMechanismError`
+(a ``KeyError``) naming the close matches — a typo in a sweep fails fast
+instead of silently becoming a NaN row.
+
+Factories import their mechanism modules lazily so this module can live in
+:mod:`repro.core` without dragging the frequency-oracle package into every
+core import (and without import cycles: the oracles themselves import
+``repro.core.amplification``).
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence
+
+#: batch factory signature: ``(d, n, eps_c, delta) -> mechanism``
+MethodFactory = Callable[[int, int, float, float], Any]
+
+#: streaming factory signature: ``(d, plan) -> FrequencyOracle``
+PlanFactory = Callable[[int, Any], Any]
+
+
+class UnknownMechanismError(KeyError):
+    """An unregistered mechanism name was requested."""
+
+    def __init__(self, name: str, known: Sequence[str]):
+        self.name = name
+        self.known = tuple(known)
+        close = difflib.get_close_matches(name, self.known, n=3)
+        hint = f" (did you mean {', '.join(close)}?)" if close else ""
+        super().__init__(
+            f"unknown mechanism {name!r}{hint}; "
+            f"registered: {', '.join(self.known)}"
+        )
+
+
+@dataclass(frozen=True)
+class MechanismSpec:
+    """Declarative description of one registered mechanism."""
+
+    #: canonical name used in experiment tables ("SOLH", "RAP_R", ...)
+    name: str
+    #: batch constructor for a central target ``(d, n, eps_c, delta)``
+    factory: MethodFactory
+    #: one-line description for tables and ``--help`` output
+    description: str = ""
+    #: reports serialize to the ordinal group (PEOS-shuffleable)
+    ordinal_encodable: bool = False
+    #: has an O(d) ``sample_support_counts`` closed form
+    closed_form_sampling: bool = False
+    #: the streaming service can run it per flush
+    streamable: bool = False
+    #: central-model target or baseline, not a local mechanism
+    central_only: bool = False
+    #: constructor from a Section VI-D plan (streamable specs only)
+    plan_factory: Optional[PlanFactory] = None
+    #: alternate lookup names (e.g. the planner's lowercase mechanism ids)
+    aliases: tuple = field(default_factory=tuple)
+
+    def build(self, d: int, n: int, eps_c: float, delta: float):
+        """Construct the mechanism for a batch population."""
+        return self.factory(d, n, eps_c, delta)
+
+    def build_from_plan(self, d: int, plan) -> Any:
+        """Construct the streaming oracle from a Section VI-D plan."""
+        if self.plan_factory is None:
+            raise ValueError(
+                f"mechanism {self.name!r} is not streamable (no plan factory)"
+            )
+        return self.plan_factory(d, plan)
+
+
+_REGISTRY: Dict[str, MechanismSpec] = {}
+_LOOKUP: Dict[str, str] = {}  # casefolded name/alias -> canonical name
+
+
+def register(spec: MechanismSpec) -> MechanismSpec:
+    """Register a spec under its canonical name and aliases.
+
+    Re-registering a name replaces the previous spec (the hook future
+    backend/workload PRs use to override or extend the built-ins).
+    """
+    # Validate every key before mutating anything, so a collision leaves
+    # the registry exactly as it was.
+    for key in (spec.name, *spec.aliases):
+        owner = _LOOKUP.get(key.casefold())
+        if owner is not None and owner != spec.name:
+            raise ValueError(
+                f"name {key!r} already registered for mechanism {owner!r}"
+            )
+    stale = _REGISTRY.pop(spec.name, None)
+    if stale is not None:
+        for key, canonical in list(_LOOKUP.items()):
+            if canonical == stale.name:
+                del _LOOKUP[key]
+    for key in (spec.name, *spec.aliases):
+        _LOOKUP[key.casefold()] = spec.name
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def registered_names() -> tuple:
+    """Canonical names of every registered mechanism, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_spec(name: str) -> MechanismSpec:
+    """Resolve a spec by canonical name or alias (case-insensitive)."""
+    canonical = _LOOKUP.get(str(name).casefold())
+    if canonical is None:
+        raise UnknownMechanismError(str(name), registered_names())
+    return _REGISTRY[canonical]
+
+
+def has_mechanism(name: str) -> bool:
+    """True if ``name`` resolves to a registered spec."""
+    return str(name).casefold() in _LOOKUP
+
+
+def validate_names(names: Iterable[str]) -> None:
+    """Raise :class:`UnknownMechanismError` for the first unknown name.
+
+    Sweep runners call this up front so a typo aborts the whole sweep
+    instead of surfacing as NaN rows hours later.
+    """
+    for name in names:
+        get_spec(name)
+
+
+def build_mechanism(name: str, d: int, n: int, eps_c: float, delta: float):
+    """Construct a registered mechanism by name.
+
+    Raises :class:`UnknownMechanismError` for unknown names and lets the
+    factory's ``ValueError`` propagate for infeasible parameters — the two
+    failure modes are deliberately distinct exception types.
+    """
+    return get_spec(name).build(d, n, eps_c, delta)
+
+
+def specs_with(**flags: bool) -> tuple:
+    """Specs whose capability flags match every given keyword.
+
+    Example: ``specs_with(ordinal_encodable=True, central_only=False)``.
+    """
+    selected = []
+    for spec in _REGISTRY.values():
+        if all(getattr(spec, key) == value for key, value in flags.items()):
+            selected.append(spec)
+    return tuple(selected)
+
+
+# ---------------------------------------------------------------------------
+# Built-in specs: the Section VII-A competitor set.  Factories import
+# lazily; each matches the construction the paper's experiments use.
+# ---------------------------------------------------------------------------
+
+
+def _build_olh(d: int, n: int, eps_c: float, delta: float):
+    from ..frequency_oracles import OLH
+
+    return OLH(d, eps_c)
+
+
+def _build_had(d: int, n: int, eps_c: float, delta: float):
+    from ..frequency_oracles import HadamardResponse
+
+    return HadamardResponse(d, eps_c)
+
+
+def _build_sh(d: int, n: int, eps_c: float, delta: float):
+    from ..frequency_oracles import make_sh
+
+    oracle, _ = make_sh(d, eps_c, n, delta)
+    return oracle
+
+
+def _build_solh(d: int, n: int, eps_c: float, delta: float):
+    from ..frequency_oracles import SOLH
+
+    oracle, _ = SOLH.for_central_target(d, eps_c, n, delta)
+    return oracle
+
+
+def _build_aue(d: int, n: int, eps_c: float, delta: float):
+    from ..frequency_oracles import AUE
+
+    return AUE(d, eps_c, n, delta)
+
+
+def _build_rap(d: int, n: int, eps_c: float, delta: float):
+    from ..frequency_oracles import make_rap
+
+    oracle, _ = make_rap(d, eps_c, n, delta)
+    return oracle
+
+
+def _build_rap_r(d: int, n: int, eps_c: float, delta: float):
+    from ..frequency_oracles import make_rap_r
+
+    oracle, _ = make_rap_r(d, eps_c, n, delta)
+    return oracle
+
+
+def _build_base(d: int, n: int, eps_c: float, delta: float):
+    from ..frequency_oracles import UniformBaseline
+
+    return UniformBaseline(d)
+
+
+def _build_lap(d: int, n: int, eps_c: float, delta: float):
+    from ..frequency_oracles import LaplaceMechanism
+
+    return LaplaceMechanism(d, eps_c)
+
+
+def _stream_grr(d: int, plan):
+    from ..frequency_oracles import GRR
+
+    return GRR(d, plan.eps_l)
+
+
+def _stream_solh(d: int, plan):
+    from ..frequency_oracles import SOLH
+    from ..hashing import XXHash32Family
+
+    # The 32-bit seed family keeps the ordinal report group inside 64-bit
+    # arithmetic, the protocol-backend requirement noted in repro.protocol.
+    return SOLH(d, plan.eps_l, plan.d_prime, family=XXHash32Family())
+
+
+register(MechanismSpec(
+    name="OLH",
+    factory=_build_olh,
+    description="local-model optimized local hashing at eps = eps_c",
+    ordinal_encodable=True,
+    closed_form_sampling=True,
+))
+register(MechanismSpec(
+    name="Had",
+    factory=_build_had,
+    description="local-model Hadamard response at eps = eps_c",
+    ordinal_encodable=True,
+    closed_form_sampling=True,
+))
+register(MechanismSpec(
+    name="SH",
+    factory=_build_sh,
+    description="shuffled GRR [9] (amplified; falls back below threshold)",
+    ordinal_encodable=True,
+    closed_form_sampling=True,
+    streamable=True,
+    plan_factory=_stream_grr,
+    aliases=("grr",),
+))
+register(MechanismSpec(
+    name="SOLH",
+    factory=_build_solh,
+    description="the paper's shuffler-optimal local hashing",
+    ordinal_encodable=True,
+    closed_form_sampling=True,
+    streamable=True,
+    plan_factory=_stream_solh,
+    aliases=("solh",),
+))
+register(MechanismSpec(
+    name="AUE",
+    factory=_build_aue,
+    description="appended unary encoding [8] (central target, not LDP)",
+    closed_form_sampling=True,
+    central_only=True,
+))
+register(MechanismSpec(
+    name="RAP",
+    factory=_build_rap,
+    description="shuffled basic RAPPOR (Theorem 2)",
+    closed_form_sampling=True,
+))
+register(MechanismSpec(
+    name="RAP_R",
+    factory=_build_rap_r,
+    description="removal-LDP RAPPOR [31]",
+    closed_form_sampling=True,
+))
+register(MechanismSpec(
+    name="Base",
+    factory=_build_base,
+    description="uniform-guess baseline",
+    closed_form_sampling=True,
+    central_only=True,
+))
+register(MechanismSpec(
+    name="Lap",
+    factory=_build_lap,
+    description="central-DP Laplace mechanism",
+    closed_form_sampling=True,
+    central_only=True,
+))

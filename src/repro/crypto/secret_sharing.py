@@ -23,25 +23,18 @@ from typing import Sequence
 
 import numpy as np
 
-_INT64_SAFE = 1 << 62
+from ..core.ordinal import INT64_SAFE_SPACE as _INT64_SAFE
+from ..core.ordinal import uniform_ordinal
 
 
 def uniform_array(m: int, size: int, rng: np.random.Generator) -> np.ndarray:
-    """Uniform draws from ``Z_M`` as int64 (small M) or object array."""
-    if m <= 0:
-        raise ValueError(f"modulus must be positive, got {m}")
-    if m < _INT64_SAFE:
-        return rng.integers(0, m, size=size, dtype=np.int64)
-    # Oversample by 64 bits and reduce: statistical distance < 2^-64.
-    extra_words = (m.bit_length() + 64 + 63) // 64
-    words = rng.integers(0, 1 << 64, size=(size, extra_words), dtype=np.uint64)
-    out = np.empty(size, dtype=object)
-    for i in range(size):
-        acc = 0
-        for w in words[i]:
-            acc = (acc << 64) | int(w)
-        out[i] = acc % m
-    return out
+    """Uniform draws from ``Z_M`` as int64 (small M) or object array.
+
+    Alias of :func:`repro.core.ordinal.uniform_ordinal`, the codec-layer
+    canonical implementation — both layers must agree on the dtype
+    discipline and the oversample-and-reduce scheme for huge ``M``.
+    """
+    return uniform_ordinal(m, size, rng)
 
 
 #: backwards-compat alias; prefer the public name
@@ -65,7 +58,18 @@ def share_vector(
         total = np.zeros(size, dtype=np.int64)
         for share in shares:
             total = (total + share) % modulus
-        values64 = np.array([int(v) % modulus for v in values], dtype=np.int64)
+        if values.dtype == object:
+            # Object inputs may hold ints past int64 (e.g. unreduced group
+            # elements); reduce exactly before the cast.
+            values64 = np.array(
+                [int(v) % modulus for v in values], dtype=np.int64
+            )
+        elif values.dtype == np.uint64:
+            # A plain int64 cast would wrap values above 2^63; reduce in
+            # uint64 first (every residue then fits: modulus < 2^62).
+            values64 = (values % np.uint64(modulus)).astype(np.int64)
+        else:
+            values64 = np.asarray(values, dtype=np.int64) % modulus
         last = (values64 - total) % modulus
     else:
         last = np.empty(size, dtype=object)

@@ -138,6 +138,23 @@ class FrequencyOracle(ABC):
         """
         raise NotImplementedError(f"{self.name} reports are not ordinal-encodable")
 
+    @property
+    def ordinal_codec(self):
+        """The :class:`~repro.core.ordinal.OrdinalCodec` for this oracle's
+        report group — the single dtype authority (int64 fast path or
+        object fallback) every encode/decode/share/concat site uses.
+
+        Raises ``NotImplementedError`` for non-ordinal mechanisms, via
+        :attr:`report_space`.
+        """
+        from ..core.ordinal import OrdinalCodec
+
+        codec = self.__dict__.get("_ordinal_codec")
+        if codec is None or codec.space != self.report_space:
+            codec = OrdinalCodec(self.report_space)
+            self.__dict__["_ordinal_codec"] = codec
+        return codec
+
     def encode_reports(self, reports) -> np.ndarray:
         """Serialize reports to integers in ``[0, report_space)``."""
         raise NotImplementedError(f"{self.name} reports are not ordinal-encodable")

@@ -97,13 +97,10 @@ class GRR(FrequencyOracle):
         return self.d
 
     def encode_reports(self, reports: np.ndarray) -> np.ndarray:
-        return np.asarray(reports, dtype=np.int64)
+        return self.ordinal_codec.asarray(reports)
 
     def decode_reports(self, encoded: np.ndarray) -> np.ndarray:
-        encoded = np.asarray(encoded, dtype=np.int64)
-        if encoded.size and (encoded.min() < 0 or encoded.max() >= self.d):
-            raise ValueError("encoded GRR report outside [0, d)")
-        return encoded
+        return self.ordinal_codec.validate(encoded, what="encoded GRR report")
 
     def fake_report_bias(self) -> float:
         """A uniform fake report supports ``v`` w.p. ``1/d``; calibrated

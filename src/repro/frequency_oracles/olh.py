@@ -159,18 +159,20 @@ class LocalHashingOracle(FrequencyOracle):
         return self.family.seed_space * self.d_prime
 
     def encode_reports(self, reports: LocalHashReports) -> np.ndarray:
-        """Pack ``(seed, y)`` as ``seed * d' + y`` (object array: the group
-        can exceed 64 bits for 64-bit seed spaces)."""
-        seeds = np.asarray(reports.seeds, dtype=np.uint64)
-        values = np.asarray(reports.values, dtype=np.int64)
-        return np.array(
-            [int(s) * self.d_prime + int(y) for s, y in zip(seeds, values)],
-            dtype=object,
+        """Pack ``(seed, y)`` as ``seed * d' + y``.
+
+        Vectorized int64 when the report group fits 64-bit arithmetic
+        (e.g. the 32-bit xxHash seed family); one object-dtype fallback
+        for 64-bit seed spaces.  The dtype choice is the codec's.
+        """
+        return self.ordinal_codec.pack_pairs(
+            np.asarray(reports.seeds, dtype=np.uint64),
+            np.asarray(reports.values, dtype=np.int64),
+            self.d_prime,
         )
 
     def decode_reports(self, encoded: np.ndarray) -> LocalHashReports:
-        seeds = np.array([int(e) // self.d_prime for e in encoded], dtype=np.uint64)
-        values = np.array([int(e) % self.d_prime for e in encoded], dtype=np.int64)
+        seeds, values = self.ordinal_codec.unpack_pairs(encoded, self.d_prime)
         return LocalHashReports(seeds=seeds, values=values)
 
     def fake_report_bias(self) -> float:

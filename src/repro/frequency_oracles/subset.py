@@ -44,11 +44,14 @@ class SubsetSelection(FrequencyOracle):
 
     name = "Subset"
 
-    def __init__(self, d: int, eps: float, k: Optional[int] = None):
+    def __init__(
+        self, d: int, eps: float, k: Optional[int] = None, chunk_bytes: int = 1 << 26
+    ):
         super().__init__(d)
         if eps <= 0.0:
             raise ValueError(f"epsilon must be positive, got {eps}")
         self.eps = float(eps)
+        self._chunk_bytes = int(chunk_bytes)
         if k is None:
             k = max(1, int(round(d / (math.exp(eps) + 1.0))))
         if not 1 <= k < d:
@@ -69,22 +72,31 @@ class SubsetSelection(FrequencyOracle):
 
     def privatize(self, values: ArrayLike, rng: np.random.Generator) -> SubsetReports:
         """Draw each user's subset: include the true value w.p. ``p_true``,
-        fill the rest uniformly from the other values."""
+        fill the rest uniformly from the other values.
+
+        Batched random-key sampling: each user draws one uniform key per
+        domain value; the ``k`` smallest keys form a uniform ``k``-subset,
+        and pinning the true value's key to -1 (forced in) or 2 (forced
+        out) conditions on the inclusion draw.  Runs in O(n d) vectorized
+        work, chunked so the key matrix stays within ``chunk_bytes``.
+        """
         values = np.asarray(values, dtype=np.int64)
         if values.size and (values.min() < 0 or values.max() >= self.d):
             raise ValueError(f"values outside domain [0, {self.d})")
         n = len(values)
         members = np.empty((n, self.k), dtype=np.int64)
         include = rng.random(n) < self.p_true
-        for i in range(n):
-            others = rng.choice(self.d - 1, size=self.k - include[i], replace=False)
-            others += (others >= values[i]).astype(np.int64)
-            if include[i]:
-                row = np.concatenate([[values[i]], others])
-            else:
-                row = others
-            row.sort()
-            members[i] = row
+        chunk = max(1, self._chunk_bytes // (8 * self.d))
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            keys = rng.random((stop - start, self.d))
+            rows = np.arange(stop - start)
+            keys[rows, values[start:stop]] = np.where(
+                include[start:stop], -1.0, 2.0
+            )
+            subset = np.argpartition(keys, self.k - 1, axis=1)[:, : self.k]
+            subset.sort(axis=1)
+            members[start:stop] = subset
         return SubsetReports(members=members)
 
     def support_counts(

@@ -33,8 +33,9 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from ..core.ordinal import OrdinalCodec
 from ..crypto.math_utils import RandomLike, as_random
-from ..crypto.secret_sharing import share_vector, uniform_array
+from ..crypto.secret_sharing import share_vector
 from ..frequency_oracles.base import FrequencyOracle
 from ..shuffle.eos import EOSState, encrypted_oblivious_shuffle, server_reconstruct
 from ..costs import CostTracker, share_bytes
@@ -79,13 +80,14 @@ def peos_shuffle_encoded(
     if r < 2:
         raise ValueError(f"PEOS needs at least 2 shufflers, got r={r}")
     n = len(encoded)
-    modulus = int(report_space)
+    codec = OrdinalCodec(report_space)
+    modulus = codec.space
     width = share_bytes(modulus)
     crypto_rand = as_random(crypto_rng)
 
     # ---- 1. users: share the encoded report, encrypt the last share -----
     def _user_phase():
-        shares = share_vector(np.asarray(encoded, dtype=object), r, modulus, rng)
+        shares = share_vector(codec.asarray(encoded), r, modulus, rng)
         encrypted_last = [
             ahe_public.encrypt(int(s) % modulus, crypto_rand) for s in shares[r - 1]
         ]
@@ -104,10 +106,10 @@ def peos_shuffle_encoded(
     plain_vectors: list[np.ndarray] = []
     for j in range(r - 1):
         def _draw(j: int = j) -> np.ndarray:
-            fake = uniform_array(modulus, n_fake, rng)
+            fake = codec.uniform(n_fake, rng)
             if malicious_fake_shares and j in malicious_fake_shares:
                 fake = malicious_fake_shares[j](n_fake, fake)
-            return concat_encoded(shares[j], fake, modulus)
+            return codec.concat(shares[j], fake)
 
         if tracker is None:
             plain_vectors.append(_draw())
@@ -116,7 +118,7 @@ def peos_shuffle_encoded(
                 plain_vectors.append(_draw())
 
     def _draw_encrypted() -> list[int]:
-        fake = uniform_array(modulus, n_fake, rng)
+        fake = codec.uniform(n_fake, rng)
         if malicious_fake_shares and (r - 1) in malicious_fake_shares:
             fake = malicious_fake_shares[r - 1](n_fake, fake)
         return encrypted_last + [
@@ -131,9 +133,9 @@ def peos_shuffle_encoded(
 
     # The holder's plaintext slot is zero (its share arrived encrypted).
     total = n + n_fake
-    zero_holder = _zeros(total, modulus)
+    zero_holder = codec.zeros(total)
     plain_shares = [
-        _concat_pad(vec, total, modulus) for vec in plain_vectors
+        codec.pad_check(vec, total) for vec in plain_vectors
     ] + [zero_holder]
 
     # ---- 3. EOS -----------------------------------------------------------
@@ -238,7 +240,7 @@ def run_peos(
 
     # ---- 4b. server estimates and calibrates -----------------------------
     def _estimate() -> np.ndarray:
-        decoded = fo.decode_reports(np.asarray(shuffled, dtype=object))
+        decoded = fo.decode_reports(fo.ordinal_codec.asarray(shuffled))
         counts = fo.support_counts(decoded)
         raw = fo.estimate(counts, total)
         return fo.calibrate_with_fakes(raw, n, n_fake)
@@ -259,29 +261,10 @@ def run_peos(
 
 
 def concat_encoded(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
-    """Concatenate two encoded-report arrays, staying in int64 when the
-    report group fits and falling back to object arrays otherwise."""
-    if modulus < (1 << 62):
-        return np.concatenate(
-            [np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)]
-        )
-    out = np.empty(len(a) + len(b), dtype=object)
-    out[:len(a)] = [int(x) for x in a]
-    out[len(a):] = [int(x) for x in b]
-    return out
+    """Concatenate two encoded-report arrays in the group's codec dtype.
 
-
-def _concat_pad(vec: np.ndarray, total: int, modulus: int) -> np.ndarray:
-    if len(vec) != total:
-        raise ValueError(f"share vector length {len(vec)} != {total}")
-    if modulus < (1 << 62):
-        return np.asarray(vec, dtype=np.int64)
-    return np.asarray(vec, dtype=object)
-
-
-def _zeros(n: int, modulus: int) -> np.ndarray:
-    if modulus < (1 << 62):
-        return np.zeros(n, dtype=np.int64)
-    out = np.empty(n, dtype=object)
-    out[:] = 0
-    return out
+    Backwards-compatible wrapper over
+    :meth:`repro.core.ordinal.OrdinalCodec.concat`, which is where the
+    int64-fast-path / object-fallback decision now lives.
+    """
+    return OrdinalCodec(modulus).concat(a, b)

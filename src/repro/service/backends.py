@@ -30,9 +30,7 @@ from typing import Optional
 import numpy as np
 
 from ..crypto.math_utils import RandomLike, as_random
-from ..crypto.secret_sharing import uniform_array
 from ..frequency_oracles.base import FrequencyOracle
-from ..protocol.peos import concat_encoded
 
 
 class ShuffleBackend(ABC):
@@ -67,9 +65,9 @@ class PlainShuffleBackend(ShuffleBackend):
         fo: FrequencyOracle,
         rng: np.random.Generator,
     ) -> np.ndarray:
-        space = fo.report_space
-        fakes = uniform_array(space, n_fake, rng)
-        merged = concat_encoded(encoded, fakes, space)
+        codec = fo.ordinal_codec
+        fakes = codec.uniform(n_fake, rng)
+        merged = codec.concat(encoded, fakes)
         return merged[rng.permutation(len(merged))]
 
 

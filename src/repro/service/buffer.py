@@ -28,10 +28,11 @@ the shuffle backend, which is the party holding the randomness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
+from ..core.ordinal import OrdinalCodec
 from ..core.params import PeosPlan
 
 
@@ -58,11 +59,20 @@ class FlushBatch:
 class ReportBuffer:
     """Accumulate encoded reports and carve them into :class:`FlushBatch` es."""
 
-    def __init__(self, flush_size: int, fakes_per_flush: int, flush_empty: bool = False):
+    def __init__(
+        self,
+        flush_size: int,
+        fakes_per_flush: int,
+        flush_empty: bool = False,
+        codec: Optional[OrdinalCodec] = None,
+    ):
         """``flush_size`` reports trigger a flush; each flush orders
         ``fakes_per_flush`` fake reports.  ``flush_empty`` controls whether
         an epoch with no pending reports still emits an all-fake batch
-        (hiding traffic volume at the cost of pure noise)."""
+        (hiding traffic volume at the cost of pure noise).  ``codec`` fixes
+        the dtype of empty batches to the oracle's ordinal discipline
+        (int64 fast path or object fallback); without one, empty batches
+        default to int64."""
         if flush_size < 1:
             raise ValueError(f"flush size must be >= 1, got {flush_size}")
         if fakes_per_flush < 0:
@@ -72,6 +82,7 @@ class ReportBuffer:
         self.flush_size = int(flush_size)
         self.fakes_per_flush = int(fakes_per_flush)
         self.flush_empty = bool(flush_empty)
+        self.codec = codec
         self.epoch = 0
         self._sequence = 0
         self._pending: List[np.ndarray] = []
@@ -79,10 +90,14 @@ class ReportBuffer:
 
     @classmethod
     def from_plan(
-        cls, plan: PeosPlan, flush_size: int, flush_empty: bool = False
+        cls,
+        plan: PeosPlan,
+        flush_size: int,
+        flush_empty: bool = False,
+        codec: Optional[OrdinalCodec] = None,
     ) -> "ReportBuffer":
         """Size the per-flush fake injection from a Section VI-D plan."""
-        return cls(flush_size, plan.n_r, flush_empty=flush_empty)
+        return cls(flush_size, plan.n_r, flush_empty=flush_empty, codec=codec)
 
     @property
     def pending(self) -> int:
@@ -128,9 +143,12 @@ class ReportBuffer:
             self._pending = []
             self._pending_count = 0
         elif self.flush_empty:
-            batches.append(
-                self._make_batch(np.empty(0, dtype=np.int64), "epoch")
+            empty = (
+                self.codec.zeros(0)
+                if self.codec is not None
+                else np.empty(0, dtype=np.int64)
             )
+            batches.append(self._make_batch(empty, "epoch"))
         self.epoch += 1
         return batches
 

@@ -37,9 +37,8 @@ from ..core.peos_analysis import (
     peos_epsilon_server_grr,
     peos_epsilon_server_solh,
 )
-from ..frequency_oracles import GRR, SOLH
+from ..core.registry import UnknownMechanismError, get_spec
 from ..frequency_oracles.base import FrequencyOracle
-from ..hashing import XXHash32Family
 from .accountant import BudgetExceededError, PrivacyAccountant
 from .aggregator import IncrementalAggregator
 from .backends import ShuffleBackend, make_backend
@@ -258,17 +257,21 @@ def epoch_release_epsilon(
 
 
 def oracle_from_plan(d: int, plan: PeosPlan) -> FrequencyOracle:
-    """Instantiate the planned mechanism.
+    """Instantiate the planned mechanism through the registry.
 
-    SOLH uses the 32-bit-seed hash family so the ordinal report group fits
-    in 64-bit arithmetic (the protocol-backend requirement noted in
-    :mod:`repro.protocol.peos`).
+    The plan's lowercase mechanism id ("grr", "solh") resolves to a
+    :class:`~repro.core.registry.MechanismSpec` whose ``plan_factory``
+    builds the streaming oracle — SOLH with the 32-bit-seed hash family so
+    the ordinal report group fits in 64-bit arithmetic (the
+    protocol-backend requirement noted in :mod:`repro.protocol.peos`).
     """
-    if plan.mechanism == "solh":
-        return SOLH(d, plan.eps_l, plan.d_prime, family=XXHash32Family())
-    if plan.mechanism == "grr":
-        return GRR(d, plan.eps_l)
-    raise ValueError(f"unknown planned mechanism: {plan.mechanism!r}")
+    try:
+        spec = get_spec(plan.mechanism)
+    except UnknownMechanismError as unknown:
+        raise ValueError(f"unknown planned mechanism: {plan.mechanism!r}") from unknown
+    if not spec.streamable:
+        raise ValueError(f"mechanism {spec.name!r} is not streamable")
+    return spec.build_from_plan(d, plan)
 
 
 class TelemetryPipeline:
@@ -286,7 +289,10 @@ class TelemetryPipeline:
         self.clock = clock
         self.fo = oracle_from_plan(config.d, config.plan)
         self.buffer = ReportBuffer.from_plan(
-            config.plan, config.flush_size, flush_empty=config.flush_empty
+            config.plan,
+            config.flush_size,
+            flush_empty=config.flush_empty,
+            codec=self.fo.ordinal_codec,
         )
         self.accountant = PrivacyAccountant(
             config.eps_budget, config.delta_budget, method=config.composition

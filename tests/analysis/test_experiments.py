@@ -6,10 +6,14 @@ import pytest
 from repro.analysis import (
     FIGURE3_METHODS,
     METHODS,
+    SweepResult,
+    UnknownMechanismError,
     build_method,
     format_sweep_table,
     run_sweep,
     run_trial,
+    run_trial_plan,
+    spawn_trial_seeds,
 )
 
 N, D, DELTA = 50_000, 32, 1e-9
@@ -90,3 +94,133 @@ class TestSweeps:
 
     def test_format_empty(self):
         assert format_sweep_table([]) == "(no results)"
+
+
+class TestNameValidation:
+    """Typos must abort the sweep, never become a NaN row."""
+
+    def test_unknown_name_raises_despite_skip_errors(self, rng, small_histogram):
+        with pytest.raises(UnknownMechanismError):
+            run_sweep(
+                ["Base", "SOHL"], small_histogram, [0.5], DELTA, rng,
+                repeats=1, skip_errors=True,
+            )
+
+    def test_unknown_name_is_key_error(self, rng, small_histogram):
+        with pytest.raises(KeyError):
+            run_sweep(["FANCY"], small_histogram, [0.5], DELTA, rng, repeats=1)
+
+    def test_validation_happens_before_any_trial(self, rng):
+        # d=1 would explode at build time for every method; the name check
+        # must fire first.
+        with pytest.raises(UnknownMechanismError):
+            run_sweep(["NOPE"], np.array([5]), [0.5], DELTA, rng, repeats=1)
+
+
+class TestParallelDeterminism:
+    """run_sweep(workers=1) must equal run_sweep(workers=4) bit for bit."""
+
+    def _sweep(self, small_histogram, workers):
+        return run_sweep(
+            ["Base", "SH", "SOLH", "AUE"],
+            small_histogram,
+            [0.1, 0.8],
+            DELTA,
+            np.random.default_rng(99),
+            repeats=3,
+            workers=workers,
+        )
+
+    def test_workers_1_equals_workers_4(self, small_histogram):
+        sequential = self._sweep(small_histogram, 1)
+        parallel = self._sweep(small_histogram, 4)
+        for s, p in zip(sequential, parallel):
+            assert s.method == p.method
+            assert s.eps_values == p.eps_values
+            # Bit-for-bit, not approx: the whole point of per-trial seeding.
+            assert np.array_equal(s.means, p.means, equal_nan=True)
+            assert np.array_equal(s.stds, p.stds, equal_nan=True)
+
+    def test_trial_seeds_depend_only_on_generator_state(self):
+        seeds_a = spawn_trial_seeds(np.random.default_rng(5), 6)
+        seeds_b = spawn_trial_seeds(np.random.default_rng(5), 6)
+        for a, b in zip(seeds_a, seeds_b):
+            assert a.entropy == b.entropy and a.spawn_key == b.spawn_key
+
+    def test_run_trial_plan_skips_none_cells(self, rng, small_histogram):
+        method = build_method("Base", 16, int(small_histogram.sum()), 0.8, DELTA)
+        scores = run_trial_plan([None, method], small_histogram, 2, rng)
+        assert np.isnan(scores[0]).all()
+        assert np.isfinite(scores[1]).all()
+
+    def test_run_trial_plan_validates_arguments(self, rng, small_histogram):
+        with pytest.raises(ValueError):
+            run_trial_plan([], small_histogram, 0, rng)
+        with pytest.raises(ValueError):
+            run_trial_plan([], small_histogram, 1, rng, workers=0)
+
+
+class TestFormatTableGuards:
+    """format_sweep_table must tolerate empty and ragged results."""
+
+    def test_all_rows_empty(self):
+        results = [SweepResult(method="Base"), SweepResult(method="SOLH")]
+        assert format_sweep_table(results) == "(no results)"
+
+    def test_empty_with_caption(self):
+        assert "cap" in format_sweep_table([], caption="cap")
+
+    def test_first_row_empty_others_not(self):
+        # The legacy code read results[0].eps_values and rendered nothing.
+        results = [
+            SweepResult(method="Base"),
+            SweepResult(method="SOLH", eps_values=[0.5], means=[1e-4], stds=[0.0]),
+        ]
+        table = format_sweep_table(results)
+        assert "eps=0.5" in table
+        assert "n/a" in table  # Base's missing cell is padded
+
+    def test_rows_align_by_eps_value_not_position(self):
+        # A row with a different (not just shorter) eps grid must land
+        # under the matching header, not be shifted into the first column.
+        results = [
+            SweepResult(
+                method="A",
+                eps_values=[0.1, 0.8],
+                means=[1.0, 2.0],
+                stds=[0.0, 0.0],
+            ),
+            SweepResult(method="B", eps_values=[0.5], means=[3.0], stds=[0.0]),
+        ]
+        table = format_sweep_table(results)
+        header, _, row_a, row_b = table.splitlines()
+        columns = [header.index(f"eps={e}") for e in (0.1, 0.8, 0.5)]
+        assert row_b[columns[0]:].startswith("n/a")
+        assert row_b[columns[2]:].startswith("3.0000e+00")
+        assert row_a[columns[2]:].startswith("n/a")
+
+    def test_methods_view_uses_exact_canonical_keys(self):
+        # Aliases and case-insensitivity belong to the registry, not the
+        # legacy dict view: membership must agree with iteration.
+        assert "SH" in METHODS
+        assert "grr" not in METHODS  # registry alias of SH
+        assert "solh" not in METHODS  # case variant
+        assert set(METHODS) == {name for name in METHODS}
+        with pytest.raises(KeyError):
+            METHODS["grr"]
+
+    def test_ragged_rows_padded(self):
+        results = [
+            SweepResult(
+                method="Base",
+                eps_values=[0.5, 0.8],
+                means=[1e-4, 2e-4],
+                stds=[0.0, 0.0],
+            ),
+            SweepResult(method="SOLH", eps_values=[0.5], means=[3e-5], stds=[0.0]),
+        ]
+        table = format_sweep_table(results)
+        lines = table.splitlines()
+        assert "eps=0.8" in lines[0]
+        solh_line = next(line for line in lines if line.startswith("SOLH"))
+        assert "n/a" in solh_line

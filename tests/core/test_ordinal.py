@@ -1,0 +1,127 @@
+"""The ordinal codec: dtype discipline, packing, and the int64 boundary."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ordinal import INT64_SAFE_SPACE, OrdinalCodec, uniform_ordinal
+
+SMALL_SPACE = (1 << 32) * 17  # a 32-bit-seed local-hashing group
+HUGE_SPACE = (1 << 64) * 17  # a 64-bit-seed group: object fallback
+
+
+class TestDtypeDiscipline:
+    def test_fast_path_below_boundary(self):
+        assert OrdinalCodec(INT64_SAFE_SPACE - 1).fast
+        assert OrdinalCodec(INT64_SAFE_SPACE - 1).dtype == np.dtype(np.int64)
+
+    def test_object_path_at_boundary(self):
+        assert not OrdinalCodec(INT64_SAFE_SPACE).fast
+        assert OrdinalCodec(INT64_SAFE_SPACE).dtype == np.dtype(object)
+
+    def test_rejects_empty_space(self):
+        with pytest.raises(ValueError):
+            OrdinalCodec(0)
+
+    def test_equality_and_hash(self):
+        assert OrdinalCodec(10) == OrdinalCodec(10)
+        assert OrdinalCodec(10) != OrdinalCodec(11)
+        assert hash(OrdinalCodec(10)) == hash(OrdinalCodec(10))
+
+    @pytest.mark.parametrize("space", [SMALL_SPACE, HUGE_SPACE])
+    def test_constructors_agree_on_dtype(self, space, rng):
+        codec = OrdinalCodec(space)
+        for arr in (
+            codec.zeros(4),
+            codec.asarray([0, 1, 2]),
+            codec.concat([1], [2, 3]),
+            codec.uniform(5, rng),
+        ):
+            assert arr.dtype == codec.dtype
+
+
+class TestArrays:
+    def test_concat_matches_values(self):
+        codec = OrdinalCodec(SMALL_SPACE)
+        merged = codec.concat([1, 2], [3])
+        assert merged.tolist() == [1, 2, 3]
+
+    def test_object_concat_is_exact(self):
+        codec = OrdinalCodec(HUGE_SPACE)
+        big = HUGE_SPACE - 1
+        merged = codec.concat([big], [0])
+        assert merged[0] == big and merged[1] == 0
+
+    def test_pad_check_enforces_length(self):
+        codec = OrdinalCodec(SMALL_SPACE)
+        assert len(codec.pad_check(np.arange(3), 3)) == 3
+        with pytest.raises(ValueError):
+            codec.pad_check(np.arange(3), 4)
+
+    def test_validate_range(self):
+        codec = OrdinalCodec(100)
+        codec.validate([0, 99])
+        with pytest.raises(ValueError):
+            codec.validate([100])
+        with pytest.raises(ValueError):
+            codec.validate([-1])
+
+    def test_validate_empty_is_fine(self):
+        assert len(OrdinalCodec(100).validate([])) == 0
+
+    def test_uniform_in_range(self, rng):
+        draws = OrdinalCodec(50).uniform(2000, rng)
+        assert draws.min() >= 0 and draws.max() < 50
+
+    def test_uniform_object_path_in_range(self, rng):
+        draws = OrdinalCodec(HUGE_SPACE).uniform(50, rng)
+        assert all(0 <= int(v) < HUGE_SPACE for v in draws)
+
+
+class TestPairPacking:
+    @given(
+        seeds=st.lists(st.integers(0, (1 << 32) - 1), min_size=1, max_size=40),
+        base=st.integers(2, 1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_int64_roundtrip(self, seeds, base):
+        codec = OrdinalCodec((1 << 32) * base)
+        lo = [s % base for s in seeds]
+        packed = codec.pack_pairs(
+            np.array(seeds, dtype=np.uint64), np.array(lo, dtype=np.int64), base
+        )
+        assert packed.dtype == np.dtype(np.int64)
+        hi_out, lo_out = codec.unpack_pairs(packed, base)
+        assert hi_out.tolist() == seeds
+        assert lo_out.tolist() == lo
+
+    @given(
+        seeds=st.lists(st.integers(0, (1 << 64) - 1), min_size=1, max_size=20),
+        base=st.integers(2, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_object_roundtrip(self, seeds, base):
+        codec = OrdinalCodec((1 << 64) * base)
+        assert not codec.fast
+        lo = [s % base for s in seeds]
+        packed = codec.pack_pairs(
+            np.array(seeds, dtype=np.uint64), np.array(lo, dtype=np.int64), base
+        )
+        assert packed.dtype == np.dtype(object)
+        hi_out, lo_out = codec.unpack_pairs(packed, base)
+        assert [int(h) for h in hi_out] == seeds
+        assert lo_out.tolist() == lo
+
+
+class TestUniformOrdinal:
+    def test_matches_secret_sharing_alias(self, rng):
+        from repro.crypto.secret_sharing import uniform_array
+
+        a = uniform_ordinal(1000, 100, np.random.default_rng(3))
+        b = uniform_array(1000, 100, np.random.default_rng(3))
+        assert (a == b).all()
+
+    def test_rejects_nonpositive_modulus(self, rng):
+        with pytest.raises(ValueError):
+            uniform_ordinal(0, 5, rng)

@@ -1,0 +1,169 @@
+"""The mechanism registry: specs, capabilities, aliases, and consumers."""
+
+import numpy as np
+import pytest
+
+from repro.core import plan_peos
+from repro.core.registry import (
+    MechanismSpec,
+    UnknownMechanismError,
+    build_mechanism,
+    get_spec,
+    has_mechanism,
+    register,
+    registered_names,
+    specs_with,
+    validate_names,
+)
+
+N, D, DELTA = 50_000, 32, 1e-9
+
+EXPECTED = ("OLH", "Had", "SH", "SOLH", "AUE", "RAP", "RAP_R", "Base", "Lap")
+
+
+class TestLookup:
+    def test_builtin_set_registered(self):
+        for name in EXPECTED:
+            assert has_mechanism(name)
+            assert get_spec(name).name == name
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_spec("solh").name == "SOLH"
+        assert get_spec("rap_r").name == "RAP_R"
+
+    def test_planner_aliases_resolve(self):
+        # The Section VI-D planner emits lowercase mechanism ids.
+        assert get_spec("grr").name == "SH"
+        assert get_spec("solh").name == "SOLH"
+
+    def test_unknown_name_raises_with_suggestion(self):
+        with pytest.raises(UnknownMechanismError) as excinfo:
+            get_spec("SOHL")
+        message = str(excinfo.value)
+        assert "SOLH" in message and "SOHL" in message
+
+    def test_unknown_is_a_key_error(self):
+        with pytest.raises(KeyError):
+            get_spec("FANCY")
+
+    def test_validate_names(self):
+        validate_names(["SOLH", "Base"])
+        with pytest.raises(UnknownMechanismError):
+            validate_names(["SOLH", "NOPE"])
+
+
+class TestCapabilities:
+    def test_ordinal_encodable_set(self):
+        names = {spec.name for spec in specs_with(ordinal_encodable=True)}
+        assert names == {"OLH", "Had", "SH", "SOLH"}
+
+    def test_streamable_specs_have_plan_factories(self):
+        streamable = specs_with(streamable=True)
+        assert {spec.name for spec in streamable} == {"SH", "SOLH"}
+        for spec in streamable:
+            assert spec.plan_factory is not None
+
+    def test_central_only_set(self):
+        names = {spec.name for spec in specs_with(central_only=True)}
+        assert names == {"AUE", "Base", "Lap"}
+
+    def test_every_ordinal_spec_exposes_report_space(self, rng):
+        for spec in specs_with(ordinal_encodable=True):
+            oracle = spec.build(D, N, 0.8, DELTA)
+            assert oracle.report_space >= 2
+            assert oracle.ordinal_codec.space == oracle.report_space
+
+    def test_closed_form_specs_override_sampling(self):
+        from repro.frequency_oracles.base import FrequencyOracle
+
+        for spec in specs_with(closed_form_sampling=True):
+            oracle = spec.build(D, N, 0.8, DELTA)
+            if isinstance(oracle, FrequencyOracle):
+                assert (
+                    type(oracle).sample_support_counts
+                    is not FrequencyOracle.sample_support_counts
+                )
+            else:
+                # Central mechanisms (Lap, Base) estimate straight from the
+                # histogram — closed-form by construction.
+                assert hasattr(oracle, "estimate_from_histogram")
+
+
+class TestBuild:
+    def test_build_matches_legacy_construction(self):
+        olh = build_mechanism("OLH", D, N, 0.8, DELTA)
+        assert olh.eps == pytest.approx(0.8)
+        solh = build_mechanism("SOLH", D, N, 0.8, DELTA)
+        assert solh.eps > 0.8  # amplified local budget
+
+    def test_infeasible_parameters_raise_value_error(self):
+        with pytest.raises(ValueError):
+            build_mechanism("AUE", 8, 80, 0.1, DELTA)
+
+    def test_plan_factory_builds_streaming_oracle(self):
+        plan = plan_peos(1.0, 3.0, 6.0, n=1000, d=16, delta=1e-9)
+        spec = get_spec(plan.mechanism)
+        oracle = spec.build_from_plan(16, plan)
+        assert oracle.d == 16
+        # 32-bit seed family keeps the report group in int64 territory.
+        assert oracle.ordinal_codec.fast
+
+    def test_non_streamable_plan_factory_refused(self):
+        spec = get_spec("Base")
+        with pytest.raises(ValueError):
+            spec.build_from_plan(16, None)
+
+
+class TestRegistration:
+    def test_alias_collision_rejected(self):
+        with pytest.raises(ValueError):
+            register(MechanismSpec(
+                name="Conflicting",
+                factory=lambda d, n, e, dl: None,
+                aliases=("solh",),
+            ))
+        assert not has_mechanism("Conflicting")
+
+    def test_reregistration_replaces_and_drops_stale_aliases(self):
+        spec = MechanismSpec(
+            name="Ephemeral",
+            factory=lambda d, n, e, dl: "v1",
+            aliases=("eph",),
+        )
+        register(spec)
+        try:
+            assert get_spec("eph").name == "Ephemeral"
+            register(MechanismSpec(
+                name="Ephemeral", factory=lambda d, n, e, dl: "v2"
+            ))
+            assert not has_mechanism("eph")  # stale alias dropped
+            assert get_spec("Ephemeral").build(1, 1, 1.0, 0.0) == "v2"
+        finally:
+            from repro.core import registry
+
+            registry._REGISTRY.pop("Ephemeral", None)
+            registry._LOOKUP.pop("ephemeral", None)
+            registry._LOOKUP.pop("eph", None)
+
+    def test_registered_names_preserve_order(self):
+        names = registered_names()
+        assert tuple(n for n in names if n in EXPECTED) == EXPECTED
+
+
+class TestServiceIntegration:
+    def test_oracle_from_plan_resolves_through_registry(self):
+        from repro.service.pipeline import oracle_from_plan
+
+        plan = plan_peos(1.0, 3.0, 6.0, n=1000, d=16, delta=1e-9)
+        oracle = oracle_from_plan(16, plan)
+        assert oracle.d == 16
+        assert get_spec(plan.mechanism).streamable
+
+    def test_oracle_from_plan_rejects_unknown_mechanism(self):
+        from dataclasses import replace
+
+        from repro.service.pipeline import oracle_from_plan
+
+        plan = plan_peos(1.0, 3.0, 6.0, n=1000, d=16, delta=1e-9)
+        with pytest.raises(ValueError):
+            oracle_from_plan(16, replace(plan, mechanism="nonsense"))

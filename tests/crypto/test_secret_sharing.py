@@ -44,6 +44,21 @@ class TestVector:
         shares = share_vector(values, 3, modulus, rng)
         assert list(reconstruct_vector(shares, modulus)) == list(values)
 
+    def test_uint64_above_int64_reduced_exactly(self, rng):
+        # Regression: a plain int64 cast would wrap 2^63 + 5 to a negative
+        # value and share the wrong residue.
+        values = np.array([2**63 + 5, 2**64 - 1, 0], dtype=np.uint64)
+        shares = share_vector(values, 2, 11, rng)
+        expected = [int(v) % 11 for v in values]
+        assert list(reconstruct_vector(shares, 11)) == expected
+
+    def test_object_values_above_int64_small_modulus(self, rng):
+        # Same regression guard via the object-dtype path.
+        values = np.array([2**70 + 3, 2**63 + 5], dtype=object)
+        shares = share_vector(values, 3, 97, rng)
+        expected = [int(v) % 97 for v in values]
+        assert list(reconstruct_vector(shares, 97)) == expected
+
     def test_single_missing_share_is_uninformative(self, rng):
         # Without one share the partial sum is uniform: check statistically
         # that partial sums of a fixed secret cover the group.
