@@ -1,5 +1,9 @@
 """Figure 3 — MSE vs eps_c on the IPUMS dataset, all competitors.
 
+Runs through the :mod:`repro.api` facade (one ``ShuffleSession.sweep``
+call) and emits both the paper-style table and the structured
+``SweepResultSet`` in the shared benchmark JSON envelope.
+
 Expected shape (paper):
 * SH has no amplification below eps_c ~ sqrt(14 ln(2/delta) d / (n-1)) and
   is then worse than the Base random guess;
@@ -10,12 +14,11 @@ Expected shape (paper):
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.analysis import FIGURE3_METHODS, format_sweep_table, run_sweep
-from repro.data import ipums_like
+from repro.analysis import FIGURE3_METHODS
+from repro.api import DeploymentConfig, PrivacyBudget, ShuffleSession
 
 from bench_common import (
+    BenchResult,
     bench_repeats,
     bench_rng,
     bench_scale,
@@ -29,47 +32,55 @@ DELTA = 1e-9
 EPS_GRID = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0]
 
 
-def _experiment() -> str:
+def _experiment() -> BenchResult:
+    from repro.data import ipums_like
+
     rng = bench_rng()
     data = ipums_like(rng, scale=bench_scale())
-    results = run_sweep(
-        FIGURE3_METHODS,
+    session = ShuffleSession(
+        DeploymentConfig(mechanism="SOLH", d=data.d),
+        PrivacyBudget(eps=min(EPS_GRID), delta=DELTA),
+    )
+    sweep = session.sweep(
         data.histogram,
         EPS_GRID,
-        DELTA,
-        rng,
+        methods=FIGURE3_METHODS,
         repeats=bench_repeats(),
         workers=bench_workers(),
+        rng=rng,
     )
     caption = (
         f"IPUMS-like dataset: n={data.n}, d={data.d} "
         f"(paper: n=602325, d=915; scale={bench_scale()}), delta={DELTA}, "
         f"{bench_repeats()} repeats. Values are MSE."
     )
-    table = format_sweep_table(results, caption)
+    table = sweep.table(caption)
 
     # Shape assertions documented in EXPERIMENTS.md.
-    by_name = {r.method: r for r in results}
     checks = []
-    solh_small = by_name["SOLH"].means[1]
-    sh_small = by_name["SH"].means[1]
-    base = by_name["Base"].means[1]
-    olh = by_name["OLH"].means[-1]
-    solh_large = by_name["SOLH"].means[-1]
-    lap = by_name["Lap"].means[-1]
+    solh_small = sweep["SOLH"].means[1]
+    sh_small = sweep["SH"].means[1]
+    base = sweep["Base"].means[1]
+    olh = sweep["OLH"].means[-1]
+    solh_large = sweep["SOLH"].means[-1]
+    lap = sweep["Lap"].means[-1]
     checks.append(("SH worse than Base at eps_c=0.2", sh_small > base))
     checks.append(("SOLH beats SH by >100x at eps_c=0.2", solh_small * 100 < sh_small))
     checks.append(("SOLH beats OLH by >50x at eps_c=1.0", solh_large * 50 < olh))
     checks.append(("Lap beats SOLH at eps_c=1.0", lap < solh_large))
     check_lines = [f"  [{'ok' if ok else 'MISMATCH'}] {label}" for label, ok in checks]
-    return table + "\nShape checks:\n" + "\n".join(check_lines)
+    return BenchResult(
+        table=table + "\nShape checks:\n" + "\n".join(check_lines),
+        sweep=sweep,
+        extra={"shape_checks": {label: bool(ok) for label, ok in checks}},
+    )
 
 
 def bench_figure3(benchmark):
     """Regenerate Figure 3's series (printed as a table)."""
-    table = run_once(benchmark, _experiment)
-    emit("fig3_frequency_estimation", table)
-    assert "MISMATCH" not in table
+    result = run_once(benchmark, _experiment)
+    emit("fig3_frequency_estimation", result)
+    assert "MISMATCH" not in result.table
 
 
 if __name__ == "__main__":

@@ -1,8 +1,9 @@
 """Streaming-service throughput: reports/sec and flush latency.
 
 Unlike the table/figure benches this one measures the new subsystem, not
-the paper, so it emits machine-readable JSON (consumed by the roadmap's
-scaling work to track regressions):
+the paper; its machine-readable numbers ride the shared benchmark JSON
+envelope's ``extra`` field (consumed by the roadmap's scaling work to
+track regressions):
 
 * the **materialized** path — the full ``TelemetryPipeline`` with the
   ``plain`` backend (vectorized privatize + fake injection + permutation
@@ -17,7 +18,6 @@ etc.; see bench_common).
 
 from __future__ import annotations
 
-import json
 import time
 
 import numpy as np
@@ -26,7 +26,7 @@ from repro.data import zipf_histogram
 from repro.data.synthetic import values_from_histogram
 from repro.service import IncrementalAggregator, StreamConfig, TelemetryPipeline
 
-from bench_common import bench_rng, bench_scale, emit, run_once
+from bench_common import BenchResult, bench_rng, bench_scale, emit, run_once
 
 D = 64
 EPOCHS = 5
@@ -35,7 +35,7 @@ DELTA = 1e-9
 EPS_TARGETS = (1.0, 3.0, 6.0)
 
 
-def _experiment() -> str:
+def _experiment() -> BenchResult:
     rng = bench_rng()
     epoch_size = max(1000, int(BASE_EPOCH_SIZE * bench_scale()))
     flush_size = max(500, epoch_size // 2)
@@ -71,7 +71,7 @@ def _experiment() -> str:
             statistical_folds += 1
     statistical_elapsed = time.perf_counter() - started
 
-    payload = {
+    extra = {
         "backend": config.backend,
         "mechanism": config.plan.mechanism,
         "d": D,
@@ -100,13 +100,28 @@ def _experiment() -> str:
             ),
         },
     }
-    return json.dumps(payload, indent=2)
+    def rate(value) -> str:
+        return f"{value:,.0f} reports/s" if value else "n/a"
+
+    table = (
+        f"{config.plan.mechanism.upper()} via {config.backend} backend: "
+        f"{extra['released_reports']} reports released over {EPOCHS} epochs\n"
+        f"ingest  : {rate(extra['ingest_reports_per_sec'])} "
+        f"(privatize + encode + buffer + release + fold)\n"
+        f"release : {rate(extra['release_reports_per_sec'])} "
+        f"(backend shuffle + decode + fold only)\n"
+        f"flush latency: mean {extra['mean_flush_latency_s'] * 1e3:.1f} ms, "
+        f"max {extra['max_flush_latency_s'] * 1e3:.1f} ms\n"
+        f"statistical path: "
+        f"{rate(extra['statistical_path']['reports_per_sec'])} "
+        f"over {extra['statistical_path']['folds']} closed-form folds"
+    )
+    return BenchResult(table=table, extra=extra)
 
 
 def bench_service_throughput(benchmark):
     """Measure the streaming service's sustained ingest rate."""
-    report = run_once(benchmark, _experiment)
-    emit("service_throughput", report)
-    payload = json.loads(report)
-    assert payload["released_reports"] > 0
-    assert payload["ingest_reports_per_sec"] > 0
+    result = run_once(benchmark, _experiment)
+    emit("service_throughput", result)
+    assert result.extra["released_reports"] > 0
+    assert result.extra["ingest_reports_per_sec"] > 0

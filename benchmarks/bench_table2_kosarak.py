@@ -10,12 +10,14 @@ Rows reproduced:
 
 from __future__ import annotations
 
-from repro.analysis import mse
+from repro.analysis import SweepResult, mse
+from repro.api import SweepResultSet
 from repro.core import solh_optimal_d_prime
 from repro.data import kosarak_like
 from repro.frequency_oracles import SOLH, make_rap_r
 
 from bench_common import (
+    BenchResult,
     bench_repeats,
     bench_rng,
     bench_scale,
@@ -30,7 +32,7 @@ EPS_GRID = [0.2, 0.4, 0.6, 0.8]
 FIXED_D_PRIMES = [10, 100, 1000]
 
 
-def _experiment() -> str:
+def _experiment() -> BenchResult:
     from repro.analysis import run_trial_plan
 
     rng = bench_rng()
@@ -105,14 +107,47 @@ def _experiment() -> str:
         f"  [{'ok' if ok_rap else 'MISMATCH'}] RAP_R more accurate than SOLH "
         "(it spends 2x the budget)"
     )
-    return "\n".join(lines)
+
+    # Structured form in the shared sweep schema: one labeled row per
+    # table variant (the labels are not registry names — ablation rows).
+    stds = scores.std(axis=1)
+    row_labels = [label for label, __ in variants] + ["RAP_R"]
+    sweep = SweepResultSet(
+        results=tuple(
+            SweepResult(
+                method=label,
+                eps_values=list(EPS_GRID),
+                means=[float(v) for v in means[i * n_eps:(i + 1) * n_eps]],
+                stds=[float(v) for v in stds[i * n_eps:(i + 1) * n_eps]],
+            )
+            for i, label in enumerate(row_labels)
+        ),
+        eps_values=tuple(EPS_GRID),
+        delta=DELTA,
+        repeats=repeats,
+        workers=bench_workers(),
+        metric="mse",
+        d=data.d,
+        n=data.n,
+    )
+    return BenchResult(
+        table="\n".join(lines),
+        sweep=sweep,
+        extra={
+            "solh_optimal_d_prime": [int(v) for v in d_prime_row],
+            "shape_checks": {
+                "optimal_dprime_beats_fixed_1000": bool(ok_fixed),
+                "rap_r_beats_solh": bool(ok_rap),
+            },
+        },
+    )
 
 
 def bench_table2(benchmark):
     """Regenerate Table II (d' choices and utility comparison)."""
-    table = run_once(benchmark, _experiment)
-    emit("table2_kosarak", table)
-    assert "MISMATCH" not in table
+    result = run_once(benchmark, _experiment)
+    emit("table2_kosarak", result)
+    assert "MISMATCH" not in result.table
 
 
 if __name__ == "__main__":

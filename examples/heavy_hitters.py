@@ -7,33 +7,41 @@ TreeHist walks a prefix tree, pruning to the top 32 prefixes per round
 with a pluggable private frequency estimator.
 
 We run the same task with the paper's SOLH (shuffle model), plain-LDP OLH,
-and the central-DP Laplace upper bound, and report top-32 precision.
+and the central-DP Laplace upper bound, and report top-k precision.  The
+budget is validated once through the facade's ``PrivacyBudget``; the
+per-round estimators are the same registry mechanisms a ``ShuffleSession``
+would deploy.
 
 Run:  python examples/heavy_hitters.py
+      REPRO_EXAMPLE_SCALE=0.05 python examples/heavy_hitters.py
 """
+
+import os
 
 import numpy as np
 
 from repro.analysis import precision_at_k, treehist
+from repro.api import PrivacyBudget
 from repro.data import aol_like
 
-EPS = 1.0
-DELTA = 1e-9
-K = 32
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+BUDGET = PrivacyBudget(eps=1.0, delta=1e-9)
+K = 32 if SCALE >= 0.5 else 8
 
 
 def main() -> None:
     rng = np.random.default_rng(3)
-    data = aol_like(rng, scale=0.4)
+    data = aol_like(rng, scale=0.4 * SCALE)
     distinct = len(np.unique(data.values))
     print(f"query log: {data.n} queries, {distinct} distinct 48-bit strings")
-    print(f"task: find the top-{K} queries under ({EPS}, {DELTA})-DP\n")
+    print(f"task: find the top-{K} queries under "
+          f"({BUDGET.eps}, {BUDGET.delta})-DP\n")
 
     truth = data.top_k(K)
     truth_set = {int(v) for v in truth}
 
     for method in ("SOLH", "OLH", "Lap"):
-        result = treehist(data, method, EPS, DELTA, rng, k=K)
+        result = treehist(data, method, BUDGET.eps, BUDGET.delta, rng, k=K)
         precision = precision_at_k(truth, result.discovered)
         model = {
             "SOLH": "shuffle model (every user, eps/6 per round)",

@@ -4,24 +4,33 @@
 Beyond histograms, the other canonical shuffle-model task (the related
 work the paper points to in Section VIII): estimate the average of a
 bounded numerical value — say, daily screen-time minutes in [0, 600] —
-over 200k users. We compare the one-bit mechanism locally vs through the
+over 200k users.  We compare the one-bit mechanism locally vs through the
 shuffler, with confidence intervals from the analytical variance bound.
 
+The numeric estimators live outside the categorical registry, so this
+workload is not (yet) a ``ShuffleSession`` verb; the facade still
+supplies the validated budget types, and the local-vs-central budget
+semantics match ``PrivacyBudget.model`` exactly.
+
 Run:  python examples/mean_estimation.py
+      REPRO_EXAMPLE_SCALE=0.05 python examples/mean_estimation.py
 """
+
+import os
 
 import numpy as np
 
+from repro.api import PrivacyBudget
 from repro.frequency_oracles import (
     OneBitMeanEstimator,
     make_shuffled_mean_estimator,
     mean_confidence_halfwidth,
 )
 
-N_USERS = 200_000
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+N_USERS = max(5_000, int(200_000 * SCALE))
 LOW, HIGH = 0.0, 600.0   # minutes per day
-EPS_C = 0.3
-DELTA = 1e-9
+BUDGET = PrivacyBudget(eps=0.3, delta=1e-9)
 
 
 def main() -> None:
@@ -31,16 +40,16 @@ def main() -> None:
     true_mean = float(values.mean())
     print(f"population: {N_USERS} users, values in [{LOW:.0f}, {HIGH:.0f}] minutes")
     print(f"true mean: {true_mean:.2f} minutes")
-    print(f"central target: ({EPS_C}, {DELTA})-DP\n")
+    print(f"central target: ({BUDGET.eps}, {BUDGET.delta})-DP\n")
 
-    local = OneBitMeanEstimator(LOW, HIGH, EPS_C)
+    local = OneBitMeanEstimator(LOW, HIGH, BUDGET.eps)
     local_estimate = local.run(values, rng)
     local_halfwidth = mean_confidence_halfwidth(local, N_USERS)
     print(f"local model    eps_local={local.eps:.3f}  "
           f"estimate={local_estimate:7.2f} +- {local_halfwidth:.2f} (95%)")
 
     shuffled, amplification = make_shuffled_mean_estimator(
-        LOW, HIGH, EPS_C, N_USERS, DELTA
+        LOW, HIGH, BUDGET.eps, N_USERS, BUDGET.delta
     )
     shuffled_estimate = shuffled.run(values, rng)
     shuffled_halfwidth = mean_confidence_halfwidth(shuffled, N_USERS)

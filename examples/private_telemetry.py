@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Scenario: a continuously running PEOS telemetry service.
+"""Scenario: a continuously running PEOS telemetry service, via repro.api.
 
 A vendor collects the most-used feature (one of 200) from a population of
 clients that report in daily epochs.  Security requirements per *release*
@@ -10,25 +10,31 @@ clients that report in daily epochs.  Security requirements per *release*
 * eps_3 = 5.0 even if the server corrupts a majority of the shufflers
   (``Adv_a`` — then only local randomization protects users).
 
-The Section VI-D planner sizes one *flush* (mechanism, local budget, hash
-domain, fake-report count); the streaming service of :mod:`repro.service`
-then runs the deployment across epochs: buffering, per-flush fake
-injection, incremental aggregation, and a cross-epoch privacy accountant
-that refuses releases once the lifetime budget is spent — here the budget
-admits four epochs and the demo runs five, so the last one is dropped.
+One facade call — ``ShuffleSession.stream`` — runs the Section VI-D
+planner (mechanism, local budget, hash domain, fake-report count per
+flush) and wires the streaming service of :mod:`repro.service`: buffering,
+per-flush fake injection, incremental aggregation, and a cross-epoch
+privacy accountant that refuses releases once the lifetime budget is
+spent — here the budget admits four epochs and the demo runs five, so the
+last one is dropped.
 
 Run:  python examples/private_telemetry.py
+      REPRO_EXAMPLE_SCALE=0.05 python examples/private_telemetry.py
 """
+
+import os
 
 import numpy as np
 
+from repro.api import DeploymentConfig, PrivacyBudget, ShuffleSession
 from repro.data import zipf_histogram
 from repro.data.synthetic import values_from_histogram
 from repro.protocol import PEOSDeployment, ThreatReport
-from repro.service import StreamConfig, TelemetryPipeline
+from repro.service import flushes_per_epoch
 
-EPOCH_SIZE = 100_000  # clients reporting per epoch
-FLUSH_SIZE = 50_000  # reports per release
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+EPOCH_SIZE = max(2_000, int(100_000 * SCALE))  # clients reporting per epoch
+FLUSH_SIZE = EPOCH_SIZE // 2  # reports per release
 N_FEATURES = 200
 DELTA = 1e-9
 EPS_TARGETS = (0.5, 2.0, 5.0)
@@ -46,17 +52,26 @@ def main() -> None:
           f"Adv_u <= {EPS_TARGETS[1]}, Adv_a <= {EPS_TARGETS[2]} "
           f"(delta={DELTA})\n")
 
-    # --- plan one flush and size the lifetime budget -------------------------
-    flushes_per_epoch = EPOCH_SIZE // FLUSH_SIZE
-    config = StreamConfig.from_targets(
-        d=N_FEATURES,
-        flush_size=FLUSH_SIZE,
-        eps_targets=EPS_TARGETS,
-        delta=DELTA,
-        admitted_flushes=BUDGET_EPOCHS * flushes_per_epoch,
-        r=N_SHUFFLERS,
+    # --- one facade call plans the flush and sizes the lifetime budget ------
+    # Epoch-based budgeting prices the *actual* flush schedule (full
+    # flushes plus any epoch-end remainder), so the "admits four epochs"
+    # narrative holds at any REPRO_EXAMPLE_SCALE.  The "plain" backend
+    # models honest shufflers without crypto so the demo runs at full
+    # population scale; examples/secure_deployment.py exercises the same
+    # release path through the real PEOS crypto.
+    session = ShuffleSession(
+        DeploymentConfig(mechanism="auto", d=N_FEATURES, r=N_SHUFFLERS),
+        PrivacyBudget(eps=EPS_TARGETS[0], delta=DELTA),
     )
-    plan = config.plan
+    pipeline = session.stream(
+        FLUSH_SIZE,
+        eps_targets=EPS_TARGETS,
+        epoch_size=EPOCH_SIZE,
+        admitted_epochs=BUDGET_EPOCHS,
+        rng=rng,
+    )
+    config, plan = pipeline.config, pipeline.config.plan
+    admitted = BUDGET_EPOCHS * flushes_per_epoch(EPOCH_SIZE, FLUSH_SIZE)
     print("planner output (Section VI-D, per flush):")
     print(f"  mechanism     : {plan.mechanism.upper()}")
     print(f"  local budget  : eps_l = {plan.eps_l:.3f}")
@@ -65,8 +80,7 @@ def main() -> None:
           f"({plan.n_r / FLUSH_SIZE:.1%} of a flush)")
     print(f"  predicted variance: {plan.variance:.3e}")
     print(f"lifetime budget: eps = {config.eps_budget:.3f} "
-          f"(admits {BUDGET_EPOCHS * flushes_per_epoch} flushes = "
-          f"{BUDGET_EPOCHS} epochs)\n")
+          f"(admits {admitted} flushes = {BUDGET_EPOCHS} epochs)\n")
 
     # --- evaluate one release against every adversary position ---------------
     deployment = PEOSDeployment(
@@ -83,10 +97,6 @@ def main() -> None:
         print(f"  {name:<38} eps = {eps:.3f}")
 
     # --- run the service across epochs ----------------------------------------
-    # The "plain" backend models honest shufflers without crypto so the demo
-    # runs at full population scale; examples/secure_deployment.py exercises
-    # the same release path through the real PEOS crypto.
-    pipeline = TelemetryPipeline(config, rng)
     submitted = []
     print(f"\n{'epoch':>5}  {'released':>8}  {'fakes':>7}  {'latency_s':>9}  "
           f"{'reports/s':>10}  {'eps_spent':>9}")

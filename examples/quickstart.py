@@ -1,23 +1,26 @@
 #!/usr/bin/env python3
-"""Quickstart: private frequency estimation in the shuffle model.
+"""Quickstart: private frequency estimation through the repro.api facade.
 
 A server wants the histogram of a sensitive categorical attribute over
-~60k users without learning any individual's value.  We compare:
+~60k users without learning any individual's value.  One ``ShuffleSession``
+per deployment:
 
-* plain local DP (OLH) at the same central guarantee, and
-* SOLH — the paper's shuffler-optimal mechanism — which exploits the
-  shuffle model's privacy amplification to add far less noise.
+* plain local DP (OLH) — the budget is spent locally (``model="local"``);
+* SOLH — the paper's shuffler-optimal mechanism — at the same *central*
+  guarantee, exploiting the shuffle model's privacy amplification.
 
 Run:  python examples/quickstart.py
+      REPRO_EXAMPLE_SCALE=0.05 python examples/quickstart.py   (CI smoke)
 """
+
+import os
 
 import numpy as np
 
-from repro.analysis import mse
-from repro.core import solh_variance_shuffled
+from repro.api import DeploymentConfig, PrivacyBudget, ShuffleSession
 from repro.data import ipums_like
-from repro.frequency_oracles import OLH, SOLH
 
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
 EPS_C = 0.5     # central privacy target against the server
 DELTA = 1e-9
 
@@ -26,33 +29,43 @@ def main() -> None:
     rng = np.random.default_rng(7)
 
     # A census-shaped population: 915 cities, ~60k users.
-    data = ipums_like(rng, scale=0.1)
+    data = ipums_like(rng, scale=0.1 * SCALE)
     print(f"population: n={data.n} users, d={data.d} values")
     print(f"central target: ({EPS_C}, {DELTA})-DP against the server\n")
 
-    # --- local DP baseline -------------------------------------------------
-    olh = OLH(data.d, EPS_C)
-    olh_estimates = olh.estimate_from_histogram(data.histogram, rng)
-    print(f"OLH  (local model)   d'={olh.d_prime:<5} eps_local={olh.eps:.3f}  "
-          f"MSE={mse(data.frequencies, olh_estimates):.3e}")
+    # --- local DP baseline: eps is spent directly by each user --------------
+    local = ShuffleSession(
+        DeploymentConfig(mechanism="OLH", d=data.d),
+        PrivacyBudget(eps=EPS_C, delta=DELTA, model="local"),
+    ).estimate(data.histogram, rng=rng)
+    print(f"OLH  (local model)   d'={local.amplification.d_prime:<5} "
+          f"eps_local={local.amplification.eps_l:.3f}  "
+          f"MSE={local.mse(data.frequencies):.3e}")
 
     # --- SOLH in the shuffle model ------------------------------------------
-    solh, amplification = SOLH.for_central_target(data.d, EPS_C, data.n, DELTA)
-    solh_estimates = solh.estimate_from_histogram(data.histogram, rng)
-    print(f"SOLH (shuffle model) d'={solh.d_prime:<5} eps_local={solh.eps:.3f}  "
-          f"MSE={mse(data.frequencies, solh_estimates):.3e}")
-    print(f"\namplification: each user spends eps_l={amplification.eps_l:.3f} "
-          f"locally ({amplification.gain:.1f}x the central target) because the "
-          "shuffler breaks report-user linkage")
-    print(f"predicted SOLH variance (Prop. 6): "
-          f"{solh_variance_shuffled(EPS_C, data.n, DELTA):.3e}")
+    session = ShuffleSession(
+        DeploymentConfig(mechanism="SOLH", d=data.d),
+        PrivacyBudget(eps=EPS_C, delta=DELTA),
+    )
+    shuffled = session.estimate(data.histogram, rng=rng)
+    print(f"SOLH (shuffle model) d'={shuffled.amplification.d_prime:<5} "
+          f"eps_local={shuffled.amplification.eps_l:.3f}  "
+          f"MSE={shuffled.mse(data.frequencies):.3e}")
+    print(f"\namplification: each user spends "
+          f"eps_l={shuffled.amplification.eps_l:.3f} locally "
+          f"({shuffled.amplification.gain:.1f}x the central target) because "
+          "the shuffler breaks report-user linkage")
+    print(f"predicted SOLH variance (Prop. 6, via the registry): "
+          f"{shuffled.variance:.3e}")
+    band = shuffled.confidence_band(0.95)
+    print(f"95% confidence halfwidth: {band.halfwidth:.4f} "
+          f"(empirical coverage here: {band.coverage(data.frequencies):.2f})")
 
     # --- what the server actually learns ------------------------------------
-    top = np.argsort(-data.frequencies)[:5]
     print("\ntop-5 values, true vs SOLH estimate:")
-    for v in top:
+    for v in shuffled.top_k(5):
         print(f"  value {v:>4}: true={data.frequencies[v]:.4f}  "
-              f"estimate={solh_estimates[v]:.4f}")
+              f"estimate={shuffled.estimates[v]:.4f}")
 
 
 if __name__ == "__main__":

@@ -11,11 +11,19 @@ shufflers, real Paillier / secret sharing / encrypted oblivious shuffle):
 3. the SS (sequential shuffle) baseline under a report-replacement attack,
    caught by the server's spot-check dummy accounts.
 
+The GRR local budget is validated through the facade's ``PrivacyBudget``
+(``model="local"``: under ``Adv_a`` only local randomization protects
+users, exactly that model's semantics).
+
 Run:  python examples/secure_deployment.py   (takes ~1 minute: real crypto)
+      REPRO_EXAMPLE_SCALE=0.05 python examples/secure_deployment.py
 """
+
+import os
 
 import numpy as np
 
+from repro.api import PrivacyBudget
 from repro.costs import CostTracker
 from repro.crypto import paillier
 from repro.frequency_oracles import GRR
@@ -26,18 +34,24 @@ from repro.protocol.attacks import (
 )
 from repro.shuffle import generate_keys, sequential_shuffle
 
-N_USERS = 400
-N_FAKE = 100
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1.0"))
+N_USERS = max(60, int(400 * SCALE))
+N_FAKE = max(20, int(100 * SCALE))
+N_POISON_FAKE = max(200, int(800 * SCALE))
 DOMAIN = 8
 R = 3
+# Real Paillier dominates the runtime; the CI smoke run shrinks the demo
+# key (still far above the generate_keypair floor, still real crypto).
+KEY_BITS = 768 if SCALE >= 1.0 else 384
+LOCAL_BUDGET = PrivacyBudget(eps=3.0, model="local")
 
 
 def main() -> None:
     rng = np.random.default_rng(21)
-    print("generating server AHE keypair (Paillier, 768-bit demo key)...")
-    pub, priv = paillier.generate_keypair(key_bits=768, rng=5)
+    print(f"generating server AHE keypair (Paillier, {KEY_BITS}-bit demo key)...")
+    pub, priv = paillier.generate_keypair(key_bits=KEY_BITS, rng=5)
 
-    fo = GRR(DOMAIN, 3.0)
+    fo = GRR(DOMAIN, LOCAL_BUDGET.eps)
     values = rng.choice(DOMAIN, size=N_USERS, p=np.linspace(2, 0.2, DOMAIN) / np.linspace(2, 0.2, DOMAIN).sum())
     truth = np.bincount(values, minlength=DOMAIN) / N_USERS
 
@@ -61,15 +75,15 @@ def main() -> None:
     # --- 2. poisoning attempt against PEOS ---------------------------------
     print("\npoisoning attempt: shufflers 0 and 1 submit constant fake shares")
     poisoned = run_peos(
-        [], fo, r=R, n_fake=800, ahe_public=pub, ahe_decrypt=priv.decrypt,
-        rng=rng, crypto_rng=9,
+        [], fo, r=R, n_fake=N_POISON_FAKE, ahe_public=pub,
+        ahe_decrypt=priv.decrypt, rng=rng, crypto_rng=9,
         malicious_fake_shares={
             0: constant_share_attack(0),
             1: constant_share_attack(5),
         },
     )
     counts = np.bincount(poisoned.shuffled_reports.astype(int), minlength=DOMAIN)
-    expected = 800 / DOMAIN
+    expected = N_POISON_FAKE / DOMAIN
     chi2 = float(((counts - expected) ** 2 / expected).sum())
     print(f"  resulting fake-report histogram: {counts.tolist()}")
     print(f"  chi-square vs uniform: {chi2:.1f} "
@@ -87,7 +101,7 @@ def main() -> None:
     from repro.hashing import XXHash32Family
     from repro.protocol.attacks import replacement_tamper
 
-    solh = SOLH(DOMAIN, 3.0, 8, family=XXHash32Family())
+    solh = SOLH(DOMAIN, LOCAL_BUDGET.eps, 8, family=XXHash32Family())
     reports = solh.encode_reports(solh.privatize(values[:100], rng))
     report_width = 5  # bytes per 2^35 report group
     remaining = [kp.public for kp in keys.shufflers[1:]] + [keys.server.public]

@@ -3,9 +3,13 @@ Shuffler-based Differential Privacy" (Wang et al., VLDB 2020).
 
 Layout:
 
+* :mod:`repro.api` — **the front door**: typed configs, a
+  :class:`~repro.api.ShuffleSession` with the three verbs
+  (``estimate`` / ``sweep`` / ``stream``), and rich result objects.
 * :mod:`repro.core` — shuffle-model accounting: amplification bounds
   (Table I, Theorems 1-3), utility analysis (Propositions 4-6, Eq. 5),
-  PEOS privacy/utility (Corollaries 8-9), and the Section VI-D planner.
+  PEOS privacy/utility (Corollaries 8-9), the Section VI-D planner, and
+  the mechanism registry every layer resolves through.
 * :mod:`repro.frequency_oracles` — GRR, OLH, Hadamard, RAPPOR variants,
   AUE, SOLH, and central baselines.
 * :mod:`repro.hashing` — seeded universal hash families.
@@ -21,28 +25,58 @@ Layout:
   cross-epoch budget accounting, pluggable shuffle backends, and an
   incremental analyzer.
 
-Quick start::
+Quick start — one session object covers one-shot, sweep, and streaming::
 
     import numpy as np
+    from repro import DeploymentConfig, PrivacyBudget, ShuffleSession
     from repro.data import ipums_like
-    from repro.frequency_oracles import SOLH
 
-    rng = np.random.default_rng(0)
-    data = ipums_like(rng, scale=0.1)
-    oracle, amplification = SOLH.for_central_target(
-        d=data.d, eps_c=0.5, n=data.n, delta=1e-9
+    data = ipums_like(np.random.default_rng(0), scale=0.1)
+    session = ShuffleSession(
+        DeploymentConfig(mechanism="SOLH", d=data.d),
+        PrivacyBudget(eps=0.5, delta=1e-9),
     )
-    estimates = oracle.estimate_from_histogram(data.histogram, rng)
+
+    result = session.estimate(data.histogram, seed=0)
+    print(result.estimates[:5], result.amplification.gain, result.variance)
+
+    sweep = session.sweep(data.histogram, [0.2, 0.5, 1.0], repeats=5, seed=0)
+    print(sweep.table())
+
+    pipeline = session.stream(flush_size=10_000)   # TelemetryPipeline
+    pipeline.submit(np.random.default_rng(1).integers(0, data.d, 10_000))
+    print(pipeline.end_epoch())
+
+The legacy entry points (direct oracle construction,
+``analysis.run_sweep``, ``service.TelemetryPipeline``) remain supported
+and bit-identical; the facade is a thin validated wrapper over them.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from . import analysis, core, costs, crypto, data, frequency_oracles, hashing
-from . import protocol, service, shuffle
+from . import analysis, api, core, costs, crypto, data, frequency_oracles
+from . import hashing, protocol, service, shuffle
+from .api import (
+    Amplification,
+    ConfigError,
+    DeploymentConfig,
+    EstimateResult,
+    PrivacyBudget,
+    ShuffleSession,
+    SweepResultSet,
+)
 
 __all__ = [
     "__version__",
+    "Amplification",
+    "ConfigError",
+    "DeploymentConfig",
+    "EstimateResult",
+    "PrivacyBudget",
+    "ShuffleSession",
+    "SweepResultSet",
     "analysis",
+    "api",
     "core",
     "costs",
     "crypto",

@@ -1,0 +1,8 @@
+"""``python -m repro`` — identical to ``python -m repro.cli`` / ``repro``."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

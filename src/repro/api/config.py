@@ -1,0 +1,136 @@
+"""Frozen configuration dataclasses for the :mod:`repro.api` facade.
+
+Two values fully describe a deployment:
+
+* :class:`PrivacyBudget` — how much privacy is spent and in which trust
+  model (``"central"``: eps is the target against the server after
+  shuffling; ``"local"``: eps is what each user's randomizer spends with
+  no shuffler in the loop).
+* :class:`DeploymentConfig` — what runs where: the mechanism (resolved
+  and canonicalized against :mod:`repro.core.registry`, with did-you-mean
+  suggestions on typos), the value domain, the population, and the
+  shuffle-backend knobs the streaming verb uses.
+
+Both validate eagerly in ``__post_init__`` and raise
+:class:`~repro.core.errors.ConfigError` naming the offending field, so a
+misconfiguration fails at construction — never as a numpy error three
+layers down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.errors import (
+    ConfigError,
+    validate_backend_name,
+    validate_composition,
+    validate_domain_size,
+    validate_shuffler_count,
+)
+from ..core.registry import MechanismSpec, UnknownMechanismError, get_spec
+
+#: privacy models a budget can be expressed in
+MODELS = ("central", "local")
+
+#: the sentinel mechanism name that defers the choice to the Section VI-D
+#: planner (valid only for the streaming verb)
+AUTO_MECHANISM = "auto"
+
+
+@dataclass(frozen=True)
+class PrivacyBudget:
+    """An ``(eps, delta)`` differential-privacy budget in a trust model.
+
+    ``model="central"`` (default): ``eps`` is the guarantee against the
+    paper's server adversary ``Adv`` — shuffle mechanisms amplify, so each
+    user's local spend ``eps_l`` may be much larger.  ``model="local"``:
+    ``eps`` is the local randomizer budget itself; only mechanisms whose
+    registry spec declares ``local_model`` qualify (OLH, Hadamard).
+    """
+
+    eps: float
+    delta: float = 1e-9
+    model: str = "central"
+
+    def __post_init__(self):
+        if not self.eps > 0.0:
+            raise ConfigError("eps", f"must be positive, got {self.eps}")
+        if not 0.0 < self.delta < 1.0:
+            raise ConfigError("delta", f"must be in (0, 1), got {self.delta}")
+        if self.model not in MODELS:
+            raise ConfigError(
+                "model",
+                f"must be one of {', '.join(MODELS)}; got {self.model!r}",
+            )
+
+
+@dataclass(frozen=True)
+class DeploymentConfig:
+    """Static description of one deployment the facade can drive.
+
+    ``mechanism`` is any registry name or alias (case-insensitive) and is
+    canonicalized at construction, or the special ``"auto"`` which defers
+    the choice to the Section VI-D planner — valid only for
+    :meth:`~repro.api.session.ShuffleSession.stream`.
+
+    ``n`` is the planned population; leave it None to infer it from the
+    data handed to each verb (the common case).  ``backend``, ``r``, and
+    ``composition`` configure the streaming release path and are ignored
+    by the one-shot and sweep verbs.
+    """
+
+    mechanism: str
+    d: int
+    n: Optional[int] = None
+    backend: str = "plain"
+    r: int = 3
+    composition: str = "basic"
+
+    def __post_init__(self):
+        validate_domain_size(self.d)
+        if self.n is not None and self.n < 1:
+            raise ConfigError(
+                "n", f"population must be >= 1 when given, got {self.n}"
+            )
+        if str(self.mechanism).casefold() == AUTO_MECHANISM:
+            object.__setattr__(self, "mechanism", AUTO_MECHANISM)
+        else:
+            object.__setattr__(self, "mechanism", resolve_mechanism(self.mechanism).name)
+        # Import here: the service layer must stay importable without the
+        # facade, but the facade validates backend names against it.
+        from ..service.backends import BACKEND_NAMES
+
+        validate_backend_name(self.backend, BACKEND_NAMES)
+        validate_shuffler_count(self.r)
+        validate_composition(self.composition)
+
+    @property
+    def is_auto(self) -> bool:
+        """True when the planner picks the mechanism (stream-only config)."""
+        return self.mechanism == AUTO_MECHANISM
+
+    @property
+    def spec(self) -> MechanismSpec:
+        """The registry spec behind this deployment's mechanism."""
+        if self.is_auto:
+            raise ConfigError(
+                "mechanism",
+                "mechanism 'auto' defers to the planner; name a registered "
+                "mechanism to use estimate()/sweep()",
+            )
+        return get_spec(self.mechanism)
+
+
+def resolve_mechanism(name: str) -> MechanismSpec:
+    """Resolve a mechanism name, converting typos into :class:`ConfigError`.
+
+    The registry's did-you-mean hint is preserved in the message, and the
+    original :class:`UnknownMechanismError` stays chained as ``__cause__``.
+    """
+    try:
+        return get_spec(name)
+    except UnknownMechanismError as unknown:
+        # KeyError str() wraps in quotes; unwrap for a readable message.
+        raise ConfigError("mechanism", unknown.args[0]) from unknown

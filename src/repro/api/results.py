@@ -1,0 +1,288 @@
+"""Rich result objects returned by the :mod:`repro.api` facade.
+
+Both result types are self-describing records: they carry the estimates
+*and* the configuration that produced them (mechanism, domain, population,
+budget, amplification provenance), convert losslessly to plain dicts /
+JSON (``to_dict`` / ``to_json`` with ``from_dict`` / ``from_json``
+inverses — floats survive exactly via Python's shortest-repr JSON
+encoding), and expose the analysis helpers consumers reach for first:
+MSE against a known truth, analytical confidence bands via
+:mod:`repro.analysis.confidence`, and top-k extraction.  Serialized JSON
+is strict RFC 8259: non-finite floats (the NaN of infeasible sweep
+cells) encode as null and decode back to NaN.
+
+The serialized forms carry a ``schema`` tag (``ESTIMATE_SCHEMA`` /
+``SWEEP_SCHEMA``) so downstream tooling — the benchmark JSON envelope in
+``benchmarks/bench_common.py`` in particular — can validate what it is
+ingesting.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.confidence import IntervalBand, frequency_band
+from ..analysis.experiments import SweepResult, format_sweep_table
+from ..analysis.metrics import mse as _mse
+from ..analysis.metrics import top_k_from_estimates
+
+#: schema tags embedded in the serialized forms
+ESTIMATE_SCHEMA = "repro.estimate/1"
+SWEEP_SCHEMA = "repro.sweep/1"
+
+
+def _encode_floats(values) -> List[Optional[float]]:
+    """Portable float encoding: non-finite (NaN of infeasible sweep cells)
+    becomes null, since bare ``NaN`` tokens are invalid JSON per RFC 8259
+    and break non-Python consumers."""
+    return [float(v) if math.isfinite(v) else None for v in values]
+
+
+def _decode_floats(values) -> List[float]:
+    """Inverse of :func:`_encode_floats`: null parses back to NaN."""
+    return [float("nan") if v is None else float(v) for v in values]
+
+
+@dataclass(frozen=True)
+class Amplification:
+    """Shuffle-amplification provenance of one mechanism run.
+
+    ``eps`` is the budget the deployment was configured with (central
+    target or local spend, per the budget's model); ``eps_l`` and
+    ``d_prime`` are what the built mechanism actually uses locally, when
+    it exposes them (None for mechanisms without a local randomizer, e.g.
+    the central baselines).
+    """
+
+    eps: float
+    eps_l: Optional[float] = None
+    d_prime: Optional[int] = None
+
+    @property
+    def gain(self) -> Optional[float]:
+        """Multiplicative local-budget gain ``eps_l / eps`` (None if unknown)."""
+        if self.eps_l is None:
+            return None
+        return self.eps_l / self.eps
+
+    @property
+    def amplified(self) -> bool:
+        """True when shuffling let users spend more than the target."""
+        return self.eps_l is not None and self.eps_l > self.eps * (1.0 + 1e-12)
+
+    def to_dict(self) -> dict:
+        return {"eps": self.eps, "eps_l": self.eps_l, "d_prime": self.d_prime}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Amplification":
+        return cls(
+            eps=payload["eps"],
+            eps_l=payload.get("eps_l"),
+            d_prime=payload.get("d_prime"),
+        )
+
+
+@dataclass(frozen=True)
+class EstimateResult:
+    """One calibrated frequency-estimate vector plus its provenance."""
+
+    #: canonical registry name of the mechanism that ran
+    mechanism: str
+    #: privacy model the budget was expressed in ("central"/"local")
+    model: str
+    #: value-domain size and report population
+    d: int
+    n: int
+    #: the budget the run was priced at
+    eps: float
+    delta: float
+    #: per-value frequency estimates, aligned with ``range(d)``
+    estimates: np.ndarray
+    #: local-randomizer provenance
+    amplification: Amplification
+    #: closed-form per-value sampling variance (None if not registered)
+    variance: Optional[float] = None
+
+    def __post_init__(self):
+        estimates = np.asarray(self.estimates, dtype=float)
+        object.__setattr__(self, "estimates", estimates)
+
+    # -- analysis ----------------------------------------------------------
+
+    def mse(self, true_frequencies) -> float:
+        """Mean squared error against a known truth vector."""
+        return _mse(np.asarray(true_frequencies, dtype=float), self.estimates)
+
+    def confidence_band(self, confidence: float = 0.95) -> IntervalBand:
+        """Analytical symmetric confidence band around the estimates.
+
+        Requires the mechanism to have a registered closed-form variance
+        (``MechanismSpec.variance_fn``); raises ``ValueError`` otherwise.
+        """
+        if self.variance is None:
+            raise ValueError(
+                f"no closed-form variance available for {self.mechanism} "
+                f"at these parameters; cannot build a confidence band"
+            )
+        return frequency_band(self.estimates, self.variance, confidence)
+
+    def top_k(self, k: int) -> np.ndarray:
+        """The ``k`` values with the largest estimated frequencies."""
+        return top_k_from_estimates(self.estimates, k)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Lossless plain-dict form (floats survive JSON exactly)."""
+        return {
+            "schema": ESTIMATE_SCHEMA,
+            "mechanism": self.mechanism,
+            "model": self.model,
+            "d": self.d,
+            "n": self.n,
+            "eps": self.eps,
+            "delta": self.delta,
+            "variance": self.variance,
+            "amplification": self.amplification.to_dict(),
+            "estimates": _encode_floats(self.estimates),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, allow_nan=False)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EstimateResult":
+        schema = payload.get("schema", ESTIMATE_SCHEMA)
+        if schema != ESTIMATE_SCHEMA:
+            raise ValueError(
+                f"expected schema {ESTIMATE_SCHEMA!r}, got {schema!r}"
+            )
+        return cls(
+            mechanism=payload["mechanism"],
+            model=payload["model"],
+            d=payload["d"],
+            n=payload["n"],
+            eps=payload["eps"],
+            delta=payload["delta"],
+            estimates=np.asarray(_decode_floats(payload["estimates"]), dtype=float),
+            amplification=Amplification.from_dict(payload["amplification"]),
+            variance=payload.get("variance"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "EstimateResult":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class SweepResultSet:
+    """Aggregated sweep scores for a set of methods over an epsilon grid.
+
+    Wraps the trial-plan engine's per-method
+    :class:`~repro.analysis.experiments.SweepResult` rows with the sweep's
+    own configuration, so one object is enough to re-render the table,
+    re-plot the figure, or diff two runs.  This is also the canonical
+    machine-readable schema every benchmark emits (see
+    ``benchmarks/bench_common.py``).
+    """
+
+    results: tuple
+    eps_values: tuple
+    delta: float
+    repeats: int
+    workers: int = 1
+    metric: str = "mse"
+    d: Optional[int] = None
+    n: Optional[int] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "results", tuple(self.results))
+        object.__setattr__(
+            self, "eps_values", tuple(float(e) for e in self.eps_values)
+        )
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def methods(self) -> tuple:
+        """Row labels in sweep order."""
+        return tuple(result.method for result in self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __getitem__(self, method: str) -> SweepResult:
+        for result in self.results:
+            if result.method == method:
+                return result
+        raise KeyError(
+            f"no sweep row for {method!r}; rows: {', '.join(self.methods)}"
+        )
+
+    def table(self, caption: Optional[str] = None) -> str:
+        """The paper-style text table (``format_sweep_table``)."""
+        return format_sweep_table(list(self.results), caption)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Lossless plain-dict form — the shared benchmark JSON schema."""
+        return {
+            "schema": SWEEP_SCHEMA,
+            "eps_values": list(self.eps_values),
+            "delta": self.delta,
+            "repeats": self.repeats,
+            "workers": self.workers,
+            "metric": self.metric,
+            "d": self.d,
+            "n": self.n,
+            "results": [
+                {
+                    "method": result.method,
+                    "eps": [float(e) for e in result.eps_values],
+                    "mean": _encode_floats(result.means),
+                    "std": _encode_floats(result.stds),
+                }
+                for result in self.results
+            ],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, allow_nan=False)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepResultSet":
+        schema = payload.get("schema", SWEEP_SCHEMA)
+        if schema != SWEEP_SCHEMA:
+            raise ValueError(f"expected schema {SWEEP_SCHEMA!r}, got {schema!r}")
+        results = tuple(
+            SweepResult(
+                method=row["method"],
+                eps_values=list(row["eps"]),
+                means=_decode_floats(row["mean"]),
+                stds=_decode_floats(row["std"]),
+            )
+            for row in payload["results"]
+        )
+        return cls(
+            results=results,
+            eps_values=tuple(payload["eps_values"]),
+            delta=payload["delta"],
+            repeats=payload["repeats"],
+            workers=payload.get("workers", 1),
+            metric=payload.get("metric", "mse"),
+            d=payload.get("d"),
+            n=payload.get("n"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResultSet":
+        return cls.from_dict(json.loads(text))

@@ -1,16 +1,21 @@
 """Command-line interface: run any of the paper's experiments directly.
 
-``python -m repro.cli <experiment> [options]`` regenerates one table or
+``python -m repro <experiment> [options]`` (equivalently ``python -m
+repro.cli`` or the installed ``repro`` script) regenerates one table or
 figure without going through pytest — convenient for parameter sweeps:
 
 .. code-block:: bash
 
-    python -m repro.cli fig3 --scale 0.2 --repeats 10
-    python -m repro.cli table2 --eps 0.2 0.4 0.6 0.8
-    python -m repro.cli fig4 --scale 0.5
-    python -m repro.cli plan --eps1 0.5 --eps2 2.0 --eps3 5.0 --n 500000 --d 200
-    python -m repro.cli table1
-    python -m repro.cli stream --epochs 4 --epoch-size 2000 --d 32
+    python -m repro fig3 --scale 0.2 --repeats 10
+    python -m repro table2 --eps 0.2 0.4 0.6 0.8
+    python -m repro fig4 --scale 0.5
+    python -m repro plan --eps1 0.5 --eps2 2.0 --eps3 5.0 --n 500000 --d 200
+    python -m repro table1
+    python -m repro stream --epochs 4 --epoch-size 2000 --d 32
+
+The pipeline-shaped commands (``fig3``, ``table2``, ``stream``) are thin
+clients of the :mod:`repro.api` facade — the same ``ShuffleSession``
+verbs any library consumer uses.
 
 ``stream`` runs the continuous telemetry service of :mod:`repro.service`
 on a synthetic Zipf workload: per-epoch metrics, cross-epoch budget
@@ -49,47 +54,54 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _session(args: argparse.Namespace, mechanism: str, d: int):
+    """One facade session per CLI experiment (the single front door)."""
+    from repro.api import DeploymentConfig, PrivacyBudget, ShuffleSession
+
+    eps = min(args.eps) if getattr(args, "eps", None) else args.eps1
+    return ShuffleSession(
+        DeploymentConfig(
+            mechanism=mechanism,
+            d=d,
+            backend=getattr(args, "backend", "plain"),
+            r=getattr(args, "shufflers", 3),
+            composition=getattr(args, "composition", "basic"),
+        ),
+        PrivacyBudget(eps=eps, delta=args.delta),
+    )
+
+
 def _cmd_fig3(args: argparse.Namespace) -> int:
-    from repro.analysis import FIGURE3_METHODS, format_sweep_table, run_sweep
+    from repro.analysis import FIGURE3_METHODS
     from repro.data import ipums_like
 
     rng = np.random.default_rng(args.seed)
     data = ipums_like(rng, scale=args.scale)
-    results = run_sweep(
-        FIGURE3_METHODS, data.histogram, args.eps, args.delta, rng,
-        repeats=args.repeats, workers=args.workers,
+    sweep = _session(args, "SOLH", data.d).sweep(
+        data.histogram, args.eps, methods=FIGURE3_METHODS,
+        repeats=args.repeats, workers=args.workers, rng=rng,
     )
-    print(format_sweep_table(
-        results, caption=f"IPUMS-like n={data.n}, d={data.d}, MSE"
-    ))
+    print(sweep.table(caption=f"IPUMS-like n={data.n}, d={data.d}, MSE"))
     return 0
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    from repro.analysis import run_trial_plan
-    from repro.core import build_mechanism, solh_optimal_d_prime
+    from repro.core import solh_optimal_d_prime
     from repro.data import kosarak_like
 
     rng = np.random.default_rng(args.seed)
     data = kosarak_like(rng, scale=args.scale)
-    # One trial-plan cell per (mechanism, eps_c), resolved via the registry
-    # and executed by the deterministic parallel engine.
-    methods = [
-        build_mechanism(name, data.d, data.n, eps_c, args.delta)
-        for name in ("SOLH", "RAP_R")
-        for eps_c in args.eps
-    ]
-    scores = run_trial_plan(
-        methods, data.histogram, args.repeats, rng, workers=args.workers
+    sweep = _session(args, "SOLH", data.d).sweep(
+        data.histogram, args.eps, methods=("SOLH", "RAP_R"),
+        repeats=args.repeats, workers=args.workers, rng=rng,
     )
-    means = scores.mean(axis=1)
-    n_eps = len(args.eps)
+    solh_row, rap_r_row = sweep["SOLH"].means, sweep["RAP_R"].means
     print(f"Kosarak-like n={data.n}, d={data.d}")
     print(f"{'eps_c':>6}  {'d-prime':>8}  {'SOLH MSE':>12}  {'RAP_R MSE':>12}")
     for i, eps_c in enumerate(args.eps):
         d_prime = solh_optimal_d_prime(eps_c, data.n, args.delta)
-        print(f"{eps_c:>6.2f}  {d_prime:>8}  {means[i]:>12.3e}  "
-              f"{means[n_eps + i]:>12.3e}")
+        print(f"{eps_c:>6.2f}  {d_prime:>8}  {solh_row[i]:>12.3e}  "
+              f"{rap_r_row[i]:>12.3e}")
     return 0
 
 
@@ -134,15 +146,11 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.api import ConfigError
     from repro.core import InfeasiblePlanError
     from repro.data import zipf_histogram
     from repro.data.synthetic import values_from_histogram
-    from repro.service import (
-        StreamConfig,
-        TelemetryPipeline,
-        flushes_per_epoch,
-        make_backend,
-    )
+    from repro.service import flushes_per_epoch
 
     if args.flush_size < 1 or args.epoch_size < 1:
         print("error: --flush-size and --epoch-size must be >= 1",
@@ -159,29 +167,26 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     )
     admitted = budget_epochs * flushes_per_epoch(args.epoch_size, args.flush_size)
     try:
-        config = StreamConfig.for_epochs(
-            d=args.d,
-            flush_size=args.flush_size,
+        # The facade plans the deployment ("auto" lets Section VI-D pick
+        # the mechanism) and returns the wired pipeline.
+        pipeline = _session(args, "auto", args.d).stream(
+            args.flush_size,
+            eps_targets=(args.eps1, args.eps2, args.eps3),
             epoch_size=args.epoch_size,
             admitted_epochs=budget_epochs,
-            eps_targets=(args.eps1, args.eps2, args.eps3),
-            delta=args.delta,
-            backend=args.backend,
-            r=args.shufflers,
-            composition=args.composition,
+            rng=rng,
+            crypto_rng=args.seed,
         )
     except InfeasiblePlanError as infeasible:
         print(f"error: {infeasible}", file=sys.stderr)
         print("hint: relax the eps targets or enlarge --flush-size",
               file=sys.stderr)
         return 2
-    plan = config.plan
-    try:
-        backend = make_backend(args.backend, r=args.shufflers, crypto_rng=args.seed)
-    except ValueError as invalid:
+    except ConfigError as invalid:
         print(f"error: {invalid}", file=sys.stderr)
         return 2
-    pipeline = TelemetryPipeline(config, rng, backend=backend)
+    config = pipeline.config
+    plan = config.plan
 
     print(f"plan (per flush of {args.flush_size} reports): "
           f"mechanism={plan.mechanism.upper()}  eps_l={plan.eps_l:.3f}  "
@@ -313,7 +318,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    from repro.api import ConfigError
+
+    try:
+        return args.func(args)
+    except ConfigError as invalid:
+        # Uniform exit for any misconfiguration the facade rejects
+        # (e.g. a non-positive --eps value argparse cannot know about).
+        print(f"error: {invalid}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,61 @@
+"""Shared configuration-error type for every front-door layer.
+
+The facade (:mod:`repro.api`), the streaming service's
+:class:`~repro.service.pipeline.StreamConfig`, and any future deployment
+surface raise one exception type for invalid static configuration:
+:class:`ConfigError`, a ``ValueError`` that names the offending field.
+Catching it is therefore enough to handle *any* misconfiguration uniformly,
+and the ``field`` attribute lets callers (CLIs, web layers) point at the
+exact knob to fix — instead of a numpy shape error surfacing three layers
+down.
+
+This lives in :mod:`repro.core` (not :mod:`repro.api`) because the service
+layer validates eagerly too and must not import the facade that wraps it.
+"""
+
+from __future__ import annotations
+
+
+class ConfigError(ValueError):
+    """Invalid static configuration, attributed to one named field.
+
+    ``field`` is the dataclass attribute / parameter name the message is
+    about (``"flush_size"``, ``"mechanism"``, ...); the string form always
+    leads with it so even unstructured logs stay actionable.
+    """
+
+    def __init__(self, field: str, message: str):
+        self.field = str(field)
+        super().__init__(f"{self.field}: {message}")
+
+
+# Shared field validators: the facade's DeploymentConfig and the service's
+# StreamConfig check the same deployment knobs; one definition keeps the
+# allowed sets and messages from drifting between the two layers.
+
+
+def validate_domain_size(d: int) -> None:
+    if d < 2:
+        raise ConfigError("d", f"domain size must be >= 2, got {d}")
+
+
+def validate_backend_name(backend: str, registered: tuple) -> None:
+    if backend not in registered:
+        raise ConfigError(
+            "backend",
+            f"unknown shuffle backend {backend!r} "
+            f"(registered: {', '.join(registered)})",
+        )
+
+
+def validate_shuffler_count(r: int) -> None:
+    if r < 1:
+        raise ConfigError("r", f"need at least one shuffler, got {r}")
+
+
+def validate_composition(composition: str) -> None:
+    if composition not in ("basic", "advanced"):
+        raise ConfigError(
+            "composition",
+            f"must be 'basic' or 'advanced', got {composition!r}",
+        )

@@ -53,6 +53,11 @@ class PeosPlan:
         Predicted per-value estimation variance (Section VI-C).
     eps_server / eps_collusion / eps_local:
         Achieved guarantees against ``Adv`` / ``Adv_u`` / ``Adv_a``.
+    d:
+        The value-domain size the plan was computed for (None for
+        hand-built plans) — consumers like
+        :class:`~repro.service.pipeline.StreamConfig` cross-check it so a
+        plan cannot silently be deployed against a different domain.
     """
 
     mechanism: str
@@ -64,6 +69,7 @@ class PeosPlan:
     eps_collusion: float
     eps_local: float
     delta: float
+    d: Optional[int] = None
 
 
 class InfeasiblePlanError(ValueError):
@@ -118,6 +124,7 @@ def _solh_candidate(
             eps_collusion=peos_epsilon_collusion_solh(d_prime, n_r, delta),
             eps_local=eps_l,
             delta=delta,
+            d=d,
         )
         if best is None or plan.variance < best.variance:
             best = plan
@@ -160,6 +167,7 @@ def _grr_candidate(
             eps_collusion=peos_epsilon_collusion_grr(d, n_r, delta),
             eps_local=eps_l,
             delta=delta,
+            d=d,
         )
         if best is None or plan.variance < best.variance:
             best = plan
@@ -219,6 +227,7 @@ def plan_peos(
     delta: float,
     n_r_grid: int = 32,
     max_fake_factor: float = 10.0,
+    mechanism: Optional[str] = None,
 ) -> PeosPlan:
     """Find the utility-optimal PEOS configuration meeting all three targets.
 
@@ -237,28 +246,41 @@ def plan_peos(
         ``max_fake_factor * n`` fake reports (beyond that the protocol
         technically meets the targets but the estimate is useless and the
         communication blows up).
+    mechanism:
+        Restrict the search to one candidate: ``"grr"``, ``"solh"``, or
+        None (default) for the paper's free choice between the two.  A
+        deployment pinned to a mechanism (e.g. via the facade's
+        ``DeploymentConfig``) plans under this restriction.
 
     Raises
     ------
     InfeasiblePlanError
-        If neither GRR nor SOLH can meet the targets at any swept ``n_r``.
+        If no allowed candidate can meet the targets at any swept ``n_r``.
     """
     if not eps_1 <= eps_2 <= eps_3:
         raise ValueError(
             f"expected eps_1 <= eps_2 <= eps_3, got {eps_1}, {eps_2}, {eps_3}"
         )
-    max_n_r = int(max_fake_factor * n)
-    candidates = [
-        plan
-        for plan in (
-            _solh_candidate(eps_1, eps_2, eps_3, n, d, delta, n_r_grid, max_n_r),
-            _grr_candidate(eps_1, eps_2, eps_3, n, d, delta, n_r_grid, max_n_r),
+    if mechanism not in (None, "grr", "solh"):
+        raise ValueError(
+            f"mechanism restriction must be 'grr', 'solh', or None, "
+            f"got {mechanism!r}"
         )
-        if plan is not None
-    ]
+    max_n_r = int(max_fake_factor * n)
+    candidates = []
+    if mechanism in (None, "solh"):
+        candidates.append(
+            _solh_candidate(eps_1, eps_2, eps_3, n, d, delta, n_r_grid, max_n_r)
+        )
+    if mechanism in (None, "grr"):
+        candidates.append(
+            _grr_candidate(eps_1, eps_2, eps_3, n, d, delta, n_r_grid, max_n_r)
+        )
+    candidates = [plan for plan in candidates if plan is not None]
     if not candidates:
+        restriction = f" (restricted to {mechanism})" if mechanism else ""
         raise InfeasiblePlanError(
-            f"no PEOS configuration meets eps=({eps_1}, {eps_2}, {eps_3}) "
-            f"with n={n}, d={d}, delta={delta}"
+            f"no PEOS configuration{restriction} meets "
+            f"eps=({eps_1}, {eps_2}, {eps_3}) with n={n}, d={d}, delta={delta}"
         )
     return min(candidates, key=lambda plan: plan.variance)

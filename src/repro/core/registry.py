@@ -17,7 +17,19 @@ factory ``(d, n, eps_c, delta) -> oracle``, and declares *capabilities*:
     a ``plan_factory`` building the oracle from a Section VI-D plan);
 ``central_only``
     a central-model target/baseline, not a local mechanism (AUE, Laplace,
-    the uniform guess) — excluded from any LDP-only consumer.
+    the uniform guess) — excluded from any LDP-only consumer;
+``local_model``
+    the factory interprets ``eps_c`` directly as the per-user local budget
+    (OLH, Hadamard) — the only specs a ``model="local"`` privacy budget in
+    :mod:`repro.api` may deploy, since every other factory treats ``eps_c``
+    as a *central* target and amplifies.
+
+Two optional hooks round out a spec: ``variance_fn`` maps
+``(d, n, eps_c, delta)`` to the closed-form per-value sampling variance
+(Propositions 4-6 and friends; the facade turns it into confidence
+intervals via :mod:`repro.analysis.confidence`), and ``planner_id`` names
+the Section VI-D planner candidate ("grr" / "solh") the spec corresponds
+to, so a deployment pinned to one mechanism can restrict the planner.
 
 Specs register by canonical name plus aliases; lookups are
 case-insensitive, and unknown names raise :class:`UnknownMechanismError`
@@ -41,6 +53,9 @@ MethodFactory = Callable[[int, int, float, float], Any]
 
 #: streaming factory signature: ``(d, plan) -> FrequencyOracle``
 PlanFactory = Callable[[int, Any], Any]
+
+#: closed-form variance signature: ``(d, n, eps_c, delta) -> float``
+VarianceFn = Callable[[int, int, float, float], float]
 
 
 class UnknownMechanismError(KeyError):
@@ -75,14 +90,35 @@ class MechanismSpec:
     streamable: bool = False
     #: central-model target or baseline, not a local mechanism
     central_only: bool = False
+    #: the factory spends ``eps_c`` directly as the local budget
+    local_model: bool = False
     #: constructor from a Section VI-D plan (streamable specs only)
     plan_factory: Optional[PlanFactory] = None
+    #: the planner candidate this spec deploys ("grr"/"solh"), if any
+    planner_id: Optional[str] = None
+    #: closed-form per-value sampling variance ``(d, n, eps_c, delta)``
+    variance_fn: Optional[VarianceFn] = None
     #: alternate lookup names (e.g. the planner's lowercase mechanism ids)
     aliases: tuple = field(default_factory=tuple)
 
     def build(self, d: int, n: int, eps_c: float, delta: float):
         """Construct the mechanism for a batch population."""
         return self.factory(d, n, eps_c, delta)
+
+    def variance(self, d: int, n: int, eps_c: float, delta: float) -> Optional[float]:
+        """Closed-form per-value sampling variance, or None.
+
+        Returns None both when no closed form is registered and when the
+        registered form declares the parameters infeasible (``ValueError``)
+        — an estimate may still exist there (construction can fall back),
+        it just has no analytical variance.
+        """
+        if self.variance_fn is None:
+            return None
+        try:
+            return float(self.variance_fn(d, n, eps_c, delta))
+        except ValueError:
+            return None
 
     def build_from_plan(self, d: int, plan) -> Any:
         """Construct the streaming oracle from a Section VI-D plan."""
@@ -236,6 +272,63 @@ def _build_lap(d: int, n: int, eps_c: float, delta: float):
     return LaplaceMechanism(d, eps_c)
 
 
+# Closed-form sampling variances (Propositions 4-6 and the baselines);
+# all share the ``(d, n, eps_c, delta)`` signature so the facade can price
+# confidence intervals without knowing any mechanism's analysis.
+
+
+def _var_olh(d: int, n: int, eps_c: float, delta: float) -> float:
+    import math
+
+    from .variance import olh_variance_local
+
+    # Must mirror OLH's own d' choice (LDP-optimal e^eps + 1).
+    d_prime = max(2, int(round(math.exp(eps_c))) + 1)
+    return olh_variance_local(eps_c, n, d_prime)
+
+
+def _var_sh(d: int, n: int, eps_c: float, delta: float) -> float:
+    from .variance import grr_variance_shuffled
+
+    return grr_variance_shuffled(eps_c, n, d, delta)
+
+
+def _var_solh(d: int, n: int, eps_c: float, delta: float) -> float:
+    from .variance import solh_variance_shuffled
+
+    return solh_variance_shuffled(eps_c, n, delta)
+
+
+def _var_aue(d: int, n: int, eps_c: float, delta: float) -> float:
+    from .variance import aue_variance
+
+    return aue_variance(eps_c, n, delta)
+
+
+def _var_rap(d: int, n: int, eps_c: float, delta: float) -> float:
+    from .variance import unary_variance_shuffled
+
+    return unary_variance_shuffled(eps_c, n, delta)
+
+
+def _var_rap_r(d: int, n: int, eps_c: float, delta: float) -> float:
+    from .variance import unary_removal_variance_shuffled
+
+    return unary_removal_variance_shuffled(eps_c, n, delta)
+
+
+def _var_base(d: int, n: int, eps_c: float, delta: float) -> float:
+    # The uniform guess is deterministic: zero sampling variance (its MSE
+    # against any particular truth is bias, not noise).
+    return 0.0
+
+
+def _var_lap(d: int, n: int, eps_c: float, delta: float) -> float:
+    from .variance import laplace_variance_central
+
+    return laplace_variance_central(eps_c, n)
+
+
 def _stream_grr(d: int, plan):
     from ..frequency_oracles import GRR
 
@@ -257,6 +350,8 @@ register(MechanismSpec(
     description="local-model optimized local hashing at eps = eps_c",
     ordinal_encodable=True,
     closed_form_sampling=True,
+    local_model=True,
+    variance_fn=_var_olh,
 ))
 register(MechanismSpec(
     name="Had",
@@ -264,6 +359,7 @@ register(MechanismSpec(
     description="local-model Hadamard response at eps = eps_c",
     ordinal_encodable=True,
     closed_form_sampling=True,
+    local_model=True,
 ))
 register(MechanismSpec(
     name="SH",
@@ -274,6 +370,8 @@ register(MechanismSpec(
     streamable=True,
     plan_factory=_stream_grr,
     aliases=("grr",),
+    planner_id="grr",
+    variance_fn=_var_sh,
 ))
 register(MechanismSpec(
     name="SOLH",
@@ -284,6 +382,8 @@ register(MechanismSpec(
     streamable=True,
     plan_factory=_stream_solh,
     aliases=("solh",),
+    planner_id="solh",
+    variance_fn=_var_solh,
 ))
 register(MechanismSpec(
     name="AUE",
@@ -291,18 +391,21 @@ register(MechanismSpec(
     description="appended unary encoding [8] (central target, not LDP)",
     closed_form_sampling=True,
     central_only=True,
+    variance_fn=_var_aue,
 ))
 register(MechanismSpec(
     name="RAP",
     factory=_build_rap,
     description="shuffled basic RAPPOR (Theorem 2)",
     closed_form_sampling=True,
+    variance_fn=_var_rap,
 ))
 register(MechanismSpec(
     name="RAP_R",
     factory=_build_rap_r,
     description="removal-LDP RAPPOR [31]",
     closed_form_sampling=True,
+    variance_fn=_var_rap_r,
 ))
 register(MechanismSpec(
     name="Base",
@@ -310,6 +413,7 @@ register(MechanismSpec(
     description="uniform-guess baseline",
     closed_form_sampling=True,
     central_only=True,
+    variance_fn=_var_base,
 ))
 register(MechanismSpec(
     name="Lap",
@@ -317,4 +421,5 @@ register(MechanismSpec(
     description="central-DP Laplace mechanism",
     closed_form_sampling=True,
     central_only=True,
+    variance_fn=_var_lap,
 ))

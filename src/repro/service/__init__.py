@@ -30,6 +30,7 @@ Quick start::
 from .accountant import BudgetCharge, BudgetExceededError, PrivacyAccountant
 from .aggregator import IncrementalAggregator
 from .backends import (
+    BACKEND_NAMES,
     PeosShuffleBackend,
     PlainShuffleBackend,
     SequentialShuffleBackend,
@@ -50,6 +51,7 @@ from .pipeline import (
 )
 
 __all__ = [
+    "BACKEND_NAMES",
     "BudgetCharge",
     "BudgetExceededError",
     "EpochReport",

@@ -169,17 +169,34 @@ class PeosShuffleBackend(ShuffleBackend):
         return shuffled
 
 
+#: backend constructors by registry name, in security order (weakest
+#: first); BACKEND_NAMES derives from this dict so name validation
+#: (facade + StreamConfig) can never drift from what make_backend builds
+_BACKENDS = {
+    "plain": lambda r, crypto_rng, key_bits: PlainShuffleBackend(),
+    "sequential": lambda r, crypto_rng, key_bits: SequentialShuffleBackend(
+        r=r, crypto_rng=crypto_rng
+    ),
+    "peos": lambda r, crypto_rng, key_bits: PeosShuffleBackend(
+        r=r, key_bits=key_bits, crypto_rng=crypto_rng
+    ),
+}
+
+#: the registered backend names
+BACKEND_NAMES = tuple(_BACKENDS)
+
+
 def make_backend(
     name: str,
     r: int = 3,
     crypto_rng: RandomLike = None,
     key_bits: int = 512,
 ) -> ShuffleBackend:
-    """Build a backend by registry name."""
-    if name == "plain":
-        return PlainShuffleBackend()
-    if name == "sequential":
-        return SequentialShuffleBackend(r=r, crypto_rng=crypto_rng)
-    if name == "peos":
-        return PeosShuffleBackend(r=r, key_bits=key_bits, crypto_rng=crypto_rng)
-    raise ValueError(f"unknown shuffle backend: {name!r}")
+    """Build a backend by registry name (one of :data:`BACKEND_NAMES`)."""
+    factory = _BACKENDS.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown shuffle backend: {name!r} "
+            f"(registered: {', '.join(BACKEND_NAMES)})"
+        )
+    return factory(r, crypto_rng, key_bits)

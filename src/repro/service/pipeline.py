@@ -30,6 +30,13 @@ from typing import Callable, Iterable, List, Optional
 
 import numpy as np
 
+from ..core.errors import (
+    ConfigError,
+    validate_backend_name,
+    validate_composition,
+    validate_domain_size,
+    validate_shuffler_count,
+)
 from ..core.params import PeosPlan, plan_peos
 from ..core.peos_analysis import (
     peos_epsilon_collusion_grr,
@@ -41,7 +48,7 @@ from ..core.registry import UnknownMechanismError, get_spec
 from ..frequency_oracles.base import FrequencyOracle
 from .accountant import BudgetExceededError, PrivacyAccountant
 from .aggregator import IncrementalAggregator
-from .backends import ShuffleBackend, make_backend
+from .backends import BACKEND_NAMES, ShuffleBackend, make_backend
 from .buffer import FlushBatch, ReportBuffer
 
 #: detailed FlushRejection records kept per pipeline; further refusals only
@@ -74,6 +81,47 @@ class StreamConfig:
     #: retain each flush's decoded released reports (tests / audits)
     keep_reports: bool = False
 
+    def __post_init__(self):
+        """Validate the whole configuration up front.
+
+        Every inconsistency raises :class:`~repro.core.errors.ConfigError`
+        naming the offending field — instead of a numpy shape/broadcast
+        error surfacing later from deep inside the buffer or aggregator.
+        """
+        validate_domain_size(self.d)
+        if self.flush_size < 1:
+            raise ConfigError(
+                "flush_size", f"must be >= 1, got {self.flush_size}"
+            )
+        if not self.eps_budget > 0.0:
+            raise ConfigError(
+                "eps_budget", f"must be positive, got {self.eps_budget}"
+            )
+        if not 0.0 < self.delta_budget < 1.0:
+            raise ConfigError(
+                "delta_budget", f"must be in (0, 1), got {self.delta_budget}"
+            )
+        validate_backend_name(self.backend, BACKEND_NAMES)
+        validate_shuffler_count(self.r)
+        validate_composition(self.composition)
+        plan_d = getattr(self.plan, "d", None)
+        if plan_d is not None and plan_d != self.d:
+            raise ConfigError(
+                "d",
+                f"plan was computed for d={plan_d} but the deployment "
+                f"declares d={self.d}; re-plan for the actual domain",
+            )
+        if self.plan.mechanism == "grr" and self.plan.d_prime != self.d:
+            raise ConfigError(
+                "plan",
+                f"a GRR plan reports over the value domain itself, but "
+                f"plan.d_prime={self.plan.d_prime} != d={self.d}",
+            )
+        if self.plan.n_r < 0:
+            raise ConfigError(
+                "plan", f"fake-report count must be >= 0, got {self.plan.n_r}"
+            )
+
     @classmethod
     def from_targets(
         cls,
@@ -82,6 +130,7 @@ class StreamConfig:
         eps_targets: tuple = (1.0, 3.0, 6.0),
         delta: float = 1e-9,
         admitted_flushes: int = 6,
+        mechanism: Optional[str] = None,
         **kwargs,
     ) -> "StreamConfig":
         """Plan per-flush parameters and size the budget for a flush count.
@@ -92,13 +141,17 @@ class StreamConfig:
         releases under basic composition.  If the workload produces
         epoch-end remainder flushes (epoch size not divisible by
         ``flush_size``), use :meth:`for_epochs`, which prices the actual
-        schedule.
+        schedule.  ``mechanism`` ("grr"/"solh") restricts the planner's
+        choice; None keeps the paper's free variance-optimal pick.
         """
         if admitted_flushes < 1:
-            raise ValueError(
-                f"must admit at least 1 flush, got {admitted_flushes}"
+            raise ConfigError(
+                "admitted_flushes",
+                f"must admit at least 1 flush, got {admitted_flushes}",
             )
-        plan = plan_peos(*eps_targets, n=flush_size, d=d, delta=delta)
+        plan = plan_peos(
+            *eps_targets, n=flush_size, d=d, delta=delta, mechanism=mechanism
+        )
         return cls(
             d=d,
             plan=plan,
@@ -119,6 +172,7 @@ class StreamConfig:
         admitted_epochs: int,
         eps_targets: tuple = (1.0, 3.0, 6.0),
         delta: float = 1e-9,
+        mechanism: Optional[str] = None,
         **kwargs,
     ) -> "StreamConfig":
         """Size the budget for ``admitted_epochs`` epochs of ``epoch_size``.
@@ -126,14 +180,20 @@ class StreamConfig:
         Unlike :meth:`from_targets`, this prices the actual per-epoch flush
         schedule — full flushes plus the (more expensive) epoch-end
         remainder when ``epoch_size`` is not a multiple of ``flush_size``.
+        ``mechanism`` ("grr"/"solh") restricts the planner's choice.
         """
         if admitted_epochs < 1:
-            raise ValueError(
-                f"must admit at least 1 epoch, got {admitted_epochs}"
+            raise ConfigError(
+                "admitted_epochs",
+                f"must admit at least 1 epoch, got {admitted_epochs}",
             )
         if epoch_size < 1:
-            raise ValueError(f"epoch size must be >= 1, got {epoch_size}")
-        plan = plan_peos(*eps_targets, n=flush_size, d=d, delta=delta)
+            raise ConfigError(
+                "epoch_size", f"must be >= 1, got {epoch_size}"
+            )
+        plan = plan_peos(
+            *eps_targets, n=flush_size, d=d, delta=delta, mechanism=mechanism
+        )
         flushes = admitted_epochs * flushes_per_epoch(epoch_size, flush_size)
         return cls(
             d=d,

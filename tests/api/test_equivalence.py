@@ -1,0 +1,178 @@
+"""Golden-equivalence: the facade is bit-identical to the legacy paths.
+
+The acceptance contract of the ``repro.api`` redesign: at a fixed seed,
+``ShuffleSession.estimate`` matches the direct oracle call,
+``ShuffleSession.sweep`` matches ``analysis.experiments.run_sweep``, and
+``ShuffleSession.stream`` matches a hand-built ``StreamConfig`` +
+``TelemetryPipeline`` — byte for byte, not approximately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import run_sweep
+from repro.api import DeploymentConfig, PrivacyBudget, ShuffleSession
+from repro.core import build_mechanism
+from repro.frequency_oracles import OLH, SOLH
+from repro.service import StreamConfig, TelemetryPipeline
+
+DELTA = 1e-9
+
+
+def session(mechanism: str, d: int, model: str = "central",
+            eps: float = 0.5, **kwargs) -> ShuffleSession:
+    return ShuffleSession(
+        DeploymentConfig(mechanism=mechanism, d=d, **kwargs),
+        PrivacyBudget(eps=eps, delta=DELTA, model=model),
+    )
+
+
+class TestEstimateEquivalence:
+    def test_solh_matches_direct_oracle(self, small_histogram):
+        d, n = len(small_histogram), int(small_histogram.sum())
+        oracle, __ = SOLH.for_central_target(d, 0.5, n, DELTA)
+        legacy = oracle.estimate_from_histogram(
+            small_histogram, np.random.default_rng(99)
+        )
+        result = session("SOLH", d).estimate(small_histogram, seed=99)
+        assert legacy.tobytes() == result.estimates.tobytes()
+
+    def test_olh_local_matches_direct_oracle(self, small_histogram):
+        d, n = len(small_histogram), int(small_histogram.sum())
+        legacy = OLH(d, 0.5).estimate_from_histogram(
+            small_histogram, np.random.default_rng(7)
+        )
+        result = session("OLH", d, model="local").estimate(
+            small_histogram, seed=7
+        )
+        assert legacy.tobytes() == result.estimates.tobytes()
+
+    @pytest.mark.parametrize("name", ["SH", "RAP_R", "Lap", "AUE"])
+    def test_every_registry_path_matches(self, small_histogram, name):
+        d, n = len(small_histogram), int(small_histogram.sum())
+        mechanism = build_mechanism(name, d, n, 0.8, DELTA)
+        legacy = mechanism.estimate_from_histogram(
+            small_histogram, np.random.default_rng(3)
+        )
+        result = session(name, d, eps=0.8).estimate(small_histogram, seed=3)
+        assert legacy.tobytes() == result.estimates.tobytes()
+
+    def test_values_input_equals_histogram_input(self, small_histogram, rng):
+        d = len(small_histogram)
+        values = np.repeat(np.arange(d), small_histogram)
+        by_hist = session("SOLH", d).estimate(small_histogram, seed=11)
+        by_values = session("SOLH", d).estimate(values=values, seed=11)
+        assert by_hist.estimates.tobytes() == by_values.estimates.tobytes()
+
+    def test_explicit_rng_wins_over_seed(self, small_histogram):
+        d = len(small_histogram)
+        one = session("SOLH", d).estimate(
+            small_histogram, rng=np.random.default_rng(5), seed=999
+        )
+        two = session("SOLH", d).estimate(small_histogram, seed=5)
+        assert one.estimates.tobytes() == two.estimates.tobytes()
+
+
+class TestSweepEquivalence:
+    def test_matches_run_sweep_bitwise(self, small_histogram):
+        d = len(small_histogram)
+        grid = [0.4, 0.8]
+        legacy = run_sweep(
+            ("SOLH", "SH"), small_histogram, grid, DELTA,
+            np.random.default_rng(42), repeats=3, workers=2,
+        )
+        sweep = session("SOLH", d).sweep(
+            small_histogram, grid, methods=("SOLH", "SH"),
+            repeats=3, workers=2, seed=42,
+        )
+        for old, new in zip(legacy, sweep):
+            assert old.method == new.method
+            assert old.means == new.means  # exact, not approx
+            assert old.stds == new.stds
+
+    def test_worker_count_invariance_through_facade(self, small_histogram):
+        d = len(small_histogram)
+        results = [
+            session("SOLH", d).sweep(
+                small_histogram, [0.6], repeats=4, workers=workers, seed=1,
+            )
+            for workers in (1, 4)
+        ]
+        assert results[0]["SOLH"].means == results[1]["SOLH"].means
+
+    def test_default_grid_is_budget_eps(self, small_histogram):
+        sweep = session("SOLH", len(small_histogram)).sweep(
+            small_histogram, repeats=1, seed=0
+        )
+        assert sweep.eps_values == (0.5,)
+
+
+class TestStreamEquivalence:
+    EPS_TARGETS = (1.0, 3.0, 6.0)
+
+    def _feed(self, pipeline, seed: int):
+        feed_rng = np.random.default_rng(seed)
+        for __ in range(3):
+            pipeline.submit(feed_rng.integers(0, 16, 150))
+            pipeline.end_epoch()
+        return pipeline.result()
+
+    def test_matches_handbuilt_pipeline(self):
+        config = StreamConfig.from_targets(
+            d=16, flush_size=100, eps_targets=self.EPS_TARGETS,
+            delta=DELTA, admitted_flushes=8,
+        )
+        legacy = self._feed(
+            TelemetryPipeline(config, np.random.default_rng(5)), seed=77
+        )
+        pipeline = session("auto", 16, eps=1.0).stream(
+            100, eps_targets=self.EPS_TARGETS, admitted_flushes=8, seed=5,
+        )
+        facade = self._feed(pipeline, seed=77)
+        assert legacy.estimates.tobytes() == facade.estimates.tobytes()
+        assert legacy.eps_spent == facade.eps_spent
+        assert legacy.n_genuine == facade.n_genuine
+
+    def test_epoch_budgeting_matches_for_epochs(self):
+        config = StreamConfig.for_epochs(
+            d=16, flush_size=100, epoch_size=150, admitted_epochs=2,
+            eps_targets=self.EPS_TARGETS, delta=DELTA,
+        )
+        legacy = self._feed(
+            TelemetryPipeline(config, np.random.default_rng(9)), seed=13
+        )
+        pipeline = session("auto", 16, eps=1.0).stream(
+            100, eps_targets=self.EPS_TARGETS, epoch_size=150,
+            admitted_epochs=2, seed=9,
+        )
+        facade = self._feed(pipeline, seed=13)
+        assert legacy.estimates.tobytes() == facade.estimates.tobytes()
+        assert legacy.n_rejected == facade.n_rejected
+
+    def test_pinned_mechanism_restricts_planner(self):
+        # At flush 500 / d 16 the free planner picks GRR; a SOLH-pinned
+        # session must override that choice, and an SH-pinned one keep it.
+        for name, planned in (("SOLH", "solh"), ("SH", "grr")):
+            pipeline = session(name, 16, eps=1.0).stream(
+                500, eps_targets=self.EPS_TARGETS, admitted_flushes=2,
+            )
+            assert pipeline.config.plan.mechanism == planned
+
+    def test_infeasible_restriction_raises(self):
+        from repro.core import InfeasiblePlanError
+
+        # GRR cannot meet these targets with so little blanket noise;
+        # the free planner would quietly fall back to SOLH, a pinned
+        # session must refuse instead.
+        with pytest.raises(InfeasiblePlanError, match="restricted to grr"):
+            session("SH", 16, eps=1.0).stream(
+                100, eps_targets=self.EPS_TARGETS, admitted_flushes=2,
+            )
+
+    def test_default_targets_derive_from_budget(self):
+        pipeline = session("auto", 16, eps=1.0).stream(100, admitted_flushes=2)
+        reference = StreamConfig.from_targets(
+            d=16, flush_size=100, eps_targets=(1.0, 3.0, 6.0),
+            delta=DELTA, admitted_flushes=2,
+        )
+        assert pipeline.config.plan == reference.plan

@@ -1,0 +1,169 @@
+"""Result objects: provenance, analysis helpers, lossless JSON round trips."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    Amplification,
+    DeploymentConfig,
+    EstimateResult,
+    PrivacyBudget,
+    ShuffleSession,
+    SweepResultSet,
+)
+from repro.core import get_spec, solh_variance_shuffled
+
+
+def session(mechanism="SOLH", d=16, eps=0.5, model="central"):
+    return ShuffleSession(
+        DeploymentConfig(mechanism=mechanism, d=d),
+        PrivacyBudget(eps=eps, delta=1e-9, model=model),
+    )
+
+
+class TestEstimateResult:
+    def test_carries_provenance(self, small_histogram):
+        result = session(d=len(small_histogram)).estimate(
+            small_histogram, seed=0
+        )
+        assert result.mechanism == "SOLH"
+        assert result.model == "central"
+        assert result.n == int(small_histogram.sum())
+        amp = result.amplification
+        assert amp.eps_l > 0.5  # SOLH amplifies at this n
+        assert amp.amplified
+        assert amp.gain == pytest.approx(amp.eps_l / 0.5)
+        assert amp.d_prime >= 2
+
+    def test_central_only_mechanisms_claim_no_local_spend(
+        self, small_histogram
+    ):
+        # Lap stores its central budget as `.eps`; provenance must not
+        # present that as a local-randomizer spend.
+        result = session("Lap", d=len(small_histogram)).estimate(
+            small_histogram, seed=0
+        )
+        assert result.amplification.eps_l is None
+        assert result.amplification.d_prime is None
+        assert not result.amplification.amplified
+
+    def test_variance_matches_proposition6(self, small_histogram):
+        n = int(small_histogram.sum())
+        result = session(d=len(small_histogram)).estimate(
+            small_histogram, seed=0
+        )
+        assert result.variance == pytest.approx(
+            solh_variance_shuffled(0.5, n, 1e-9)
+        )
+
+    def test_confidence_band_and_coverage(self, small_histogram):
+        truth = small_histogram / small_histogram.sum()
+        result = session(d=len(small_histogram)).estimate(
+            small_histogram, seed=0
+        )
+        band = result.confidence_band(0.95)
+        assert band.halfwidth > 0
+        assert band.coverage(truth) >= 0.5  # loose: d=16 is small
+        assert result.mse(truth) < band.halfwidth**2
+
+    def test_no_variance_raises_on_band(self, small_histogram):
+        # Had has no registered closed form.
+        assert get_spec("Had").variance_fn is None
+        result = session("Had", d=len(small_histogram)).estimate(
+            small_histogram, seed=0
+        )
+        assert result.variance is None
+        with pytest.raises(ValueError, match="no closed-form variance"):
+            result.confidence_band()
+
+    def test_top_k(self, small_histogram):
+        result = session(d=len(small_histogram)).estimate(
+            small_histogram, seed=0
+        )
+        top = result.top_k(3)
+        assert len(top) == 3
+        # conftest's histogram is geometric: value 0 dominates
+        assert 0 in top
+
+    def test_json_round_trip_is_lossless(self, small_histogram):
+        result = session(d=len(small_histogram)).estimate(
+            small_histogram, seed=0
+        )
+        back = EstimateResult.from_json(result.to_json())
+        assert back.estimates.tobytes() == result.estimates.tobytes()
+        assert back.to_dict() == result.to_dict()
+        assert back.amplification == result.amplification
+        assert back.variance == result.variance
+
+    def test_schema_tag_enforced(self):
+        with pytest.raises(ValueError, match="schema"):
+            EstimateResult.from_dict({"schema": "bogus/9"})
+
+
+class TestSweepResultSet:
+    def sweep(self, small_histogram, **kwargs):
+        defaults = dict(repeats=2, seed=3, methods=("SOLH", "SH", "AUE"))
+        defaults.update(kwargs)
+        return session(d=len(small_histogram)).sweep(
+            small_histogram, [0.05, 0.6], **defaults
+        )
+
+    def test_access_by_method(self, small_histogram):
+        sweep = self.sweep(small_histogram)
+        assert sweep.methods == ("SOLH", "SH", "AUE")
+        assert len(sweep) == 3
+        assert sweep["SH"].method == "SH"
+        with pytest.raises(KeyError):
+            sweep["OLH"]
+
+    def test_table_renders(self, small_histogram):
+        table = self.sweep(small_histogram).table(caption="cap")
+        assert "SOLH" in table and "cap" in table
+
+    def test_json_round_trip_with_nan_cells(self, small_histogram):
+        # AUE is infeasible at eps=0.05 with this small n -> NaN cells,
+        # which must survive serialization (json allows NaN literals).
+        sweep = self.sweep(small_histogram)
+        assert math.isnan(sweep["AUE"].means[0])
+        text = sweep.to_json()
+        assert "NaN" not in text  # strict RFC-8259 JSON: NaN -> null
+        back = SweepResultSet.from_json(text)
+        assert math.isnan(back["AUE"].means[0])
+        assert back.eps_values == sweep.eps_values
+        assert back.methods == sweep.methods
+        for old, new in zip(sweep, back):
+            assert old.means == new.means or (
+                np.array_equal(old.means, new.means, equal_nan=True)
+            )
+        assert back.table() == sweep.table()
+
+    def test_metadata_round_trip(self, small_histogram):
+        sweep = self.sweep(small_histogram, workers=2)
+        back = SweepResultSet.from_dict(sweep.to_dict())
+        assert (back.delta, back.repeats, back.workers, back.metric) == (
+            sweep.delta, sweep.repeats, sweep.workers, sweep.metric
+        )
+        assert back.d == sweep.d and back.n == sweep.n
+
+    def test_schema_tag_enforced(self):
+        with pytest.raises(ValueError, match="schema"):
+            SweepResultSet.from_dict({"schema": "bogus/9"})
+
+
+class TestAmplification:
+    def test_gain_none_without_local_budget(self):
+        amp = Amplification(eps=0.5)
+        assert amp.gain is None
+        assert not amp.amplified
+
+    def test_dict_round_trip(self):
+        amp = Amplification(eps=0.5, eps_l=2.5, d_prime=37)
+        assert Amplification.from_dict(amp.to_dict()) == amp
+
+    def test_json_floats_survive_exactly(self):
+        amp = Amplification(eps=0.1, eps_l=2.839667798889741, d_prime=3)
+        decoded = json.loads(json.dumps(amp.to_dict()))
+        assert Amplification.from_dict(decoded) == amp

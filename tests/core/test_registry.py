@@ -167,3 +167,67 @@ class TestServiceIntegration:
         plan = plan_peos(1.0, 3.0, 6.0, n=1000, d=16, delta=1e-9)
         with pytest.raises(ValueError):
             oracle_from_plan(16, replace(plan, mechanism="nonsense"))
+
+
+class TestFacadeHooks:
+    """The spec hooks the repro.api facade consumes (PR 3)."""
+
+    def test_local_model_flags(self):
+        assert get_spec("OLH").local_model
+        assert get_spec("Had").local_model
+        for name in ("SH", "SOLH", "RAP", "RAP_R", "AUE", "Base", "Lap"):
+            assert not get_spec(name).local_model, name
+
+    def test_planner_ids(self):
+        assert get_spec("SH").planner_id == "grr"
+        assert get_spec("SOLH").planner_id == "solh"
+        # every planner id resolves back to the spec itself (the alias)
+        for name in ("SH", "SOLH"):
+            spec = get_spec(name)
+            assert get_spec(spec.planner_id).name == name
+
+    def test_variance_matches_closed_forms(self):
+        from repro.core import (
+            grr_variance_shuffled,
+            laplace_variance_central,
+            solh_variance_shuffled,
+        )
+
+        assert get_spec("SOLH").variance(D, N, 0.5, DELTA) == pytest.approx(
+            solh_variance_shuffled(0.5, N, DELTA)
+        )
+        assert get_spec("SH").variance(D, N, 0.5, DELTA) == pytest.approx(
+            grr_variance_shuffled(0.5, N, D, DELTA)
+        )
+        assert get_spec("Lap").variance(D, N, 0.5, DELTA) == pytest.approx(
+            laplace_variance_central(0.5, N)
+        )
+        assert get_spec("Base").variance(D, N, 0.5, DELTA) == 0.0
+
+    def test_variance_none_when_unregistered_or_infeasible(self):
+        assert get_spec("Had").variance(D, N, 0.5, DELTA) is None
+        # AUE's noise probability exceeds 1 at tiny eps_c * n
+        assert get_spec("AUE").variance(D, 100, 0.01, DELTA) is None
+
+    def test_olh_variance_mirrors_its_d_prime_choice(self):
+        import math
+
+        from repro.core import olh_variance_local
+        from repro.frequency_oracles import OLH
+
+        eps = 0.8
+        oracle = OLH(D, eps)
+        assert get_spec("OLH").variance(D, N, eps, DELTA) == pytest.approx(
+            olh_variance_local(eps, N, oracle.d_prime)
+        )
+
+    def test_planner_mechanism_restriction(self):
+        free = plan_peos(1.0, 3.0, 6.0, n=500, d=16, delta=DELTA)
+        assert free.mechanism == "grr"
+        pinned = plan_peos(
+            1.0, 3.0, 6.0, n=500, d=16, delta=DELTA, mechanism="solh"
+        )
+        assert pinned.mechanism == "solh"
+        assert pinned.d == 16
+        with pytest.raises(ValueError, match="restriction"):
+            plan_peos(1.0, 3.0, 6.0, n=500, d=16, delta=DELTA, mechanism="olh")

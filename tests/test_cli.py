@@ -1,5 +1,10 @@
 """Command-line interface."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -64,6 +69,11 @@ class TestCommands:
         assert "budget refusals" in out  # epoch 2's flushes are rejected
         assert "final estimates over 400 released reports" in out
 
+    def test_invalid_eps_exits_cleanly(self, capsys):
+        # Facade validation surfaces as exit code 2, not a traceback.
+        assert main(["fig3", "--scale", "0.01", "--eps", "-0.5"]) == 2
+        assert "eps" in capsys.readouterr().err
+
     def test_plan_runs(self, capsys):
         assert main([
             "plan", "--eps1", "0.5", "--eps2", "2.0", "--eps3", "5.0",
@@ -71,3 +81,21 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "mechanism" in out and "n_r" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        """``python -m repro`` is identical to ``python -m repro.cli``."""
+        root = Path(__file__).parent.parent
+        env = dict(os.environ)
+        src = str(root / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else src
+        )
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "table1", "--eps", "0.25"],
+            capture_output=True, text=True, env=env, cwd=root,
+        )
+        assert completed.returncode == 0
+        assert "BBGN19" in completed.stdout
