@@ -1,0 +1,169 @@
+"""Sharded streaming fold throughput: serial vs process-pool folding.
+
+Runs the same pre-generated workload through the single-shard serial
+pipeline and through :class:`repro.service.ShardedPipeline` with
+``REPRO_BENCH_SHARDS`` shards folded on a spawn-safe process pool, then
+reports the fold-throughput ratio.  The workload is the *materialized*
+path pinned to SOLH: the streaming oracle uses the 32-bit-seed xxHash32
+family (the ordinal-group requirement), whose per-report hot path is
+scalar pure Python — so the release side (fake injection + permutation +
+decode + O(n*d) ``support_counts``) holds the GIL and gains nothing from
+threads.  This is exactly the workload process sharding exists for.
+
+Two correctness gates ride along and land in ``extra``:
+
+* ``estimates_identical`` — the sharded/process estimates match the
+  serial single-shard run byte for byte (the determinism contract);
+* fold throughput for each configuration, with the pool spawned and
+  warmed *before* timing so the ratio measures folding, not process
+  start-up.
+
+Scale knobs are shared with the other benches (``REPRO_BENCH_SCALE``,
+``REPRO_BENCH_SHARDS``; see bench_common).  Standalone:
+``python benchmarks/bench_sharded_throughput.py --scale 0.02 --shards 2``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.data import zipf_histogram
+from repro.data.synthetic import values_from_histogram
+from repro.service import ShardedPipeline, StreamConfig
+
+from bench_common import (
+    BenchResult,
+    bench_scale,
+    bench_seed,
+    bench_shards,
+    emit,
+    run_once,
+    standalone_main,
+)
+
+D = 64
+EPOCHS = 4
+BASE_EPOCH_SIZE = 200_000  # at scale 1.0; the pure-Python SOLH fold
+                           # path costs O(n * d) *interpreted* hash evals
+DELTA = 1e-9
+EPS_TARGETS = (1.0, 3.0, 6.0)
+ZIPF_EXPONENT = 1.3
+
+
+def _run_config(
+    config: StreamConfig, epoch_values, n_shards: int, fold_backend: str
+) -> tuple:
+    """One timed run; returns (StreamResult, wall seconds, worker count)."""
+    with ShardedPipeline(
+        config,
+        np.random.default_rng(bench_seed()),
+        n_shards=n_shards,
+        fold_backend=fold_backend,
+    ) as pipeline:
+        pipeline.warmup()  # spawn cost must not pollute the fold timing
+        started = time.perf_counter()
+        for values in epoch_values:
+            pipeline.submit(values)
+            pipeline.end_epoch()
+        result = pipeline.result()  # drains outstanding folds
+        elapsed = time.perf_counter() - started
+        workers = pipeline.workers if fold_backend == "process" else 1
+    return result, elapsed, workers
+
+
+def _experiment() -> BenchResult:
+    shards = bench_shards()
+    epoch_size = max(2_000, int(BASE_EPOCH_SIZE * bench_scale()))
+    flush_size = max(500, epoch_size // 4)
+    config = StreamConfig.from_targets(
+        d=D,
+        flush_size=flush_size,
+        eps_targets=EPS_TARGETS,
+        delta=DELTA,
+        admitted_flushes=2 * EPOCHS * ((epoch_size + flush_size - 1) // flush_size),
+        mechanism="solh",
+    )
+    # One pre-generated workload, fed identically to every configuration,
+    # so the byte-identity cross-check compares like with like.
+    data_rng = np.random.default_rng(bench_seed())
+    epoch_values = [
+        values_from_histogram(
+            zipf_histogram(epoch_size, D, ZIPF_EXPONENT, data_rng), data_rng
+        )
+        for __ in range(EPOCHS)
+    ]
+
+    serial, serial_s, __ = _run_config(config, epoch_values, 1, "serial")
+    sharded, sharded_s, workers = _run_config(
+        config, epoch_values, shards, "process" if shards > 1 else "serial"
+    )
+
+    identical = serial.estimates.tobytes() == sharded.estimates.tobytes()
+    serial_rate = serial.n_genuine / serial_s if serial_s > 0 else None
+    sharded_rate = sharded.n_genuine / sharded_s if sharded_s > 0 else None
+    speedup = serial_s / sharded_s if sharded_s > 0 else None
+
+    extra = {
+        "mechanism": config.plan.mechanism,
+        "d": D,
+        "epochs": EPOCHS,
+        "epoch_size": epoch_size,
+        "flush_size": flush_size,
+        "fakes_per_flush": config.plan.n_r,
+        "shards": shards,
+        "fold_workers": workers,
+        "cpu_count": os.cpu_count(),
+        "released_reports": serial.n_genuine,
+        "estimates_identical": bool(identical),
+        "serial": {
+            "wall_seconds": serial_s,
+            "fold_reports_per_sec": serial_rate,
+        },
+        "sharded": {
+            "wall_seconds": sharded_s,
+            "fold_reports_per_sec": sharded_rate,
+        },
+        "speedup": speedup,
+    }
+
+    def rate(value) -> str:
+        return f"{value:,.0f} reports/s" if value else "n/a"
+
+    table = (
+        f"SOLH materialized fold path (scalar xxhash32), d={D}, "
+        f"{serial.n_genuine} reports released over {EPOCHS} epochs\n"
+        f"serial (1 shard)          : {rate(serial_rate)} "
+        f"({serial_s:.2f}s wall)\n"
+        f"sharded ({shards} shards, {workers} procs): {rate(sharded_rate)} "
+        f"({sharded_s:.2f}s wall)\n"
+        f"speedup : {speedup:.2f}x"
+        + (
+            f" (host has {os.cpu_count()} CPU(s); the GIL-bound fold "
+            f"cannot go faster than serial on a single core)"
+            if (os.cpu_count() or 1) < 2
+            else ""
+        )
+        + "\n"
+        f"estimates byte-identical across shard counts: "
+        f"{'yes' if identical else 'NO — DETERMINISM VIOLATION'}"
+    )
+    return BenchResult(table=table, extra=extra)
+
+
+def bench_sharded_throughput(benchmark):
+    """Measure process-sharded fold throughput against the serial path."""
+    result = run_once(benchmark, _experiment)
+    emit("sharded_throughput", result)
+    assert result.extra["estimates_identical"], (
+        "sharded estimates differ from the serial single-shard run"
+    )
+    assert result.extra["released_reports"] > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(
+        standalone_main("sharded_throughput", _experiment)
+    )

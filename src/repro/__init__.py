@@ -22,8 +22,9 @@ Layout:
 * :mod:`repro.data` — paper-shaped synthetic workloads.
 * :mod:`repro.analysis` — metrics, experiment harness, TreeHist.
 * :mod:`repro.service` — streaming telemetry service: epoch buffering,
-  cross-epoch budget accounting, pluggable shuffle backends, and an
-  incremental analyzer.
+  cross-epoch budget accounting, pluggable shuffle backends, an
+  incremental analyzer, and multi-process sharded folding
+  (:class:`~repro.service.ShardedPipeline`).
 
 Quick start — one session object covers one-shot, sweep, and streaming::
 
@@ -46,6 +47,12 @@ Quick start — one session object covers one-shot, sweep, and streaming::
     pipeline = session.stream(flush_size=10_000)   # TelemetryPipeline
     pipeline.submit(np.random.default_rng(1).integers(0, data.d, 10_000))
     print(pipeline.end_epoch())
+
+Streaming scales out without changing results: ``session.stream(...,
+shards=4, backend="process")`` returns a
+:class:`~repro.service.ShardedPipeline` that folds flushes on a
+spawn-safe process pool — estimates are bit-identical to the single-shard
+pipeline at the same seed, at any shard or worker count.
 
 The legacy entry points (direct oracle construction,
 ``analysis.run_sweep``, ``service.TelemetryPipeline``) remain supported

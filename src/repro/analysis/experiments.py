@@ -24,18 +24,24 @@ Each built method exposes ``estimate_from_histogram(histogram, rng)``.
 Sweeps run on a *trial-plan engine*: every ``(method, eps, repeat)`` trial
 is enumerated up front and given its own child of one
 ``numpy.random.SeedSequence`` root (derived from the caller's generator),
-then executed by a ``workers``-sized thread pool.  Because each trial owns
-an independent bit stream and scores land in a preallocated array indexed
-by plan position, the aggregated results are **bit-identical at any worker
-count** — ``run_sweep(workers=1)`` and ``run_sweep(workers=8)`` agree to
-the last ulp (``tests/analysis/test_experiments.py`` enforces it).
+then executed by a ``workers``-sized pool — threads by default, or a
+spawn-safe process pool with ``backend="process"`` (built mechanisms and
+``SeedSequence`` children ship pickled, which frees the pure-Python
+hashing hot paths from the GIL).  Because each trial owns an independent
+bit stream and scores land in a preallocated array indexed by plan
+position, the aggregated results are **bit-identical at any worker count
+and on either backend** — ``run_sweep(workers=1)``,
+``run_sweep(workers=8)``, and ``run_sweep(workers=8,
+backend="process")`` agree to the last ulp
+(``tests/analysis/test_experiments.py`` enforces it).
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from multiprocessing import get_context
 from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
@@ -52,6 +58,7 @@ __all__ = [
     "FIGURE3_METHODS",
     "METHODS",
     "SweepResult",
+    "TRIAL_BACKENDS",
     "UnknownMechanismError",
     "build_method",
     "format_sweep_table",
@@ -157,6 +164,22 @@ def spawn_trial_seeds(
     return np.random.SeedSequence(entropy).spawn(n_trials)
 
 
+#: execution backends of the trial-plan engine
+TRIAL_BACKENDS = ("thread", "process")
+
+
+def _process_trial(method, histogram, seed, metric) -> float:
+    """Spawn-safe process-pool trial runner.
+
+    Top-level by necessity: spawned workers import it by qualified name.
+    The built mechanism, the histogram, the trial's ``SeedSequence``, and
+    the metric all travel pickled — every registered mechanism is plain
+    parameterized state (``tests/frequency_oracles/test_pickling.py``
+    keeps it that way).
+    """
+    return run_trial(method, histogram, np.random.default_rng(seed), metric)
+
+
 def run_trial_plan(
     methods: Sequence[Optional[object]],
     histogram: np.ndarray,
@@ -164,20 +187,30 @@ def run_trial_plan(
     rng: np.random.Generator,
     metric: Callable[[np.ndarray, np.ndarray], float] = mse,
     workers: int = 1,
+    backend: str = "thread",
 ) -> np.ndarray:
     """Execute the full trial plan; the deterministic parallel core.
 
     ``methods`` is one built mechanism per plan cell (``None`` marks an
     infeasible cell, which stays NaN).  Returns a ``(len(methods),
     repeats)`` score matrix.  Trials are seeded per plan position via
-    :func:`spawn_trial_seeds` and dispatched to a thread pool of
-    ``workers`` (the trial hot paths are numpy/GIL-releasing); any worker
-    count yields bit-identical scores.
+    :func:`spawn_trial_seeds` and dispatched to a pool of ``workers`` —
+    ``backend="thread"`` (cheap, fine for numpy/GIL-releasing hot paths)
+    or ``backend="process"`` (a spawn-context ``ProcessPoolExecutor``,
+    which also parallelizes pure-Python GIL-bound work).  Any worker
+    count on either backend yields bit-identical scores: a trial's
+    randomness is fixed by its plan position, never by its executor.
+    ``workers=1`` always runs inline.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if backend not in TRIAL_BACKENDS:
+        raise ValueError(
+            f"unknown trial backend: {backend!r} "
+            f"(registered: {', '.join(TRIAL_BACKENDS)})"
+        )
     histogram = np.asarray(histogram, dtype=np.int64)
     n_cells = len(methods)
     seeds = spawn_trial_seeds(rng, n_cells * repeats)
@@ -199,10 +232,29 @@ def run_trial_plan(
     if workers == 1 or len(tasks) <= 1:
         for task in tasks:
             _one(task)
-    else:
+    elif backend == "thread":
         with ThreadPoolExecutor(max_workers=workers) as pool:
             # list() drains the iterator so worker exceptions propagate.
             list(pool.map(_one, tasks))
+    else:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=get_context("spawn")
+        ) as pool:
+            futures = [
+                (
+                    task,
+                    pool.submit(
+                        _process_trial,
+                        methods[task[0]],
+                        histogram,
+                        seeds[task[0] * repeats + task[1]],
+                        metric,
+                    ),
+                )
+                for task in tasks
+            ]
+            for (cell, repeat), future in futures:
+                scores[cell, repeat] = future.result()
     return scores
 
 
@@ -216,6 +268,7 @@ def run_sweep(
     metric: Callable[[np.ndarray, np.ndarray], float] = mse,
     skip_errors: bool = True,
     workers: int = 1,
+    backend: str = "thread",
 ) -> list[SweepResult]:
     """The Figure 3 experiment: every method, at every ``eps_c``, repeated.
 
@@ -226,8 +279,10 @@ def run_sweep(
     (e.g. AUE's noise probability exceeding 1 at tiny ``eps_c * n``),
     recorded as NaN to match how the paper's plots omit infeasible points.
 
-    ``workers`` parallelizes the trial plan; results are bit-identical at
-    any worker count (see :func:`run_trial_plan`).
+    ``workers`` parallelizes the trial plan on threads or, with
+    ``backend="process"``, on a spawn-safe process pool; results are
+    bit-identical at any worker count on either backend (see
+    :func:`run_trial_plan`).
     """
     validate_names(method_names)
     histogram = np.asarray(histogram, dtype=np.int64)
@@ -247,7 +302,8 @@ def run_sweep(
             methods.append(None)
 
     scores = run_trial_plan(
-        methods, histogram, repeats, rng, metric=metric, workers=workers
+        methods, histogram, repeats, rng,
+        metric=metric, workers=workers, backend=backend,
     )
 
     results = []

@@ -142,6 +142,7 @@ class ShuffleSession:
         *,
         repeats: int = 10,
         workers: int = 1,
+        backend: str = "thread",
         methods: Optional[Sequence[str]] = None,
         metric=_mse,
         skip_errors: bool = True,
@@ -153,8 +154,10 @@ class ShuffleSession:
         ``eps_grid`` defaults to the session budget's single eps;
         ``methods`` defaults to the session's mechanism and may name any
         registered set for comparative sweeps (Figure 3 passes the full
-        competitor list).  Results are bit-identical at any ``workers``
-        count, and identical to calling
+        competitor list).  ``backend`` picks the trial executor:
+        ``"thread"`` (default) or ``"process"`` (a spawn-safe pool that
+        also parallelizes GIL-bound work).  Results are bit-identical at
+        any ``workers`` count on either backend, and identical to calling
         :func:`repro.analysis.experiments.run_sweep` directly.
         """
         histogram = self._population_histogram(histogram, None)
@@ -172,6 +175,11 @@ class ShuffleSession:
             raise ConfigError("repeats", f"must be >= 1, got {repeats}")
         if workers < 1:
             raise ConfigError("workers", f"must be >= 1, got {workers}")
+        if backend not in ("thread", "process"):
+            raise ConfigError(
+                "backend",
+                f"trial backend must be 'thread' or 'process', got {backend!r}",
+            )
         if methods is None:
             method_names = (self.deployment.spec.name,)
         else:
@@ -198,6 +206,7 @@ class ShuffleSession:
             metric=metric,
             skip_errors=skip_errors,
             workers=workers,
+            backend=backend,
         )
         return SweepResultSet(
             results=tuple(results),
@@ -222,6 +231,9 @@ class ShuffleSession:
         admitted_epochs: Optional[int] = None,
         flush_empty: bool = False,
         keep_reports: bool = False,
+        shards: int = 1,
+        backend: str = "serial",
+        fold_workers: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
         seed: Optional[int] = None,
         crypto_rng=None,
@@ -239,12 +251,33 @@ class ShuffleSession:
 
         A session pinned to a streamable mechanism (``"SOLH"``/``"SH"``)
         restricts the planner to it; ``mechanism="auto"`` keeps the
-        paper's free variance-optimal choice.  Returns a ready
-        :class:`~repro.service.pipeline.TelemetryPipeline`.
+        paper's free variance-optimal choice.
+
+        ``shards`` and ``backend`` select the fold execution: the
+        defaults return the single-shard
+        :class:`~repro.service.pipeline.TelemetryPipeline`; any other
+        combination returns a
+        :class:`~repro.service.sharded.ShardedPipeline` partitioning the
+        flush stream over ``shards`` aggregator shards, folded inline
+        (``backend="serial"``) or on ``fold_workers`` spawn-safe worker
+        processes (``backend="process"``).  This ``backend`` is the
+        *fold executor* — the shuffle backend (plain/sequential/peos)
+        stays a property of the :class:`DeploymentConfig`.  Estimates
+        are bit-identical across every shard/backend combination at a
+        fixed seed.
         """
         from ..service.backends import make_backend
         from ..service.pipeline import StreamConfig, TelemetryPipeline
+        from ..service.sharded import FOLD_BACKENDS, ShardedPipeline
 
+        if shards < 1:
+            raise ConfigError("shards", f"must be >= 1, got {shards}")
+        if backend not in FOLD_BACKENDS:
+            raise ConfigError(
+                "backend",
+                f"fold backend must be one of {', '.join(FOLD_BACKENDS)}, "
+                f"got {backend!r}",
+            )
         if self.budget.model == "local":
             raise ConfigError(
                 "model",
@@ -311,14 +344,23 @@ class ShuffleSession:
                 ),
                 **common,
             )
-        backend = None
-        if crypto_rng is not None:
-            backend = make_backend(
+        backend_instance = None
+        if crypto_rng is not None and self.deployment.backend != "plain":
+            backend_instance = make_backend(
                 self.deployment.backend, r=self.deployment.r,
                 crypto_rng=crypto_rng,
             )
-        return TelemetryPipeline(
-            config, _resolve_rng(rng, seed), backend=backend
+        if shards == 1 and backend == "serial":
+            return TelemetryPipeline(
+                config, _resolve_rng(rng, seed), backend=backend_instance
+            )
+        return ShardedPipeline(
+            config,
+            _resolve_rng(rng, seed),
+            n_shards=shards,
+            fold_backend=backend,
+            workers=fold_workers,
+            backend=backend_instance,
         )
 
     # -- shared helpers ----------------------------------------------------

@@ -12,6 +12,8 @@ figure without going through pytest — convenient for parameter sweeps:
     python -m repro plan --eps1 0.5 --eps2 2.0 --eps3 5.0 --n 500000 --d 200
     python -m repro table1
     python -m repro stream --epochs 4 --epoch-size 2000 --d 32
+    python -m repro stream --epochs 4 --epoch-size 20000 --shards 4 \
+        --fold-backend process
 
 The pipeline-shaped commands (``fig3``, ``table2``, ``stream``) are thin
 clients of the :mod:`repro.api` facade — the same ``ShuffleSession``
@@ -168,12 +170,16 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     admitted = budget_epochs * flushes_per_epoch(args.epoch_size, args.flush_size)
     try:
         # The facade plans the deployment ("auto" lets Section VI-D pick
-        # the mechanism) and returns the wired pipeline.
+        # the mechanism) and returns the wired pipeline — sharded across
+        # fold processes when --shards/--fold-backend say so.
         pipeline = _session(args, "auto", args.d).stream(
             args.flush_size,
             eps_targets=(args.eps1, args.eps2, args.eps3),
             epoch_size=args.epoch_size,
             admitted_epochs=budget_epochs,
+            shards=args.shards,
+            backend=args.fold_backend,
+            fold_workers=args.fold_workers,
             rng=rng,
             crypto_rng=args.seed,
         )
@@ -188,6 +194,11 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     config = pipeline.config
     plan = config.plan
 
+    sharding = (
+        f", {args.shards} shard(s) folded via {args.fold_backend}"
+        if args.shards > 1 or args.fold_backend != "serial"
+        else ""
+    )
     print(f"plan (per flush of {args.flush_size} reports): "
           f"mechanism={plan.mechanism.upper()}  eps_l={plan.eps_l:.3f}  "
           f"d'={plan.d_prime}  n_r={plan.n_r}")
@@ -195,42 +206,49 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     print(f"lifetime budget  : eps={config.eps_budget:.4f}  "
           f"delta={config.delta_budget:.2g}  "
           f"({args.composition} composition, admits {admitted} flushes; "
-          f"backend={args.backend})\n")
+          f"backend={args.backend}{sharding})\n")
 
     submitted: list[np.ndarray] = []
     print(f"{'epoch':>5}  {'flushes':>7}  {'rejected':>8}  {'released':>8}  "
           f"{'fakes':>7}  {'latency_s':>9}  {'reports/s':>10}  {'eps_spent':>9}")
-    for __ in range(args.epochs):
-        histogram = zipf_histogram(args.epoch_size, args.d, args.exponent, rng)
-        values = values_from_histogram(histogram, rng)
-        submitted.append(values)
-        pipeline.submit(values)
-        report = pipeline.end_epoch()
-        print(f"{report.epoch:>5}  {report.n_flushes:>7}  {report.n_rejected:>8}  "
-              f"{report.n_reports:>8}  {report.n_fake:>7}  "
-              f"{report.flush_latency_s:>9.3f}  {report.reports_per_sec:>10.0f}  "
-              f"{report.eps_spent:>9.4f}")
+    try:
+        for __ in range(args.epochs):
+            histogram = zipf_histogram(args.epoch_size, args.d, args.exponent, rng)
+            values = values_from_histogram(histogram, rng)
+            submitted.append(values)
+            pipeline.submit(values)
+            report = pipeline.end_epoch()
+            print(f"{report.epoch:>5}  {report.n_flushes:>7}  "
+                  f"{report.n_rejected:>8}  "
+                  f"{report.n_reports:>8}  {report.n_fake:>7}  "
+                  f"{report.flush_latency_s:>9.3f}  {report.reports_per_sec:>10.0f}  "
+                  f"{report.eps_spent:>9.4f}")
 
-    result = pipeline.result()
-    if result.rejections:
-        first = result.rejections[0]
-        print(f"\nbudget refusals: {result.n_rejected} flush(es) dropped "
-              f"(first at epoch {first.epoch}, flush {first.sequence}):")
-        print(f"  {first.reason}")
+        result = pipeline.result()
+        if result.rejections:
+            first = result.rejections[0]
+            print(f"\nbudget refusals: {result.n_rejected} flush(es) dropped "
+                  f"(first at epoch {first.epoch}, flush {first.sequence}):")
+            print(f"  {first.reason}")
 
-    print(f"\nfinal estimates over {result.n_genuine} released reports "
-          f"(+{result.n_fake} fakes):")
-    if result.n_genuine > 0:
-        released = pipeline.released_values(np.concatenate(submitted))
-        truth = np.bincount(released, minlength=args.d) / result.n_genuine
-        mse = float(np.mean((result.estimates - truth) ** 2))
-        top = np.argsort(truth)[::-1][:5]
-        print(f"  MSE vs released-population truth: {mse:.3e}")
-        for v in top:
-            print(f"  value {v:>4}: true {truth[v]:.4f}  "
-                  f"estimated {result.estimates[v]:.4f}")
-    else:
-        print("  (no flush was admitted)")
+        print(f"\nfinal estimates over {result.n_genuine} released reports "
+              f"(+{result.n_fake} fakes):")
+        if result.n_genuine > 0:
+            released = pipeline.released_values(np.concatenate(submitted))
+            truth = np.bincount(released, minlength=args.d) / result.n_genuine
+            mse = float(np.mean((result.estimates - truth) ** 2))
+            top = np.argsort(truth)[::-1][:5]
+            print(f"  MSE vs released-population truth: {mse:.3e}")
+            for v in top:
+                print(f"  value {v:>4}: true {truth[v]:.4f}  "
+                      f"estimated {result.estimates[v]:.4f}")
+        else:
+            print("  (no flush was admitted)")
+    finally:
+        # A sharded pipeline may hold a process pool; never leak it.
+        close = getattr(pipeline, "close", None)
+        if close is not None:
+            close()
     return 0
 
 
@@ -302,6 +320,15 @@ def build_parser() -> argparse.ArgumentParser:
                    default="basic")
     p.add_argument("--exponent", type=float, default=1.3,
                    help="Zipf exponent of the synthetic workload")
+    p.add_argument("--shards", type=int, default=1,
+                   help="fold-aggregator shards (estimates are "
+                        "bit-identical at any shard count)")
+    p.add_argument("--fold-backend", choices=["serial", "process"],
+                   default="serial",
+                   help="fold executor: inline, or a spawn-safe process "
+                        "pool (requires --backend plain)")
+    p.add_argument("--fold-workers", type=int, default=None,
+                   help="fold worker processes (default: min(shards, cores))")
     p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser("plan", help="Section VI-D PEOS planner")

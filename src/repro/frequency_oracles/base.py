@@ -71,6 +71,44 @@ class FrequencyOracle(ABC):
     def estimate(self, counts: np.ndarray, n: int) -> np.ndarray:
         """Debias support counts from ``n`` reports into frequency estimates."""
 
+    # -- compatibility -----------------------------------------------------
+
+    def parameter_tuple(self) -> tuple:
+        """The parameters that decide estimator compatibility.
+
+        Two oracles whose parameter tuples are equal debias support counts
+        identically, so counts folded under one may be merged into an
+        aggregate kept under the other
+        (:meth:`repro.service.aggregator.IncrementalAggregator.merge`).
+        The default collects the concrete type plus every public scalar
+        attribute — which covers ``d``, ``eps``, ``p``/``q``, ``d_prime``
+        for the built-in mechanisms; subclasses with non-scalar parameters
+        (e.g. a hash family) must extend it.  Private attributes (caches,
+        chunk sizes) are deliberately excluded: they tune execution, not
+        the estimator.
+        """
+        scalars = tuple(
+            (key, value)
+            for key, value in sorted(vars(self).items())
+            if not key.startswith("_")
+            and isinstance(value, (bool, int, float, str))
+        )
+        return (type(self).__name__, scalars)
+
+    def compatible_with(self, other: "FrequencyOracle") -> bool:
+        """True iff ``other``'s counts may be merged into ours.
+
+        An explicit parameter comparison — never ``repr``-based, which a
+        subclass could truncate and thereby let incompatible shards merge
+        silently.  The type name participates, so a subclass is never
+        conflated with its parent even at identical parameters (refusing a
+        sound merge is recoverable; silently biasing estimates is not).
+        """
+        return (
+            isinstance(other, FrequencyOracle)
+            and self.parameter_tuple() == other.parameter_tuple()
+        )
+
     # -- conveniences -----------------------------------------------------
 
     def run(

@@ -69,6 +69,17 @@ class LocalHashingOracle(FrequencyOracle):
             f"d_prime={self.d_prime})"
         )
 
+    def parameter_tuple(self) -> tuple:
+        """Extend the scalar parameters with the hash family's identity.
+
+        The family is part of the estimator: support counts are computed
+        by re-evaluating users' hash functions, so counts collected under
+        different families (or seed spaces) must never merge.
+        """
+        return super().parameter_tuple() + (
+            ("family", self.family.name, self.family.seed_space),
+        )
+
     @property
     def blanket_gamma(self) -> float:
         """Blanket mass ``gamma = d' q`` of the hashed-value GRR."""

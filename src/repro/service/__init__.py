@@ -12,6 +12,8 @@ estimates that match a one-shot run bit for bit.
 * :mod:`repro.service.aggregator` — incremental support counts + Eq. (6).
 * :mod:`repro.service.backends` — plain / SS / PEOS release paths.
 * :mod:`repro.service.pipeline` — the orchestrator and its metrics.
+* :mod:`repro.service.sharded` — multi-shard (optionally multi-process)
+  folding behind the same interface, bit-identical at any shard count.
 
 Quick start::
 
@@ -25,6 +27,18 @@ Quick start::
         pipeline.submit(epoch_values)
         print(pipeline.end_epoch())
     print(pipeline.estimates())
+
+To spread the fold work over several processes (same estimates, bit for
+bit), swap in the sharded pipeline::
+
+    from repro.service import ShardedPipeline
+
+    with ShardedPipeline(config, np.random.default_rng(0), n_shards=4,
+                         fold_backend="process") as pipeline:
+        for epoch_values in value_stream:
+            pipeline.submit(epoch_values)
+            pipeline.end_epoch()
+        print(pipeline.estimates())
 """
 
 from .accountant import BudgetCharge, BudgetExceededError, PrivacyAccountant
@@ -46,15 +60,19 @@ from .pipeline import (
     TelemetryPipeline,
     epoch_release_epsilon,
     flush_release_epsilon,
+    flush_rng,
     flushes_per_epoch,
     oracle_from_plan,
+    release_entropy,
 )
+from .sharded import FOLD_BACKENDS, ShardedPipeline
 
 __all__ = [
     "BACKEND_NAMES",
     "BudgetCharge",
     "BudgetExceededError",
     "EpochReport",
+    "FOLD_BACKENDS",
     "FlushBatch",
     "FlushRejection",
     "IncrementalAggregator",
@@ -63,13 +81,16 @@ __all__ = [
     "PrivacyAccountant",
     "ReportBuffer",
     "SequentialShuffleBackend",
+    "ShardedPipeline",
     "ShuffleBackend",
     "StreamConfig",
     "StreamResult",
     "TelemetryPipeline",
     "epoch_release_epsilon",
     "flush_release_epsilon",
+    "flush_rng",
     "flushes_per_epoch",
     "make_backend",
     "oracle_from_plan",
+    "release_entropy",
 ]

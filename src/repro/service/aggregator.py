@@ -22,7 +22,8 @@ Two fold paths mirror the one-shot code:
   used by throughput benchmarks at paper scale.
 
 ``merge`` combines aggregators from disjoint shards (same additivity
-argument), the seam the sharding roadmap item plugs into.
+argument) — the seam :class:`repro.service.sharded.ShardedPipeline`
+folds its per-shard state through to produce global estimates.
 """
 
 from __future__ import annotations
@@ -68,6 +69,13 @@ class IncrementalAggregator:
             raise ValueError(
                 f"counts must have shape ({self.fo.d},), got {counts.shape}"
             )
+        if not np.all(np.isfinite(counts)):
+            bad = int(np.flatnonzero(~np.isfinite(counts))[0])
+            raise ValueError(
+                f"batch {self.n_batches} has a non-finite support count "
+                f"({counts[bad]}) at value {bad}; folding it would silently "
+                f"poison every later estimate"
+            )
         if n_genuine < 0 or n_fake < 0:
             raise ValueError(
                 f"report counts must be >= 0, got n={n_genuine}, n_r={n_fake}"
@@ -105,11 +113,22 @@ class IncrementalAggregator:
         domain, local budget, hash domain) — the counts are debiased with
         this aggregator's ``p``/``q`` at estimate time, so folding counts
         sampled under different perturbation probabilities would silently
-        bias the result.  The ``repr`` carries exactly those parameters.
+        bias the result.  Compatibility is decided by
+        :meth:`~repro.frequency_oracles.base.FrequencyOracle.compatible_with`
+        on the oracles' parameter tuples — never by ``repr``, which a
+        subclass may truncate without surfacing every parameter.
+
+        Because support counts are integer-valued (float storage
+        notwithstanding) their float sums are exact below ``2**53``
+        reports, so merging shards in any order or grouping produces
+        bit-identical state — the property the sharded pipeline's
+        determinism contract rests on.
         """
-        if repr(other.fo) != repr(self.fo):
+        if not self.fo.compatible_with(other.fo):
             raise ValueError(
-                f"cannot merge {other.fo!r} into {self.fo!r}: oracle mismatch"
+                f"cannot merge {other.fo!r} into {self.fo!r}: oracle "
+                f"parameter mismatch ({other.fo.parameter_tuple()} vs "
+                f"{self.fo.parameter_tuple()})"
             )
         self._counts += other._counts
         self.n_genuine += other.n_genuine

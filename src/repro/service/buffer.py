@@ -23,6 +23,14 @@ prices every release at its own size
 (:func:`repro.service.pipeline.flush_release_epsilon`) rather than at the
 plan's full-flush ``eps_server``.  The actual injection happens inside
 the shuffle backend, which is the party holding the randomness.
+
+Memory ownership contract: every :class:`FlushBatch` *owns* its report
+array (``reports.base is None``, marked read-only), and the buffer never
+retains a reference into a caller's submission.  Callers may therefore
+reuse or mutate their upload buffers immediately after :meth:`submit`
+returns, flushed batches can outlive (or cross process boundaries ahead
+of) the arrays they were carved from, and a short epoch-end remainder
+never pins a large merged submission in memory.
 """
 
 from __future__ import annotations
@@ -46,7 +54,8 @@ class FlushBatch:
     sequence: int
     #: what drained the buffer: ``"size"`` or ``"epoch"``
     trigger: str
-    #: ordinal-encoded privatized reports (genuine only)
+    #: ordinal-encoded privatized reports (genuine only); always an owned,
+    #: read-only array — never a view into a caller's submission
     reports: np.ndarray
     #: fake reports the shufflers must inject when releasing this batch
     n_fake: int
@@ -104,12 +113,22 @@ class ReportBuffer:
         """Reports accumulated but not yet flushed."""
         return self._pending_count
 
-    def submit(self, encoded_reports: np.ndarray) -> List[FlushBatch]:
+    def submit(
+        self, encoded_reports: np.ndarray, owned: bool = False
+    ) -> List[FlushBatch]:
         """Append reports; return the size-triggered flushes they caused.
 
-        Carving merges the pending chunks once and slices full batches off
+        Carving merges the pending chunks once and copies full batches off
         by offset, so a submission of ``n`` reports costs O(n) regardless
-        of how many flushes it triggers.
+        of how many flushes it triggers.  Every carved batch, the retained
+        remainder, and any retained input chunk are copied: a batch handed
+        to downstream release must not alias memory the caller can mutate,
+        and a 1-element remainder must not pin the whole merged array.
+
+        ``owned=True`` transfers ownership of ``encoded_reports`` to the
+        buffer — the caller promises nothing else references or mutates
+        it — skipping the retain-copy.  The pipelines pass it for their
+        freshly encoded arrays; callers reusing an upload buffer must not.
         """
         encoded_reports = np.asarray(encoded_reports)
         if encoded_reports.ndim != 1:
@@ -131,8 +150,14 @@ class ReportBuffer:
                 )
                 offset += self.flush_size
             remainder = merged[offset:]
-            self._pending = [remainder] if len(remainder) else []
+            self._pending = [remainder.copy()] if len(remainder) else []
             self._pending_count = len(remainder)
+        elif len(encoded_reports) and not owned:
+            # Not carved this call, so the chunk is *retained*: copy it now
+            # — everything left in _pending must be buffer-owned.  (When a
+            # carve happened, _pending was rebuilt from an owned remainder
+            # and the caller's array was only read.)
+            self._pending[-1] = encoded_reports.copy()
         return batches
 
     def end_epoch(self) -> List[FlushBatch]:
@@ -160,6 +185,14 @@ class ReportBuffer:
         )
 
     def _make_batch(self, reports: np.ndarray, trigger: str) -> FlushBatch:
+        # The batch owns its memory (base is None) and is read-only: it may
+        # be queued, shipped to a fold worker process, or folded long after
+        # the array it was carved from has been reused by the caller.  A
+        # view (a size-carved slice) is copied; an already-owned array (an
+        # epoch drain of buffer-owned chunks) is adopted as-is.
+        if reports.base is not None:
+            reports = reports.copy()
+        reports.setflags(write=False)
         batch = FlushBatch(
             epoch=self.epoch,
             sequence=self._sequence,

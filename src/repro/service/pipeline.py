@@ -20,6 +20,20 @@ VI-D plan (:func:`repro.core.params.plan_peos`):
 
 Estimates are available at any time via :meth:`TelemetryPipeline.estimates`
 and are bit-identical to a one-shot run over the same released reports.
+
+Randomness discipline (the sharding determinism contract): the pipeline
+consumes its generator for *ingestion only* (privatizing submissions, in
+arrival order).  Release-side randomness — fake-report draws and the
+shuffle permutation — comes from an independent per-flush stream derived
+via :func:`release_entropy` / :func:`flush_rng` and keyed by the flush's
+global sequence number.  Because a flush's noise depends only on the
+deployment seed and its own sequence number — never on which thread,
+process, or shard releases it — :class:`~repro.service.sharded.
+ShardedPipeline` reproduces this pipeline's estimates bit for bit at any
+shard or worker count.  (This changed the sampled noise at a fixed seed
+relative to the pre-sharding pipeline, which interleaved ingest and
+release draws on one stream; same documented trade as the sweep engine's
+per-trial seeding, see DESIGN.md.)
 """
 
 from __future__ import annotations
@@ -316,6 +330,31 @@ def epoch_release_epsilon(
     return total
 
 
+def release_entropy(rng: np.random.Generator) -> tuple:
+    """Derive the deployment's release-stream root entropy from ``rng``.
+
+    Called exactly once, immediately after a pipeline binds its ingest
+    generator and before any other draw — both :class:`TelemetryPipeline`
+    and :class:`~repro.service.sharded.ShardedPipeline` follow this order,
+    which is what makes their streams line up at a fixed seed.
+    """
+    return tuple(int(word) for word in rng.integers(0, 1 << 32, size=8))
+
+
+def flush_rng(entropy: tuple, sequence: int) -> np.random.Generator:
+    """The release stream of the flush with global sequence ``sequence``.
+
+    Children are keyed by ``spawn_key`` (equivalent to
+    ``SeedSequence(entropy).spawn(...)`` but order-independent), so any
+    execution layout — the serial pipeline, a sharded fold, a process
+    pool, even out-of-order collection — draws identical fake-report and
+    shuffle randomness for the same flush.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy, spawn_key=(int(sequence),))
+    )
+
+
 def oracle_from_plan(d: int, plan: PeosPlan) -> FrequencyOracle:
     """Instantiate the planned mechanism through the registry.
 
@@ -347,6 +386,8 @@ class TelemetryPipeline:
         self.config = config
         self.rng = rng
         self.clock = clock
+        # Drawn first, before any other use of rng (see release_entropy).
+        self.release_entropy = release_entropy(rng)
         self.fo = oracle_from_plan(config.d, config.plan)
         self.buffer = ReportBuffer.from_plan(
             config.plan,
@@ -387,7 +428,8 @@ class TelemetryPipeline:
         if len(values) == 0:
             return 0
         encoded = self.fo.encode_reports(self.fo.privatize(values, self.rng))
-        batches = self.buffer.submit(encoded)
+        # owned=True: `encoded` is freshly allocated and never touched again.
+        batches = self.buffer.submit(encoded, owned=True)
         for batch in batches:
             self._process_flush(batch)
         return len(batches)
@@ -460,7 +502,8 @@ class TelemetryPipeline:
             return
         started = self.clock()
         shuffled = self.backend.shuffle(
-            batch.reports, batch.n_fake, self.fo, self.rng
+            batch.reports, batch.n_fake, self.fo,
+            flush_rng(self.release_entropy, batch.sequence),
         )
         decoded = self.fo.decode_reports(shuffled)
         self.aggregator.fold_reports(decoded, batch.n_reports, batch.n_fake)

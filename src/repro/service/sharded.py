@@ -1,0 +1,463 @@
+"""Sharded streaming: many fold shards, one carver, one accountant.
+
+The paper's deployment story is many shufflers feeding one analyzer.
+:class:`ShardedPipeline` realizes it: client submissions are privatized
+and carved into flush batches exactly like the single-shard
+:class:`~repro.service.pipeline.TelemetryPipeline`, but the expensive
+release work — fake injection, shuffling, decoding, support counting —
+fans out across ``n_shards`` independent
+:class:`~repro.service.aggregator.IncrementalAggregator` shards, folded
+either inline (``fold_backend="serial"``) or on a spawn-safe
+``ProcessPoolExecutor`` (``fold_backend="process"``), which is what lets
+the GIL-bound hashing hot paths actually use multiple cores.
+
+Determinism contract (bit-identical estimates at any shard/worker count,
+and to ``TelemetryPipeline`` at the same seed):
+
+* **Carving is global.**  One :class:`~repro.service.buffer.ReportBuffer`
+  carves the stream, so flush boundaries — and therefore batch sizes,
+  fake-noise draws, and budget charges — cannot depend on ``n_shards``.
+  (Per-shard buffers would each drain their own epoch-end remainder: the
+  flush schedule, the total fake count, and the spend would all vary
+  with the shard count.)  Batch ``sequence % n_shards`` picks the shard,
+  a deterministic round-robin partition of the flush stream.
+* **Release randomness is per-flush.**  Every flush draws from
+  :func:`~repro.service.pipeline.flush_rng`, keyed by the deployment's
+  :func:`~repro.service.pipeline.release_entropy` and the flush's global
+  sequence number — never from a stream another worker also consumes.
+* **The accountant is singular.**  One shared
+  :class:`~repro.service.accountant.PrivacyAccountant` is charged in
+  global carve order, *before* a batch is handed to any shard: the
+  privacy ledger is a property of the deployment, not of a shard, and
+  admitting a flush must not race another shard's charge.
+* **Merging is exact.**  Support counts are integer-valued, so per-shard
+  float sums and the final
+  :meth:`~repro.service.aggregator.IncrementalAggregator.merge` are
+  exact below ``2**53`` reports — grouping by shard cannot change a bit.
+
+The process path is why flush batches must *own* their memory
+(``FlushBatch.reports.base is None``): a view into a caller's upload
+buffer could neither be pickled to a worker safely nor survive the
+caller reusing the buffer while the fold is still in flight.
+
+Restrictions in ``fold_backend="process"`` mode: the shuffle backend
+must be ``"plain"`` (the crypto backends draw from one shared
+``crypto_rng`` stream that cannot be split deterministically across
+processes) and ``keep_reports`` is unavailable (released reports stay in
+the workers; only their counts come back).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..core.errors import ConfigError
+from .accountant import BudgetExceededError, PrivacyAccountant
+from .aggregator import IncrementalAggregator
+from .backends import ShuffleBackend, make_backend
+from .buffer import FlushBatch, ReportBuffer
+from .pipeline import (
+    MAX_REJECTION_RECORDS,
+    EpochReport,
+    FlushRejection,
+    StreamConfig,
+    StreamResult,
+    flush_release_epsilon,
+    flush_rng,
+    oracle_from_plan,
+    release_entropy,
+)
+
+#: fold-execution backends of :class:`ShardedPipeline`
+FOLD_BACKENDS = ("serial", "process")
+
+#: per-process (oracle, shuffle backend) pair built by the pool initializer
+_WORKER_STATE = None
+
+
+def _init_fold_worker(d: int, plan, backend_name: str, r: int) -> None:
+    """Build one fold worker's oracle and backend (spawn-safe, runs once).
+
+    Workers receive only picklable specs — the domain size, the
+    :class:`~repro.core.params.PeosPlan`, and backend parameters — and
+    rebuild the oracle through the same
+    :func:`~repro.service.pipeline.oracle_from_plan` registry path the
+    parent used, so both sides hold identical estimators.
+    """
+    global _WORKER_STATE
+    fo = oracle_from_plan(d, plan)
+    backend = make_backend(backend_name, r=r)
+    backend.prepare(fo, np.random.default_rng(0))
+    _WORKER_STATE = (fo, backend)
+
+
+def _worker_ready() -> bool:
+    """No-op task used by :meth:`ShardedPipeline.warmup`."""
+    return _WORKER_STATE is not None
+
+
+def _fold_block(sequence: int, reports: np.ndarray, n_fake: int, entropy: tuple):
+    """Release one flush batch in a worker; return its folded counts.
+
+    The parent already charged the accountant; this is pure computation:
+    shuffle (fake injection + permutation) under the flush's own stream,
+    decode, and count.  Returns ``(support_counts, elapsed_seconds)``.
+    """
+    fo, backend = _WORKER_STATE
+    started = time.perf_counter()
+    shuffled = backend.shuffle(reports, n_fake, fo, flush_rng(entropy, sequence))
+    counts = fo.support_counts(fo.decode_reports(shuffled))
+    return counts, time.perf_counter() - started
+
+
+class ShardedPipeline:
+    """Multi-shard streaming collection with a shared privacy ledger.
+
+    Drop-in shaped like :class:`~repro.service.pipeline.TelemetryPipeline`
+    (``submit`` / ``end_epoch`` / ``run`` / ``estimates`` / ``result``),
+    plus :meth:`drain` (collect outstanding process folds),
+    :meth:`warmup` (pre-spawn the pool), and :meth:`close`.  Use as a
+    context manager to guarantee the worker pool is shut down.
+    """
+
+    def __init__(
+        self,
+        config: StreamConfig,
+        rng: np.random.Generator,
+        n_shards: int = 1,
+        fold_backend: str = "serial",
+        workers: Optional[int] = None,
+        backend: Optional[ShuffleBackend] = None,
+        clock=time.perf_counter,
+    ):
+        if n_shards < 1:
+            raise ConfigError("n_shards", f"must be >= 1, got {n_shards}")
+        if fold_backend not in FOLD_BACKENDS:
+            raise ConfigError(
+                "fold_backend",
+                f"unknown fold backend {fold_backend!r} "
+                f"(registered: {', '.join(FOLD_BACKENDS)})",
+            )
+        if workers is not None and workers < 1:
+            raise ConfigError("workers", f"must be >= 1, got {workers}")
+        if fold_backend == "process":
+            if config.backend != "plain":
+                raise ConfigError(
+                    "fold_backend",
+                    f"process folding supports only the 'plain' shuffle "
+                    f"backend, not {config.backend!r}: the crypto backends "
+                    f"draw key material from one shared crypto_rng stream "
+                    f"that cannot be split deterministically across "
+                    f"processes",
+                )
+            if config.keep_reports:
+                raise ConfigError(
+                    "keep_reports",
+                    "released reports stay inside the fold workers under "
+                    "fold_backend='process'; use 'serial' to retain them",
+                )
+            if backend is not None:
+                raise ConfigError(
+                    "backend",
+                    "a shared backend instance cannot cross process "
+                    "boundaries; process folding builds one per worker",
+                )
+        self.config = config
+        self.rng = rng
+        self.clock = clock
+        self.n_shards = int(n_shards)
+        self.fold_backend = fold_backend
+        # Drawn first, before any other use of rng (see release_entropy) —
+        # the same order TelemetryPipeline follows, which is what makes the
+        # two pipelines' ingest and release streams line up at a fixed seed.
+        self.release_entropy = release_entropy(rng)
+        self.fo = oracle_from_plan(config.d, config.plan)
+        self.buffer = ReportBuffer.from_plan(
+            config.plan,
+            config.flush_size,
+            flush_empty=config.flush_empty,
+            codec=self.fo.ordinal_codec,
+        )
+        self.accountant = PrivacyAccountant(
+            config.eps_budget, config.delta_budget, method=config.composition
+        )
+        self.shards: List[IncrementalAggregator] = [
+            IncrementalAggregator(self.fo) for _ in range(self.n_shards)
+        ]
+        self.backend = backend if backend is not None else make_backend(
+            config.backend, r=config.r
+        )
+        self.backend.prepare(self.fo, rng)
+        self._requested_workers = workers
+        self._executor: Optional[ProcessPoolExecutor] = None
+        #: outstanding process folds: (future, shard index, batch)
+        self._pending: List[tuple] = []
+        self.epoch_reports: List[EpochReport] = []
+        self.rejections: List[FlushRejection] = []
+        self.n_rejected = 0
+        self.released_batches: List = []
+        #: [start, stop) index ranges into the submitted-report order that
+        #: were actually released (rejected flushes leave gaps)
+        self.released_spans: List[tuple] = []
+        self._consumed = 0
+        self._epoch_flushes = 0
+        self._epoch_rejected = 0
+        self._epoch_reports_released = 0
+        self._epoch_fakes = 0
+        self._epoch_latency = 0.0
+
+    # -- executor lifecycle ------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Fold worker processes the process backend uses."""
+        if self._requested_workers is not None:
+            return self._requested_workers
+        return max(1, min(self.n_shards, os.cpu_count() or 1))
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=get_context("spawn"),
+                initializer=_init_fold_worker,
+                initargs=(
+                    self.config.d,
+                    self.config.plan,
+                    self.config.backend,
+                    self.config.r,
+                ),
+            )
+        return self._executor
+
+    def warmup(self) -> None:
+        """Spawn and initialize the fold workers before the first flush.
+
+        Spawn start-up costs hundreds of milliseconds per worker;
+        latency-sensitive callers (and fair benchmarks) pay it up front
+        instead of inside the first epoch.  No-op for serial folding.
+        """
+        if self.fold_backend != "process":
+            return
+        executor = self._ensure_executor()
+        ready = [executor.submit(_worker_ready) for __ in range(self.workers)]
+        for future in ready:
+            future.result()
+
+    def close(self) -> None:
+        """Collect outstanding folds and shut the worker pool down.
+
+        The pool is shut down even when collecting a fold fails — a dead
+        worker must not leak the surviving processes.
+        """
+        try:
+            self.drain()
+        finally:
+            if self._executor is not None:
+                self._executor.shutdown()
+                self._executor = None
+
+    def __enter__(self) -> "ShardedPipeline":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- ingestion ---------------------------------------------------------
+
+    def submit(self, values) -> int:
+        """Privatize and buffer one client batch; dispatch size flushes.
+
+        Returns the number of flushes triggered (admitted or rejected).
+        Ingestion is the parent's job — privatization consumes the ingest
+        generator in arrival order, which must not depend on shard layout.
+        """
+        values = np.asarray(values)
+        if len(values) == 0:
+            return 0
+        encoded = self.fo.encode_reports(self.fo.privatize(values, self.rng))
+        # owned=True: `encoded` is freshly allocated and never touched again.
+        batches = self.buffer.submit(encoded, owned=True)
+        for batch in batches:
+            self._dispatch(batch)
+        return len(batches)
+
+    def end_epoch(self) -> EpochReport:
+        """Drain the carver, collect every fold, and close the epoch."""
+        for batch in self.buffer.end_epoch():
+            self._dispatch(batch)
+        self.drain()
+        eps_spent, delta_spent = self.accountant.spent()
+        report = EpochReport(
+            epoch=self.buffer.epoch - 1,
+            n_flushes=self._epoch_flushes,
+            n_rejected=self._epoch_rejected,
+            n_reports=self._epoch_reports_released,
+            n_fake=self._epoch_fakes,
+            flush_latency_s=self._epoch_latency,
+            reports_per_sec=(
+                self._epoch_reports_released / self._epoch_latency
+                if self._epoch_latency > 0.0
+                else 0.0
+            ),
+            eps_spent=eps_spent,
+            delta_spent=delta_spent,
+        )
+        self.epoch_reports.append(report)
+        self._epoch_flushes = 0
+        self._epoch_rejected = 0
+        self._epoch_reports_released = 0
+        self._epoch_fakes = 0
+        self._epoch_latency = 0.0
+        return report
+
+    def run(self, epoch_batches: Iterable) -> StreamResult:
+        """Feed one value batch per epoch and return the final result."""
+        for values in epoch_batches:
+            self.submit(values)
+            self.end_epoch()
+        return self.result()
+
+    # -- flush processing --------------------------------------------------
+
+    def _dispatch(self, batch: FlushBatch) -> None:
+        """Charge a carved batch, then hand it to its shard.
+
+        Charging happens here, in global carve order, so the ledger and
+        the admit/reject decisions are identical at any shard count.
+        """
+        plan = self.config.plan
+        self._epoch_flushes += 1
+        span = (self._consumed, self._consumed + batch.n_reports)
+        self._consumed = span[1]
+        charge = flush_release_epsilon(
+            self.config.d, plan, batch.n_reports, batch.n_fake
+        )
+        try:
+            self.accountant.charge(
+                charge,
+                plan.delta,
+                label=f"epoch{batch.epoch}/flush{batch.sequence}",
+            )
+        except BudgetExceededError as refusal:
+            self._epoch_rejected += 1
+            self.n_rejected += 1
+            if len(self.rejections) < MAX_REJECTION_RECORDS:
+                self.rejections.append(
+                    FlushRejection(
+                        epoch=batch.epoch,
+                        sequence=batch.sequence,
+                        n_reports=batch.n_reports,
+                        reason=str(refusal),
+                    )
+                )
+            return
+        self._epoch_reports_released += batch.n_reports
+        self._epoch_fakes += batch.n_fake
+        self.released_spans.append(span)
+        shard = batch.sequence % self.n_shards
+        if self.fold_backend == "process":
+            future = self._ensure_executor().submit(
+                _fold_block,
+                batch.sequence,
+                batch.reports,
+                batch.n_fake,
+                self.release_entropy,
+            )
+            self._pending.append((future, shard, batch))
+        else:
+            started = self.clock()
+            shuffled = self.backend.shuffle(
+                batch.reports, batch.n_fake, self.fo,
+                flush_rng(self.release_entropy, batch.sequence),
+            )
+            decoded = self.fo.decode_reports(shuffled)
+            self.shards[shard].fold_reports(
+                decoded, batch.n_reports, batch.n_fake
+            )
+            self._epoch_latency += self.clock() - started
+            if self.config.keep_reports:
+                self.released_batches.append(decoded)
+
+    def drain(self) -> int:
+        """Fold every outstanding worker result into its shard.
+
+        Collection order does not matter: counts are summed exactly, and
+        each fold's randomness was fixed by its flush sequence at dispatch
+        time.  Returns the number of folds collected.
+
+        If a worker fold fails (e.g. a killed process), the failed entry
+        and everything after it *stay* in the pending queue and the error
+        propagates: the accountant already charged those flushes, so
+        silently dropping them would leave estimates missing releases the
+        ledger paid for.  A later drain re-raises (or, for folds that did
+        complete, collects) from where it stopped.
+        """
+        collected = 0
+        while self._pending:
+            future, shard, batch = self._pending[0]
+            counts, elapsed = future.result()  # re-raises a worker failure
+            self._pending.pop(0)
+            self.shards[shard].fold_counts(
+                counts, batch.n_reports, batch.n_fake
+            )
+            self._epoch_latency += elapsed
+            collected += 1
+        return collected
+
+    # -- results -----------------------------------------------------------
+
+    @property
+    def exhausted(self) -> bool:
+        """True once no positive charge can ever be admitted again."""
+        return self.accountant.remaining_eps() <= 0.0
+
+    def aggregate(self) -> IncrementalAggregator:
+        """Merge every shard into one global aggregator (fresh instance)."""
+        self.drain()
+        merged = IncrementalAggregator(self.fo)
+        for shard in self.shards:
+            merged.merge(shard)
+        return merged
+
+    def estimates(self) -> np.ndarray:
+        """Current calibrated global frequency estimates (Eq. (6))."""
+        return self.aggregate().estimates()
+
+    def released_values(self, submitted_values: np.ndarray) -> np.ndarray:
+        """The subset of ``submitted_values`` that was actually released.
+
+        Same demo/metric helper as
+        :meth:`~repro.service.pipeline.TelemetryPipeline.released_values`.
+        """
+        submitted_values = np.asarray(submitted_values)
+        if len(submitted_values) < self._consumed:
+            raise ValueError(
+                f"expected at least {self._consumed} submitted values, "
+                f"got {len(submitted_values)}"
+            )
+        if not self.released_spans:
+            return submitted_values[:0]
+        return np.concatenate(
+            [submitted_values[start:stop] for start, stop in self.released_spans]
+        )
+
+    def result(self) -> StreamResult:
+        aggregate = self.aggregate()
+        eps_spent, delta_spent = self.accountant.spent()
+        return StreamResult(
+            estimates=aggregate.estimates(),
+            epochs=list(self.epoch_reports),
+            n_genuine=aggregate.n_genuine,
+            n_fake=aggregate.n_fake,
+            eps_spent=eps_spent,
+            delta_spent=delta_spent,
+            n_rejected=self.n_rejected,
+            rejections=list(self.rejections),
+        )

@@ -120,7 +120,7 @@ class TestNameValidation:
 class TestParallelDeterminism:
     """run_sweep(workers=1) must equal run_sweep(workers=4) bit for bit."""
 
-    def _sweep(self, small_histogram, workers):
+    def _sweep(self, small_histogram, workers, backend="thread"):
         return run_sweep(
             ["Base", "SH", "SOLH", "AUE"],
             small_histogram,
@@ -129,6 +129,7 @@ class TestParallelDeterminism:
             np.random.default_rng(99),
             repeats=3,
             workers=workers,
+            backend=backend,
         )
 
     def test_workers_1_equals_workers_4(self, small_histogram):
@@ -140,6 +141,22 @@ class TestParallelDeterminism:
             # Bit-for-bit, not approx: the whole point of per-trial seeding.
             assert np.array_equal(s.means, p.means, equal_nan=True)
             assert np.array_equal(s.stds, p.stds, equal_nan=True)
+
+    @pytest.mark.slow
+    def test_process_backend_equals_thread_backend(self, small_histogram):
+        # The engine's determinism contract extends across executors: a
+        # trial's randomness is fixed by its plan position, so a spawn
+        # process pool reproduces the thread pool bit for bit.
+        threaded = self._sweep(small_histogram, 2)
+        processed = self._sweep(small_histogram, 2, backend="process")
+        for t, p in zip(threaded, processed):
+            assert t.method == p.method
+            assert np.array_equal(t.means, p.means, equal_nan=True)
+            assert np.array_equal(t.stds, p.stds, equal_nan=True)
+
+    def test_unknown_backend_rejected(self, rng, small_histogram):
+        with pytest.raises(ValueError, match="unknown trial backend"):
+            run_trial_plan([], small_histogram, 1, rng, backend="greenlet")
 
     def test_trial_seeds_depend_only_on_generator_state(self):
         seeds_a = spawn_trial_seeds(np.random.default_rng(5), 6)

@@ -169,6 +169,31 @@ class TestStreamEquivalence:
                 100, eps_targets=self.EPS_TARGETS, admitted_flushes=2,
             )
 
+    def test_sharded_stream_matches_serial_stream(self):
+        from repro.service import ShardedPipeline
+
+        kwargs = dict(
+            eps_targets=self.EPS_TARGETS, admitted_flushes=8, seed=5,
+        )
+        serial = self._feed(
+            session("auto", 16, eps=1.0).stream(100, **kwargs), seed=77
+        )
+        pipeline = session("auto", 16, eps=1.0).stream(
+            100, shards=3, **kwargs
+        )
+        assert isinstance(pipeline, ShardedPipeline)
+        sharded = self._feed(pipeline, seed=77)
+        assert serial.estimates.tobytes() == sharded.estimates.tobytes()
+        assert serial.eps_spent == sharded.eps_spent
+
+    def test_stream_rejects_bad_fold_options(self):
+        from repro.api import ConfigError
+
+        with pytest.raises(ConfigError, match="shards"):
+            session("auto", 16, eps=1.0).stream(100, shards=0)
+        with pytest.raises(ConfigError, match="fold backend"):
+            session("auto", 16, eps=1.0).stream(100, backend="threads")
+
     def test_default_targets_derive_from_budget(self):
         pipeline = session("auto", 16, eps=1.0).stream(100, admitted_flushes=2)
         reference = StreamConfig.from_targets(

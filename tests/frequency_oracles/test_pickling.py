@@ -1,0 +1,63 @@
+"""Oracles, plans, codecs, and registry-built mechanisms must pickle.
+
+The process-sharded fold workers and the process-backed sweep engine ship
+these objects (or the specs to rebuild them) across spawn boundaries, so
+every one of them has to survive a pickle round trip with its estimator
+parameters intact.  A mechanism that grows a closure, a lambda default,
+or an open handle breaks multi-process execution — this suite is the
+tripwire.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import FIGURE3_METHODS
+from repro.core.ordinal import OrdinalCodec
+from repro.core.params import plan_peos
+from repro.core.registry import build_mechanism
+from repro.frequency_oracles import GRR, SOLH
+from repro.hashing import XXHash32Family
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+class TestOraclePickling:
+    def test_grr_roundtrip_preserves_estimator(self):
+        fo = roundtrip(GRR(16, 3.0))
+        assert fo.compatible_with(GRR(16, 3.0))
+        counts = np.arange(16, dtype=float)
+        assert np.array_equal(
+            fo.estimate(counts, 100), GRR(16, 3.0).estimate(counts, 100)
+        )
+
+    def test_solh_roundtrip_preserves_family(self):
+        fo = SOLH(16, 3.0, 4, family=XXHash32Family())
+        clone = roundtrip(fo)
+        assert clone.compatible_with(fo)
+        # Hash evaluation must be identical across processes — that is
+        # what lets a worker re-evaluate users' hash functions.
+        assert clone.family.hash_value(12345, 7, 4) == fo.family.hash_value(
+            12345, 7, 4
+        )
+
+    def test_ordinal_codec_roundtrip(self):
+        for space in (64, 1 << 40, 1 << 70):  # int64 fast path + object path
+            codec = roundtrip(OrdinalCodec(space))
+            assert codec.space == space
+
+    def test_plan_roundtrip(self):
+        plan = plan_peos(1.0, 3.0, 6.0, n=2000, d=16, delta=1e-9)
+        assert roundtrip(plan) == plan
+
+
+class TestRegistryMechanismPickling:
+    @pytest.mark.parametrize("name", FIGURE3_METHODS)
+    def test_built_mechanism_roundtrip(self, name):
+        # n large enough that every factory (AUE in particular) is feasible.
+        mechanism = build_mechanism(name, 16, 100_000, 1.0, 1e-9)
+        clone = roundtrip(mechanism)
+        assert type(clone) is type(mechanism)

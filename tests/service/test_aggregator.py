@@ -46,6 +46,20 @@ class TestFolding:
         aggregator = IncrementalAggregator(GRR(4, 2.0))
         assert np.array_equal(aggregator.estimates(), np.zeros(4))
 
+    def test_non_finite_counts_rejected(self):
+        # A single NaN folded once would silently poison every later
+        # estimates() call; the batch must be refused by name instead.
+        aggregator = IncrementalAggregator(GRR(4, 2.0))
+        aggregator.fold_counts(np.ones(4), 4, 0)
+        poisoned = np.array([1.0, np.nan, 1.0, 1.0])
+        with pytest.raises(ValueError, match="batch 1"):
+            aggregator.fold_counts(poisoned, 4, 0)
+        with pytest.raises(ValueError, match="non-finite"):
+            aggregator.fold_counts(np.array([np.inf, 0.0, 0.0, 0.0]), 1, 0)
+        # The refused batches left no trace in the running state.
+        assert aggregator.n_batches == 1
+        assert np.all(np.isfinite(aggregator.estimates()))
+
 
 class TestStatisticalPath:
     def test_fold_histogram_unbiased(self, rng):
@@ -130,3 +144,63 @@ class TestMerge:
             solh.merge(
                 IncrementalAggregator(SOLH(8, 3.0, 8, family=XXHash32Family()))
             )
+
+    def test_merge_all_state_additive(self, rng):
+        fo = GRR(8, 3.0)
+        left, right = IncrementalAggregator(fo), IncrementalAggregator(fo)
+        left.fold_reports(fo.privatize(rng.integers(0, 8, 30), rng), 25, 5)
+        left.fold_reports(fo.privatize(rng.integers(0, 8, 10), rng), 10, 0)
+        right.fold_reports(fo.privatize(rng.integers(0, 8, 44), rng), 40, 4)
+        expected_counts = left.support_counts + right.support_counts
+        left.merge(right)
+        assert left.n_genuine == 25 + 10 + 40
+        assert left.n_fake == 5 + 4
+        assert left.n_batches == 3
+        assert np.array_equal(left.support_counts, expected_counts)
+
+    def test_merge_not_fooled_by_lying_repr(self):
+        # The old gate compared repr(); a subclass that doesn't surface
+        # every parameter there would merge incompatible shards silently.
+        # compatible_with() compares the parameter tuple instead.
+        class TerseGRR(GRR):
+            def __repr__(self):
+                return "TerseGRR()"
+
+        left = IncrementalAggregator(TerseGRR(8, 3.0))
+        right = IncrementalAggregator(TerseGRR(8, 2.0))
+        assert repr(left.fo) == repr(right.fo)
+        with pytest.raises(ValueError, match="parameter mismatch"):
+            left.merge(right)
+
+    def test_merge_rejects_subclass_at_identical_parameters(self):
+        # Refusing a possibly-sound merge is recoverable; a silently
+        # biased merge is not, so type identity participates.
+        class SubGRR(GRR):
+            pass
+
+        left = IncrementalAggregator(GRR(8, 3.0))
+        with pytest.raises(ValueError):
+            left.merge(IncrementalAggregator(SubGRR(8, 3.0)))
+
+
+class TestCompatibility:
+    def test_compatible_with_same_parameters(self):
+        assert GRR(8, 3.0).compatible_with(GRR(8, 3.0))
+        family = XXHash32Family()
+        assert SOLH(8, 3.0, 4, family=family).compatible_with(
+            SOLH(8, 3.0, 4, family=XXHash32Family())
+        )
+
+    def test_incompatible_across_any_parameter(self):
+        base = SOLH(8, 3.0, 4, family=XXHash32Family())
+        assert not base.compatible_with(SOLH(8, 2.0, 4, family=XXHash32Family()))
+        assert not base.compatible_with(SOLH(8, 3.0, 8, family=XXHash32Family()))
+        assert not base.compatible_with(SOLH(8, 3.0, 4))  # default CW family
+        assert not base.compatible_with(GRR(8, 3.0))
+        assert not base.compatible_with(object())
+
+    def test_parameter_tuple_ignores_private_caches(self):
+        fo = SOLH(8, 3.0, 4, family=XXHash32Family())
+        before = fo.parameter_tuple()
+        fo.ordinal_codec  # populates the private codec cache
+        assert fo.parameter_tuple() == before

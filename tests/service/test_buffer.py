@@ -102,3 +102,72 @@ class TestConfiguration:
         buffer = ReportBuffer(flush_size=10, fakes_per_flush=0)
         with pytest.raises(ValueError):
             buffer.submit(np.zeros((2, 3)))
+
+
+class TestMemoryOwnership:
+    """Flush batches own their memory — never views of caller arrays.
+
+    Regression tests for the aliasing bug where carved batches and the
+    retained remainder were views of the submitted array: a caller
+    reusing its upload buffer silently corrupted already-flushed batches,
+    and a tiny remainder pinned the whole submission across epochs.
+    """
+
+    def test_size_batch_owns_memory(self):
+        buffer = ReportBuffer(flush_size=10, fakes_per_flush=0)
+        submitted = np.arange(25)
+        batches = buffer.submit(submitted)
+        for batch in batches:
+            assert batch.reports.base is None
+            assert not batch.reports.flags.writeable
+
+    def test_epoch_batch_owns_memory(self):
+        buffer = ReportBuffer(flush_size=10, fakes_per_flush=0)
+        submitted = np.arange(7)
+        buffer.submit(submitted)
+        (batch,) = buffer.end_epoch()
+        assert batch.reports.base is None
+
+    def test_caller_mutation_does_not_corrupt_flushed_batch(self):
+        buffer = ReportBuffer(flush_size=4, fakes_per_flush=0)
+        upload = np.array([1, 2, 3, 4, 5])
+        (batch,) = buffer.submit(upload)
+        upload[:] = 99  # caller reuses its upload buffer
+        assert batch.reports.tolist() == [1, 2, 3, 4]
+
+    def test_caller_mutation_does_not_corrupt_pending_remainder(self):
+        buffer = ReportBuffer(flush_size=4, fakes_per_flush=0)
+        upload = np.array([1, 2, 3, 4, 5])
+        buffer.submit(upload)
+        upload[:] = 99
+        (epoch_batch,) = buffer.end_epoch()
+        assert epoch_batch.reports.tolist() == [5]
+
+    def test_remainder_does_not_pin_merged_submission(self):
+        # A 1-element remainder kept as a view would hold the entire
+        # merged array alive; an owned copy has no base to pin.
+        buffer = ReportBuffer(flush_size=1000, fakes_per_flush=0)
+        buffer.submit(np.arange(1001))
+        (chunk,) = buffer._pending
+        assert chunk.base is None
+        assert len(chunk) == 1
+
+    def test_owned_transfer_skips_retain_copy(self):
+        # The pipelines hand over freshly encoded arrays; ownership
+        # transfer avoids a redundant O(n) copy on the ingest hot path.
+        buffer = ReportBuffer(flush_size=10, fakes_per_flush=0)
+        chunk = np.arange(4)
+        buffer.submit(chunk, owned=True)
+        assert buffer._pending[-1] is chunk
+        # External callers that do not transfer ownership still get the
+        # defensive copy.
+        other = np.arange(3)
+        buffer2 = ReportBuffer(flush_size=10, fakes_per_flush=0)
+        buffer2.submit(other)
+        assert buffer2._pending[-1] is not other
+
+    def test_batches_are_read_only(self):
+        buffer = ReportBuffer(flush_size=3, fakes_per_flush=0)
+        (batch,) = buffer.submit(np.arange(3))
+        with pytest.raises(ValueError):
+            batch.reports[0] = 7

@@ -1,0 +1,183 @@
+"""ShardedPipeline: bit-identity across shard layouts, shared accounting,
+and the spawn-safe process fold path."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigError
+from repro.service import (
+    ShardedPipeline,
+    StreamConfig,
+    TelemetryPipeline,
+    epoch_release_epsilon,
+)
+
+D = 16
+EPS_TARGETS = (1.0, 3.0, 6.0)
+DELTA = 1e-9
+
+
+def _config(**kwargs) -> StreamConfig:
+    defaults = dict(
+        d=D,
+        flush_size=100,
+        eps_targets=EPS_TARGETS,
+        delta=DELTA,
+        admitted_flushes=12,
+    )
+    defaults.update(kwargs)
+    return StreamConfig.from_targets(**defaults)
+
+
+def _feed(pipeline, seed: int = 77, epochs: int = 3, per_epoch: int = 150):
+    feed_rng = np.random.default_rng(seed)
+    for __ in range(epochs):
+        pipeline.submit(feed_rng.integers(0, D, per_epoch))
+        pipeline.end_epoch()
+    return pipeline.result()
+
+
+class TestBitIdentity:
+    """The determinism contract of the sharded refactor."""
+
+    def test_one_shard_matches_telemetry_pipeline(self):
+        config = _config()
+        legacy = _feed(TelemetryPipeline(config, np.random.default_rng(5)))
+        sharded = _feed(ShardedPipeline(config, np.random.default_rng(5)))
+        assert legacy.estimates.tobytes() == sharded.estimates.tobytes()
+        assert legacy.n_genuine == sharded.n_genuine
+        assert legacy.n_fake == sharded.n_fake
+        assert legacy.eps_spent == sharded.eps_spent
+
+    def test_four_shards_match_one_shard(self):
+        config = _config()
+        one = _feed(ShardedPipeline(config, np.random.default_rng(5), n_shards=1))
+        four = _feed(ShardedPipeline(config, np.random.default_rng(5), n_shards=4))
+        assert one.estimates.tobytes() == four.estimates.tobytes()
+        assert one.eps_spent == four.eps_spent
+        assert [e.n_reports for e in one.epochs] == [
+            e.n_reports for e in four.epochs
+        ]
+
+    def test_epoch_reports_and_spans_layout_invariant(self):
+        config = _config()
+        one = ShardedPipeline(config, np.random.default_rng(5), n_shards=1)
+        three = ShardedPipeline(config, np.random.default_rng(5), n_shards=3)
+        _feed(one)
+        _feed(three)
+        assert one.released_spans == three.released_spans
+        assert [e.n_flushes for e in one.epoch_reports] == [
+            e.n_flushes for e in three.epoch_reports
+        ]
+
+    def test_rejections_accounted_once_globally(self):
+        # A budget admitting 2 flushes: later flushes are refused by the
+        # shared accountant identically at any shard count.
+        config = _config(admitted_flushes=2)
+        one = _feed(ShardedPipeline(config, np.random.default_rng(5), n_shards=1))
+        four = _feed(ShardedPipeline(config, np.random.default_rng(5), n_shards=4))
+        legacy = _feed(TelemetryPipeline(config, np.random.default_rng(5)))
+        assert one.n_rejected == four.n_rejected == legacy.n_rejected > 0
+        assert one.estimates.tobytes() == four.estimates.tobytes()
+        assert [r.sequence for r in one.rejections] == [
+            r.sequence for r in four.rejections
+        ]
+
+
+@pytest.mark.slow
+class TestProcessFolding:
+    def test_process_matches_serial(self):
+        config = _config()
+        serial = _feed(ShardedPipeline(config, np.random.default_rng(5), n_shards=2))
+        with ShardedPipeline(
+            config,
+            np.random.default_rng(5),
+            n_shards=2,
+            fold_backend="process",
+            workers=2,
+        ) as pipeline:
+            pipeline.warmup()
+            process = _feed(pipeline)
+        assert serial.estimates.tobytes() == process.estimates.tobytes()
+        assert serial.n_genuine == process.n_genuine
+        assert serial.eps_spent == process.eps_spent
+        assert [e.n_reports for e in serial.epochs] == [
+            e.n_reports for e in process.epochs
+        ]
+
+
+class TestConfiguration:
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ConfigError):
+            ShardedPipeline(_config(), np.random.default_rng(0), n_shards=0)
+
+    def test_rejects_unknown_fold_backend(self):
+        with pytest.raises(ConfigError):
+            ShardedPipeline(
+                _config(), np.random.default_rng(0), fold_backend="thread"
+            )
+
+    def test_process_requires_plain_shuffle_backend(self):
+        config = _config(backend="sequential")
+        with pytest.raises(ConfigError, match="plain"):
+            ShardedPipeline(
+                config, np.random.default_rng(0), fold_backend="process"
+            )
+
+    def test_process_refuses_keep_reports(self):
+        config = _config(keep_reports=True)
+        with pytest.raises(ConfigError, match="keep_reports"):
+            ShardedPipeline(
+                config, np.random.default_rng(0), fold_backend="process"
+            )
+
+    def test_serial_keeps_reports(self):
+        pipeline = ShardedPipeline(
+            _config(keep_reports=True), np.random.default_rng(5), n_shards=2
+        )
+        _feed(pipeline)
+        assert len(pipeline.released_batches) > 0
+
+    def test_released_values_selects_admitted_spans(self):
+        config = _config(admitted_flushes=2)
+        pipeline = ShardedPipeline(config, np.random.default_rng(5), n_shards=2)
+        feed_rng = np.random.default_rng(77)
+        submitted = []
+        for __ in range(3):
+            values = feed_rng.integers(0, D, 150)
+            submitted.append(values)
+            pipeline.submit(values)
+            pipeline.end_epoch()
+        result = pipeline.result()
+        released = pipeline.released_values(np.concatenate(submitted))
+        assert len(released) == result.n_genuine
+
+
+class TestMergeSeam:
+    def test_estimates_flow_through_merge(self):
+        # The per-shard aggregators really are merged (not re-folded):
+        # the merged aggregate carries every shard's batch count.
+        pipeline = ShardedPipeline(_config(), np.random.default_rng(5), n_shards=4)
+        _feed(pipeline)
+        aggregate = pipeline.aggregate()
+        assert aggregate.n_batches == sum(s.n_batches for s in pipeline.shards)
+        assert aggregate.n_genuine == sum(s.n_genuine for s in pipeline.shards)
+        # Flushes actually landed on more than one shard.
+        assert sum(1 for s in pipeline.shards if s.n_batches > 0) > 1
+
+    def test_epoch_budgeted_config_works_sharded(self):
+        plan_config = StreamConfig.for_epochs(
+            d=D,
+            flush_size=100,
+            epoch_size=150,
+            admitted_epochs=2,
+            eps_targets=EPS_TARGETS,
+            delta=DELTA,
+        )
+        legacy = _feed(TelemetryPipeline(plan_config, np.random.default_rng(9)), seed=13)
+        sharded = _feed(
+            ShardedPipeline(plan_config, np.random.default_rng(9), n_shards=2),
+            seed=13,
+        )
+        assert legacy.estimates.tobytes() == sharded.estimates.tobytes()
+        assert legacy.n_rejected == sharded.n_rejected
