@@ -12,7 +12,10 @@ Layout:
   the mechanism registry every layer resolves through.
 * :mod:`repro.frequency_oracles` — GRR, OLH, Hadamard, RAPPOR variants,
   AUE, SOLH, and central baselines.
-* :mod:`repro.hashing` — seeded universal hash families.
+* :mod:`repro.hashing` — seeded universal hash families (all fully
+  vectorized, including the paper's xxHash32 prototype) and the
+  low-allocation support-count kernel engine behind every O(n*d)
+  aggregation hot path.
 * :mod:`repro.crypto` — Paillier, DGK, AES-128-CBC, secp256r1 ElGamal,
   additive secret sharing, onion encryption.
 * :mod:`repro.shuffle` — single shuffler, sequential SS, oblivious

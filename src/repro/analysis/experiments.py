@@ -26,8 +26,11 @@ is enumerated up front and given its own child of one
 ``numpy.random.SeedSequence`` root (derived from the caller's generator),
 then executed by a ``workers``-sized pool — threads by default, or a
 spawn-safe process pool with ``backend="process"`` (built mechanisms and
-``SeedSequence`` children ship pickled, which frees the pure-Python
-hashing hot paths from the GIL).  Because each trial owns an independent
+``SeedSequence`` children ship pickled, which parallelizes whatever
+GIL-bound Python remains around the vectorized numpy hot paths — the
+hashing/support-count work itself runs the
+:mod:`repro.hashing.kernels` engine).  Because each trial owns an
+independent
 bit stream and scores land in a preallocated array indexed by plan
 position, the aggregated results are **bit-identical at any worker count
 and on either backend** — ``run_sweep(workers=1)``,
@@ -195,9 +198,11 @@ def run_trial_plan(
     infeasible cell, which stays NaN).  Returns a ``(len(methods),
     repeats)`` score matrix.  Trials are seeded per plan position via
     :func:`spawn_trial_seeds` and dispatched to a pool of ``workers`` —
-    ``backend="thread"`` (cheap, fine for numpy/GIL-releasing hot paths)
-    or ``backend="process"`` (a spawn-context ``ProcessPoolExecutor``,
-    which also parallelizes pure-Python GIL-bound work).  Any worker
+    ``backend="thread"`` (cheap, fine for numpy/GIL-releasing hot paths —
+    including every hash family, now that aggregation runs the vectorized
+    kernel engine) or ``backend="process"`` (a spawn-context
+    ``ProcessPoolExecutor``, which also parallelizes whatever pure-Python
+    GIL-bound work remains).  Any worker
     count on either backend yields bit-identical scores: a trial's
     randomness is fixed by its plan position, never by its executor.
     ``workers=1`` always runs inline.

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..core.amplification import ShuffleAmplification, resolve_solh
 from ..hashing import HashFamily, default_family
+from ..hashing.kernels import support_counts_kernel
 from .base import (
     ArrayLike,
     FrequencyOracle,
@@ -102,22 +103,25 @@ class LocalHashingOracle(FrequencyOracle):
     ) -> np.ndarray:
         """Count reports with ``H_i(v) == y_i`` for each candidate ``v``.
 
-        Evaluated in user-chunks whose hash matrix stays within
-        ``chunk_bytes`` of memory (the O(n*d) server-side hot path).
+        Delegates to the shared low-allocation kernel
+        (:func:`repro.hashing.kernels.support_counts_kernel`): uint32
+        chunks sized by ``chunk_bytes``, bincount match accumulation, and
+        a unique-seed fast path for 32-bit seed spaces — bit-identical to
+        the naive materialize-compare-sum evaluation on every path.  This
+        is the O(n*d) server-side hot path.
         """
         if candidates is None:
             candidates = np.arange(self.d, dtype=np.int64)
         else:
             candidates = np.asarray(candidates, dtype=np.int64)
-        n = len(reports)
-        counts = np.zeros(len(candidates), dtype=np.int64)
-        chunk = max(1, self._chunk_bytes // (8 * max(1, len(candidates))))
-        for start in range(0, n, chunk):
-            stop = min(start + chunk, n)
-            hashed = self.family.hash_outer(
-                reports.seeds[start:stop], candidates, self.d_prime
-            )
-            counts += (hashed == reports.values[start:stop, None]).sum(axis=0)
+        counts = support_counts_kernel(
+            self.family,
+            reports.seeds,
+            reports.values,
+            candidates,
+            self.d_prime,
+            chunk_bytes=self._chunk_bytes,
+        )
         return counts.astype(float)
 
     def estimate(self, counts: np.ndarray, n: int) -> np.ndarray:

@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..hashing.kernels import chunk_spans
 from .base import ArrayLike, FrequencyOracle
 
 
@@ -78,7 +79,9 @@ class SubsetSelection(FrequencyOracle):
         domain value; the ``k`` smallest keys form a uniform ``k``-subset,
         and pinning the true value's key to -1 (forced in) or 2 (forced
         out) conditions on the inclusion draw.  Runs in O(n d) vectorized
-        work, chunked so the key matrix stays within ``chunk_bytes``.
+        work, walked with the kernel engine's shared chunking
+        (:func:`repro.hashing.kernels.chunk_spans`) so the key matrix
+        stays within ``chunk_bytes``.
         """
         values = np.asarray(values, dtype=np.int64)
         if values.size and (values.min() < 0 or values.max() >= self.d):
@@ -86,9 +89,7 @@ class SubsetSelection(FrequencyOracle):
         n = len(values)
         members = np.empty((n, self.k), dtype=np.int64)
         include = rng.random(n) < self.p_true
-        chunk = max(1, self._chunk_bytes // (8 * self.d))
-        for start in range(0, n, chunk):
-            stop = min(start + chunk, n)
+        for start, stop in chunk_spans(n, self._chunk_bytes // (8 * self.d)):
             keys = rng.random((stop - start, self.d))
             rows = np.arange(stop - start)
             keys[rows, values[start:stop]] = np.where(

@@ -14,13 +14,21 @@ Three families are provided:
   the Mersenne modulus makes the family evaluable with pure 64-bit numpy
   arithmetic.  This is the default.
 * :class:`XXHash32Family` — seeded xxHash32, matching the paper's prototype
-  (4-byte seeds).  Scalar-only hot path; useful for cross-checking.
+  (4-byte seeds).  Every chunk path runs the branch-free vectorized lane
+  arithmetic of :func:`repro.hashing.xxhash32.xxhash32_int_array`
+  (bit-identical to the scalar reference), so the paper's own family is
+  usable at paper scale.
 * :class:`MultiplyShiftHashFamily` — a fast splitmix-style mixer; not
   provably universal but empirically well distributed, included for
   ablations on the family choice.
 
 A *seed* is a single 64-bit integer; it fully determines the hash function,
 which makes reports compact (seed + hashed value) exactly as in the paper.
+
+The ``O(n * d)`` support-count workload itself lives in
+:mod:`repro.hashing.kernels`, which drives the families through
+:meth:`HashFamily.hash_outer_u32` — the uint32 chunk format that keeps the
+decode hot path's intermediates at 4 bytes per hash.
 """
 
 from __future__ import annotations
@@ -30,7 +38,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from .xxhash32 import xxhash32_int
+from .xxhash32 import xxhash32_int, xxhash32_int_array
 
 _MERSENNE31 = (1 << 31) - 1
 _MASK64 = (1 << 64) - 1
@@ -69,6 +77,17 @@ def _mod_mersenne31(values: np.ndarray) -> np.ndarray:
     values = (values >> np.uint64(31)) + (values & prime)
     values = (values >> np.uint64(31)) + (values & prime)
     return np.where(values >= prime, values - prime, values)
+
+
+def _mod_d_out_u32(hashes: np.ndarray, d_out: int) -> np.ndarray:
+    """Reduce uint32 hashes into ``[0, d_out)`` without leaving uint32.
+
+    For ``d_out >= 2^32`` the reduction is the identity (hashes are already
+    below ``d_out``), which sidesteps an impossible uint32 modulus.
+    """
+    if d_out < (1 << 32):
+        return hashes % np.uint32(d_out)
+    return hashes
 
 
 class HashFamily(ABC):
@@ -112,14 +131,32 @@ class HashFamily(ABC):
         vectorized numpy where possible.
         """
 
+    def hash_outer_u32(
+        self, seeds: np.ndarray, values: ArrayLike, d_out: int
+    ) -> np.ndarray:
+        """:meth:`hash_outer`, delivered as a uint32 matrix.
+
+        This is the chunk format of the support-count kernel
+        (:mod:`repro.hashing.kernels`): hashed values live in ``[0, d_out)``
+        with ``d_out`` far below ``2^32`` in every paper workload, so uint32
+        storage halves the hot path's peak intermediate bytes relative to
+        int64.  Only valid for ``d_out <= 2^32`` (the kernel checks and
+        falls back to :meth:`hash_outer` otherwise).  The default converts
+        the int64 matrix; the built-in families override with native uint32
+        pipelines that never materialize an int64 intermediate of matrix
+        shape.
+        """
+        return self.hash_outer(seeds, values, d_out).astype(np.uint32)
+
     def hash_pairwise(
         self, seeds: np.ndarray, values: ArrayLike, d_out: int
     ) -> np.ndarray:
         """Evaluate ``seeds[i]`` on ``values[i]`` element-wise.
 
         Used on the user side: each user hashes their own value with their
-        own seed.  The default implementation diagonalizes ``hash_outer``
-        chunk by chunk; subclasses override with an O(n) vector path.
+        own seed.  The default implementation is a scalar fallback — one
+        ``hash_value`` call per element — kept deliberately simple because
+        every built-in family overrides it with an O(n) vector path.
         """
         seeds = np.asarray(seeds, dtype=np.uint64)
         values = np.asarray(values)
@@ -134,10 +171,30 @@ class CarterWegmanHashFamily(HashFamily):
 
     ``p = 2^31 - 1``; the pair ``(a, b)`` is derived from the 64-bit seed by
     two splitmix64 steps, with ``a`` forced nonzero.  Domain values must be
-    below ``p`` (about 2.1e9), which covers every workload in the paper.
+    below ``p`` (about 2.1e9), which covers every workload in the paper;
+    every evaluation path — scalar and vectorized alike — validates the
+    domain, so an out-of-range value raises instead of silently aliasing
+    ``v mod p``.
     """
 
     name = "carter-wegman"
+
+    @staticmethod
+    def _check_domain(values: ArrayLike) -> np.ndarray:
+        """Validate ``0 <= v < p`` and return the values as uint64.
+
+        One shared gate for all four evaluation paths: the scalar path used
+        to reject out-of-range values while the vectorized paths silently
+        wrapped them, so the same input could hash differently depending on
+        which API the caller reached.
+        """
+        values = np.asarray(values)
+        if values.size:
+            low, high = int(values.min()), int(values.max())
+            if low < 0 or high >= _MERSENNE31:
+                bad = low if low < 0 else high
+                raise ValueError(f"value {bad} outside [0, 2^31-1)")
+        return values.astype(np.uint64, copy=False)
 
     def _params(self, seed: int) -> tuple[int, int]:
         a = splitmix64(seed) % (_MERSENNE31 - 1) + 1
@@ -160,7 +217,7 @@ class CarterWegmanHashFamily(HashFamily):
 
     def hash_values(self, seed: int, values: ArrayLike, d_out: int) -> np.ndarray:
         a, b = self._params(seed)
-        values = np.asarray(values, dtype=np.uint64)
+        values = self._check_domain(values)
         with np.errstate(over="ignore"):
             mixed = values * np.uint64(a) + np.uint64(b)
         return (_mod_mersenne31(mixed) % np.uint64(d_out)).astype(np.int64)
@@ -168,17 +225,24 @@ class CarterWegmanHashFamily(HashFamily):
     def hash_outer(
         self, seeds: np.ndarray, values: ArrayLike, d_out: int
     ) -> np.ndarray:
+        return self.hash_outer_u32(seeds, values, d_out).astype(np.int64)
+
+    def hash_outer_u32(
+        self, seeds: np.ndarray, values: ArrayLike, d_out: int
+    ) -> np.ndarray:
         a, b = self._params_np(seeds)
-        values = np.asarray(values, dtype=np.uint64)
+        values = self._check_domain(values)
         with np.errstate(over="ignore"):
             mixed = a[:, None] * values[None, :] + b[:, None]
-        return (_mod_mersenne31(mixed) % np.uint64(d_out)).astype(np.int64)
+        # Outputs are below p < 2^31, so the uint32 narrowing is lossless
+        # regardless of d_out.
+        return (_mod_mersenne31(mixed) % np.uint64(d_out)).astype(np.uint32)
 
     def hash_pairwise(
         self, seeds: np.ndarray, values: ArrayLike, d_out: int
     ) -> np.ndarray:
         a, b = self._params_np(seeds)
-        values = np.asarray(values, dtype=np.uint64)
+        values = self._check_domain(values)
         with np.errstate(over="ignore"):
             mixed = a * values + b
         return (_mod_mersenne31(mixed) % np.uint64(d_out)).astype(np.int64)
@@ -205,16 +269,28 @@ class MultiplyShiftHashFamily(HashFamily):
             mixed = _splitmix64_np(values * np.uint64(self._C) ^ np.uint64(seed))
         return (mixed % np.uint64(d_out)).astype(np.int64)
 
-    def hash_outer(
-        self, seeds: np.ndarray, values: ArrayLike, d_out: int
-    ) -> np.ndarray:
+    def _mixed_outer(self, seeds: np.ndarray, values: ArrayLike) -> np.ndarray:
+        """The outer mixing matrix — the single copy of the mixer math."""
         seeds = np.asarray(seeds, dtype=np.uint64)
         values = np.asarray(values, dtype=np.uint64)
         with np.errstate(over="ignore"):
-            mixed = _splitmix64_np(
+            return _splitmix64_np(
                 values[None, :] * np.uint64(self._C) ^ seeds[:, None]
             )
-        return (mixed % np.uint64(d_out)).astype(np.int64)
+
+    def hash_outer(
+        self, seeds: np.ndarray, values: ArrayLike, d_out: int
+    ) -> np.ndarray:
+        return (self._mixed_outer(seeds, values) % np.uint64(d_out)).astype(
+            np.int64
+        )
+
+    def hash_outer_u32(
+        self, seeds: np.ndarray, values: ArrayLike, d_out: int
+    ) -> np.ndarray:
+        return (self._mixed_outer(seeds, values) % np.uint64(d_out)).astype(
+            np.uint32
+        )
 
     def hash_pairwise(
         self, seeds: np.ndarray, values: ArrayLike, d_out: int
@@ -229,9 +305,14 @@ class MultiplyShiftHashFamily(HashFamily):
 class XXHash32Family(HashFamily):
     """Seeded xxHash32 family matching the paper's prototype.
 
-    Seeds are 32-bit (4 bytes in each report, as in Section VII-D).  The
-    outer evaluation falls back to Python loops, so prefer
-    :class:`CarterWegmanHashFamily` for large aggregations.
+    Seeds are 32-bit (4 bytes in each report, as in Section VII-D).  Every
+    array path — ``hash_values``, ``hash_outer``, ``hash_pairwise`` and the
+    kernel-facing ``hash_outer_u32`` — runs the branch-free vectorized lane
+    arithmetic of :func:`repro.hashing.xxhash32.xxhash32_int_array`, which
+    is validated bit-for-bit against the scalar reference implementation
+    (``hash_value`` still evaluates it, as the per-element ground truth).
+    Server-side aggregation with this family is therefore pure numpy; see
+    ``benchmarks/bench_hash_throughput.py`` for the measured throughput.
     """
 
     name = "xxhash32"
@@ -241,32 +322,28 @@ class XXHash32Family(HashFamily):
         return xxhash32_int(value, seed) % d_out
 
     def hash_values(self, seed: int, values: ArrayLike, d_out: int) -> np.ndarray:
-        return np.array(
-            [xxhash32_int(int(v), seed) % d_out for v in np.asarray(values)],
-            dtype=np.int64,
-        )
+        hashes = xxhash32_int_array(np.asarray(values), np.uint64(seed & _MASK64))
+        return _mod_d_out_u32(hashes, d_out).astype(np.int64)
 
     def hash_outer(
         self, seeds: np.ndarray, values: ArrayLike, d_out: int
     ) -> np.ndarray:
+        return self.hash_outer_u32(seeds, values, d_out).astype(np.int64)
+
+    def hash_outer_u32(
+        self, seeds: np.ndarray, values: ArrayLike, d_out: int
+    ) -> np.ndarray:
+        seeds = np.asarray(seeds, dtype=np.uint64)
         values = np.asarray(values)
-        out = np.empty((len(seeds), len(values)), dtype=np.int64)
-        for i, seed in enumerate(np.asarray(seeds, dtype=np.uint64)):
-            out[i] = self.hash_values(int(seed), values, d_out)
-        return out
+        hashes = xxhash32_int_array(values[None, :], seeds[:, None])
+        return _mod_d_out_u32(hashes, d_out)
 
     def hash_pairwise(
         self, seeds: np.ndarray, values: ArrayLike, d_out: int
     ) -> np.ndarray:
         seeds = np.asarray(seeds, dtype=np.uint64)
-        values = np.asarray(values)
-        return np.array(
-            [
-                xxhash32_int(int(values[i]), int(seeds[i])) % d_out
-                for i in range(len(seeds))
-            ],
-            dtype=np.int64,
-        )
+        hashes = xxhash32_int_array(np.asarray(values), seeds)
+        return _mod_d_out_u32(hashes, d_out).astype(np.int64)
 
 
 _DEFAULT_FAMILY: Optional[CarterWegmanHashFamily] = None

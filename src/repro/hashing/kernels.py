@@ -1,0 +1,329 @@
+"""Low-allocation support-count kernels — the O(n*d) decode hot path.
+
+Server-side OLH/SOLH aggregation evaluates every report's hash function on
+every candidate value and counts the matches: ``counts[v] = #{i :
+H_{seed_i}(v) == y_i}``.  The naive formulation materializes an int64
+``(chunk, d)`` hash matrix plus a same-shaped boolean mask per chunk and
+reduces the mask — 9 bytes of intermediate per hash.  This module is the
+single shared implementation every consumer (the local-hashing oracles,
+the incremental aggregator's materialized fold path, the sharded
+pipeline's process folds, and through them the sweep engine and the PEOS
+protocol decode) routes through, built around three ideas:
+
+* **uint32 intermediates.**  Hashed values live in ``[0, d')`` with ``d'``
+  far below ``2^32``, so chunks are produced in uint32 via
+  :meth:`~repro.hashing.families.HashFamily.hash_outer_u32` and compared
+  by an in-place XOR against the reported values — no int64 matrix, no
+  second matrix-shaped allocation for the comparison.
+* **bincount accumulation.**  Matches are expected to be sparse (one per
+  ``d'`` hashes), so the kernel gathers the match positions with
+  ``flatnonzero`` and folds them into the counts with ``np.bincount``
+  instead of reducing a ``(chunk, d)`` boolean matrix along axis 0.
+* **chunk orientation.**  The chunk walks whichever axis keeps a full
+  stripe of the other within ``chunk_bytes``: report-major when a full
+  candidate row fits (the common case), candidate-major when the candidate
+  axis is so wide that even one report row would blow the budget.
+
+On top sits a **unique-seed fast path** for small seed spaces (the paper's
+4-byte xxHash32 prototype): reports are grouped by seed, each distinct
+hash function's candidate row is evaluated exactly once, and the match
+indicator is replaced by a table lookup of per-``(seed, y)`` report
+multiplicities.  With ``u`` distinct seeds the hash work drops from
+``O(n*d)`` to ``O(u*d)`` — a large win exactly where the 32-bit seed space
+forces collisions (``n`` within an order of magnitude of ``2^32``, or any
+workload that re-aggregates a retained report set).
+
+Every path produces **bit-identical** counts: hashing is deterministic,
+matches are counted in exact integer arithmetic, and integer sums are
+associative — so chunk size, orientation, and the unique-seed grouping
+cannot change a single count, only the time and memory spent producing
+them.  ``tests/hashing/test_kernels.py`` pins this against a naive
+materialized reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .families import HashFamily
+
+__all__ = [
+    "KernelPlan",
+    "chunk_spans",
+    "plan_support_counts",
+    "support_counts_kernel",
+]
+
+#: default per-chunk intermediate budget (matches the oracles' default)
+DEFAULT_CHUNK_BYTES = 1 << 26
+
+#: bytes of matrix-shaped intermediates per hash on the standard path:
+#: the uint32 chunk (4) plus the match mask ``flatnonzero`` scans (1)
+_STANDARD_BYTES_PER_HASH = 5
+
+#: bytes per hash on the unique-seed path: the uint32 chunk (4, reused
+#: directly as gather indices) and the int64 multiplicity gather result (8)
+_UNIQUE_BYTES_PER_HASH = 12
+
+#: largest seed space eligible for unique-seed grouping; grouping first
+#: requires a sort of the seeds, which only pays off when the space is
+#: small enough for duplicates to be plausible at all
+_UNIQUE_SEED_SPACE = 1 << 32
+
+#: maximum distinct-to-total seed ratio for grouping: the unique path
+#: engages when ``n_unique <= 0.75 * n``, i.e. at least a quarter of the
+#: reports share a seed with another report
+_UNIQUE_RATIO = 0.75
+
+#: report counts up to this always probe for duplicate seeds (the sort is
+#: negligible); above it, probing requires a wide candidate axis or the
+#: birthday regime — see ``_grouping_plausible``
+_UNIQUE_PROBE_LIMIT = 1 << 16
+
+#: candidate counts from which the duplicate probe is always worthwhile:
+#: the O(n log n) sort costs roughly ``1/d`` of the O(n*d) hash work it
+#: can replace, so for wide domains it is cheap insurance
+_UNIQUE_PROBE_MIN_CANDIDATES = 64
+
+
+def chunk_spans(total: int, chunk: int) -> Iterator[Tuple[int, int]]:
+    """Yield ``[start, stop)`` spans covering ``range(total)`` in chunks.
+
+    The shared chunking idiom of every O(n*d) path in the library (support
+    counting here, subset-selection sampling in
+    :mod:`repro.frequency_oracles.subset`).  ``chunk`` is clamped to at
+    least 1 so a degenerate byte budget degrades to row-at-a-time instead
+    of raising.
+    """
+    chunk = max(1, int(chunk))
+    for start in range(0, total, chunk):
+        yield start, min(start + chunk, total)
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """How one support-count invocation will walk the hash matrix.
+
+    ``orientation`` is ``"reports"`` (chunk the report axis, full candidate
+    rows), ``"candidates"`` (chunk the candidate axis, full report
+    columns), or ``"unique"`` (the unique-seed fast path, chunking distinct
+    seeds).  ``chunk`` is the number of rows (or columns) per step and
+    ``peak_intermediate_bytes`` the worst-case matrix-shaped allocation the
+    walk materializes at once — the number the throughput benchmark
+    records.
+    """
+
+    orientation: str
+    chunk: int
+    n_reports: int
+    n_candidates: int
+    n_unique: Optional[int]
+    peak_intermediate_bytes: int
+
+    @property
+    def hashes_evaluated(self) -> int:
+        """Total hash evaluations the plan performs."""
+        rows = self.n_unique if self.orientation == "unique" else self.n_reports
+        return rows * self.n_candidates
+
+
+def plan_support_counts(
+    n_reports: int,
+    n_candidates: int,
+    d_out: int,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    n_unique: Optional[int] = None,
+) -> KernelPlan:
+    """Choose orientation and chunk size for a support-count workload.
+
+    ``n_unique`` (the distinct-seed count, when the caller has it) enables
+    the unique-seed path exactly when grouping is profitable: the seed
+    space is small, at least a quarter of the reports share a seed with
+    another report, and the per-``(seed, y)`` multiplicity table fits the
+    byte budget.  The returned plan is purely an execution choice — every
+    plan computes identical counts.
+    """
+    if (
+        n_unique is not None
+        and n_reports > 0
+        and n_unique <= _UNIQUE_RATIO * n_reports
+        and n_unique * max(1, d_out) * 8 <= chunk_bytes
+    ):
+        chunk = max(1, chunk_bytes // (_UNIQUE_BYTES_PER_HASH * max(1, n_candidates)))
+        chunk = min(chunk, max(1, n_unique))
+        return KernelPlan(
+            orientation="unique",
+            chunk=chunk,
+            n_reports=n_reports,
+            n_candidates=n_candidates,
+            n_unique=n_unique,
+            peak_intermediate_bytes=(
+                _UNIQUE_BYTES_PER_HASH * chunk * n_candidates
+                + n_unique * max(1, d_out) * 8
+            ),
+        )
+    row_bytes = _STANDARD_BYTES_PER_HASH * max(1, n_candidates)
+    if row_bytes <= chunk_bytes or n_reports <= 1:
+        chunk = max(1, min(chunk_bytes // row_bytes, max(1, n_reports)))
+        return KernelPlan(
+            orientation="reports",
+            chunk=chunk,
+            n_reports=n_reports,
+            n_candidates=n_candidates,
+            n_unique=n_unique,
+            peak_intermediate_bytes=_STANDARD_BYTES_PER_HASH
+            * chunk
+            * max(1, n_candidates),
+        )
+    # The candidate axis is so wide even one report row busts the budget:
+    # walk candidate stripes against the full report column instead.
+    col_bytes = _STANDARD_BYTES_PER_HASH * max(1, n_reports)
+    chunk = max(1, min(chunk_bytes // col_bytes, max(1, n_candidates)))
+    return KernelPlan(
+        orientation="candidates",
+        chunk=chunk,
+        n_reports=n_reports,
+        n_candidates=n_candidates,
+        n_unique=n_unique,
+        peak_intermediate_bytes=_STANDARD_BYTES_PER_HASH
+        * chunk
+        * max(1, n_reports),
+    )
+
+
+def _grouping_plausible(
+    family: HashFamily, n_reports: int, n_candidates: int
+) -> bool:
+    """Whether probing for duplicate seeds (a full sort) can pay off.
+
+    The probe costs an ``O(n log n)`` sort against the ``O(n*d)`` hash
+    work grouping could replace, so it runs whenever any of these holds:
+
+    * the report set is small (``_UNIQUE_PROBE_LIMIT``) — the sort is
+      negligible outright;
+    * the candidate axis is wide (``_UNIQUE_PROBE_MIN_CANDIDATES``) —
+      the sort is a ~``1/d`` overhead, cheap insurance for the
+      duplicate-heavy workloads (re-aggregated retained report sets)
+      where grouping is the advertised O(u*d) win;
+    * uniform seeds are in the birthday regime (``n >= seed_space / 2``,
+      where their expected duplicate fraction reaches the ~25% the
+      ``_UNIQUE_RATIO`` gate needs).
+
+    Outside those, sorting millions of almost-certainly-distinct seeds
+    over a narrow domain would cost a measurable slice of the kernel
+    call with no realistic chance of engaging the fast path.
+    """
+    if family.seed_space > _UNIQUE_SEED_SPACE or n_reports <= 1:
+        return False
+    return (
+        n_reports <= _UNIQUE_PROBE_LIMIT
+        or n_candidates >= _UNIQUE_PROBE_MIN_CANDIDATES
+        or 2 * n_reports >= family.seed_space
+    )
+
+
+def _chunk_hashes(
+    family: HashFamily, seeds: np.ndarray, candidates: np.ndarray, d_out: int
+) -> np.ndarray:
+    """One hash chunk in the kernel's compare dtype.
+
+    uint32 whenever the report domain allows it; the (never exercised by
+    the built-in oracles) ``d_out > 2^32`` case falls back to the int64
+    path so reported values outside uint32 still compare exactly.
+    """
+    if d_out <= _UNIQUE_SEED_SPACE:
+        return family.hash_outer_u32(seeds, candidates, d_out)
+    return family.hash_outer(seeds, candidates, d_out)
+
+
+def _match_columns(hashes: np.ndarray, reported: np.ndarray) -> np.ndarray:
+    """Column indices of every ``hashes[i, j] == reported[i]`` match.
+
+    XORs the reported values into the chunk **in place** (the chunk is
+    owned by the caller and never reused), then reads off the zero
+    positions: one 1-byte mask and one sparse index array instead of a
+    full-matrix reduction.
+    """
+    hashes ^= reported[:, None]
+    matches = np.flatnonzero(hashes.ravel() == 0)
+    if matches.size:
+        matches %= hashes.shape[1]
+    return matches
+
+
+def support_counts_kernel(
+    family: HashFamily,
+    seeds: np.ndarray,
+    reported: np.ndarray,
+    candidates: np.ndarray,
+    d_out: int,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    plan: Optional[KernelPlan] = None,
+) -> np.ndarray:
+    """Count, per candidate, the reports whose hash of it matches.
+
+    Parameters mirror the local-hashing decode: ``seeds[i]`` identifies
+    report ``i``'s hash function, ``reported[i]`` its (perturbed) hashed
+    value in ``[0, d_out)``, and ``candidates`` the domain values to score.
+    Returns an int64 count vector aligned with ``candidates`` —
+    bit-identical for any ``chunk_bytes`` and on every execution path.
+
+    ``plan`` overrides the automatic :func:`plan_support_counts` choice
+    (used by tests to force an orientation; the unique-seed path can only
+    be *disabled* this way, since a plan without ``n_unique`` falls back
+    to the standard walk).
+    """
+    seeds = np.asarray(seeds, dtype=np.uint64)
+    reported = np.asarray(reported)
+    candidates = np.asarray(candidates)
+    n = len(seeds)
+    n_candidates = len(candidates)
+    counts = np.zeros(n_candidates, dtype=np.int64)
+    if n == 0 or n_candidates == 0:
+        return counts
+
+    unique_seeds = inverse = None
+    if plan is None:
+        n_unique = None
+        if _grouping_plausible(family, n, n_candidates):
+            unique_seeds, inverse = np.unique(seeds, return_inverse=True)
+            n_unique = len(unique_seeds)
+        plan = plan_support_counts(
+            n, n_candidates, d_out, chunk_bytes, n_unique=n_unique
+        )
+
+    compare_dtype = np.uint32 if d_out <= _UNIQUE_SEED_SPACE else np.int64
+    reported_cmp = reported.astype(compare_dtype, copy=False)
+
+    if plan.orientation == "unique" and unique_seeds is not None:
+        # Multiplicity table: weights[s, y] = #reports with (seed s, value y).
+        weights = np.bincount(
+            inverse.reshape(-1).astype(np.int64) * d_out
+            + reported.astype(np.int64),
+            minlength=plan.n_unique * d_out,
+        ).reshape(plan.n_unique, d_out)
+        for start, stop in chunk_spans(plan.n_unique, plan.chunk):
+            # The uint32 chunk doubles as the gather index — no int64 copy.
+            hashes = _chunk_hashes(
+                family, unique_seeds[start:stop], candidates, d_out
+            )
+            counts += np.take_along_axis(
+                weights[start:stop], hashes, axis=1
+            ).sum(axis=0)
+        return counts
+
+    if plan.orientation == "candidates":
+        for start, stop in chunk_spans(n_candidates, plan.chunk):
+            hashes = _chunk_hashes(family, seeds, candidates[start:stop], d_out)
+            matches = _match_columns(hashes, reported_cmp)
+            counts[start:stop] += np.bincount(matches, minlength=stop - start)
+        return counts
+
+    for start, stop in chunk_spans(n, plan.chunk):
+        hashes = _chunk_hashes(family, seeds[start:stop], candidates, d_out)
+        matches = _match_columns(hashes, reported_cmp[start:stop])
+        counts += np.bincount(matches, minlength=n_candidates)
+    return counts

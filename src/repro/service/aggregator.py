@@ -14,7 +14,9 @@ the number of batches.  :meth:`estimates` applies the estimator over
 Two fold paths mirror the one-shot code:
 
 * the **materialized** path (:meth:`fold_reports`) counts real decoded
-  reports via the oracle's vectorized ``support_counts`` — used with the
+  reports via the oracle's ``support_counts`` — which for the
+  local-hashing oracles is the shared low-allocation kernel
+  (:func:`repro.hashing.kernels.support_counts_kernel`) — used with the
   crypto backends;
 * the **statistical** path (:meth:`fold_histogram`) draws the counts
   directly from a per-epoch value histogram via ``sample_support_counts``

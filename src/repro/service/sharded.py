@@ -8,8 +8,11 @@ release work — fake injection, shuffling, decoding, support counting —
 fans out across ``n_shards`` independent
 :class:`~repro.service.aggregator.IncrementalAggregator` shards, folded
 either inline (``fold_backend="serial"``) or on a spawn-safe
-``ProcessPoolExecutor`` (``fold_backend="process"``), which is what lets
-the GIL-bound hashing hot paths actually use multiple cores.
+``ProcessPoolExecutor`` (``fold_backend="process"``), which overlaps the
+per-flush shuffle/decode/count work — the support-count kernel
+(:func:`repro.hashing.kernels.support_counts_kernel`) is vectorized
+numpy for every family, and process folding runs those kernels on
+multiple cores at once.
 
 Determinism contract (bit-identical estimates at any shard/worker count,
 and to ``TelemetryPipeline`` at the same seed):

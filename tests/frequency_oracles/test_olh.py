@@ -7,7 +7,11 @@ import pytest
 
 from repro.core import olh_variance_local, solh_optimal_d_prime, solh_variance_shuffled
 from repro.frequency_oracles import OLH, SOLH, LocalHashingOracle
-from repro.hashing import XXHash32Family
+from repro.hashing import (
+    CarterWegmanHashFamily,
+    MultiplyShiftHashFamily,
+    XXHash32Family,
+)
 
 
 class TestMechanics:
@@ -54,6 +58,47 @@ class TestMechanics:
         assert small_chunks.support_counts(reports) == pytest.approx(
             big_chunks.support_counts(reports)
         )
+
+
+class TestKernelRegression:
+    """Pin ``support_counts`` to the pre-kernel-engine outputs.
+
+    The counts below were produced by the original materialize-compare-sum
+    loop (int64 hash matrix + boolean mask) at these exact seeds, before
+    the shared kernel (:mod:`repro.hashing.kernels`) replaced it.  The
+    kernel must reproduce them — and the estimates derived from them —
+    bit for bit, for every family.
+    """
+
+    GOLDEN_COUNTS = {
+        "carter-wegman": [89, 81, 89, 79, 70, 83, 86, 85, 102, 96, 95, 82,
+                          91, 79, 84, 95, 88, 94, 76, 89, 77, 89, 63],
+        "multiply-shift": [77, 83, 84, 85, 70, 74, 87, 93, 90, 79, 80, 94,
+                           92, 74, 80, 98, 86, 97, 84, 80, 88, 90, 74],
+        "xxhash32": [78, 75, 86, 85, 90, 82, 82, 93, 71, 80, 91, 89, 95,
+                     86, 86, 74, 81, 85, 78, 83, 75, 85, 85],
+    }
+    GOLDEN_ESTIMATES = {
+        "carter-wegman": (1.0953894297323228, 0.0808074169474665),
+        "multiply-shift": (0.8888815864221309, -0.02693580564915553),
+        "xxhash32": (0.6733951412288867, -0.01795720376610369),
+    }
+
+    @pytest.mark.parametrize(
+        "family",
+        [CarterWegmanHashFamily(), MultiplyShiftHashFamily(), XXHash32Family()],
+        ids=lambda f: f.name,
+    )
+    def test_bit_identical_to_pre_kernel_path(self, family):
+        rng = np.random.default_rng(20200714)
+        fo = LocalHashingOracle(23, 1.3, 5, family=family)
+        reports = fo.privatize(rng.integers(0, 23, 400), rng)
+        counts = fo.support_counts(reports)
+        assert counts.tolist() == self.GOLDEN_COUNTS[family.name]
+        estimates = fo.estimate(counts, 400)
+        golden_sum, golden_first = self.GOLDEN_ESTIMATES[family.name]
+        assert float(estimates.sum()) == golden_sum
+        assert float(estimates[0]) == golden_first
 
 
 class TestEstimation:

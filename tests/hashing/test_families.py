@@ -54,6 +54,58 @@ class TestConsistency:
         assert (first == second).all()
 
 
+#: largest value each family's domain admits (CW is bounded by its prime)
+FAMILY_MAX_VALUE = {
+    "carter-wegman": (1 << 31) - 2,
+    "multiply-shift": (1 << 64) - 1,
+    "xxhash32": (1 << 64) - 1,
+}
+
+
+class TestCrossPathAgreement:
+    """Property: hash_value == hash_values == hash_outer == hash_pairwise.
+
+    Exercised on the edge inputs — value 0, the family's max domain value,
+    ``d_out=1`` — plus a random sample, for every family.
+    """
+
+    @pytest.mark.parametrize("d_out", [1, 2, 16, 257])
+    def test_all_paths_agree_on_edge_values(self, family, rng, d_out):
+        values = np.array(
+            [0, 1, 2, FAMILY_MAX_VALUE[family.name]], dtype=np.uint64
+        )
+        seeds = family.sample_seeds(len(values), rng)
+        scalar = [
+            [family.hash_value(int(s), int(v), d_out) for v in values]
+            for s in seeds
+        ]
+        outer = family.hash_outer(seeds, values, d_out)
+        outer_u32 = family.hash_outer_u32(seeds, values, d_out)
+        assert outer.tolist() == scalar
+        assert outer_u32.dtype == np.uint32
+        assert outer_u32.tolist() == scalar
+        for i, seed in enumerate(seeds):
+            assert family.hash_values(int(seed), values, d_out).tolist() == scalar[i]
+        pairwise = family.hash_pairwise(seeds, values, d_out)
+        assert pairwise.tolist() == [scalar[i][i] for i in range(len(values))]
+
+    def test_empty_arrays(self, family, rng):
+        seeds = family.sample_seeds(4, rng)
+        empty = np.array([], dtype=np.int64)
+        assert family.hash_values(int(seeds[0]), empty, 8).shape == (0,)
+        assert family.hash_outer(seeds, empty, 8).shape == (4, 0)
+        assert family.hash_outer(empty.astype(np.uint64), np.arange(5), 8).shape == (0, 5)
+        assert family.hash_pairwise(empty.astype(np.uint64), empty, 8).shape == (0,)
+
+    def test_hash_outer_u32_matches_hash_outer(self, family, rng):
+        seeds = family.sample_seeds(12, rng)
+        values = np.arange(33)
+        assert (
+            family.hash_outer_u32(seeds, values, 7).astype(np.int64).tolist()
+            == family.hash_outer(seeds, values, 7).tolist()
+        )
+
+
 class TestRange:
     @pytest.mark.parametrize("d_out", [2, 3, 7, 16, 257])
     def test_output_in_range(self, family, rng, d_out):
@@ -98,6 +150,8 @@ class TestUniversality:
 
 
 class TestCarterWegmanDomain:
+    """Domain validation must be consistent across every evaluation path."""
+
     def test_rejects_value_at_mersenne_prime(self):
         family = CarterWegmanHashFamily()
         with pytest.raises(ValueError):
@@ -106,6 +160,29 @@ class TestCarterWegmanDomain:
     def test_large_domain_value_ok(self):
         family = CarterWegmanHashFamily()
         assert 0 <= family.hash_value(5, (1 << 31) - 2, 4) < 4
+
+    @pytest.mark.parametrize("bad", [-1, (1 << 31) - 1, 1 << 40])
+    def test_vectorized_paths_reject_out_of_range(self, bad):
+        """The vector paths used to silently alias ``v mod p``; now every
+        path applies the scalar path's gate."""
+        family = CarterWegmanHashFamily()
+        seeds = np.arange(3, dtype=np.uint64)
+        values = np.array([0, bad, 5], dtype=np.int64)
+        with pytest.raises(ValueError, match="outside"):
+            family.hash_values(1, values, 4)
+        with pytest.raises(ValueError, match="outside"):
+            family.hash_outer(seeds, values, 4)
+        with pytest.raises(ValueError, match="outside"):
+            family.hash_outer_u32(seeds, values, 4)
+        with pytest.raises(ValueError, match="outside"):
+            family.hash_pairwise(seeds, values, 4)
+
+    def test_xxhash32_vector_paths_reject_negatives(self):
+        family = XXHash32Family()
+        with pytest.raises(ValueError, match="outside"):
+            family.hash_values(1, np.array([0, -3]), 4)
+        with pytest.raises(ValueError, match="outside"):
+            family.hash_outer(np.arange(2, dtype=np.uint64), np.array([-1]), 4)
 
 
 class TestSplitmix:

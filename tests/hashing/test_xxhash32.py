@@ -1,8 +1,11 @@
 """xxHash32 against the published reference vectors and basic laws."""
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.hashing import xxhash32, xxhash32_int
+from repro.hashing import xxhash32, xxhash32_int, xxhash32_int_array
 
 
 class TestReferenceVectors:
@@ -54,3 +57,69 @@ class TestProperties:
         outputs = {xxhash32_int(v, 0) for v in range(1000)}
         # No collisions expected among 1000 values in a 2^32 range.
         assert len(outputs) == 1000
+
+
+class TestVectorizedArrayPath:
+    """The branch-free lane path must be bit-identical to the reference."""
+
+    def test_outer_grid_matches_scalar(self):
+        rng = np.random.default_rng(7)
+        values = np.concatenate(
+            [
+                np.array([0, 1, (1 << 32) - 1, 1 << 32, (1 << 64) - 1],
+                         dtype=np.uint64),
+                rng.integers(0, 1 << 63, 40, dtype=np.uint64),
+            ]
+        )
+        seeds = np.concatenate(
+            [
+                np.array([0, 1, (1 << 32) - 1], dtype=np.uint64),
+                rng.integers(0, 1 << 32, 12, dtype=np.uint64),
+            ]
+        )
+        matrix = xxhash32_int_array(values[None, :], seeds[:, None])
+        assert matrix.dtype == np.uint32
+        assert matrix.shape == (len(seeds), len(values))
+        for i, seed in enumerate(seeds):
+            for j, value in enumerate(values):
+                assert int(matrix[i, j]) == xxhash32_int(int(value), int(seed))
+
+    def test_elementwise_broadcast(self):
+        values = np.arange(64, dtype=np.uint64)
+        seeds = np.arange(64, dtype=np.uint64) * 977
+        out = xxhash32_int_array(values, seeds)
+        assert out.shape == (64,)
+        assert all(
+            int(out[i]) == xxhash32_int(int(values[i]), int(seeds[i]))
+            for i in range(64)
+        )
+
+    def test_scalar_inputs(self):
+        assert int(xxhash32_int_array(1234, 9)) == xxhash32_int(1234, 9)
+
+    def test_seed_wraps_32_bits(self):
+        wrapped = xxhash32_int_array(
+            np.array([5], dtype=np.uint64), np.array([(1 << 32) + 7],
+                                                     dtype=np.uint64)
+        )
+        assert int(wrapped[0]) == xxhash32_int(5, 7)
+
+    def test_empty(self):
+        out = xxhash32_int_array(np.array([], dtype=np.uint64), 3)
+        assert out.shape == (0,)
+        assert out.dtype == np.uint32
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError, match="outside"):
+            xxhash32_int_array(np.array([3, -1]), 0)
+
+    @given(
+        value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+        seed=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_identical_to_reference(self, value, seed):
+        vectorized = xxhash32_int_array(
+            np.array([value], dtype=np.uint64), np.uint64(seed)
+        )
+        assert int(vectorized[0]) == xxhash32_int(value, seed)
