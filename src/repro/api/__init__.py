@@ -26,6 +26,12 @@ re-implements.
 """
 
 from ..core.errors import ConfigError
+from ..persistence import (
+    MemoryStateStore,
+    SqliteStateStore,
+    StateStore,
+    StateStoreError,
+)
 from .config import AUTO_MECHANISM, MODELS, DeploymentConfig, PrivacyBudget
 from .results import (
     ESTIMATE_SCHEMA,
@@ -44,8 +50,12 @@ __all__ = [
     "ESTIMATE_SCHEMA",
     "EstimateResult",
     "MODELS",
+    "MemoryStateStore",
     "PrivacyBudget",
     "SWEEP_SCHEMA",
     "ShuffleSession",
+    "SqliteStateStore",
+    "StateStore",
+    "StateStoreError",
     "SweepResultSet",
 ]

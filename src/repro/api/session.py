@@ -237,6 +237,7 @@ class ShuffleSession:
         rng: Optional[np.random.Generator] = None,
         seed: Optional[int] = None,
         crypto_rng=None,
+        store=None,
     ):
         """Plan and wire a continuous deployment; returns the pipeline.
 
@@ -265,6 +266,14 @@ class ShuffleSession:
         stays a property of the :class:`DeploymentConfig`.  Estimates
         are bit-identical across every shard/backend combination at a
         fixed seed.
+
+        ``store`` selects where the pipeline journals its durable state
+        (budget ledger, flush log, epoch snapshots): ``None`` keeps the
+        zero-overhead in-memory default; a
+        :class:`~repro.persistence.sqlite.SqliteStateStore` makes the
+        run crash-safe and resumable via ``TelemetryPipeline.resume`` /
+        ``ShardedPipeline.resume`` (CLI: ``repro stream --state-db
+        PATH --resume``).
         """
         from ..service.backends import make_backend
         from ..service.pipeline import StreamConfig, TelemetryPipeline
@@ -352,7 +361,8 @@ class ShuffleSession:
             )
         if shards == 1 and backend == "serial":
             return TelemetryPipeline(
-                config, _resolve_rng(rng, seed), backend=backend_instance
+                config, _resolve_rng(rng, seed), backend=backend_instance,
+                store=store,
             )
         return ShardedPipeline(
             config,
@@ -361,6 +371,7 @@ class ShuffleSession:
             fold_backend=backend,
             workers=fold_workers,
             backend=backend_instance,
+            store=store,
         )
 
     # -- shared helpers ----------------------------------------------------

@@ -148,10 +148,14 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
+    import json
+    import os
+
     from repro.api import ConfigError
     from repro.core import InfeasiblePlanError
     from repro.data import zipf_histogram
     from repro.data.synthetic import values_from_histogram
+    from repro.persistence import SqliteStateStore, StateStoreError
     from repro.service import flushes_per_epoch
 
     if args.flush_size < 1 or args.epoch_size < 1:
@@ -161,68 +165,110 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if args.budget_epochs is not None and args.budget_epochs < 1:
         print("error: --budget-epochs must be >= 1", file=sys.stderr)
         return 2
-    rng = np.random.default_rng(args.seed)
+    if args.resume and args.state_db is None:
+        print("error: --resume requires --state-db", file=sys.stderr)
+        return 2
+    if args.crash_after_epoch is not None and args.crash_after_epoch < 1:
+        print("error: --crash-after-epoch must be >= 1", file=sys.stderr)
+        return 2
     budget_epochs = (
         args.budget_epochs
         if args.budget_epochs is not None
         else max(1, args.epochs - 1)
     )
     admitted = budget_epochs * flushes_per_epoch(args.epoch_size, args.flush_size)
+    # Raises ConfigError naming state_db on a missing parent directory or
+    # an unwritable path — main() turns that into a clean exit 2.
+    store = SqliteStateStore(args.state_db) if args.state_db else None
+    pipeline = None
     try:
-        # The facade plans the deployment ("auto" lets Section VI-D pick
-        # the mechanism) and returns the wired pipeline — sharded across
-        # fold processes when --shards/--fold-backend say so.
-        pipeline = _session(args, "auto", args.d).stream(
-            args.flush_size,
-            eps_targets=(args.eps1, args.eps2, args.eps3),
-            epoch_size=args.epoch_size,
-            admitted_epochs=budget_epochs,
-            shards=args.shards,
-            backend=args.fold_backend,
-            fold_workers=args.fold_workers,
-            rng=rng,
-            crypto_rng=args.seed,
+        if args.resume:
+            try:
+                pipeline = _resume_stream_pipeline(args, store)
+            except StateStoreError as broken:
+                print(f"error: {broken}", file=sys.stderr)
+                return 2
+            print(f"resumed from {args.state_db}: "
+                  f"{pipeline.epochs_completed} epoch(s) and "
+                  f"{pipeline.n_submits} submission(s) already applied")
+        else:
+            try:
+                # The facade plans the deployment ("auto" lets Section VI-D
+                # pick the mechanism) and returns the wired pipeline —
+                # sharded across fold processes when --shards/--fold-backend
+                # say so.
+                pipeline = _session(args, "auto", args.d).stream(
+                    args.flush_size,
+                    eps_targets=(args.eps1, args.eps2, args.eps3),
+                    epoch_size=args.epoch_size,
+                    admitted_epochs=budget_epochs,
+                    shards=args.shards,
+                    backend=args.fold_backend,
+                    fold_workers=args.fold_workers,
+                    rng=np.random.default_rng(args.seed),
+                    crypto_rng=args.seed,
+                    store=store,
+                )
+            except InfeasiblePlanError as infeasible:
+                print(f"error: {infeasible}", file=sys.stderr)
+                print("hint: relax the eps targets or enlarge --flush-size",
+                      file=sys.stderr)
+                return 2
+            except ConfigError as invalid:
+                print(f"error: {invalid}", file=sys.stderr)
+                return 2
+        config = pipeline.config
+        plan = config.plan
+        # The workload generator and the pipeline's ingest share one rng
+        # (restored from the checkpoint on resume), so a resumed run's
+        # synthetic epochs continue the uninterrupted run's exact stream.
+        rng = pipeline.rng
+
+        sharding = (
+            f", {args.shards} shard(s) folded via {args.fold_backend}"
+            if args.shards > 1 or args.fold_backend != "serial"
+            else ""
         )
-    except InfeasiblePlanError as infeasible:
-        print(f"error: {infeasible}", file=sys.stderr)
-        print("hint: relax the eps targets or enlarge --flush-size",
-              file=sys.stderr)
-        return 2
-    except ConfigError as invalid:
-        print(f"error: {invalid}", file=sys.stderr)
-        return 2
-    config = pipeline.config
-    plan = config.plan
+        print(f"plan (per flush of {config.flush_size} reports): "
+              f"mechanism={plan.mechanism.upper()}  eps_l={plan.eps_l:.3f}  "
+              f"d'={plan.d_prime}  n_r={plan.n_r}")
+        print(f"per-flush release: eps={plan.eps_server:.4f}  delta={plan.delta:.2g}")
+        print(f"lifetime budget  : eps={config.eps_budget:.4f}  "
+              f"delta={config.delta_budget:.2g}  "
+              f"({args.composition} composition, admits {admitted} flushes; "
+              f"backend={args.backend}{sharding})\n")
 
-    sharding = (
-        f", {args.shards} shard(s) folded via {args.fold_backend}"
-        if args.shards > 1 or args.fold_backend != "serial"
-        else ""
-    )
-    print(f"plan (per flush of {args.flush_size} reports): "
-          f"mechanism={plan.mechanism.upper()}  eps_l={plan.eps_l:.3f}  "
-          f"d'={plan.d_prime}  n_r={plan.n_r}")
-    print(f"per-flush release: eps={plan.eps_server:.4f}  delta={plan.delta:.2g}")
-    print(f"lifetime budget  : eps={config.eps_budget:.4f}  "
-          f"delta={config.delta_budget:.2g}  "
-          f"({args.composition} composition, admits {admitted} flushes; "
-          f"backend={args.backend}{sharding})\n")
-
-    submitted: list[np.ndarray] = []
-    print(f"{'epoch':>5}  {'flushes':>7}  {'rejected':>8}  {'released':>8}  "
-          f"{'fakes':>7}  {'latency_s':>9}  {'reports/s':>10}  {'eps_spent':>9}")
-    try:
-        for __ in range(args.epochs):
-            histogram = zipf_histogram(args.epoch_size, args.d, args.exponent, rng)
-            values = values_from_histogram(histogram, rng)
-            submitted.append(values)
-            pipeline.submit(values)
+        submitted: list[np.ndarray] = []
+        print(f"{'epoch':>5}  {'flushes':>7}  {'rejected':>8}  {'released':>8}  "
+              f"{'fakes':>7}  {'latency_s':>9}  {'reports/s':>10}  {'eps_spent':>9}")
+        start_epoch = pipeline.epochs_completed if args.resume else 0
+        for epoch in range(start_epoch, args.epochs):
+            # The submit cursor: one submission per epoch, so a crash
+            # between a submit's commit and its epoch close resumes with
+            # the epoch already fed — close it without re-submitting.
+            if not (epoch == start_epoch
+                    and pipeline.n_submits > start_epoch):
+                histogram = zipf_histogram(
+                    args.epoch_size, args.d, args.exponent, rng
+                )
+                values = values_from_histogram(histogram, rng)
+                submitted.append(values)
+                pipeline.submit(values)
             report = pipeline.end_epoch()
             print(f"{report.epoch:>5}  {report.n_flushes:>7}  "
                   f"{report.n_rejected:>8}  "
                   f"{report.n_reports:>8}  {report.n_fake:>7}  "
                   f"{report.flush_latency_s:>9.3f}  {report.reports_per_sec:>10.0f}  "
                   f"{report.eps_spent:>9.4f}")
+            if (args.crash_after_epoch is not None
+                    and pipeline.epochs_completed >= args.crash_after_epoch):
+                # Honest kill semantics: no flush, no close, no atexit —
+                # exactly what the crash-recovery protocol must survive.
+                print(f"simulated crash after epoch {report.epoch}",
+                      file=sys.stderr)
+                sys.stdout.flush()
+                sys.stderr.flush()
+                os._exit(3)
 
         result = pipeline.result()
         if result.rejections:
@@ -233,7 +279,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
         print(f"\nfinal estimates over {result.n_genuine} released reports "
               f"(+{result.n_fake} fakes):")
-        if result.n_genuine > 0:
+        if result.n_genuine > 0 and not args.resume:
             released = pipeline.released_values(np.concatenate(submitted))
             truth = np.bincount(released, minlength=args.d) / result.n_genuine
             mse = float(np.mean((result.estimates - truth) ** 2))
@@ -242,14 +288,49 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             for v in top:
                 print(f"  value {v:>4}: true {truth[v]:.4f}  "
                       f"estimated {result.estimates[v]:.4f}")
+        elif result.n_genuine > 0:
+            # The crashed run's raw values died with it — by design, the
+            # store persists only privatized reports and counts.
+            print("  (MSE vs truth unavailable on resume: raw workload "
+                  "values are never persisted)")
         else:
             print("  (no flush was admitted)")
+
+        if args.estimates_out:
+            payload = {
+                "estimates": [float(x) for x in result.estimates],
+                "eps_spent": result.eps_spent,
+                "delta_spent": result.delta_spent,
+                "n_genuine": result.n_genuine,
+                "n_fake": result.n_fake,
+                "n_rejected": result.n_rejected,
+                "epochs": len(result.epochs),
+            }
+            with open(args.estimates_out, "w") as sink:
+                json.dump(payload, sink, indent=2)
+                sink.write("\n")
     finally:
         # A sharded pipeline may hold a process pool; never leak it.
         close = getattr(pipeline, "close", None)
         if close is not None:
             close()
+        if store is not None:
+            store.close()
     return 0
+
+
+def _resume_stream_pipeline(args: argparse.Namespace, store):
+    """Rebuild the persisted run under the requested execution layout."""
+    from repro.service import ShardedPipeline, TelemetryPipeline
+
+    if args.shards > 1 or args.fold_backend != "serial":
+        return ShardedPipeline.resume(
+            store,
+            n_shards=args.shards,
+            fold_backend=args.fold_backend,
+            workers=args.fold_workers,
+        )
+    return TelemetryPipeline.resume(store)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -329,6 +410,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "pool (requires --backend plain)")
     p.add_argument("--fold-workers", type=int, default=None,
                    help="fold worker processes (default: min(shards, cores))")
+    p.add_argument("--state-db", default=None, metavar="PATH",
+                   help="persist budget charges, the flush log, and epoch "
+                        "snapshots to this SQLite file (crash-safe; "
+                        "requires --backend plain)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume the run stored in --state-db instead of "
+                        "starting fresh (pass the same flags as the "
+                        "original run)")
+    p.add_argument("--crash-after-epoch", type=int, default=None,
+                   metavar="N",
+                   help="testing hook: hard-exit (os._exit, status 3) once "
+                        "N epochs have completed")
+    p.add_argument("--estimates-out", default=None, metavar="PATH",
+                   help="write final estimates and spend totals as JSON")
     p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser("plan", help="Section VI-D PEOS planner")

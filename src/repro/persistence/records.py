@@ -1,0 +1,200 @@
+"""Record types and serialization helpers of the durable-state subsystem.
+
+These are the values that cross the :class:`~repro.persistence.store.
+StateStore` boundary.  They deliberately mirror the streaming service's
+own state — the ledger charges, the flush log, the ingest-side mutable
+state — without importing it at module level: the service pipelines
+import this package to get their default store, so everything here that
+needs a service type resolves it lazily at call time.
+
+The write-ahead protocol (see :mod:`repro.persistence.store`) moves four
+kinds of records:
+
+* :class:`FlushRecord` — one carved flush *before* release: the batch
+  identity (global sequence, epoch, trigger, sizes), its encoded genuine
+  reports, and the accountant's verdict (an admitted charge or a
+  rejection reason).
+* :class:`IngestCheckpoint` — the ingest-side mutable state after a
+  submission: the ingest generator state, the buffer's epoch /
+  next-sequence counter / pending remainder, and the submit counter a
+  feeder uses as its resume cursor.
+* :class:`StoredFlush` — one flush row read back at resume time, in
+  whichever protocol stage it was committed (``charged`` / ``released``
+  / ``rejected``).
+* :class:`RunSnapshot` — everything :meth:`StateStore.load_run` returns:
+  enough to rebuild a pipeline bit-identical to the crashed one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class StateStoreError(RuntimeError):
+    """A state store was used out of protocol (no run, duplicate run,
+    release of an unknown flush, corrupt snapshot)."""
+
+
+@dataclass(frozen=True)
+class FlushRecord:
+    """One carved flush and the accountant's verdict, written ahead of
+    release.
+
+    ``sequence`` is :attr:`repro.service.buffer.FlushBatch.sequence` —
+    the single authoritative counter shared by the release-RNG discipline
+    (:func:`repro.service.pipeline.flush_rng`) and the persisted flush
+    log, which is what lets a resumed run replay a pending release with
+    randomness bit-identical to the uninterrupted run.
+    """
+
+    sequence: int
+    epoch: int
+    trigger: str
+    n_reports: int
+    n_fake: int
+    #: ordinal-encoded genuine reports (owned, read-only); kept only
+    #: until the release commits
+    reports: np.ndarray
+    #: admitted charge, or None when rejected
+    charge_eps: Optional[float]
+    charge_delta: Optional[float]
+    charge_label: Optional[str]
+    #: the accountant's refusal message when rejected
+    reject_reason: Optional[str]
+
+    @property
+    def admitted(self) -> bool:
+        return self.charge_eps is not None
+
+
+@dataclass(frozen=True)
+class IngestCheckpoint:
+    """Ingest-side mutable state, committed with every durable write.
+
+    ``pending_chunks`` holds references to the buffer's own chunks (the
+    buffer never mutates a chunk in place, only rebinds its list), so
+    building a checkpoint is O(number of chunks), not O(pending
+    reports); serializing backends merge at write time.
+    """
+
+    #: ``rng.bit_generator.state`` of the ingest generator
+    rng_state: dict
+    buffer_epoch: int
+    #: the buffer's next global flush sequence number
+    next_sequence: int
+    pending_chunks: tuple
+    pending_count: int
+    #: client submissions applied so far — the feeder's resume cursor
+    n_submits: int
+
+    def merged_remainder(self) -> np.ndarray:
+        """The pending remainder as one array (empty int64 when none)."""
+        if not self.pending_chunks:
+            return np.empty(0, dtype=np.int64)
+        if len(self.pending_chunks) == 1:
+            return np.asarray(self.pending_chunks[0])
+        return np.concatenate(self.pending_chunks)
+
+
+@dataclass(frozen=True)
+class StoredFlush:
+    """One flush row read back from a store, at its committed stage."""
+
+    sequence: int
+    epoch: int
+    trigger: str
+    n_reports: int
+    n_fake: int
+    #: ``"charged"`` (write-ahead committed, release pending),
+    #: ``"released"``, or ``"rejected"``
+    status: str
+    #: encoded genuine reports — present only while ``charged``
+    reports: Optional[np.ndarray]
+    #: folded support counts — present only once ``released``
+    counts: Optional[np.ndarray]
+    reject_reason: Optional[str]
+
+
+@dataclass(frozen=True)
+class RunSnapshot:
+    """Everything needed to resume a run bit-identical to the original."""
+
+    #: the deployment's :class:`~repro.service.pipeline.StreamConfig`
+    config: object
+    #: the deployment's release-stream root entropy (8 uint32 words)
+    release_entropy: tuple
+    rng_state: dict
+    buffer_epoch: int
+    next_sequence: int
+    #: merged pending remainder (owned)
+    remainder: np.ndarray
+    n_submits: int
+    #: the admitted ledger, in charge order
+    #: (:class:`~repro.service.accountant.BudgetCharge` instances)
+    charges: tuple
+    #: every flush row, in sequence order
+    flushes: Tuple[StoredFlush, ...]
+    #: closed epochs, in order
+    #: (:class:`~repro.service.pipeline.EpochReport` instances)
+    epoch_reports: tuple
+
+
+def config_to_dict(config) -> dict:
+    """Serialize a ``StreamConfig`` (plan included) to plain JSON types."""
+    payload = asdict(config)
+    # Frozen-dataclass floats/ints/strs only; asdict flattened the plan.
+    return payload
+
+
+def config_from_dict(payload: dict):
+    """Rebuild a ``StreamConfig`` — re-running its full validation."""
+    from ..core.params import PeosPlan
+    from ..service.pipeline import StreamConfig
+
+    payload = dict(payload)
+    try:
+        plan = PeosPlan(**payload.pop("plan"))
+        return StreamConfig(plan=plan, **payload)
+    except TypeError as mismatch:
+        raise StateStoreError(
+            f"stored configuration does not match this version's "
+            f"StreamConfig/PeosPlan fields: {mismatch}"
+        ) from mismatch
+
+
+def charges_from_rows(rows):
+    """Rebuild ``BudgetCharge`` ledger entries from (eps, delta, label)."""
+    from ..service.accountant import BudgetCharge
+
+    return tuple(
+        BudgetCharge(float(eps), float(delta), str(label))
+        for eps, delta, label in rows
+    )
+
+
+def epoch_report_from_row(row: dict):
+    """Rebuild one ``EpochReport`` from its stored mapping."""
+    from ..service.pipeline import EpochReport
+
+    return EpochReport(**row)
+
+
+def generator_from_state(state: dict) -> np.random.Generator:
+    """Reconstruct an ingest generator from its persisted state.
+
+    Works for any numpy bit generator (PCG64, Philox, ...) named in the
+    state dict — the restored generator continues the exact stream the
+    checkpointed one would have produced.
+    """
+    name = state.get("bit_generator")
+    bitgen_cls = getattr(np.random, str(name), None)
+    if bitgen_cls is None:
+        raise StateStoreError(
+            f"snapshot uses unknown numpy bit generator {name!r}"
+        )
+    generator = np.random.Generator(bitgen_cls())
+    generator.bit_generator.state = state
+    return generator

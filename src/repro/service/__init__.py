@@ -15,6 +15,11 @@ estimates that match a one-shot run bit for bit.
 * :mod:`repro.service.sharded` — multi-shard (optionally multi-process)
   folding behind the same interface, bit-identical at any shard count.
 
+Both pipelines journal budget charges, the flush log, and epoch
+snapshots through a pluggable :mod:`repro.persistence` ``StateStore``
+(in-memory by default; SQLite for crash-safe runs that resume via
+``TelemetryPipeline.resume(store)`` / ``ShardedPipeline.resume(store)``).
+
 Quick start::
 
     import numpy as np
@@ -58,6 +63,7 @@ from .pipeline import (
     StreamConfig,
     StreamResult,
     TelemetryPipeline,
+    check_replay_support,
     epoch_release_epsilon,
     flush_release_epsilon,
     flush_rng,
@@ -86,6 +92,7 @@ __all__ = [
     "StreamConfig",
     "StreamResult",
     "TelemetryPipeline",
+    "check_replay_support",
     "epoch_release_epsilon",
     "flush_release_epsilon",
     "flush_rng",

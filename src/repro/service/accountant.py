@@ -149,6 +149,52 @@ class PrivacyAccountant:
         ]
         return min(fitting or pairs, key=lambda pair: pair[0])
 
+    # -- serialization -----------------------------------------------------
+
+    def snapshot(self) -> Tuple[BudgetCharge, ...]:
+        """The admitted ledger, in charge order — the unit of persistence.
+
+        :class:`BudgetCharge` is a frozen dataclass of plain floats and a
+        label, so the snapshot is trivially serializable; composed spend
+        is deliberately *not* part of it (it is derived state that
+        :meth:`restore` recomputes with the same ``math.fsum`` path, so a
+        round trip preserves ``spent()`` bit for bit).
+        """
+        return tuple(self.charges)
+
+    def restore(self, charges) -> None:
+        """Adopt a previously snapshotted ledger into a fresh accountant.
+
+        Validates what it adopts: every charge must be individually legal
+        and the composed total must fit this accountant's budget (within
+        the same ``_REL_TOL`` slack :meth:`admits` grants), so a snapshot
+        from a different — larger — deployment budget cannot smuggle in
+        spend the ledger would never have admitted.  Refuses to run on a
+        non-empty ledger: restore rebuilds state, it does not merge it.
+        """
+        if self.charges:
+            raise ValueError(
+                f"cannot restore into a ledger holding {self.n_charges} "
+                f"charges; restore only a fresh accountant"
+            )
+        restored = [
+            BudgetCharge(float(c.eps), float(c.delta), str(c.label))
+            for c in charges
+        ]
+        for charge in restored:
+            self._validate_charge(charge.eps, charge.delta)
+        total_eps, total_delta = self._compose(restored)
+        if (
+            total_eps > self.eps_budget * (1.0 + _REL_TOL)
+            or total_delta > self.delta_budget * (1.0 + _REL_TOL)
+        ):
+            raise ValueError(
+                f"snapshot spends (eps={total_eps:.4g}, "
+                f"delta={total_delta:.3g}), exceeding the budget "
+                f"(eps={self.eps_budget:.4g}, delta={self.delta_budget:.3g})"
+            )
+        self.charges = restored
+
     # -- charging ----------------------------------------------------------
 
     def admits(self, eps: float, delta: float = 0.0) -> bool:

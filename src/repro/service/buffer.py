@@ -50,7 +50,12 @@ class FlushBatch:
 
     #: collection epoch the batch belongs to
     epoch: int
-    #: global flush sequence number (0-based, monotone across epochs)
+    #: global flush sequence number (0-based, monotone across epochs).
+    #: This is THE authoritative flush counter: it keys the flush's
+    #: release RNG stream (:func:`repro.service.pipeline.flush_rng`) and
+    #: identifies its persisted record in a
+    #: :class:`~repro.persistence.store.StateStore`, so replaying a
+    #: persisted flush reproduces the original release bit for bit.
     sequence: int
     #: what drained the buffer: ``"size"`` or ``"epoch"``
     trigger: str
@@ -112,6 +117,53 @@ class ReportBuffer:
     def pending(self) -> int:
         """Reports accumulated but not yet flushed."""
         return self._pending_count
+
+    @property
+    def next_sequence(self) -> int:
+        """The sequence number the next carved flush will get."""
+        return self._sequence
+
+    def pending_chunks(self) -> tuple:
+        """The pending chunks, by reference, for checkpointing.
+
+        Cheap by design: the buffer never mutates a chunk in place (only
+        rebinds ``_pending``), so handing out references is safe and a
+        checkpoint costs O(chunks), not O(pending reports).
+        """
+        return tuple(self._pending)
+
+    def restore_state(
+        self, epoch: int, next_sequence: int, remainder
+    ) -> None:
+        """Adopt a checkpointed (epoch, sequence counter, remainder).
+
+        Restoring ``next_sequence`` is what keeps the global flush
+        counter authoritative across a crash: the first flush carved
+        after resume continues the original numbering, so its release
+        RNG stream and persisted record agree with the uninterrupted run.
+        """
+        epoch = int(epoch)
+        next_sequence = int(next_sequence)
+        if epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {epoch}")
+        if next_sequence < 0:
+            raise ValueError(
+                f"sequence counter must be >= 0, got {next_sequence}"
+            )
+        remainder = np.asarray(remainder)
+        if remainder.ndim != 1:
+            raise ValueError(
+                f"expected a flat remainder, got shape {remainder.shape}"
+            )
+        if len(remainder) >= self.flush_size:
+            raise ValueError(
+                f"remainder of {len(remainder)} reports should have been "
+                f"flushed at flush_size={self.flush_size}"
+            )
+        self.epoch = epoch
+        self._sequence = next_sequence
+        self._pending = [remainder.copy()] if len(remainder) else []
+        self._pending_count = len(remainder)
 
     def submit(
         self, encoded_reports: np.ndarray, owned: bool = False

@@ -60,6 +60,16 @@ from ..core.peos_analysis import (
 )
 from ..core.registry import UnknownMechanismError, get_spec
 from ..frequency_oracles.base import FrequencyOracle
+from ..persistence import (
+    FlushRecord,
+    IngestCheckpoint,
+    MemoryStateStore,
+    RunSnapshot,
+    StateStore,
+    StateStoreError,
+    StoredFlush,
+)
+from ..persistence.records import generator_from_state
 from .accountant import BudgetExceededError, PrivacyAccountant
 from .aggregator import IncrementalAggregator
 from .backends import BACKEND_NAMES, ShuffleBackend, make_backend
@@ -373,8 +383,268 @@ def oracle_from_plan(d: int, plan: PeosPlan) -> FrequencyOracle:
     return spec.build_from_plan(d, plan)
 
 
-class TelemetryPipeline:
-    """Continuously running shuffle-DP collection for one deployment."""
+def check_replay_support(config: StreamConfig, fo: FrequencyOracle) -> None:
+    """Refuse configurations whose releases cannot be replayed after a
+    crash (raised for durable stores at construction and on any resume).
+
+    The crypto backends hold cryptographic generator state that is not
+    checkpointable, so their releases are not reproducible from a flush
+    record; ``keep_reports`` retains decoded batches the store
+    deliberately drops at release; and the ordinal object-dtype fallback
+    has no stable byte serialization.
+    """
+    if config.backend != "plain":
+        raise ConfigError(
+            "backend",
+            f"durable persistence requires the 'plain' backend: the "
+            f"{config.backend!r} backend holds cryptographic RNG state "
+            f"that cannot be checkpointed, so its releases are not "
+            f"replayable after a crash",
+        )
+    if config.keep_reports:
+        raise ConfigError(
+            "keep_reports",
+            "durable persistence drops raw reports at release and cannot "
+            "rebuild retained batches on resume; disable keep_reports",
+        )
+    if not fo.ordinal_codec.fast:
+        raise ConfigError(
+            "plan",
+            "durable persistence requires the int64 ordinal fast path; "
+            "this plan's report domain exceeds 64-bit arithmetic",
+        )
+
+
+class PipelinePersistenceMixin:
+    """The write-ahead persistence protocol and recovery walk.
+
+    Shared by :class:`TelemetryPipeline` and
+    :class:`~repro.service.sharded.ShardedPipeline`, which expose
+    identical state attributes (``store``, ``buffer``, ``accountant``,
+    ``rng``, rejection/span/epoch counters) and per-class
+    ``_charge_batch`` follow-ups: ``_release`` (how an admitted batch is
+    executed) and ``_fold_restored`` (where a recovered flush's counts
+    land).
+    """
+
+    def _checkpoint(self) -> IngestCheckpoint:
+        """The ingest-side mutable state, for the store to commit."""
+        return IngestCheckpoint(
+            rng_state=self.rng.bit_generator.state,
+            buffer_epoch=self.buffer.epoch,
+            next_sequence=self.buffer.next_sequence,
+            pending_chunks=self.buffer.pending_chunks(),
+            pending_count=self.buffer.pending,
+            n_submits=self._n_submits,
+        )
+
+    def _persist_and_release(self, batches: List[FlushBatch]) -> None:
+        """The write-ahead protocol step for one submission.
+
+        Every carved batch is priced first; all verdicts (charges and
+        rejections) plus the post-submit ingest checkpoint commit in one
+        store transaction *before* any release happens.  Only then are
+        the admitted batches released, each committing its counts as it
+        folds.  A crash between the two commits leaves 'charged' rows a
+        resume replays deterministically — the spend is never lost.
+        """
+        if not batches:
+            self.store.record_ingest(self._checkpoint())
+            return
+        records = [self._charge_batch(batch) for batch in batches]
+        self.store.record_flushes(records, self._checkpoint())
+        for batch, record in zip(batches, records):
+            if record.admitted:
+                self._release(batch)
+
+    def _charge_batch(self, batch: FlushBatch) -> FlushRecord:
+        """Price one batch against the ledger; never releases."""
+        plan = self.config.plan
+        self._epoch_flushes += 1
+        span = (self._consumed, self._consumed + batch.n_reports)
+        self._consumed = span[1]
+        # Price the batch at its own size: an epoch-end remainder carries
+        # less genuine blanket than a full flush, so it costs more.
+        price = flush_release_epsilon(
+            self.config.d, plan, batch.n_reports, batch.n_fake
+        )
+        try:
+            charge = self.accountant.charge(
+                price,
+                plan.delta,
+                label=f"epoch{batch.epoch}/flush{batch.sequence}",
+            )
+        except BudgetExceededError as refusal:
+            self._epoch_rejected += 1
+            self.n_rejected += 1
+            if len(self.rejections) < MAX_REJECTION_RECORDS:
+                self.rejections.append(
+                    FlushRejection(
+                        epoch=batch.epoch,
+                        sequence=batch.sequence,
+                        n_reports=batch.n_reports,
+                        reason=str(refusal),
+                    )
+                )
+            return FlushRecord(
+                sequence=batch.sequence,
+                epoch=batch.epoch,
+                trigger=batch.trigger,
+                n_reports=batch.n_reports,
+                n_fake=batch.n_fake,
+                reports=batch.reports,
+                charge_eps=None,
+                charge_delta=None,
+                charge_label=None,
+                reject_reason=str(refusal),
+            )
+        self._epoch_reports_released += batch.n_reports
+        self._epoch_fakes += batch.n_fake
+        self.released_spans.append(span)
+        return FlushRecord(
+            sequence=batch.sequence,
+            epoch=batch.epoch,
+            trigger=batch.trigger,
+            n_reports=batch.n_reports,
+            n_fake=batch.n_fake,
+            reports=batch.reports,
+            charge_eps=charge.eps,
+            charge_delta=charge.delta,
+            charge_label=charge.label,
+            reject_reason=None,
+        )
+
+    # -- recovery ----------------------------------------------------------
+
+    def _restore(self, snapshot: RunSnapshot) -> None:
+        """Rebuild mutable state from a snapshot; replay pending flushes."""
+        check_replay_support(self.config, self.fo)
+        self.accountant.restore(snapshot.charges)
+        self.buffer.restore_state(
+            snapshot.buffer_epoch, snapshot.next_sequence, snapshot.remainder
+        )
+        self._n_submits = snapshot.n_submits
+        self.epoch_reports = list(snapshot.epoch_reports)
+        offset = 0
+        for flush in snapshot.flushes:
+            span = (offset, offset + flush.n_reports)
+            offset = span[1]
+            if flush.status == "rejected":
+                self.n_rejected += 1
+                if len(self.rejections) < MAX_REJECTION_RECORDS:
+                    self.rejections.append(
+                        FlushRejection(
+                            epoch=flush.epoch,
+                            sequence=flush.sequence,
+                            n_reports=flush.n_reports,
+                            reason=flush.reject_reason or "rejected",
+                        )
+                    )
+                continue
+            self.released_spans.append(span)
+            if flush.status == "released":
+                # Never re-release: fold the committed counts as-is.
+                self._fold_restored(flush, flush.counts)
+            else:
+                self._replay_release(flush)
+        self._consumed = offset
+        if len(self.epoch_reports) < self.buffer.epoch:
+            self._synthesize_epoch(snapshot)
+        # Partial counters of the epoch that was open at the crash; its
+        # release latency is lost with the process (metrics only — the
+        # determinism contract covers estimates and spend, not timings).
+        current = [
+            flush for flush in snapshot.flushes
+            if flush.epoch == self.buffer.epoch
+        ]
+        released = [f for f in current if f.status != "rejected"]
+        self._epoch_flushes = len(current)
+        self._epoch_rejected = len(current) - len(released)
+        self._epoch_reports_released = sum(f.n_reports for f in released)
+        self._epoch_fakes = sum(f.n_fake for f in released)
+        self._epoch_latency = 0.0
+
+    def _fold_restored(self, flush: StoredFlush, counts: np.ndarray) -> None:
+        """Where a recovered flush's counts land (shards override this)."""
+        self.aggregator.fold_counts(counts, flush.n_reports, flush.n_fake)
+
+    def _replay_release(self, flush: StoredFlush) -> None:
+        """Deterministically redo a charged-but-unreleased flush.
+
+        The release stream is keyed by the flush's persisted sequence
+        number, so the fakes and permutation — hence the folded counts —
+        are bit-identical to what the crashed process would have
+        produced.  The charge is already on the restored ledger; nothing
+        is charged again.
+        """
+        rng = flush_rng(self.release_entropy, flush.sequence)
+        shuffled = self.backend.shuffle(
+            flush.reports, flush.n_fake, self.fo, rng
+        )
+        decoded = self.fo.decode_reports(shuffled)
+        counts = self.fo.support_counts(decoded)
+        self._fold_restored(flush, counts)
+        self.store.record_release(flush.sequence, counts)
+
+    def _synthesize_epoch(self, snapshot: RunSnapshot) -> None:
+        """Close the epoch whose flushes committed but whose report didn't.
+
+        Only the crash epoch can be in flight: an epoch's report commits
+        before any later submission, so a gap deeper than one record
+        means the store was tampered with.
+        """
+        missing = self.buffer.epoch - len(self.epoch_reports)
+        if missing != 1:
+            raise StateStoreError(
+                f"snapshot is missing {missing} epoch records; only the "
+                f"epoch in flight at the crash can lack one"
+            )
+        epoch = self.buffer.epoch - 1
+        rows = [f for f in snapshot.flushes if f.epoch == epoch]
+        released = [f for f in rows if f.status != "rejected"]
+        eps_spent, delta_spent = self.accountant.spent()
+        report = EpochReport(
+            epoch=epoch,
+            n_flushes=len(rows),
+            n_rejected=len(rows) - len(released),
+            n_reports=sum(f.n_reports for f in released),
+            n_fake=sum(f.n_fake for f in released),
+            flush_latency_s=0.0,
+            reports_per_sec=0.0,
+            eps_spent=eps_spent,
+            delta_spent=delta_spent,
+        )
+        self.epoch_reports.append(report)
+        self.store.record_epoch(report, self.estimates(), self._checkpoint())
+
+    @property
+    def n_submits(self) -> int:
+        """Non-empty submissions applied — a feeder's resume cursor."""
+        return self._n_submits
+
+    @property
+    def epochs_completed(self) -> int:
+        """Epochs closed so far (resume-synthesized ones included)."""
+        return len(self.epoch_reports)
+
+
+class TelemetryPipeline(PipelinePersistenceMixin):
+    """Continuously running shuffle-DP collection for one deployment.
+
+    All privacy-relevant state changes are journaled through a
+    :class:`~repro.persistence.store.StateStore` under a write-ahead
+    protocol: a flush's budget charge (or rejection) commits *before*
+    its release, the folded counts commit after, and every closed epoch
+    commits its report plus an estimate snapshot.  With the default
+    :class:`~repro.persistence.store.MemoryStateStore` this costs a few
+    reference assignments per submit; with a
+    :class:`~repro.persistence.sqlite.SqliteStateStore` the run survives
+    a crash and :meth:`resume` rebuilds it — never double-spending a
+    charge, never re-releasing a flushed batch, and continuing
+    bit-identical to an uninterrupted run at the same seed (pending
+    releases are replayed from their persisted reports and sequence-keyed
+    RNG streams).
+    """
 
     def __init__(
         self,
@@ -382,13 +652,25 @@ class TelemetryPipeline:
         rng: np.random.Generator,
         backend: Optional[ShuffleBackend] = None,
         clock: Callable[[], float] = time.perf_counter,
+        store: Optional[StateStore] = None,
+        _snapshot: Optional[RunSnapshot] = None,
     ):
         self.config = config
         self.rng = rng
         self.clock = clock
-        # Drawn first, before any other use of rng (see release_entropy).
-        self.release_entropy = release_entropy(rng)
+        if _snapshot is None:
+            # Drawn first, before any other use of rng (see release_entropy).
+            self.release_entropy = release_entropy(rng)
+        else:
+            # Resume: rng already carries the checkpointed state; the
+            # entropy was drawn by the original run and persisted.
+            self.release_entropy = tuple(
+                int(word) for word in _snapshot.release_entropy
+            )
         self.fo = oracle_from_plan(config.d, config.plan)
+        self.store = store if store is not None else MemoryStateStore()
+        if self.store.durable:
+            check_replay_support(config, self.fo)
         self.buffer = ReportBuffer.from_plan(
             config.plan,
             config.flush_size,
@@ -411,11 +693,49 @@ class TelemetryPipeline:
         #: were actually released (rejected flushes leave gaps)
         self.released_spans: List[tuple] = []
         self._consumed = 0
+        self._n_submits = 0
         self._epoch_flushes = 0
         self._epoch_rejected = 0
         self._epoch_reports_released = 0
         self._epoch_fakes = 0
         self._epoch_latency = 0.0
+        if _snapshot is None:
+            self.store.begin_run(config, self.release_entropy, self._checkpoint())
+        else:
+            self._restore(_snapshot)
+
+    @classmethod
+    def resume(
+        cls,
+        store: StateStore,
+        backend: Optional[ShuffleBackend] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> "TelemetryPipeline":
+        """Rebuild the run persisted in ``store`` and continue it.
+
+        Recovery invariants (pinned by ``tests/persistence/``):
+
+        * **no double-spend** — the ledger is exactly the persisted
+          charges; replaying a pending flush never charges again;
+        * **no re-release** — a flush whose counts were committed is
+          folded from those counts, its release randomness is never
+          redrawn;
+        * **bit-identical continuation** — pending (charged, unreleased)
+        flushes are replayed from their persisted reports with the same
+        sequence-keyed RNG streams, and the restored ingest generator /
+        buffer remainder / flush counter make every subsequent draw
+        match an uninterrupted run at the same seed.
+        """
+        snapshot = store.load_run()
+        rng = generator_from_state(snapshot.rng_state)
+        return cls(
+            snapshot.config,
+            rng,
+            backend=backend,
+            clock=clock,
+            store=store,
+            _snapshot=snapshot,
+        )
 
     # -- ingestion ---------------------------------------------------------
 
@@ -430,14 +750,15 @@ class TelemetryPipeline:
         encoded = self.fo.encode_reports(self.fo.privatize(values, self.rng))
         # owned=True: `encoded` is freshly allocated and never touched again.
         batches = self.buffer.submit(encoded, owned=True)
-        for batch in batches:
-            self._process_flush(batch)
+        self._n_submits += 1
+        self._persist_and_release(batches)
         return len(batches)
 
     def end_epoch(self) -> EpochReport:
         """Drain the buffer, close the epoch, and report its metrics."""
-        for batch in self.buffer.end_epoch():
-            self._process_flush(batch)
+        batches = self.buffer.end_epoch()
+        if batches:
+            self._persist_and_release(batches)
         eps_spent, delta_spent = self.accountant.spent()
         report = EpochReport(
             epoch=self.buffer.epoch - 1,
@@ -455,6 +776,7 @@ class TelemetryPipeline:
             delta_spent=delta_spent,
         )
         self.epoch_reports.append(report)
+        self.store.record_epoch(report, self.estimates(), self._checkpoint())
         self._epoch_flushes = 0
         self._epoch_rejected = 0
         self._epoch_reports_released = 0
@@ -471,48 +793,25 @@ class TelemetryPipeline:
 
     # -- flush processing --------------------------------------------------
 
-    def _process_flush(self, batch: FlushBatch) -> None:
-        plan = self.config.plan
-        self._epoch_flushes += 1
-        span = (self._consumed, self._consumed + batch.n_reports)
-        self._consumed = span[1]
-        # Price the batch at its own size: an epoch-end remainder carries
-        # less genuine blanket than a full flush, so it costs more.
-        charge = flush_release_epsilon(
-            self.config.d, plan, batch.n_reports, batch.n_fake
-        )
-        try:
-            self.accountant.charge(
-                charge,
-                plan.delta,
-                label=f"epoch{batch.epoch}/flush{batch.sequence}",
-            )
-        except BudgetExceededError as refusal:
-            self._epoch_rejected += 1
-            self.n_rejected += 1
-            if len(self.rejections) < MAX_REJECTION_RECORDS:
-                self.rejections.append(
-                    FlushRejection(
-                        epoch=batch.epoch,
-                        sequence=batch.sequence,
-                        n_reports=batch.n_reports,
-                        reason=str(refusal),
-                    )
-                )
-            return
+    def _release(self, batch: FlushBatch) -> None:
+        """Release one admitted batch and commit its folded counts."""
         started = self.clock()
         shuffled = self.backend.shuffle(
             batch.reports, batch.n_fake, self.fo,
             flush_rng(self.release_entropy, batch.sequence),
         )
         decoded = self.fo.decode_reports(shuffled)
-        self.aggregator.fold_reports(decoded, batch.n_reports, batch.n_fake)
+        if len(decoded) != batch.n_reports + batch.n_fake:
+            raise ValueError(
+                f"batch has {len(decoded)} reports but claims "
+                f"{batch.n_reports} genuine + {batch.n_fake} fake"
+            )
+        counts = self.fo.support_counts(decoded)
+        self.aggregator.fold_counts(counts, batch.n_reports, batch.n_fake)
         self._epoch_latency += self.clock() - started
-        self._epoch_reports_released += batch.n_reports
-        self._epoch_fakes += batch.n_fake
-        self.released_spans.append(span)
         if self.config.keep_reports:
             self.released_batches.append(decoded)
+        self.store.record_release(batch.sequence, counts)
 
     # -- results -----------------------------------------------------------
 

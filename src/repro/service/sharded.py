@@ -61,17 +61,19 @@ from typing import Iterable, List, Optional
 import numpy as np
 
 from ..core.errors import ConfigError
-from .accountant import BudgetExceededError, PrivacyAccountant
+from ..persistence import MemoryStateStore, RunSnapshot, StateStore, StoredFlush
+from ..persistence.records import generator_from_state
+from .accountant import PrivacyAccountant
 from .aggregator import IncrementalAggregator
 from .backends import ShuffleBackend, make_backend
 from .buffer import FlushBatch, ReportBuffer
 from .pipeline import (
-    MAX_REJECTION_RECORDS,
     EpochReport,
     FlushRejection,
+    PipelinePersistenceMixin,
     StreamConfig,
     StreamResult,
-    flush_release_epsilon,
+    check_replay_support,
     flush_rng,
     oracle_from_plan,
     release_entropy,
@@ -119,7 +121,7 @@ def _fold_block(sequence: int, reports: np.ndarray, n_fake: int, entropy: tuple)
     return counts, time.perf_counter() - started
 
 
-class ShardedPipeline:
+class ShardedPipeline(PipelinePersistenceMixin):
     """Multi-shard streaming collection with a shared privacy ledger.
 
     Drop-in shaped like :class:`~repro.service.pipeline.TelemetryPipeline`
@@ -127,6 +129,14 @@ class ShardedPipeline:
     plus :meth:`drain` (collect outstanding process folds),
     :meth:`warmup` (pre-spawn the pool), and :meth:`close`.  Use as a
     context manager to guarantee the worker pool is shut down.
+
+    Durable state rides the same write-ahead protocol as the serial
+    pipeline (the charge commits in global carve order before a batch
+    reaches any shard; a process fold's counts commit when the parent
+    collects them in :meth:`drain`), and because the execution layout is
+    not part of the persisted state, :meth:`resume` may pick a different
+    shard or worker count than the crashed run — estimates stay
+    bit-identical either way.
     """
 
     def __init__(
@@ -138,6 +148,8 @@ class ShardedPipeline:
         workers: Optional[int] = None,
         backend: Optional[ShuffleBackend] = None,
         clock=time.perf_counter,
+        store: Optional[StateStore] = None,
+        _snapshot: Optional[RunSnapshot] = None,
     ):
         if n_shards < 1:
             raise ConfigError("n_shards", f"must be >= 1, got {n_shards}")
@@ -176,11 +188,22 @@ class ShardedPipeline:
         self.clock = clock
         self.n_shards = int(n_shards)
         self.fold_backend = fold_backend
-        # Drawn first, before any other use of rng (see release_entropy) —
-        # the same order TelemetryPipeline follows, which is what makes the
-        # two pipelines' ingest and release streams line up at a fixed seed.
-        self.release_entropy = release_entropy(rng)
+        if _snapshot is None:
+            # Drawn first, before any other use of rng (see release_entropy)
+            # — the same order TelemetryPipeline follows, which is what makes
+            # the two pipelines' ingest and release streams line up at a
+            # fixed seed.
+            self.release_entropy = release_entropy(rng)
+        else:
+            # Resume: rng already carries the checkpointed state; the
+            # entropy was drawn by the original run and persisted.
+            self.release_entropy = tuple(
+                int(word) for word in _snapshot.release_entropy
+            )
         self.fo = oracle_from_plan(config.d, config.plan)
+        self.store = store if store is not None else MemoryStateStore()
+        if self.store.durable:
+            check_replay_support(config, self.fo)
         self.buffer = ReportBuffer.from_plan(
             config.plan,
             config.flush_size,
@@ -209,11 +232,47 @@ class ShardedPipeline:
         #: were actually released (rejected flushes leave gaps)
         self.released_spans: List[tuple] = []
         self._consumed = 0
+        self._n_submits = 0
         self._epoch_flushes = 0
         self._epoch_rejected = 0
         self._epoch_reports_released = 0
         self._epoch_fakes = 0
         self._epoch_latency = 0.0
+        if _snapshot is None:
+            self.store.begin_run(config, self.release_entropy, self._checkpoint())
+        else:
+            self._restore(_snapshot)
+
+    @classmethod
+    def resume(
+        cls,
+        store: StateStore,
+        n_shards: int = 1,
+        fold_backend: str = "serial",
+        workers: Optional[int] = None,
+        backend: Optional[ShuffleBackend] = None,
+        clock=time.perf_counter,
+    ) -> "ShardedPipeline":
+        """Rebuild the run persisted in ``store`` and continue it sharded.
+
+        Same recovery invariants as
+        :meth:`~repro.service.pipeline.TelemetryPipeline.resume`; the
+        execution layout (``n_shards``, ``fold_backend``, ``workers``)
+        is chosen fresh — it never affects estimates.
+        """
+        snapshot = store.load_run()
+        rng = generator_from_state(snapshot.rng_state)
+        return cls(
+            snapshot.config,
+            rng,
+            n_shards=n_shards,
+            fold_backend=fold_backend,
+            workers=workers,
+            backend=backend,
+            clock=clock,
+            store=store,
+            _snapshot=snapshot,
+        )
 
     # -- executor lifecycle ------------------------------------------------
 
@@ -287,14 +346,15 @@ class ShardedPipeline:
         encoded = self.fo.encode_reports(self.fo.privatize(values, self.rng))
         # owned=True: `encoded` is freshly allocated and never touched again.
         batches = self.buffer.submit(encoded, owned=True)
-        for batch in batches:
-            self._dispatch(batch)
+        self._n_submits += 1
+        self._persist_and_release(batches)
         return len(batches)
 
     def end_epoch(self) -> EpochReport:
         """Drain the carver, collect every fold, and close the epoch."""
-        for batch in self.buffer.end_epoch():
-            self._dispatch(batch)
+        batches = self.buffer.end_epoch()
+        if batches:
+            self._persist_and_release(batches)
         self.drain()
         eps_spent, delta_spent = self.accountant.spent()
         report = EpochReport(
@@ -313,6 +373,7 @@ class ShardedPipeline:
             delta_spent=delta_spent,
         )
         self.epoch_reports.append(report)
+        self.store.record_epoch(report, self.estimates(), self._checkpoint())
         self._epoch_flushes = 0
         self._epoch_rejected = 0
         self._epoch_reports_released = 0
@@ -329,41 +390,11 @@ class ShardedPipeline:
 
     # -- flush processing --------------------------------------------------
 
-    def _dispatch(self, batch: FlushBatch) -> None:
-        """Charge a carved batch, then hand it to its shard.
-
-        Charging happens here, in global carve order, so the ledger and
-        the admit/reject decisions are identical at any shard count.
-        """
-        plan = self.config.plan
-        self._epoch_flushes += 1
-        span = (self._consumed, self._consumed + batch.n_reports)
-        self._consumed = span[1]
-        charge = flush_release_epsilon(
-            self.config.d, plan, batch.n_reports, batch.n_fake
-        )
-        try:
-            self.accountant.charge(
-                charge,
-                plan.delta,
-                label=f"epoch{batch.epoch}/flush{batch.sequence}",
-            )
-        except BudgetExceededError as refusal:
-            self._epoch_rejected += 1
-            self.n_rejected += 1
-            if len(self.rejections) < MAX_REJECTION_RECORDS:
-                self.rejections.append(
-                    FlushRejection(
-                        epoch=batch.epoch,
-                        sequence=batch.sequence,
-                        n_reports=batch.n_reports,
-                        reason=str(refusal),
-                    )
-                )
-            return
-        self._epoch_reports_released += batch.n_reports
-        self._epoch_fakes += batch.n_fake
-        self.released_spans.append(span)
+    def _release(self, batch: FlushBatch) -> None:
+        """Hand one admitted (already charged and journaled) batch to its
+        shard — inline for serial folding, as a future for process
+        folding, whose counts are committed when :meth:`drain` collects
+        them."""
         shard = batch.sequence % self.n_shards
         if self.fold_backend == "process":
             future = self._ensure_executor().submit(
@@ -374,19 +405,30 @@ class ShardedPipeline:
                 self.release_entropy,
             )
             self._pending.append((future, shard, batch))
-        else:
-            started = self.clock()
-            shuffled = self.backend.shuffle(
-                batch.reports, batch.n_fake, self.fo,
-                flush_rng(self.release_entropy, batch.sequence),
+            return
+        started = self.clock()
+        shuffled = self.backend.shuffle(
+            batch.reports, batch.n_fake, self.fo,
+            flush_rng(self.release_entropy, batch.sequence),
+        )
+        decoded = self.fo.decode_reports(shuffled)
+        if len(decoded) != batch.n_reports + batch.n_fake:
+            raise ValueError(
+                f"batch has {len(decoded)} reports but claims "
+                f"{batch.n_reports} genuine + {batch.n_fake} fake"
             )
-            decoded = self.fo.decode_reports(shuffled)
-            self.shards[shard].fold_reports(
-                decoded, batch.n_reports, batch.n_fake
-            )
-            self._epoch_latency += self.clock() - started
-            if self.config.keep_reports:
-                self.released_batches.append(decoded)
+        counts = self.fo.support_counts(decoded)
+        self.shards[shard].fold_counts(counts, batch.n_reports, batch.n_fake)
+        self._epoch_latency += self.clock() - started
+        if self.config.keep_reports:
+            self.released_batches.append(decoded)
+        self.store.record_release(batch.sequence, counts)
+
+    def _fold_restored(self, flush: StoredFlush, counts: np.ndarray) -> None:
+        """A recovered flush folds into the shard its sequence picks."""
+        self.shards[flush.sequence % self.n_shards].fold_counts(
+            counts, flush.n_reports, flush.n_fake
+        )
 
     def drain(self) -> int:
         """Fold every outstanding worker result into its shard.
@@ -410,6 +452,7 @@ class ShardedPipeline:
             self.shards[shard].fold_counts(
                 counts, batch.n_reports, batch.n_fake
             )
+            self.store.record_release(batch.sequence, counts)
             self._epoch_latency += elapsed
             collected += 1
         return collected

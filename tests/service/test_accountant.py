@@ -121,3 +121,53 @@ class TestHelpers:
             accountant.charge(-0.1)
         with pytest.raises(ValueError):
             accountant.charge(0.1, delta=1.5)
+
+
+class TestSnapshotRestore:
+    def test_round_trip_is_exact(self):
+        accountant = PrivacyAccountant(2.0, 1e-6, method="advanced")
+        accountant.charge(0.5, 1e-8, label="epoch0/flush0")
+        accountant.charge(0.25, 2e-8, label="epoch0/flush1")
+        snapshot = accountant.snapshot()
+
+        restored = PrivacyAccountant(2.0, 1e-6, method="advanced")
+        restored.restore(snapshot)
+        assert restored.spent() == accountant.spent()
+        assert restored.n_charges == accountant.n_charges
+        assert [c.label for c in restored.charges] == [
+            "epoch0/flush0", "epoch0/flush1"
+        ]
+        # The restored ledger keeps charging from where it left off.
+        restored.charge(0.25, 1e-8)
+        accountant.charge(0.25, 1e-8)
+        assert restored.spent() == accountant.spent()
+
+    def test_snapshot_is_detached(self):
+        accountant = PrivacyAccountant(1.0, 1e-6)
+        accountant.charge(0.1)
+        snapshot = accountant.snapshot()
+        accountant.charge(0.2)
+        assert len(snapshot) == 1
+
+    def test_restore_into_nonempty_ledger_refused(self):
+        accountant = PrivacyAccountant(1.0, 1e-6)
+        accountant.charge(0.1)
+        with pytest.raises(ValueError, match="restore"):
+            accountant.restore(accountant.snapshot())
+
+    def test_restore_rejects_overspent_snapshot(self):
+        big = PrivacyAccountant(10.0, 1e-6)
+        for __ in range(5):
+            big.charge(1.0, 1e-8)
+        small = PrivacyAccountant(1.0, 1e-6)
+        with pytest.raises(ValueError, match="budget"):
+            small.restore(big.snapshot())
+
+    def test_restore_validates_each_charge(self):
+        accountant = PrivacyAccountant(1.0, 1e-6)
+
+        class Bogus:
+            eps, delta, label = -0.5, 0.0, "bad"
+
+        with pytest.raises(ValueError):
+            accountant.restore([Bogus()])

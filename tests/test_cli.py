@@ -99,3 +99,80 @@ class TestModuleEntryPoint:
         )
         assert completed.returncode == 0
         assert "BBGN19" in completed.stdout
+
+
+class TestStreamPersistence:
+    STREAM_ARGS = [
+        "stream", "--epochs", "3", "--epoch-size", "200",
+        "--flush-size", "100", "--d", "8", "--budget-epochs", "2",
+        "--seed", "7",
+    ]
+
+    def test_resume_requires_state_db(self, capsys):
+        assert main(self.STREAM_ARGS + ["--resume"]) == 2
+        assert "--state-db" in capsys.readouterr().err
+
+    def test_bad_state_db_parent_exits_cleanly(self, capsys, tmp_path):
+        bad = str(tmp_path / "missing" / "state.db")
+        assert main(self.STREAM_ARGS + ["--state-db", bad]) == 2
+        assert "state_db" in capsys.readouterr().err
+
+    def test_resume_of_empty_db_exits_cleanly(self, capsys, tmp_path):
+        empty = str(tmp_path / "state.db")
+        assert main(
+            self.STREAM_ARGS + ["--state-db", empty, "--resume"]
+        ) == 2
+        assert "no run" in capsys.readouterr().err
+
+    def test_estimates_out_round_trips(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "estimates.json"
+        assert main(
+            self.STREAM_ARGS + ["--estimates-out", str(out_path)]
+        ) == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert len(payload["estimates"]) == 8
+        assert payload["epochs"] == 3
+        assert payload["n_rejected"] > 0
+
+    def test_crash_and_resume_matches_clean_run(self, tmp_path):
+        """Kill a persisted run mid-stream (exit 3), resume, compare."""
+        import json
+
+        root = Path(__file__).parent.parent
+        env = dict(os.environ)
+        src = str(root / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else src
+        )
+        base = [sys.executable, "-m", "repro"] + self.STREAM_ARGS
+        clean_json = str(tmp_path / "clean.json")
+        resumed_json = str(tmp_path / "resumed.json")
+        db = str(tmp_path / "state.db")
+
+        clean = subprocess.run(
+            base + ["--estimates-out", clean_json],
+            capture_output=True, text=True, env=env, cwd=root,
+        )
+        assert clean.returncode == 0, clean.stderr
+
+        crashed = subprocess.run(
+            base + ["--state-db", db, "--crash-after-epoch", "2"],
+            capture_output=True, text=True, env=env, cwd=root,
+        )
+        assert crashed.returncode == 3, crashed.stderr
+        assert "simulated crash" in crashed.stderr
+
+        resumed = subprocess.run(
+            base + ["--state-db", db, "--resume",
+                    "--estimates-out", resumed_json],
+            capture_output=True, text=True, env=env, cwd=root,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "resumed from" in resumed.stdout
+
+        with open(clean_json) as a, open(resumed_json) as b:
+            assert json.load(a) == json.load(b)
