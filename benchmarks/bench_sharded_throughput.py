@@ -1,28 +1,37 @@
-"""Sharded streaming fold throughput: serial vs process-pool folding.
+"""Sharded streaming fold throughput: serial vs pickle vs shm transports.
 
-Runs the same pre-generated workload through the single-shard serial
-pipeline and through :class:`repro.service.ShardedPipeline` with
-``REPRO_BENCH_SHARDS`` shards folded on a spawn-safe process pool, then
-reports the fold-throughput ratio.  The workload is the *materialized*
-path pinned to SOLH: the streaming oracle uses the 32-bit-seed xxHash32
-family (the ordinal-group requirement).  Its release side (fake
-injection + permutation + decode + the O(n*d) support-count kernel) is
-vectorized numpy since the kernel engine landed — process folding now
-buys overlap of whole flush releases across cores rather than an escape
-from a scalar-Python GIL, so the measured speedup is honest kernel
-parallelism (see ``bench_hash_throughput.py`` for the single-core
-kernel numbers).
+Runs the same pre-generated workload through three configurations of
+:class:`repro.service.ShardedPipeline` — the single-shard serial
+pipeline, process folding with the legacy **pickle** transport, and
+process folding with the zero-copy **shm** transport (pooled
+``multiprocessing.shared_memory`` segments the workers map read-only) —
+then reports the fold-throughput ratios.  The workload is the
+*materialized* path pinned to SOLH: the streaming oracle uses the
+32-bit-seed xxHash32 family (the ordinal-group requirement), and its
+release side (fake injection + permutation + decode + the O(n*d)
+support-count kernel) is vectorized numpy, so the transport is the
+remaining memory-movement cost the shm path eliminates.
 
-Two correctness gates ride along and land in ``extra``:
+A second experiment rides along: the cross-flush **seed-row cache**
+(:class:`repro.hashing.kernels.SeedRowCache`).  A retained report set is
+folded repeatedly — the documented O(u*d) re-aggregation workload where
+every seed after the first pass is a repeat — once with the cache off
+and once with it on, asserting equal counts and recording the speedup
+and hit rate.
 
-* ``estimates_identical`` — the sharded/process estimates match the
-  serial single-shard run byte for byte (the determinism contract);
-* fold throughput for each configuration, with the pool spawned and
-  warmed *before* timing so the ratio measures folding, not process
-  start-up.
+Correctness gates in ``extra``:
 
-Scale knobs are shared with the other benches (``REPRO_BENCH_SCALE``,
-``REPRO_BENCH_SHARDS``; see bench_common).  Standalone:
+* ``estimates_identical`` — serial, pickle-transport, and shm-transport
+  estimates all match byte for byte (the determinism contract);
+* ``seed_cache_identical`` — cached folds reproduce uncached counts
+  exactly;
+* transport telemetry — ``bytes_moved``, ``shm_peak_bytes``,
+  ``seed_cache_hit_rate``.
+
+Pools are spawned and warmed *before* timing, so the ratios measure
+folding, not process start-up.  Scale knobs are shared with the other
+benches (``REPRO_BENCH_SCALE``, ``REPRO_BENCH_SHARDS``; see
+bench_common).  Standalone:
 ``python benchmarks/bench_sharded_throughput.py --scale 0.02 --shards 2``.
 """
 
@@ -35,7 +44,7 @@ import numpy as np
 
 from repro.data import zipf_histogram
 from repro.data.synthetic import values_from_histogram
-from repro.service import ShardedPipeline, StreamConfig
+from repro.service import ShardedPipeline, StreamConfig, oracle_from_plan
 
 from bench_common import (
     BenchResult,
@@ -54,17 +63,41 @@ BASE_EPOCH_SIZE = 200_000  # at scale 1.0; the SOLH fold path costs
 DELTA = 1e-9
 EPS_TARGETS = (1.0, 3.0, 6.0)
 ZIPF_EXPONENT = 1.3
+#: repeated folds of the retained report set in the seed-cache experiment
+#: — enough repeats that the first (all-miss, cache-filling) fold's cost
+#: amortizes the way it does in real candidate re-scoring loops
+CACHE_FOLDS = 8
+#: seed-row-cache budget for the cache experiment — sized to hold the
+#: full working set (CACHE_REPORTS_BASE rows of 4*CACHE_D bytes); an LRU
+#: smaller than the repeat-fold working set would thrash to a ~0% hit rate
+CACHE_BYTES = 128 << 20
+#: the cache experiment's candidate domain — wide on purpose: cached rows
+#: replace O(d) hash evaluations, so the win scales with d (succinct-
+#: histogram-style re-aggregation), while the transport experiment above
+#: stays on the streaming config's narrow domain
+CACHE_D = 1024
+CACHE_REPORTS_BASE = 20_000  # at scale 1.0
+
+
+def fmt_speedup(value) -> str:
+    """Guarded ratio formatting: a degenerate 0-second wall yields n/a."""
+    return f"{value:.2f}x" if value else "n/a"
 
 
 def _run_config(
-    config: StreamConfig, epoch_values, n_shards: int, fold_backend: str
+    config: StreamConfig,
+    epoch_values,
+    n_shards: int,
+    fold_backend: str,
+    transport: str = "shm",
 ) -> tuple:
-    """One timed run; returns (StreamResult, wall seconds, worker count)."""
+    """One timed run; returns (result, wall seconds, workers, transport stats)."""
     with ShardedPipeline(
         config,
         np.random.default_rng(bench_seed()),
         n_shards=n_shards,
         fold_backend=fold_backend,
+        transport=transport,
     ) as pipeline:
         pipeline.warmup()  # spawn cost must not pollute the fold timing
         started = time.perf_counter()
@@ -74,7 +107,61 @@ def _run_config(
         result = pipeline.result()  # drains outstanding folds
         elapsed = time.perf_counter() - started
         workers = pipeline.workers if fold_backend == "process" else 1
-    return result, elapsed, workers
+        stats = pipeline.transport_stats()
+    return result, elapsed, workers, stats
+
+
+def _seed_cache_experiment() -> dict:
+    """Fold one retained report set ``CACHE_FOLDS`` times, cache off vs on.
+
+    The repeat-seed workload the kernel docs advertise: after the first
+    pass every distinct seed is already cached, so the remaining folds
+    replace their O(d) hash evaluations with row copies.  Counts must be
+    bit-identical either way.
+    """
+    from repro.frequency_oracles import OLH
+    from repro.hashing import XXHash32Family
+
+    n_reports = max(1_000, int(CACHE_REPORTS_BASE * bench_scale()))
+    fo_off = OLH(d=CACHE_D, eps=3.0, family=XXHash32Family())
+    fo_on = OLH(d=CACHE_D, eps=3.0, family=XXHash32Family())
+    fo_on.configure_kernel(seed_cache_bytes=CACHE_BYTES)
+    data_rng = np.random.default_rng(bench_seed())
+    values = data_rng.integers(0, CACHE_D, n_reports)
+    reports = fo_off.privatize(values, np.random.default_rng(bench_seed()))
+
+    def fold_loop(fo):
+        started = time.perf_counter()
+        totals = None
+        for __ in range(CACHE_FOLDS):
+            counts = fo.support_counts(reports)
+            totals = counts if totals is None else totals + counts
+        return totals, time.perf_counter() - started
+
+    # Warm both paths before timing: numpy/code paths for the plain
+    # loop, and the cache itself for the cached loop — the cache is a
+    # *cross-flush* structure, so its steady state (rows populated by
+    # earlier flushes) is the state being measured, not the first-ever
+    # fill.  The fill cost shows up in the recorded hit rate instead.
+    fold_loop(fo_off)
+    fold_loop(fo_on)
+    off_counts, off_s = fold_loop(fo_off)
+    on_counts, on_s = fold_loop(fo_on)
+    cache = fo_on.seed_cache
+    return {
+        "folds": CACHE_FOLDS,
+        "reports": n_reports,
+        "identical": bool(
+            off_counts.tobytes() == on_counts.tobytes()
+        ),
+        "d": CACHE_D,
+        "off_wall_seconds": off_s,
+        "on_wall_seconds": on_s,
+        "speedup": off_s / on_s if on_s > 0 else None,
+        "hit_rate": cache.hit_rate,
+        "cached_rows": len(cache),
+        "cached_bytes": cache.nbytes,
+    }
 
 
 def _experiment() -> BenchResult:
@@ -99,15 +186,27 @@ def _experiment() -> BenchResult:
         for __ in range(EPOCHS)
     ]
 
-    serial, serial_s, __ = _run_config(config, epoch_values, 1, "serial")
-    sharded, sharded_s, workers = _run_config(
-        config, epoch_values, shards, "process" if shards > 1 else "serial"
+    serial, serial_s, __, __ = _run_config(config, epoch_values, 1, "serial")
+    fold_backend = "process" if shards > 1 else "serial"
+    pickled, pickle_s, workers, pickle_stats = _run_config(
+        config, epoch_values, shards, fold_backend, transport="pickle"
+    )
+    shm, shm_s, __, shm_stats = _run_config(
+        config, epoch_values, shards, fold_backend, transport="shm"
     )
 
-    identical = serial.estimates.tobytes() == sharded.estimates.tobytes()
+    identical = (
+        serial.estimates.tobytes()
+        == pickled.estimates.tobytes()
+        == shm.estimates.tobytes()
+    )
     serial_rate = serial.n_genuine / serial_s if serial_s > 0 else None
-    sharded_rate = sharded.n_genuine / sharded_s if sharded_s > 0 else None
-    speedup = serial_s / sharded_s if sharded_s > 0 else None
+    pickle_rate = pickled.n_genuine / pickle_s if pickle_s > 0 else None
+    shm_rate = shm.n_genuine / shm_s if shm_s > 0 else None
+    speedup = serial_s / shm_s if shm_s > 0 else None
+    shm_vs_pickle = pickle_s / shm_s if shm_s > 0 else None
+
+    cache = _seed_cache_experiment()
 
     extra = {
         "mechanism": config.plan.mechanism,
@@ -125,11 +224,26 @@ def _experiment() -> BenchResult:
             "wall_seconds": serial_s,
             "fold_reports_per_sec": serial_rate,
         },
-        "sharded": {
-            "wall_seconds": sharded_s,
-            "fold_reports_per_sec": sharded_rate,
+        "pickle": {
+            "wall_seconds": pickle_s,
+            "fold_reports_per_sec": pickle_rate,
+            "bytes_moved": pickle_stats["bytes_moved"],
         },
+        "shm": {
+            "wall_seconds": shm_s,
+            "fold_reports_per_sec": shm_rate,
+            "bytes_moved": shm_stats["bytes_moved"],
+        },
+        # kept under the historical name (serial wall / sharded-shm wall)
+        # for the CI smoke's cross-check
         "speedup": speedup,
+        "shm_vs_pickle_speedup": shm_vs_pickle,
+        "bytes_moved": shm_stats["bytes_moved"],
+        "shm_peak_bytes": shm_stats["shm_peak_bytes"],
+        "seed_cache_identical": cache["identical"],
+        "seed_cache_speedup": cache["speedup"],
+        "seed_cache_hit_rate": cache["hit_rate"],
+        "seed_cache": cache,
     }
 
     def rate(value) -> str:
@@ -138,11 +252,17 @@ def _experiment() -> BenchResult:
     table = (
         f"SOLH materialized fold path (vectorized xxhash32 kernel), d={D}, "
         f"{serial.n_genuine} reports released over {EPOCHS} epochs\n"
-        f"serial (1 shard)          : {rate(serial_rate)} "
+        f"serial (1 shard)             : {rate(serial_rate)} "
         f"({serial_s:.2f}s wall)\n"
-        f"sharded ({shards} shards, {workers} procs): {rate(sharded_rate)} "
-        f"({sharded_s:.2f}s wall)\n"
-        f"speedup : {speedup:.2f}x"
+        f"pickle ({shards} shards, {workers} procs)   : {rate(pickle_rate)} "
+        f"({pickle_s:.2f}s wall, "
+        f"{pickle_stats['bytes_moved'] / 1024:,.0f} KiB pickled)\n"
+        f"shm    ({shards} shards, {workers} procs)   : {rate(shm_rate)} "
+        f"({shm_s:.2f}s wall, "
+        f"{shm_stats['bytes_moved'] / 1024:,.0f} KiB via "
+        f"{shm_stats['shm_peak_bytes'] / 1024:,.0f} KiB of segments)\n"
+        f"speedup vs serial : {fmt_speedup(speedup)}\n"
+        f"shm vs pickle     : {fmt_speedup(shm_vs_pickle)}"
         + (
             f" (host has {os.cpu_count()} CPU(s); process folding "
             f"cannot go faster than serial on a single core)"
@@ -150,18 +270,25 @@ def _experiment() -> BenchResult:
             else ""
         )
         + "\n"
-        f"estimates byte-identical across shard counts: "
+        f"seed cache ({cache['folds']} folds of {cache['reports']} retained "
+        f"reports): {fmt_speedup(cache['speedup'])} vs cache-off, "
+        f"hit rate {cache['hit_rate']:.2f}, counts identical: "
+        f"{'yes' if cache['identical'] else 'NO — CACHE CORRUPTION'}\n"
+        f"estimates byte-identical across serial/pickle/shm: "
         f"{'yes' if identical else 'NO — DETERMINISM VIOLATION'}"
     )
     return BenchResult(table=table, extra=extra)
 
 
 def bench_sharded_throughput(benchmark):
-    """Measure process-sharded fold throughput against the serial path."""
+    """Measure transport + cache fold throughput against the serial path."""
     result = run_once(benchmark, _experiment)
     emit("sharded_throughput", result)
     assert result.extra["estimates_identical"], (
-        "sharded estimates differ from the serial single-shard run"
+        "sharded estimates differ across the serial/pickle/shm runs"
+    )
+    assert result.extra["seed_cache_identical"], (
+        "seed-row cache changed support counts"
     )
     assert result.extra["released_reports"] > 0
 

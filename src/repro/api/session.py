@@ -234,6 +234,9 @@ class ShuffleSession:
         shards: int = 1,
         backend: str = "serial",
         fold_workers: Optional[int] = None,
+        transport: str = "shm",
+        chunk_bytes=None,
+        seed_cache_bytes: int = 0,
         rng: Optional[np.random.Generator] = None,
         seed: Optional[int] = None,
         crypto_rng=None,
@@ -274,6 +277,17 @@ class ShuffleSession:
         run crash-safe and resumable via ``TelemetryPipeline.resume`` /
         ``ShardedPipeline.resume`` (CLI: ``repro stream --state-db
         PATH --resume``).
+
+        Kernel tuning (pure execution knobs — estimates are
+        bit-identical at any setting): ``chunk_bytes`` pins the
+        support-count kernel's chunk budget, or the string ``"auto"``
+        runs the one-shot timed calibration
+        (:func:`repro.hashing.calibrate.ensure_calibration` — persisted
+        in ``store`` when one is given, so later runs skip the probe);
+        ``seed_cache_bytes > 0`` enables the cross-flush seed-row cache
+        at that byte budget; ``transport`` picks how process folds
+        receive payloads — zero-copy ``"shm"`` (the default) or legacy
+        ``"pickle"`` (CLI: ``--no-shm``).
         """
         from ..service.backends import make_backend
         from ..service.pipeline import StreamConfig, TelemetryPipeline
@@ -287,6 +301,17 @@ class ShuffleSession:
                 f"fold backend must be one of {', '.join(FOLD_BACKENDS)}, "
                 f"got {backend!r}",
             )
+        if chunk_bytes is not None:
+            from ..hashing.calibrate import resolve_chunk_bytes
+
+            try:
+                chunk_bytes = resolve_chunk_bytes(chunk_bytes, store=store)
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    "chunk_bytes",
+                    f"must be a positive byte count or 'auto', "
+                    f"got {chunk_bytes!r}",
+                ) from None
         if self.budget.model == "local":
             raise ConfigError(
                 "model",
@@ -362,7 +387,8 @@ class ShuffleSession:
         if shards == 1 and backend == "serial":
             return TelemetryPipeline(
                 config, _resolve_rng(rng, seed), backend=backend_instance,
-                store=store,
+                store=store, chunk_bytes=chunk_bytes,
+                seed_cache_bytes=seed_cache_bytes,
             )
         return ShardedPipeline(
             config,
@@ -372,6 +398,9 @@ class ShuffleSession:
             workers=fold_workers,
             backend=backend_instance,
             store=store,
+            transport=transport,
+            chunk_bytes=chunk_bytes,
+            seed_cache_bytes=seed_cache_bytes,
         )
 
     # -- shared helpers ----------------------------------------------------

@@ -171,6 +171,17 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if args.crash_after_epoch is not None and args.crash_after_epoch < 1:
         print("error: --crash-after-epoch must be >= 1", file=sys.stderr)
         return 2
+    if args.chunk_bytes is not None and args.chunk_bytes != "auto":
+        try:
+            if int(args.chunk_bytes) < 1:
+                raise ValueError
+        except ValueError:
+            print("error: --chunk-bytes must be a positive byte count or "
+                  "'auto'", file=sys.stderr)
+            return 2
+    if args.seed_cache_bytes is not None and args.seed_cache_bytes < 0:
+        print("error: --seed-cache-bytes must be >= 0", file=sys.stderr)
+        return 2
     budget_epochs = (
         args.budget_epochs
         if args.budget_epochs is not None
@@ -205,6 +216,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                     shards=args.shards,
                     backend=args.fold_backend,
                     fold_workers=args.fold_workers,
+                    transport="pickle" if args.no_shm else "shm",
+                    chunk_bytes=args.chunk_bytes,
+                    seed_cache_bytes=args.seed_cache_bytes or 0,
                     rng=np.random.default_rng(args.seed),
                     crypto_rng=args.seed,
                     store=store,
@@ -320,17 +334,30 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
 
 def _resume_stream_pipeline(args: argparse.Namespace, store):
-    """Rebuild the persisted run under the requested execution layout."""
+    """Rebuild the persisted run under the requested execution layout.
+
+    The layout — shards, transport, kernel tuning — is chosen fresh on
+    every resume (it never affects estimates); ``--chunk-bytes auto``
+    reuses the calibration persisted in the store when one exists.
+    """
+    from repro.hashing.calibrate import resolve_chunk_bytes
     from repro.service import ShardedPipeline, TelemetryPipeline
 
+    chunk_bytes = resolve_chunk_bytes(args.chunk_bytes, store=store)
+    seed_cache_bytes = args.seed_cache_bytes or 0
     if args.shards > 1 or args.fold_backend != "serial":
         return ShardedPipeline.resume(
             store,
             n_shards=args.shards,
             fold_backend=args.fold_backend,
             workers=args.fold_workers,
+            transport="pickle" if args.no_shm else "shm",
+            chunk_bytes=chunk_bytes,
+            seed_cache_bytes=seed_cache_bytes,
         )
-    return TelemetryPipeline.resume(store)
+    return TelemetryPipeline.resume(
+        store, chunk_bytes=chunk_bytes, seed_cache_bytes=seed_cache_bytes
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -408,6 +435,18 @@ def build_parser() -> argparse.ArgumentParser:
                    default="serial",
                    help="fold executor: inline, or a spawn-safe process "
                         "pool (requires --backend plain)")
+    p.add_argument("--chunk-bytes", default=None, metavar="BYTES",
+                   help="support-count kernel chunk budget in bytes, or "
+                        "'auto' to run the one-shot timed calibration "
+                        "(reused from --state-db when one is given)")
+    p.add_argument("--seed-cache-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="enable the cross-flush seed-row cache at this "
+                        "byte budget (0 disables; estimates are "
+                        "bit-identical either way)")
+    p.add_argument("--no-shm", action="store_true",
+                   help="ship process-fold batches by pickling instead of "
+                        "zero-copy shared memory (bit-identical, slower)")
     p.add_argument("--fold-workers", type=int, default=None,
                    help="fold worker processes (default: min(shards, cores))")
     p.add_argument("--state-db", default=None, metavar="PATH",

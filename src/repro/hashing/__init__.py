@@ -7,6 +7,12 @@ through; :mod:`repro.hashing.xxhash32` provides both the scalar xxHash32
 reference and the vectorized fixed-width array path.
 """
 
+from .calibrate import (
+    KernelCalibration,
+    calibrate_kernel,
+    ensure_calibration,
+    resolve_chunk_bytes,
+)
 from .families import (
     CarterWegmanHashFamily,
     HashFamily,
@@ -17,8 +23,11 @@ from .families import (
 )
 from .kernels import (
     KernelPlan,
+    SeedRowCache,
+    active_chunk_bytes,
     chunk_spans,
     plan_support_counts,
+    set_active_chunk_bytes,
     support_counts_kernel,
 )
 from .xxhash32 import xxhash32, xxhash32_int, xxhash32_int_array
@@ -26,12 +35,19 @@ from .xxhash32 import xxhash32, xxhash32_int, xxhash32_int_array
 __all__ = [
     "CarterWegmanHashFamily",
     "HashFamily",
+    "KernelCalibration",
     "KernelPlan",
     "MultiplyShiftHashFamily",
+    "SeedRowCache",
     "XXHash32Family",
+    "active_chunk_bytes",
+    "calibrate_kernel",
     "chunk_spans",
     "default_family",
+    "ensure_calibration",
     "plan_support_counts",
+    "resolve_chunk_bytes",
+    "set_active_chunk_bytes",
     "splitmix64",
     "support_counts_kernel",
     "xxhash32",

@@ -43,6 +43,7 @@ materialized reference.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
@@ -52,13 +53,45 @@ from .families import HashFamily
 
 __all__ = [
     "KernelPlan",
+    "SeedRowCache",
+    "active_chunk_bytes",
     "chunk_spans",
     "plan_support_counts",
+    "set_active_chunk_bytes",
     "support_counts_kernel",
 ]
 
 #: default per-chunk intermediate budget (matches the oracles' default)
 DEFAULT_CHUNK_BYTES = 1 << 26
+
+#: process-wide calibrated ``chunk_bytes`` override (None = uncalibrated).
+#: Lives here rather than in :mod:`repro.hashing.calibrate` so the kernel
+#: never imports the calibration layer (which imports the kernel).
+_ACTIVE_CHUNK_BYTES: Optional[int] = None
+
+
+def set_active_chunk_bytes(chunk_bytes: Optional[int]) -> Optional[int]:
+    """Install (or with ``None`` clear) the calibrated chunk budget.
+
+    Returns the previous override so callers can restore it (tests, and
+    :meth:`repro.hashing.calibrate.KernelCalibration.activate`).  Purely
+    an execution knob: counts are bit-identical at any value.
+    """
+    global _ACTIVE_CHUNK_BYTES
+    previous = _ACTIVE_CHUNK_BYTES
+    if chunk_bytes is not None and int(chunk_bytes) < 1:
+        raise ValueError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
+    _ACTIVE_CHUNK_BYTES = None if chunk_bytes is None else int(chunk_bytes)
+    return previous
+
+
+def active_chunk_bytes() -> int:
+    """The chunk budget an unpinned kernel call uses right now."""
+    return (
+        DEFAULT_CHUNK_BYTES
+        if _ACTIVE_CHUNK_BYTES is None
+        else _ACTIVE_CHUNK_BYTES
+    )
 
 #: bytes of matrix-shaped intermediates per hash on the standard path:
 #: the uint32 chunk (4) plus the match mask ``flatnonzero`` scans (1)
@@ -134,22 +167,33 @@ def plan_support_counts(
     n_reports: int,
     n_candidates: int,
     d_out: int,
-    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    chunk_bytes: Optional[int] = None,
     n_unique: Optional[int] = None,
+    prefer_unique: bool = False,
 ) -> KernelPlan:
     """Choose orientation and chunk size for a support-count workload.
+
+    ``chunk_bytes=None`` resolves to the process-wide calibrated budget
+    (:func:`active_chunk_bytes`) — the default every oracle passes unless
+    the deployment pinned an explicit value.
 
     ``n_unique`` (the distinct-seed count, when the caller has it) enables
     the unique-seed path exactly when grouping is profitable: the seed
     space is small, at least a quarter of the reports share a seed with
     another report, and the per-``(seed, y)`` multiplicity table fits the
-    byte budget.  The returned plan is purely an execution choice — every
-    plan computes identical counts.
+    byte budget.  ``prefer_unique`` drops the duplicate-ratio requirement
+    (the table-fit requirement stays): a caller holding a
+    :class:`SeedRowCache` wants the unique path even for all-distinct
+    seeds, because the rows it hashes this flush are the hits of the
+    next.  The returned plan is purely an execution choice — every plan
+    computes identical counts.
     """
+    if chunk_bytes is None:
+        chunk_bytes = active_chunk_bytes()
     if (
         n_unique is not None
         and n_reports > 0
-        and n_unique <= _UNIQUE_RATIO * n_reports
+        and (prefer_unique or n_unique <= _UNIQUE_RATIO * n_reports)
         and n_unique * max(1, d_out) * 8 <= chunk_bytes
     ):
         chunk = max(1, chunk_bytes // (_UNIQUE_BYTES_PER_HASH * max(1, n_candidates)))
@@ -192,6 +236,131 @@ def plan_support_counts(
         * chunk
         * max(1, n_reports),
     )
+
+
+class SeedRowCache:
+    """Cross-flush LRU cache of hash rows for the unique-seed path.
+
+    One entry per distinct seed: the uint32 row ``H_seed(candidates)``
+    the unique-seed fast path evaluates.  In the 32-bit seed space a
+    seed drawn this flush recurs in later flushes (the birthday regime)
+    and *every* seed recurs when a retained report set is re-aggregated
+    — in both cases the cached row replaces an O(d) hash evaluation with
+    a copy.
+
+    Soundness rests on two invariants:
+
+    * **Identity-keyed.**  A row is only valid for the exact
+      ``(family type, family name, seed space, d_out, candidate count)``
+      it was computed under; :meth:`ensure` drops everything on any
+      change, so a cache can never serve rows across hash families or
+      domain sizes.  Callers additionally guarantee the candidate
+      *values* are fixed given the identity (the oracles pass the cache
+      only for the default full-domain ``arange(d)`` candidates).
+    * **Read-only rows.**  Cached rows feed the unique path's gather,
+      which never mutates its hash chunk — the standard path's in-place
+      XOR (:func:`_match_columns`) must not and does not see them.
+
+    Rows are stored as owned copies and served as fresh matrices, so the
+    cache is bit-transparent: hashing is deterministic, hence a hit is
+    byte-for-byte the row a miss would recompute.  Eviction is LRU under
+    ``byte_budget``; a budget smaller than one row disables insertion
+    (the cache degrades to a pass-through, never an error).
+    """
+
+    def __init__(self, byte_budget: int):
+        byte_budget = int(byte_budget)
+        if byte_budget < 1:
+            raise ValueError(f"byte budget must be >= 1, got {byte_budget}")
+        self.byte_budget = byte_budget
+        self._rows: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        self._identity: Optional[tuple] = None
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.resets = 0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of cached row payload currently held."""
+        return self._bytes
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def cached_seeds(self) -> tuple:
+        """The cached seeds in LRU order (oldest first) — test hook."""
+        return tuple(self._rows)
+
+    def ensure(self, family: HashFamily, d_out: int, n_candidates: int) -> None:
+        """Bind the cache to one workload identity, invalidating on change."""
+        identity = (
+            type(family).__name__,
+            family.name,
+            int(family.seed_space),
+            int(d_out),
+            int(n_candidates),
+        )
+        if identity != self._identity:
+            if self._identity is not None and self._rows:
+                self.resets += 1
+            self._rows.clear()
+            self._bytes = 0
+            self._identity = identity
+
+    def rows(
+        self,
+        family: HashFamily,
+        seeds: np.ndarray,
+        candidates: np.ndarray,
+        d_out: int,
+    ) -> np.ndarray:
+        """The ``(len(seeds), len(candidates))`` uint32 hash matrix.
+
+        Hit rows are copied out of the cache; miss rows are computed in
+        one vectorized :func:`_chunk_hashes` call, served, and inserted
+        (then LRU-evicted down to budget).  Caller must have called
+        :meth:`ensure` for this workload first.
+        """
+        n_candidates = len(candidates)
+        out = np.empty((len(seeds), n_candidates), dtype=np.uint32)
+        miss_positions = []
+        for position, seed in enumerate(seeds):
+            seed = int(seed)
+            row = self._rows.get(seed)
+            if row is None:
+                miss_positions.append(position)
+            else:
+                self._rows.move_to_end(seed)
+                out[position] = row
+                self.hits += 1
+        if miss_positions:
+            self.misses += len(miss_positions)
+            miss_index = np.asarray(miss_positions, dtype=np.intp)
+            computed = _chunk_hashes(
+                family, seeds[miss_index], candidates, d_out
+            ).astype(np.uint32, copy=False)
+            out[miss_index] = computed
+            row_bytes = computed.dtype.itemsize * max(1, n_candidates)
+            if row_bytes <= self.byte_budget:
+                for offset, position in enumerate(miss_positions):
+                    self._rows[int(seeds[position])] = computed[offset].copy()
+                    self._bytes += row_bytes
+                while self._bytes > self.byte_budget and self._rows:
+                    self._rows.popitem(last=False)
+                    self._bytes -= row_bytes
+                    self.evictions += 1
+        return out
 
 
 def _grouping_plausible(
@@ -260,8 +429,9 @@ def support_counts_kernel(
     reported: np.ndarray,
     candidates: np.ndarray,
     d_out: int,
-    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    chunk_bytes: Optional[int] = None,
     plan: Optional[KernelPlan] = None,
+    seed_cache: Optional[SeedRowCache] = None,
 ) -> np.ndarray:
     """Count, per candidate, the reports whose hash of it matches.
 
@@ -269,7 +439,16 @@ def support_counts_kernel(
     report ``i``'s hash function, ``reported[i]`` its (perturbed) hashed
     value in ``[0, d_out)``, and ``candidates`` the domain values to score.
     Returns an int64 count vector aligned with ``candidates`` —
-    bit-identical for any ``chunk_bytes`` and on every execution path.
+    bit-identical for any ``chunk_bytes``, with or without a cache, and
+    on every execution path.  ``chunk_bytes=None`` means the calibrated
+    process-wide budget (:func:`active_chunk_bytes`).
+
+    ``seed_cache`` serves/collects per-seed hash rows across calls; it
+    only engages on the unique-seed path (whose gather never mutates its
+    hash chunk) for uint32-comparable domains, and it steers planning
+    toward that path (``prefer_unique``) so first-sight seeds populate
+    rows for later flushes.  The caller owns keeping the candidate set
+    fixed per cache (see :class:`SeedRowCache`).
 
     ``plan`` overrides the automatic :func:`plan_support_counts` choice
     (used by tests to force an orientation; the unique-seed path can only
@@ -285,20 +464,30 @@ def support_counts_kernel(
     if n == 0 or n_candidates == 0:
         return counts
 
+    use_cache = (
+        seed_cache is not None
+        and plan is None
+        and family.seed_space <= _UNIQUE_SEED_SPACE
+        and d_out <= _UNIQUE_SEED_SPACE
+    )
     unique_seeds = inverse = None
     if plan is None:
         n_unique = None
-        if _grouping_plausible(family, n, n_candidates):
+        if use_cache or _grouping_plausible(family, n, n_candidates):
             unique_seeds, inverse = np.unique(seeds, return_inverse=True)
             n_unique = len(unique_seeds)
         plan = plan_support_counts(
-            n, n_candidates, d_out, chunk_bytes, n_unique=n_unique
+            n, n_candidates, d_out, chunk_bytes, n_unique=n_unique,
+            prefer_unique=use_cache,
         )
 
     compare_dtype = np.uint32 if d_out <= _UNIQUE_SEED_SPACE else np.int64
     reported_cmp = reported.astype(compare_dtype, copy=False)
 
     if plan.orientation == "unique" and unique_seeds is not None:
+        cache = seed_cache if use_cache else None
+        if cache is not None:
+            cache.ensure(family, d_out, n_candidates)
         # Multiplicity table: weights[s, y] = #reports with (seed s, value y).
         weights = np.bincount(
             inverse.reshape(-1).astype(np.int64) * d_out
@@ -307,9 +496,14 @@ def support_counts_kernel(
         ).reshape(plan.n_unique, d_out)
         for start, stop in chunk_spans(plan.n_unique, plan.chunk):
             # The uint32 chunk doubles as the gather index — no int64 copy.
-            hashes = _chunk_hashes(
-                family, unique_seeds[start:stop], candidates, d_out
-            )
+            if cache is not None:
+                hashes = cache.rows(
+                    family, unique_seeds[start:stop], candidates, d_out
+                )
+            else:
+                hashes = _chunk_hashes(
+                    family, unique_seeds[start:stop], candidates, d_out
+                )
             counts += np.take_along_axis(
                 weights[start:stop], hashes, axis=1
             ).sum(axis=0)

@@ -224,6 +224,25 @@ class SqliteStateStore(StateStore):
     def close(self) -> None:
         self._conn.close()
 
+    # -- advisory tuning ---------------------------------------------------
+
+    def record_tuning(self, name: str, payload: dict) -> None:
+        """Tuning records live as ``tuning:<name>`` JSON rows in ``meta``.
+
+        Deliberately outside the write-ahead protocol: a single
+        autocommit upsert, allowed before ``begin_run`` (calibration
+        typically runs while the deployment is being planned) and freely
+        overwritten on recalibration.
+        """
+        self._conn.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+            (f"tuning:{name}", json.dumps(payload)),
+        )
+
+    def load_tuning(self, name: str):
+        value = self._meta(f"tuning:{name}")
+        return None if value is None else json.loads(value)
+
     # -- protocol ----------------------------------------------------------
 
     def has_run(self) -> bool:

@@ -71,7 +71,8 @@ from .pipeline import (
     oracle_from_plan,
     release_entropy,
 )
-from .sharded import FOLD_BACKENDS, ShardedPipeline
+from .sharded import FOLD_BACKENDS, TRANSPORTS, ShardedPipeline
+from .shm import SegmentLease, SharedMemoryPool, attach_segment
 
 __all__ = [
     "BACKEND_NAMES",
@@ -86,12 +87,16 @@ __all__ = [
     "PlainShuffleBackend",
     "PrivacyAccountant",
     "ReportBuffer",
+    "SegmentLease",
     "SequentialShuffleBackend",
     "ShardedPipeline",
+    "SharedMemoryPool",
     "ShuffleBackend",
     "StreamConfig",
     "StreamResult",
+    "TRANSPORTS",
     "TelemetryPipeline",
+    "attach_segment",
     "check_replay_support",
     "epoch_release_epsilon",
     "flush_release_epsilon",

@@ -30,7 +30,11 @@ retains a reference into a caller's submission.  Callers may therefore
 reuse or mutate their upload buffers immediately after :meth:`submit`
 returns, flushed batches can outlive (or cross process boundaries ahead
 of) the arrays they were carved from, and a short epoch-end remainder
-never pins a large merged submission in memory.
+never pins a large merged submission in memory.  This owned copy is also
+the *last* copy a flush pays on the zero-copy release path: the sharded
+pipeline's shm transport writes ``batch.reports`` straight into a pooled
+shared-memory segment (:mod:`repro.service.shm`) that fold workers map
+read-only — no pickle, no per-hop reserialization.
 """
 
 from __future__ import annotations

@@ -653,8 +653,21 @@ class TelemetryPipeline(PipelinePersistenceMixin):
         backend: Optional[ShuffleBackend] = None,
         clock: Callable[[], float] = time.perf_counter,
         store: Optional[StateStore] = None,
+        chunk_bytes: Optional[int] = None,
+        seed_cache_bytes: int = 0,
         _snapshot: Optional[RunSnapshot] = None,
     ):
+        # Kernel tuning is execution layout, not deployment identity:
+        # deliberately constructor kwargs rather than StreamConfig fields,
+        # so persisted runs carry no tuning and resume may retune freely.
+        if chunk_bytes is not None and int(chunk_bytes) < 1:
+            raise ConfigError(
+                "chunk_bytes", f"must be >= 1, got {chunk_bytes}"
+            )
+        if int(seed_cache_bytes) < 0:
+            raise ConfigError(
+                "seed_cache_bytes", f"must be >= 0, got {seed_cache_bytes}"
+            )
         self.config = config
         self.rng = rng
         self.clock = clock
@@ -668,6 +681,9 @@ class TelemetryPipeline(PipelinePersistenceMixin):
                 int(word) for word in _snapshot.release_entropy
             )
         self.fo = oracle_from_plan(config.d, config.plan)
+        self.fo.configure_kernel(
+            chunk_bytes=chunk_bytes, seed_cache_bytes=seed_cache_bytes
+        )
         self.store = store if store is not None else MemoryStateStore()
         if self.store.durable:
             check_replay_support(config, self.fo)
@@ -710,6 +726,8 @@ class TelemetryPipeline(PipelinePersistenceMixin):
         store: StateStore,
         backend: Optional[ShuffleBackend] = None,
         clock: Callable[[], float] = time.perf_counter,
+        chunk_bytes: Optional[int] = None,
+        seed_cache_bytes: int = 0,
     ) -> "TelemetryPipeline":
         """Rebuild the run persisted in ``store`` and continue it.
 
@@ -734,6 +752,8 @@ class TelemetryPipeline(PipelinePersistenceMixin):
             backend=backend,
             clock=clock,
             store=store,
+            chunk_bytes=chunk_bytes,
+            seed_cache_bytes=seed_cache_bytes,
             _snapshot=snapshot,
         )
 

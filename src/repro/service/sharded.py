@@ -38,10 +38,26 @@ and to ``TelemetryPipeline`` at the same seed):
   :meth:`~repro.service.aggregator.IncrementalAggregator.merge` are
   exact below ``2**53`` reports — grouping by shard cannot change a bit.
 
-The process path is why flush batches must *own* their memory
-(``FlushBatch.reports.base is None``): a view into a caller's upload
-buffer could neither be pickled to a worker safely nor survive the
-caller reusing the buffer while the fold is still in flight.
+Shard traffic is **zero-copy by default** (``transport="shm"``): the
+parent writes each admitted batch's encoded reports into a pooled
+``multiprocessing.shared_memory`` segment
+(:class:`~repro.service.shm.SharedMemoryPool`) and ships only the
+segment name; the worker maps the segment, folds straight out of a
+read-only view, and the parent returns the lease to the pool when
+:meth:`~ShardedPipeline.drain` collects the counts.  Because
+:class:`~repro.service.buffer.FlushBatch` already owns its memory
+(``reports.base is None``), that pool write is the *only* copy a flush
+pays between carving and the worker's fold — no pickle serialization,
+no pipe traversal.  ``transport="pickle"`` keeps the legacy
+pickle-over-pipe path (bit-identical, just slower), and the pipeline
+falls back to it automatically when the oracle's ordinal codec is not
+the int64 fast path (object-dtype reports cannot live in flat shared
+memory).  The pool is owned solely by the parent: workers attach
+without resource-tracker registration
+(:func:`~repro.service.shm.attach_segment`), so a worker killed
+mid-fold can neither unlink a live segment nor leak one —
+:meth:`~ShardedPipeline.close` unlinks every segment the pool ever
+created, even those a dead worker never finished with.
 
 Restrictions in ``fold_backend="process"`` mode: the shuffle backend
 must be ``"plain"`` (the crypto backends draw from one shared
@@ -78,25 +94,41 @@ from .pipeline import (
     oracle_from_plan,
     release_entropy,
 )
+from .shm import SharedMemoryPool, attach_segment
 
 #: fold-execution backends of :class:`ShardedPipeline`
 FOLD_BACKENDS = ("serial", "process")
+
+#: how process folds receive their report payloads
+TRANSPORTS = ("shm", "pickle")
 
 #: per-process (oracle, shuffle backend) pair built by the pool initializer
 _WORKER_STATE = None
 
 
-def _init_fold_worker(d: int, plan, backend_name: str, r: int) -> None:
+def _init_fold_worker(
+    d: int,
+    plan,
+    backend_name: str,
+    r: int,
+    chunk_bytes: Optional[int] = None,
+    seed_cache_bytes: int = 0,
+) -> None:
     """Build one fold worker's oracle and backend (spawn-safe, runs once).
 
     Workers receive only picklable specs — the domain size, the
-    :class:`~repro.core.params.PeosPlan`, and backend parameters — and
-    rebuild the oracle through the same
+    :class:`~repro.core.params.PeosPlan`, backend parameters, and the
+    kernel tuning knobs — and rebuild the oracle through the same
     :func:`~repro.service.pipeline.oracle_from_plan` registry path the
-    parent used, so both sides hold identical estimators.
+    parent used, so both sides hold identical estimators.  Each worker
+    owns its own seed-row cache (caches are per-process working sets,
+    never shared or persisted).
     """
     global _WORKER_STATE
     fo = oracle_from_plan(d, plan)
+    fo.configure_kernel(
+        chunk_bytes=chunk_bytes, seed_cache_bytes=seed_cache_bytes
+    )
     backend = make_backend(backend_name, r=r)
     backend.prepare(fo, np.random.default_rng(0))
     _WORKER_STATE = (fo, backend)
@@ -107,18 +139,77 @@ def _worker_ready() -> bool:
     return _WORKER_STATE is not None
 
 
-def _fold_block(sequence: int, reports: np.ndarray, n_fake: int, entropy: tuple):
-    """Release one flush batch in a worker; return its folded counts.
+def _fold_payload(
+    fo, backend, sequence: int, reports: np.ndarray, n_fake: int, entropy: tuple
+):
+    """The shared fold body: shuffle, decode, count, meter the cache.
 
-    The parent already charged the accountant; this is pure computation:
-    shuffle (fake injection + permutation) under the flush's own stream,
-    decode, and count.  Returns ``(support_counts, elapsed_seconds)``.
+    The parent already charged the accountant; this is pure computation
+    under the flush's own sequence-keyed stream.  Returns
+    ``(support_counts, elapsed_seconds, (cache_hit_delta,
+    cache_lookup_delta))`` — deltas, not totals, because one long-lived
+    worker folds batches for many shards and the parent sums per-fold.
     """
-    fo, backend = _WORKER_STATE
+    cache = fo.seed_cache
+    hits_before = cache.hits if cache is not None else 0
+    lookups_before = cache.lookups if cache is not None else 0
     started = time.perf_counter()
     shuffled = backend.shuffle(reports, n_fake, fo, flush_rng(entropy, sequence))
     counts = fo.support_counts(fo.decode_reports(shuffled))
-    return counts, time.perf_counter() - started
+    elapsed = time.perf_counter() - started
+    if cache is not None:
+        cache_delta = (
+            cache.hits - hits_before, cache.lookups - lookups_before
+        )
+    else:
+        cache_delta = (0, 0)
+    return counts, elapsed, cache_delta
+
+
+def _fold_block(sequence: int, reports: np.ndarray, n_fake: int, entropy: tuple):
+    """Release one pickled flush batch in a worker (legacy transport)."""
+    fo, backend = _WORKER_STATE
+    return _fold_payload(fo, backend, sequence, reports, n_fake, entropy)
+
+
+def _fold_block_shm(
+    sequence: int,
+    segment_name: str,
+    n_reports: int,
+    n_fake: int,
+    entropy: tuple,
+):
+    """Release one flush batch straight out of a shared-memory segment.
+
+    The worker maps the parent's segment read-only and folds in place;
+    the first allocation the reports see worker-side is the shuffle's
+    own concat.  The view must die before the mapping closes
+    (``BufferError`` otherwise), and the attach never registers with the
+    worker's resource tracker — the parent's pool is the sole owner, so
+    this worker dying (even SIGKILL mid-fold) cannot unlink or leak the
+    segment.
+    """
+    fo, backend = _WORKER_STATE
+    segment = attach_segment(segment_name)
+    try:
+        reports = np.frombuffer(
+            segment.buf, dtype=np.int64, count=n_reports
+        )
+        reports.setflags(write=False)
+        try:
+            return _fold_payload(
+                fo, backend, sequence, reports, n_fake, entropy
+            )
+        finally:
+            del reports
+    finally:
+        try:
+            segment.close()
+        except BufferError:
+            # A propagating fold error pins the view in its traceback
+            # frame; never let the unmap mask that error.  The parent's
+            # pool still unlinks the segment at close().
+            pass
 
 
 class ShardedPipeline(PipelinePersistenceMixin):
@@ -149,6 +240,9 @@ class ShardedPipeline(PipelinePersistenceMixin):
         backend: Optional[ShuffleBackend] = None,
         clock=time.perf_counter,
         store: Optional[StateStore] = None,
+        transport: str = "shm",
+        chunk_bytes: Optional[int] = None,
+        seed_cache_bytes: int = 0,
         _snapshot: Optional[RunSnapshot] = None,
     ):
         if n_shards < 1:
@@ -161,6 +255,20 @@ class ShardedPipeline(PipelinePersistenceMixin):
             )
         if workers is not None and workers < 1:
             raise ConfigError("workers", f"must be >= 1, got {workers}")
+        if transport not in TRANSPORTS:
+            raise ConfigError(
+                "transport",
+                f"unknown fold transport {transport!r} "
+                f"(registered: {', '.join(TRANSPORTS)})",
+            )
+        if chunk_bytes is not None and int(chunk_bytes) < 1:
+            raise ConfigError(
+                "chunk_bytes", f"must be >= 1, got {chunk_bytes}"
+            )
+        if int(seed_cache_bytes) < 0:
+            raise ConfigError(
+                "seed_cache_bytes", f"must be >= 0, got {seed_cache_bytes}"
+            )
         if fold_backend == "process":
             if config.backend != "plain":
                 raise ConfigError(
@@ -188,6 +296,9 @@ class ShardedPipeline(PipelinePersistenceMixin):
         self.clock = clock
         self.n_shards = int(n_shards)
         self.fold_backend = fold_backend
+        self.transport = transport
+        self.chunk_bytes = None if chunk_bytes is None else int(chunk_bytes)
+        self.seed_cache_bytes = int(seed_cache_bytes)
         if _snapshot is None:
             # Drawn first, before any other use of rng (see release_entropy)
             # — the same order TelemetryPipeline follows, which is what makes
@@ -201,6 +312,20 @@ class ShardedPipeline(PipelinePersistenceMixin):
                 int(word) for word in _snapshot.release_entropy
             )
         self.fo = oracle_from_plan(config.d, config.plan)
+        self.fo.configure_kernel(
+            chunk_bytes=self.chunk_bytes,
+            seed_cache_bytes=self.seed_cache_bytes,
+        )
+        # Shared memory carries flat int64 buffers only; the object-dtype
+        # ordinal fallback (report spaces past 2^62) keeps the pickle
+        # transport, bit-identically.
+        self._use_shm = (
+            self.transport == "shm" and self.fo.ordinal_codec.fast
+        )
+        self._shm_pool: Optional[SharedMemoryPool] = None
+        self._bytes_moved = 0
+        self._worker_cache_hits = 0
+        self._worker_cache_lookups = 0
         self.store = store if store is not None else MemoryStateStore()
         if self.store.durable:
             check_replay_support(config, self.fo)
@@ -222,7 +347,8 @@ class ShardedPipeline(PipelinePersistenceMixin):
         self.backend.prepare(self.fo, rng)
         self._requested_workers = workers
         self._executor: Optional[ProcessPoolExecutor] = None
-        #: outstanding process folds: (future, shard index, batch)
+        #: outstanding process folds:
+        #: (future, shard index, batch, shm lease or None)
         self._pending: List[tuple] = []
         self.epoch_reports: List[EpochReport] = []
         self.rejections: List[FlushRejection] = []
@@ -252,13 +378,20 @@ class ShardedPipeline(PipelinePersistenceMixin):
         workers: Optional[int] = None,
         backend: Optional[ShuffleBackend] = None,
         clock=time.perf_counter,
+        transport: str = "shm",
+        chunk_bytes: Optional[int] = None,
+        seed_cache_bytes: int = 0,
     ) -> "ShardedPipeline":
         """Rebuild the run persisted in ``store`` and continue it sharded.
 
         Same recovery invariants as
         :meth:`~repro.service.pipeline.TelemetryPipeline.resume`; the
-        execution layout (``n_shards``, ``fold_backend``, ``workers``)
-        is chosen fresh — it never affects estimates.
+        execution layout (``n_shards``, ``fold_backend``, ``workers``,
+        ``transport``, and the kernel tuning knobs) is chosen fresh — it
+        never affects estimates, and a seed-row cache in particular is a
+        process-local working set that is rebuilt from scratch, never
+        persisted (so it can never be stale relative to the recovered
+        run).
         """
         snapshot = store.load_run()
         rng = generator_from_state(snapshot.rng_state)
@@ -271,6 +404,9 @@ class ShardedPipeline(PipelinePersistenceMixin):
             backend=backend,
             clock=clock,
             store=store,
+            transport=transport,
+            chunk_bytes=chunk_bytes,
+            seed_cache_bytes=seed_cache_bytes,
             _snapshot=snapshot,
         )
 
@@ -294,9 +430,16 @@ class ShardedPipeline(PipelinePersistenceMixin):
                     self.config.plan,
                     self.config.backend,
                     self.config.r,
+                    self.chunk_bytes,
+                    self.seed_cache_bytes,
                 ),
             )
         return self._executor
+
+    def _pool(self) -> SharedMemoryPool:
+        if self._shm_pool is None:
+            self._shm_pool = SharedMemoryPool()
+        return self._shm_pool
 
     def warmup(self) -> None:
         """Spawn and initialize the fold workers before the first flush.
@@ -313,17 +456,30 @@ class ShardedPipeline(PipelinePersistenceMixin):
             future.result()
 
     def close(self) -> None:
-        """Collect outstanding folds and shut the worker pool down.
+        """Collect outstanding folds, shut the pool down, unlink all shm.
 
-        The pool is shut down even when collecting a fold fails — a dead
-        worker must not leak the surviving processes.
+        Exception-safe by construction: each cleanup stage runs even
+        when the previous one fails.  A worker killed mid-fold makes
+        :meth:`drain` raise (the charged flushes must not silently
+        vanish), but the executor is still shut down — a dead worker
+        must not leak the surviving processes — and the shared-memory
+        pool still unlinks every segment it ever created, including
+        those whose leases the dead worker orphaned, so nothing survives
+        in ``/dev/shm`` and the resource tracker never stalls on
+        segments nobody owns.  The executor stops first: no worker can
+        be attaching a segment while it is being unlinked.
         """
         try:
             self.drain()
         finally:
-            if self._executor is not None:
-                self._executor.shutdown()
-                self._executor = None
+            try:
+                if self._executor is not None:
+                    self._executor.shutdown()
+                    self._executor = None
+            finally:
+                if self._shm_pool is not None:
+                    self._shm_pool.close()
+                    self._shm_pool = None
 
     def __enter__(self) -> "ShardedPipeline":
         return self
@@ -397,6 +553,27 @@ class ShardedPipeline(PipelinePersistenceMixin):
         them."""
         shard = batch.sequence % self.n_shards
         if self.fold_backend == "process":
+            # An all-fake empty batch has no payload to ship; POSIX shm
+            # segments cannot be zero-sized, so it rides the pickle path.
+            if self._use_shm and batch.n_reports > 0:
+                lease = self._pool().acquire(batch.reports.nbytes)
+                window = np.frombuffer(
+                    lease.shm.buf, dtype=np.int64, count=batch.n_reports
+                )
+                window[:] = batch.reports
+                del window  # views must die before the segment can close
+                self._bytes_moved += batch.reports.nbytes
+                future = self._ensure_executor().submit(
+                    _fold_block_shm,
+                    batch.sequence,
+                    lease.name,
+                    batch.n_reports,
+                    batch.n_fake,
+                    self.release_entropy,
+                )
+                self._pending.append((future, shard, batch, lease))
+                return
+            self._bytes_moved += batch.reports.nbytes
             future = self._ensure_executor().submit(
                 _fold_block,
                 batch.sequence,
@@ -404,7 +581,7 @@ class ShardedPipeline(PipelinePersistenceMixin):
                 batch.n_fake,
                 self.release_entropy,
             )
-            self._pending.append((future, shard, batch))
+            self._pending.append((future, shard, batch, None))
             return
         started = self.clock()
         shuffled = self.backend.shuffle(
@@ -446,9 +623,17 @@ class ShardedPipeline(PipelinePersistenceMixin):
         """
         collected = 0
         while self._pending:
-            future, shard, batch = self._pending[0]
-            counts, elapsed = future.result()  # re-raises a worker failure
+            future, shard, batch, lease = self._pending[0]
+            counts, elapsed, cache_delta = (
+                future.result()  # re-raises a worker failure
+            )
             self._pending.pop(0)
+            if lease is not None:
+                # The worker is done with the segment; back to the pool
+                # for the next flush.
+                lease.release()
+            self._worker_cache_hits += cache_delta[0]
+            self._worker_cache_lookups += cache_delta[1]
             self.shards[shard].fold_counts(
                 counts, batch.n_reports, batch.n_fake
             )
@@ -456,6 +641,44 @@ class ShardedPipeline(PipelinePersistenceMixin):
             self._epoch_latency += elapsed
             collected += 1
         return collected
+
+    # -- observability -----------------------------------------------------
+
+    def transport_stats(self) -> dict:
+        """How fold payloads moved: transport, bytes, shm high-water mark.
+
+        ``transport`` is the *effective* transport (``"shm"`` degrades
+        to ``"pickle"`` for object-dtype codecs), ``bytes_moved`` the
+        total report payload shipped to workers on either transport, and
+        ``shm_peak_bytes`` the pool's peak allocated segment bytes
+        (0 until the first shm fold).
+        """
+        pool = self._shm_pool
+        return {
+            "transport": "shm" if self._use_shm else "pickle",
+            "bytes_moved": self._bytes_moved,
+            "shm_peak_bytes": pool.peak_bytes if pool is not None else 0,
+        }
+
+    def seed_cache_stats(self) -> dict:
+        """Aggregate seed-row-cache effectiveness across every fold site.
+
+        Sums the parent oracle's cache (serial folds) with the per-fold
+        deltas the process workers report back through :meth:`drain`.
+        All zeros when ``seed_cache_bytes=0``.
+        """
+        cache = self.fo.seed_cache
+        hits = self._worker_cache_hits + (
+            cache.hits if cache is not None else 0
+        )
+        lookups = self._worker_cache_lookups + (
+            cache.lookups if cache is not None else 0
+        )
+        return {
+            "hits": hits,
+            "lookups": lookups,
+            "hit_rate": hits / lookups if lookups else 0.0,
+        }
 
     # -- results -----------------------------------------------------------
 

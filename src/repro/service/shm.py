@@ -1,0 +1,239 @@
+"""Pooled shared-memory segments for zero-copy shard traffic.
+
+Process folding ships each carved flush's encoded reports to a worker.
+Pickling them costs a serialize-copy in the parent, a pipe write, a pipe
+read, and a deserialize-copy in the worker — four traversals of a buffer
+the parent already owns.  :class:`SharedMemoryPool` replaces that with
+one write into a pooled ``multiprocessing.shared_memory`` segment: the
+parent copies the batch in (the only copy), the worker maps the segment
+and reads the reports in place, and the segment returns to the pool for
+the next flush.
+
+Two CPython sharp edges shape the implementation:
+
+* **Resource-tracker double-unlink.**  Before 3.13 (``track=False``),
+  *every* ``SharedMemory`` attach registers the segment with the
+  attaching process's resource tracker — so a fold worker that dies (or
+  simply exits at pool shutdown) would have its tracker unlink segments
+  the parent still owns, tearing memory out from under in-flight folds
+  and spraying "leaked shared_memory" warnings.  :func:`attach_segment`
+  suppresses the registration on attach: the *pool* (in the parent) is
+  the single owner, and its :meth:`~SharedMemoryPool.close` is the
+  single unlink site.
+* **``BufferError`` on close.**  A ``memoryview``-backed numpy array
+  keeps the mapping pinned; closing a segment while a view is alive
+  raises.  Every consumer therefore drops its views before ``close()``
+  (the fold worker does this in a ``finally``), and the pool's own
+  bookkeeping never holds views.
+
+Ownership protocol: :meth:`SharedMemoryPool.acquire` hands out a
+ref-counted :class:`SegmentLease` (count 1).  Holders ``retain()`` /
+``release()``; at zero the segment goes back to the pool's free list
+for reuse.  The pool remembers every segment it ever created —
+including ones still leased — so ``close()`` unlinks them all even when
+a worker crash means a lease is never released.  Nothing survives in
+``/dev/shm`` after ``close()``.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Optional
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "SegmentLease",
+    "SharedMemoryPool",
+    "attach_segment",
+    "leaked_segments",
+]
+
+#: every pool segment's name starts with this — the CI leak check and the
+#: worker-kill regression test scan ``/dev/shm`` for it
+SEGMENT_PREFIX = "repro_shm"
+
+#: smallest segment the pool allocates; rounding small batches up to one
+#: size class makes leases reusable across uneven flush sizes
+_MIN_SEGMENT_BYTES = 1 << 12
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment *without* resource-tracker registration.
+
+    Python 3.13+ supports this directly (``track=False``); earlier
+    versions unconditionally register on attach, so the registration is
+    suppressed by stubbing ``resource_tracker.register`` for the duration
+    of the constructor call.  The stub is process-local and reentrant-safe
+    here: fold workers attach segments one at a time from their single
+    task thread.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass  # pre-3.13: no track parameter
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def leaked_segments() -> List[str]:
+    """Names of pool segments currently visible in ``/dev/shm``.
+
+    Empty on platforms without a scannable ``/dev/shm`` (the leak
+    regression test skips there).
+    """
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:
+        return []
+    return sorted(e for e in entries if e.startswith(SEGMENT_PREFIX))
+
+
+def _size_class(nbytes: int) -> int:
+    """Round a payload size up to the pool's allocation granularity."""
+    size = max(int(nbytes), _MIN_SEGMENT_BYTES)
+    return 1 << (size - 1).bit_length()
+
+
+class SegmentLease:
+    """A ref-counted hold on one pooled segment.
+
+    ``shm.buf[:nbytes]`` is the payload window the holder asked for; the
+    underlying segment may be larger (size-class rounding).  The lease is
+    created held once; ``release()`` past zero is a no-op, so a cleanup
+    path that races normal collection cannot double-free.
+    """
+
+    __slots__ = ("_pool", "shm", "nbytes", "_refs")
+
+    def __init__(self, pool: "SharedMemoryPool", shm, nbytes: int):
+        self._pool = pool
+        self.shm = shm
+        self.nbytes = int(nbytes)
+        self._refs = 1
+
+    @property
+    def name(self) -> str:
+        """The segment name a worker passes to :func:`attach_segment`."""
+        return self.shm.name
+
+    @property
+    def refs(self) -> int:
+        return self._refs
+
+    def retain(self) -> "SegmentLease":
+        if self._refs <= 0:
+            raise ValueError(f"lease on {self.shm.name} already released")
+        self._refs += 1
+        return self
+
+    def release(self) -> None:
+        if self._refs <= 0:
+            return
+        self._refs -= 1
+        if self._refs == 0:
+            self._pool._reclaim(self)
+
+
+class SharedMemoryPool:
+    """Create, lease, reuse, and reliably unlink shared-memory segments.
+
+    Single-owner discipline: one pool lives in the pipeline parent; fold
+    workers only ever *attach* (see :func:`attach_segment`) and never
+    create or unlink.  Segment names embed the parent pid plus a random
+    token, so concurrent pipelines on one host cannot collide.
+    """
+
+    def __init__(self) -> None:
+        self._prefix = (
+            f"{SEGMENT_PREFIX}_{os.getpid()}_{secrets.token_hex(4)}"
+        )
+        self._counter = 0
+        #: every segment ever created, by name — the close() unlink set
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        #: segments with no outstanding lease, largest last
+        self._free: List[shared_memory.SharedMemory] = []
+        self._closed = False
+        self.created_segments = 0
+        self.total_bytes = 0
+        #: high-water mark of total allocated segment bytes — the
+        #: ``shm_peak_bytes`` the throughput bench records
+        self.peak_bytes = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def leased_count(self) -> int:
+        return len(self._segments) - len(self._free)
+
+    def acquire(self, nbytes: int) -> SegmentLease:
+        """Lease a segment with at least ``nbytes`` of payload room."""
+        if self._closed:
+            raise ValueError("shared-memory pool is closed")
+        if nbytes < 1:
+            raise ValueError(f"segment payload must be >= 1 byte, got {nbytes}")
+        needed = _size_class(nbytes)
+        for index, segment in enumerate(self._free):
+            if segment.size >= needed:
+                del self._free[index]
+                return SegmentLease(self, segment, nbytes)
+        name = f"{self._prefix}_{self._counter}"
+        self._counter += 1
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=needed
+        )
+        self._segments[segment.name] = segment
+        self.created_segments += 1
+        self.total_bytes += segment.size
+        self.peak_bytes = max(self.peak_bytes, self.total_bytes)
+        return SegmentLease(self, segment, nbytes)
+
+    def _reclaim(self, lease: SegmentLease) -> None:
+        if self._closed or lease.shm.name not in self._segments:
+            # A lease released after close(): the segment is already
+            # unlinked; nothing to return.
+            return
+        self._free.append(lease.shm)
+        self._free.sort(key=lambda segment: segment.size)
+
+    def close(self) -> None:
+        """Close and unlink every segment this pool ever created.
+
+        Covers leased segments too: a worker killed mid-fold leaves its
+        lease unreleased forever, and the parent must still be able to
+        guarantee an empty ``/dev/shm``.  Best-effort per segment — one
+        failed unmap must not leak the rest — with the first failure
+        re-raised once everything has been attempted.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        first_failure: Optional[BaseException] = None
+        for segment in self._segments.values():
+            try:
+                segment.close()
+            except BaseException as failure:  # pragma: no cover - defensive
+                first_failure = first_failure or failure
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass  # already gone (e.g. an external cleanup raced us)
+            except BaseException as failure:  # pragma: no cover - defensive
+                first_failure = first_failure or failure
+        self._segments.clear()
+        self._free.clear()
+        if first_failure is not None:  # pragma: no cover - defensive
+            raise first_failure
+
+    def __enter__(self) -> "SharedMemoryPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

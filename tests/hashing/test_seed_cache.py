@@ -1,0 +1,222 @@
+"""SeedRowCache: LRU accounting, identity invalidation, bit-transparent
+integration with the kernel, the oracle, and pipeline resume."""
+
+import numpy as np
+import pytest
+
+from repro.frequency_oracles import OLH
+from repro.hashing import (
+    CarterWegmanHashFamily,
+    SeedRowCache,
+    XXHash32Family,
+    support_counts_kernel,
+)
+from repro.persistence import MemoryStateStore
+from repro.service import ShardedPipeline, StreamConfig
+
+D = 16
+ROW_BYTES = 4 * D  # uint32 rows over the full arange(D) candidate set
+
+
+def _rows(cache, family, seeds, d_out=D):
+    candidates = np.arange(d_out)
+    cache.ensure(family, d_out, len(candidates))
+    return cache.rows(family, np.asarray(seeds, dtype=np.int64),
+                      candidates, d_out)
+
+
+class TestLRUEviction:
+    def test_budget_caps_rows_and_evicts_oldest(self):
+        family = XXHash32Family()
+        cache = SeedRowCache(3 * ROW_BYTES)
+        _rows(cache, family, [1, 2, 3])
+        assert cache.cached_seeds() == (1, 2, 3)
+        assert cache.nbytes == 3 * ROW_BYTES
+        _rows(cache, family, [4])  # over budget: seed 1 (oldest) goes
+        assert cache.cached_seeds() == (2, 3, 4)
+        assert cache.evictions == 1
+        assert cache.nbytes == 3 * ROW_BYTES
+
+    def test_hit_refreshes_recency(self):
+        family = XXHash32Family()
+        cache = SeedRowCache(3 * ROW_BYTES)
+        _rows(cache, family, [1, 2, 3])
+        _rows(cache, family, [1])  # 1 becomes most-recent
+        _rows(cache, family, [4])  # so 2, not 1, is evicted
+        assert cache.cached_seeds() == (3, 1, 4)
+        assert cache.hits == 1
+        assert cache.misses == 4
+
+    def test_budget_below_one_row_is_passthrough(self):
+        family = XXHash32Family()
+        cache = SeedRowCache(ROW_BYTES - 1)
+        out = _rows(cache, family, [1, 2])
+        assert out.shape == (2, D)
+        assert len(cache) == 0  # nothing inserted, nothing raised
+        assert cache.misses == 2
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            SeedRowCache(0)
+
+
+class TestBitTransparency:
+    def test_hit_rows_identical_to_recomputed(self, rng):
+        family = XXHash32Family()
+        cache = SeedRowCache(1 << 20)
+        seeds = family.sample_seeds(64, rng)
+        first = _rows(cache, family, seeds)
+        again = _rows(cache, family, seeds)  # pure hits
+        assert cache.hits == 64
+        assert again.tobytes() == first.tobytes()
+
+    def test_kernel_counts_identical_cache_on_off(self, rng):
+        family = XXHash32Family()
+        cache = SeedRowCache(1 << 20)
+        candidates = np.arange(D)
+        # Cross-flush: the second flush re-draws from the same seed pool,
+        # so the cached run serves a mix of hits and misses.
+        pool = family.sample_seeds(128, rng)
+        for __ in range(3):
+            take = rng.integers(0, len(pool), 400)
+            seeds = pool[take]
+            reported = rng.integers(0, 8, 400)
+            plain = support_counts_kernel(
+                family, seeds, reported, candidates, 8
+            )
+            cached = support_counts_kernel(
+                family, seeds, reported, candidates, 8, seed_cache=cache
+            )
+            assert cached.tobytes() == plain.tobytes()
+        assert cache.hits > 0
+
+    def test_explicit_plan_bypasses_cache(self, rng):
+        from repro.hashing import plan_support_counts
+
+        family = XXHash32Family()
+        cache = SeedRowCache(1 << 20)
+        seeds = family.sample_seeds(50, rng)
+        reported = rng.integers(0, 8, 50)
+        plan = plan_support_counts(50, D, 8)
+        support_counts_kernel(
+            family, seeds, reported, np.arange(D), 8,
+            plan=plan, seed_cache=cache,
+        )
+        assert cache.lookups == 0  # pinned plans opt out of cache steering
+
+
+class TestInvalidation:
+    def test_family_change_resets(self):
+        cache = SeedRowCache(1 << 20)
+        _rows(cache, XXHash32Family(), [1, 2])
+        _rows(cache, CarterWegmanHashFamily(), [1, 2])
+        assert cache.resets == 1
+        # The rows now cached belong to the new family only.
+        assert len(cache) == 2
+
+    def test_d_out_change_resets(self):
+        family = XXHash32Family()
+        cache = SeedRowCache(1 << 20)
+        _rows(cache, family, [1, 2], d_out=16)
+        _rows(cache, family, [1, 2], d_out=8)
+        assert cache.resets == 1
+        assert cache.misses == 4  # nothing survived as a hit
+
+    def test_same_identity_does_not_reset(self):
+        family = XXHash32Family()
+        cache = SeedRowCache(1 << 20)
+        _rows(cache, family, [1])
+        _rows(cache, family, [2])
+        assert cache.resets == 0
+
+
+class TestOracleIntegration:
+    def test_configure_kernel_builds_and_clears_cache(self):
+        fo = OLH(d=D, eps=1.0, family=XXHash32Family())
+        assert fo.seed_cache is None
+        fo.configure_kernel(seed_cache_bytes=1 << 16)
+        assert isinstance(fo.seed_cache, SeedRowCache)
+        fo.configure_kernel(seed_cache_bytes=0)
+        assert fo.seed_cache is None
+
+    def test_wide_seed_space_declines_cache(self):
+        # The default Carter-Wegman family draws 64-bit seeds: they never
+        # recur, so the cache stays off ("off outside the int64 fast path").
+        fo = OLH(d=D, eps=1.0)
+        fo.configure_kernel(seed_cache_bytes=1 << 20)
+        assert fo.seed_cache is None
+
+    def test_counts_identical_with_candidate_subsets(self, rng):
+        # Explicit candidate sets must not be served from the cache (its
+        # rows are only valid for the full-domain default), and results
+        # must stay identical either way.
+        fo_off = OLH(d=D, eps=1.0, family=XXHash32Family())
+        fo_on = OLH(d=D, eps=1.0, family=XXHash32Family())
+        fo_on.configure_kernel(seed_cache_bytes=1 << 20)
+        reports = fo_off.privatize(rng.integers(0, D, 300),
+                                   np.random.default_rng(3))
+        subset = np.array([1, 5, 11])
+        assert (
+            fo_on.support_counts(reports, candidates=subset).tobytes()
+            == fo_off.support_counts(reports, candidates=subset).tobytes()
+        )
+        assert fo_on.seed_cache.lookups == 0
+        # Full-domain folds do engage it, bit-identically.
+        assert (
+            fo_on.support_counts(reports).tobytes()
+            == fo_off.support_counts(reports).tobytes()
+        )
+        assert fo_on.seed_cache.lookups > 0
+
+    def test_repeat_folds_hit(self, rng):
+        fo = OLH(d=D, eps=1.0, family=XXHash32Family())
+        fo.configure_kernel(seed_cache_bytes=1 << 22)
+        reports = fo.privatize(rng.integers(0, D, 500),
+                               np.random.default_rng(3))
+        first = fo.support_counts(reports)
+        again = fo.support_counts(reports)
+        assert again.tobytes() == first.tobytes()
+        assert fo.seed_cache.hit_rate > 0.4  # second fold is all hits
+
+
+class TestPipelineResume:
+    """The cache is a process-local working set: resume rebuilds it from
+    scratch, so recovered runs can never see a stale row."""
+
+    def _epoch_values(self):
+        feed_rng = np.random.default_rng(99)
+        return [feed_rng.integers(0, D, 250) for __ in range(4)]
+
+    def _config(self):
+        return StreamConfig.from_targets(
+            d=D, flush_size=100, eps_targets=(1.0, 3.0, 6.0), delta=1e-9,
+            admitted_flushes=16,
+        )
+
+    def test_resume_with_cache_matches_uninterrupted_without(self):
+        epochs = self._epoch_values()
+        plain = ShardedPipeline(self._config(), np.random.default_rng(5))
+        for values in epochs:
+            plain.submit(values)
+            plain.end_epoch()
+        reference = plain.result()
+
+        store = MemoryStateStore()
+        interrupted = ShardedPipeline(
+            self._config(), np.random.default_rng(5), store=store,
+            seed_cache_bytes=1 << 22,
+        )
+        for values in epochs[:2]:
+            interrupted.submit(values)
+            interrupted.end_epoch()
+        # Abandon mid-run; resume from the store with the cache on again.
+        resumed = ShardedPipeline.resume(store, seed_cache_bytes=1 << 22)
+        assert resumed.fo.seed_cache is not None
+        assert len(resumed.fo.seed_cache) == 0  # rebuilt empty, not loaded
+        for values in epochs[2:]:
+            resumed.submit(values)
+            resumed.end_epoch()
+        result = resumed.result()
+        assert result.estimates.tobytes() == reference.estimates.tobytes()
+        assert result.eps_spent == reference.eps_spent
+        assert resumed.fo.seed_cache.lookups > 0  # cache really engaged
