@@ -1,0 +1,309 @@
+"""HTTP front-door ingest throughput: many clients, several epochs.
+
+Simulates a fleet of telemetry producers pushing batched reports into
+``repro.server`` over concurrent keep-alive connections: each client
+submits its share of every epoch through ``POST /api/reports``, the
+epoch is closed through ``POST /api/epochs``, and the released estimates
+are read back through the paginated ``GET /api/estimates`` cursor walk.
+Recorded in the shared ``repro.bench/1`` envelope: accepted reports/sec,
+p50/p99 ingest acknowledgment latency, and the HTTP 429 backpressure
+count (the bench retries a 429 after its ``Retry-After``, so every
+report is eventually accepted — backpressure sheds *load*, not data).
+
+**Identity gate.** Privatization consumes the ingest RNG in arrival
+order, so the server run is replayable: every 202 carries its
+``submit_seq``, and the bench replays the recorded batches in exactly
+that order into an in-process :class:`repro.service.ShardedPipeline`
+built from the server's own ``GET /api/config`` payload at the same
+seed. The per-epoch estimates served over HTTP must equal the replay's
+bit for bit (JSON float serialization is shortest-round-trip, so
+equality is exact); the bench raises otherwise.
+
+Two modes:
+
+* default — the bench starts an in-process server on a free port
+  (``ShuffleSession.serve(..., port=0)``);
+* ``REPRO_BENCH_SERVER_URL=host:port`` — drive an externally started
+  ``repro serve`` (the CI server-smoke job does this); the server must
+  be running with the same ``--seed`` as ``REPRO_BENCH_SEED``.
+
+Extra knobs: ``REPRO_BENCH_SERVER_CLIENTS`` (default 8, concurrent
+connections), ``REPRO_BENCH_SERVER_EPOCHS`` (default 3), and
+``REPRO_BENCH_SERVER_MAX_PENDING`` (default 32, the in-process server's
+ingest-queue bound). Standalone:
+``python benchmarks/bench_server_ingest.py --scale 0.1 --shards 2``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from repro.data import zipf_histogram
+from repro.data.synthetic import values_from_histogram
+from repro.persistence.records import config_from_dict
+from repro.server import ServerClient, fetch_all_estimates
+from repro.service import ShardedPipeline
+
+from bench_common import (
+    BenchResult,
+    bench_scale,
+    bench_seed,
+    bench_shards,
+    emit,
+    run_once,
+    standalone_main,
+)
+
+D = 64
+DELTA = 1e-9
+EPS_TARGETS = (1.0, 3.0, 6.0)
+ZIPF_EXPONENT = 1.3
+BATCH = 200
+BASE_BATCHES_PER_CLIENT = 40  # at scale 1.0
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, str(default)))
+
+
+def _client_batches(seed, cid, epoch, batches, d):
+    """One client's deterministic per-epoch workload (Zipf-shaped)."""
+    rng = np.random.default_rng((seed, 1000 + cid, epoch))
+    return [
+        values_from_histogram(
+            zipf_histogram(BATCH, d, ZIPF_EXPONENT, rng), rng
+        )
+        for __ in range(batches)
+    ]
+
+
+async def _submit_batches(client, value_batches, recorded, latencies, stats):
+    """Push one client's epoch share; 429s are retried, never dropped."""
+    for values in value_batches:
+        while True:
+            started = time.perf_counter()
+            response = await client.submit(values)
+            elapsed = time.perf_counter() - started
+            if response.status == 202:
+                latencies.append(elapsed)
+                recorded.append((response.body["submit_seq"], values))
+                break
+            if response.status == 429:
+                stats["n_429"] += 1
+                retry_after = response.retry_after() or 0.05
+                await asyncio.sleep(min(retry_after, 0.05))
+                continue
+            raise RuntimeError(
+                f"upload refused with HTTP {response.status}: "
+                f"{response.body}"
+            )
+
+
+async def _close_epoch(client, stats):
+    while True:
+        response = await client.request("POST", "/api/epochs")
+        if response.status == 200:
+            return response.body
+        if response.status == 429:
+            stats["n_429"] += 1
+            await asyncio.sleep(min(response.retry_after() or 0.05, 0.05))
+            continue
+        raise RuntimeError(
+            f"epoch close refused with HTTP {response.status}: "
+            f"{response.body}"
+        )
+
+
+async def _drive(host, port, n_clients, epochs, batches, seed):
+    """The load generator; returns measurements + the replay transcript."""
+    clients = [ServerClient(host, port) for __ in range(n_clients)]
+    for client in clients:
+        await client.connect()
+    try:
+        deployment = (await clients[0].config())["deployment"]
+        d = int(deployment["d"])
+        latencies: list = []
+        stats = {"n_429": 0}
+        epoch_batches: list = []  # [epoch][(seq, values)...]
+        started = time.perf_counter()
+        for epoch in range(epochs):
+            recorded: list = []
+            await asyncio.gather(*(
+                _submit_batches(
+                    client,
+                    _client_batches(seed, cid, epoch, batches, d),
+                    recorded, latencies, stats,
+                )
+                for cid, client in enumerate(clients)
+            ))
+            await _close_epoch(clients[0], stats)
+            recorded.sort(key=lambda pair: pair[0])
+            epoch_batches.append(recorded)
+        wall = time.perf_counter() - started
+        items = await fetch_all_estimates(clients[0])
+        health = await clients[0].health()
+    finally:
+        for client in clients:
+            await client.close()
+    return {
+        "deployment": deployment,
+        "latencies": latencies,
+        "n_429": stats["n_429"],
+        "epoch_batches": epoch_batches,
+        "wall_seconds": wall,
+        "items": items,
+        "health": health,
+    }
+
+
+def _replay_estimates(deployment, epoch_batches, seed, shards):
+    """The recorded ingest order, replayed into an in-process pipeline."""
+    config = config_from_dict(deployment)
+    with ShardedPipeline(
+        config, np.random.default_rng(seed),
+        n_shards=shards, fold_backend="serial",
+    ) as pipeline:
+        for recorded in epoch_batches:
+            for __, values in recorded:
+                pipeline.submit(values)
+            pipeline.end_epoch()
+        return {
+            int(epoch): [float(x) for x in estimates]
+            for epoch, estimates in pipeline.store.epoch_log()
+        }
+
+
+def _served_estimates(items) -> dict:
+    served: dict = {}
+    for item in items:
+        served.setdefault(int(item["epoch"]), []).append(
+            (int(item["index"]), float(item["estimate"]))
+        )
+    return {
+        epoch: [value for __, value in sorted(rows)]
+        for epoch, rows in served.items()
+    }
+
+
+def _experiment() -> BenchResult:
+    seed = bench_seed()
+    shards = bench_shards()
+    n_clients = _env_int("REPRO_BENCH_SERVER_CLIENTS", 8)
+    epochs = _env_int("REPRO_BENCH_SERVER_EPOCHS", 3)
+    max_pending = _env_int("REPRO_BENCH_SERVER_MAX_PENDING", 32)
+    batches = max(2, int(BASE_BATCHES_PER_CLIENT * bench_scale()))
+    epoch_size = n_clients * batches * BATCH
+    flush_size = max(200, epoch_size // 4)
+    external = os.environ.get("REPRO_BENCH_SERVER_URL")
+
+    async def run() -> dict:
+        if external:
+            split = urlsplit(
+                external if "//" in external else f"//{external}"
+            )
+            return await _drive(
+                split.hostname, split.port, n_clients, epochs, batches, seed
+            )
+        from repro.api import DeploymentConfig, PrivacyBudget, ShuffleSession
+
+        server = ShuffleSession(
+            DeploymentConfig(mechanism="auto", d=D),
+            PrivacyBudget(eps=EPS_TARGETS[0], delta=DELTA),
+        ).serve(
+            flush_size,
+            port=0,
+            max_pending=max_pending,
+            eps_targets=EPS_TARGETS,
+            epoch_size=epoch_size,
+            admitted_epochs=epochs,
+            shards=shards,
+            backend="serial",
+            seed=seed,
+        )
+        async with server:
+            return await _drive(
+                "127.0.0.1", server.port, n_clients, epochs, batches, seed
+            )
+
+    measured = asyncio.run(run())
+
+    served = _served_estimates(measured["items"])
+    replayed = _replay_estimates(
+        measured["deployment"], measured["epoch_batches"], seed, shards
+    )
+    identical = served == replayed
+
+    latencies = np.asarray(measured["latencies"], dtype=np.float64)
+    accepted_reports = sum(
+        len(values)
+        for recorded in measured["epoch_batches"]
+        for __, values in recorded
+    )
+    wall = measured["wall_seconds"]
+    rate = accepted_reports / wall if wall > 0 else None
+    p50 = float(np.percentile(latencies, 50)) if latencies.size else None
+    p99 = float(np.percentile(latencies, 99)) if latencies.size else None
+
+    extra = {
+        "mode": "external" if external else "in-process",
+        "d": int(measured["deployment"]["d"]),
+        "clients": n_clients,
+        "epochs": epochs,
+        "batches_per_client": batches,
+        "batch_size": BATCH,
+        "max_pending": max_pending,
+        "shards": shards,
+        "accepted_batches": len(latencies),
+        "accepted_reports": accepted_reports,
+        "ingest_wall_seconds": wall,
+        "reports_per_sec": rate,
+        "p50_latency_s": p50,
+        "p99_latency_s": p99,
+        "n_429": measured["n_429"],
+        "estimate_rows_served": len(measured["items"]),
+        "estimates_identical": bool(identical),
+        "health": measured["health"],
+    }
+
+    def fmt(value, spec) -> str:
+        return format(value, spec) if value is not None else "n/a"
+
+    table = (
+        f"HTTP ingest ({extra['mode']}): {n_clients} clients x "
+        f"{batches} batches x {BATCH} reports over {epochs} epoch(s), "
+        f"queue bound {max_pending}\n"
+        f"accepted          : {accepted_reports:,} reports in "
+        f"{len(latencies):,} batches ({wall:.2f}s wall)\n"
+        f"throughput        : {fmt(rate, ',.0f')} reports/s\n"
+        f"ack latency       : p50 {fmt(p50 and p50 * 1e3, '.2f')} ms, "
+        f"p99 {fmt(p99 and p99 * 1e3, '.2f')} ms\n"
+        f"backpressure      : {measured['n_429']} HTTP 429(s), every "
+        f"report retried until accepted\n"
+        f"served estimates  : {len(measured['items'])} rows over "
+        f"{len(served)} epoch(s)\n"
+        f"HTTP == in-process replay (same seed, seq order): "
+        f"{'yes' if identical else 'NO — IDENTITY VIOLATION'}"
+    )
+    if not identical:
+        raise AssertionError(
+            "estimates served over HTTP differ from the in-process "
+            "replay at the same seed:\n" + table
+        )
+    return BenchResult(table=table, extra=extra)
+
+
+def bench_server_ingest(benchmark):
+    """Measure HTTP ingest throughput and pin the replay identity."""
+    result = run_once(benchmark, _experiment)
+    emit("server_ingest", result)
+    assert result.extra["estimates_identical"]
+    assert result.extra["accepted_reports"] > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(standalone_main("server_ingest", _experiment))

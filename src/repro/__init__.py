@@ -28,6 +28,9 @@ Layout:
   cross-epoch budget accounting, pluggable shuffle backends, an
   incremental analyzer, and multi-process sharded folding
   (:class:`~repro.service.ShardedPipeline`).
+* :mod:`repro.server` — the stdlib-only async HTTP front door: batched
+  report ingestion with bounded-queue backpressure (429 +
+  ``Retry-After``) and the paginated estimate query API.
 
 Quick start — one session object covers one-shot, sweep, and streaming::
 
@@ -57,6 +60,24 @@ shards=4, backend="process")`` returns a
 spawn-safe process pool — estimates are bit-identical to the single-shard
 pipeline at the same seed, at any shard or worker count.
 
+Serving over the network — ``repro serve`` stands the same pipeline up
+behind HTTP (stdlib only; SIGTERM shuts it down cleanly, exit 0)::
+
+    repro serve --port 8000 --d 64 --flush-size 1000 \\
+        --epoch-size 4000 --budget-epochs 8 --state-db run.db
+    curl -s -X POST localhost:8000/api/reports -d '{"values": [3, 0, 7, 3]}'
+    curl -s -X POST localhost:8000/api/epochs
+    curl -s 'localhost:8000/api/estimates?limit=50&sort=-estimate'
+
+Uploads validate against the deployment's domain (400 names the bad
+field), a full ingest queue pushes back with 429 + ``Retry-After``, and
+``GET /api/estimates`` serves the released epoch log with
+limit/offset plus keyset-cursor pagination.  In code:
+``session.serve(flush_size, port=0, ...)`` returns an ``async with``-able
+:class:`~repro.server.TelemetryServer`; estimates ingested over HTTP are
+bit-identical to an in-process run fed the same arrival order at the
+same seed.
+
 The legacy entry points (direct oracle construction,
 ``analysis.run_sweep``, ``service.TelemetryPipeline``) remain supported
 and bit-identical; the facade is a thin validated wrapper over them.
@@ -65,7 +86,7 @@ and bit-identical; the facade is a thin validated wrapper over them.
 __version__ = "1.1.0"
 
 from . import analysis, api, core, costs, crypto, data, frequency_oracles
-from . import hashing, protocol, service, shuffle
+from . import hashing, protocol, server, service, shuffle
 from .api import (
     Amplification,
     ConfigError,
@@ -94,6 +115,7 @@ __all__ = [
     "frequency_oracles",
     "hashing",
     "protocol",
+    "server",
     "service",
     "shuffle",
 ]

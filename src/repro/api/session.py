@@ -403,6 +403,69 @@ class ShuffleSession:
             seed_cache_bytes=seed_cache_bytes,
         )
 
+    # -- serving -----------------------------------------------------------
+
+    def serve(
+        self,
+        flush_size: int,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        max_pending: int = 64,
+        max_body_bytes: Optional[int] = None,
+        retry_after_s: float = 1.0,
+        store=None,
+        **stream_options,
+    ):
+        """Wire the deployment behind an HTTP front door; returns the server.
+
+        Plans the same pipeline :meth:`stream` would (every keyword
+        :meth:`stream` takes is accepted and forwarded —
+        ``eps_targets``, ``epoch_size``/``admitted_epochs``, ``shards``,
+        ``backend``, ``transport``, ``seed``, ...) and wraps it in a
+        :class:`~repro.server.app.TelemetryServer` listening on
+        ``host:port`` (``port=0`` picks a free port, exposed as
+        ``server.port`` after start).  ``max_pending`` bounds the ingest
+        queue — the explicit backpressure limit behind HTTP 429 —
+        and ``max_body_bytes`` caps one upload (413 beyond it).
+
+        ``store`` may be a :class:`~repro.persistence.store.StateStore`
+        instance *or a zero-argument callable* building one; prefer the
+        callable for :class:`~repro.persistence.sqlite.SqliteStateStore`
+        — the factory runs on the server's single ingest thread, so the
+        SQLite connection is created by the thread that uses it.
+
+        The server is started from async code::
+
+            server = session.serve(1000, port=0, epoch_size=2000,
+                                   admitted_epochs=4,
+                                   store=lambda: SqliteStateStore(path))
+            async with server:
+                ...  # POST /api/reports, GET /api/estimates, ...
+
+        Misconfiguration raises :class:`~repro.core.errors.ConfigError`
+        naming the offending field — network knobs immediately, pipeline
+        knobs when ``start()`` builds the pipeline.
+        """
+        from ..server.app import ServerConfig, TelemetryServer
+        from ..server.http import MAX_BODY_BYTES
+
+        config = ServerConfig(
+            host=host,
+            port=port,
+            max_pending=max_pending,
+            max_body_bytes=(
+                MAX_BODY_BYTES if max_body_bytes is None else max_body_bytes
+            ),
+            retry_after_s=retry_after_s,
+        )
+
+        def pipeline_factory():
+            resolved = store() if callable(store) else store
+            return self.stream(flush_size, store=resolved, **stream_options)
+
+        return TelemetryServer(pipeline_factory, config)
+
     # -- shared helpers ----------------------------------------------------
 
     def _population_histogram(self, histogram, values) -> np.ndarray:

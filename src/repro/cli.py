@@ -14,6 +14,7 @@ figure without going through pytest — convenient for parameter sweeps:
     python -m repro stream --epochs 4 --epoch-size 2000 --d 32
     python -m repro stream --epochs 4 --epoch-size 20000 --shards 4 \
         --fold-backend process
+    python -m repro serve --port 8000 --max-pending 64 --state-db run.db
 
 The pipeline-shaped commands (``fig3``, ``table2``, ``stream``) are thin
 clients of the :mod:`repro.api` facade — the same ``ShuffleSession``
@@ -310,6 +311,21 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         else:
             print("  (no flush was admitted)")
 
+        # Transport / cache telemetry, so operators see PR-7 behavior
+        # without running benches. Serial pipelines have neither method.
+        transport_stats = getattr(pipeline, "transport_stats", None)
+        if transport_stats is not None:
+            stats = transport_stats()
+            print(f"\ntransport ({stats['transport']}): "
+                  f"{stats['bytes_moved']:,} payload bytes moved, "
+                  f"shm peak {stats['shm_peak_bytes']:,} bytes")
+        seed_cache_stats = getattr(pipeline, "seed_cache_stats", None)
+        if seed_cache_stats is not None:
+            stats = seed_cache_stats()
+            if stats["lookups"]:
+                print(f"seed cache: {stats['hits']:,}/{stats['lookups']:,} "
+                      f"row hits ({stats['hit_rate']:.1%})")
+
         if args.estimates_out:
             payload = {
                 "estimates": [float(x) for x in result.estimates],
@@ -330,6 +346,105 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             close()
         if store is not None:
             store.close()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core import InfeasiblePlanError
+
+    if args.flush_size < 1 or args.epoch_size < 1:
+        print("error: --flush-size and --epoch-size must be >= 1",
+              file=sys.stderr)
+        return 2
+    if args.budget_epochs < 1:
+        print("error: --budget-epochs must be >= 1", file=sys.stderr)
+        return 2
+    if args.chunk_bytes is not None and args.chunk_bytes != "auto":
+        try:
+            if int(args.chunk_bytes) < 1:
+                raise ValueError
+        except ValueError:
+            print("error: --chunk-bytes must be a positive byte count or "
+                  "'auto'", file=sys.stderr)
+            return 2
+    if args.seed_cache_bytes is not None and args.seed_cache_bytes < 0:
+        print("error: --seed-cache-bytes must be >= 0", file=sys.stderr)
+        return 2
+
+    store_factory = None
+    if args.state_db:
+        from repro.persistence import SqliteStateStore
+
+        state_db = args.state_db
+
+        def store_factory():
+            # Runs on the server's ingest thread, so the SQLite
+            # connection is owned by the thread that uses it.
+            return SqliteStateStore(state_db)
+
+    # ConfigError (bad --port/--max-pending/... with the field named)
+    # propagates to main()'s uniform exit 2.
+    server = _session(args, "auto", args.d).serve(
+        args.flush_size,
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        max_body_bytes=args.max_body_bytes,
+        retry_after_s=args.retry_after,
+        store=store_factory,
+        eps_targets=(args.eps1, args.eps2, args.eps3),
+        epoch_size=args.epoch_size,
+        admitted_epochs=args.budget_epochs,
+        shards=args.shards,
+        backend=args.fold_backend,
+        fold_workers=args.fold_workers,
+        transport="pickle" if args.no_shm else "shm",
+        chunk_bytes=args.chunk_bytes,
+        seed_cache_bytes=args.seed_cache_bytes or 0,
+        seed=args.seed,
+        crypto_rng=args.seed,
+    )
+    try:
+        return asyncio.run(_serve_until_signal(server))
+    except InfeasiblePlanError as infeasible:
+        print(f"error: {infeasible}", file=sys.stderr)
+        print("hint: relax the eps targets or enlarge --flush-size",
+              file=sys.stderr)
+        return 2
+
+
+async def _serve_until_signal(server) -> int:
+    """Run the front door until SIGTERM/SIGINT, then shut down cleanly.
+
+    Clean shutdown is the contract CI pins: drain accepted uploads into
+    the pipeline, close it (releasing fold workers and unlinking every
+    shared-memory segment), close the state store, exit 0.
+    """
+    import asyncio
+    import signal
+
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop.set)
+    try:
+        await server.start()
+        plan = server.pipeline.config.plan
+        print(f"serving on http://{server.config.host}:{server.port}  "
+              f"(mechanism={plan.mechanism.upper()}, d'={plan.d_prime}, "
+              f"max_pending={server.config.max_pending})", flush=True)
+        print("endpoints: POST /api/reports  POST /api/epochs  "
+              "GET /api/health  GET /api/config  GET /api/estimates",
+              flush=True)
+        await stop.wait()
+        print("signal received; draining the ingest queue", flush=True)
+    finally:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.remove_signal_handler(signum)
+        await server.stop()
+    print("shutdown complete", flush=True)
     return 0
 
 
@@ -464,6 +579,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--estimates-out", default=None, metavar="PATH",
                    help="write final estimates and spend totals as JSON")
     p.set_defaults(func=_cmd_stream)
+
+    p = sub.add_parser("serve", help="HTTP front door over the pipeline")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000,
+                   help="listen port (0 picks a free one, printed at start)")
+    p.add_argument("--max-pending", type=int, default=64,
+                   help="ingest-queue bound; beyond it uploads get HTTP "
+                        "429 with a Retry-After header")
+    p.add_argument("--max-body-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="per-request body cap (HTTP 413 beyond it; "
+                        "default 8 MiB)")
+    p.add_argument("--retry-after", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="delay advertised in the 429 Retry-After header")
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument("--delta", type=float, default=1e-9)
+    p.add_argument("--d", type=int, default=32)
+    p.add_argument("--flush-size", type=int, default=1000)
+    p.add_argument("--epoch-size", type=int, default=2000,
+                   help="expected reports per epoch (prices the lifetime "
+                        "budget together with --budget-epochs)")
+    p.add_argument("--budget-epochs", type=int, default=4,
+                   help="epochs the lifetime budget admits")
+    p.add_argument("--eps1", type=float, default=1.0)
+    p.add_argument("--eps2", type=float, default=3.0)
+    p.add_argument("--eps3", type=float, default=6.0)
+    p.add_argument("--backend", choices=["plain", "sequential", "peos"],
+                   default="plain")
+    p.add_argument("--shufflers", type=int, default=3)
+    p.add_argument("--composition", choices=["basic", "advanced"],
+                   default="basic")
+    p.add_argument("--shards", type=int, default=1,
+                   help="fold-aggregator shards (estimates are "
+                        "bit-identical at any shard count)")
+    p.add_argument("--fold-backend", choices=["serial", "process"],
+                   default="serial")
+    p.add_argument("--fold-workers", type=int, default=None)
+    p.add_argument("--no-shm", action="store_true",
+                   help="ship process-fold batches by pickling instead of "
+                        "zero-copy shared memory")
+    p.add_argument("--chunk-bytes", default=None, metavar="BYTES",
+                   help="support-count kernel chunk budget, or 'auto'")
+    p.add_argument("--seed-cache-bytes", type=int, default=None,
+                   metavar="BYTES")
+    p.add_argument("--state-db", default=None, metavar="PATH",
+                   help="journal durable state to this SQLite file "
+                        "(opened on the server's ingest thread)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("plan", help="Section VI-D PEOS planner")
     p.add_argument("--eps1", type=float, required=True)

@@ -457,3 +457,12 @@ class SqliteStateStore(StateStore):
         if row is None:
             raise StateStoreError(f"no epoch {epoch} in {self.path}")
         return _float64_from_blob(row[0])
+
+    def epoch_log(self):
+        """Direct read of ``(epoch, estimates)`` rows, no full recovery."""
+        return [
+            (int(epoch), _float64_from_blob(estimates))
+            for epoch, estimates in self._conn.execute(
+                "SELECT epoch, estimates FROM epochs ORDER BY epoch"
+            )
+        ]

@@ -95,6 +95,28 @@ class StateStore(ABC):
     def load_run(self) -> RunSnapshot:
         """Read the whole run back for recovery."""
 
+    def epoch_log(self) -> List[tuple]:
+        """Every closed epoch's released estimates, in epoch order.
+
+        Returns ``[(epoch, estimates), ...]`` — the read path behind the
+        front door's ``GET /api/estimates``.  An empty store (or one
+        whose run has closed no epochs yet) is an empty log, not an
+        error.  The base implementation goes through :meth:`load_run`;
+        stores with a cheaper direct path override it.
+        """
+        try:
+            snapshot = self.load_run()
+        except StateStoreError:
+            return []
+        return [
+            (report.epoch, self.estimate_snapshot(report.epoch))
+            for report in snapshot.epoch_reports
+        ]
+
+    def estimate_snapshot(self, epoch: int) -> np.ndarray:
+        """The estimate vector committed when ``epoch`` closed."""
+        raise NotImplementedError
+
     # -- advisory tuning ---------------------------------------------------
     #
     # Execution-tuning records (e.g. the kernel calibration from
@@ -243,6 +265,19 @@ class MemoryStateStore(StateStore):
         self._epoch_reports.append(report)
         self._estimates[report.epoch] = estimates
         self._checkpoint = checkpoint
+
+    def epoch_log(self) -> List[tuple]:
+        return [
+            (report.epoch, self._estimates[report.epoch])
+            for report in self._epoch_reports
+        ]
+
+    def estimate_snapshot(self, epoch: int) -> np.ndarray:
+        """The estimate vector committed when ``epoch`` closed."""
+        estimates = self._estimates.get(int(epoch))
+        if estimates is None:
+            raise StateStoreError(f"no epoch {epoch} in this store")
+        return estimates
 
     def load_run(self) -> RunSnapshot:
         self._require_run()

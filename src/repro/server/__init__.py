@@ -1,0 +1,25 @@
+"""The async HTTP front door: batched ingestion + estimate query API.
+
+See :mod:`repro.server.app` for the service itself,
+:mod:`repro.server.pagination` for the query envelope, and
+:mod:`repro.server.client` for the minimal client the bench and CI use.
+"""
+
+from .app import SERVER_SCHEMA, ServerConfig, TelemetryServer
+from .client import ClientResponse, ServerClient, fetch_all_estimates
+from .http import HttpError, Request
+from .pagination import DEFAULT_LIMIT, MAX_LIMIT, SORT_FIELDS
+
+__all__ = [
+    "SERVER_SCHEMA",
+    "ServerConfig",
+    "TelemetryServer",
+    "ClientResponse",
+    "ServerClient",
+    "fetch_all_estimates",
+    "HttpError",
+    "Request",
+    "DEFAULT_LIMIT",
+    "MAX_LIMIT",
+    "SORT_FIELDS",
+]

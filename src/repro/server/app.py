@@ -1,0 +1,511 @@
+"""The async HTTP front door over a streaming pipeline.
+
+:class:`TelemetryServer` turns a :class:`~repro.service.sharded.
+ShardedPipeline` (or the serial :class:`~repro.service.pipeline.
+TelemetryPipeline`) into a network service:
+
+* ``POST /api/reports`` — one JSON batch of raw values
+  (``{"values": [3, 0, 7, ...]}``), validated against the deployment's
+  domain before it is accepted.  Accepted batches are enqueued on a
+  **bounded** ingest queue and acknowledged with HTTP 202 and their
+  ``submit_seq`` — the position in the pipeline's ingest order, which
+  is what makes a server run replayable in-process (the ingest RNG
+  privatizes in arrival order).  A full queue is explicit backpressure:
+  HTTP 429 with a ``Retry-After`` header, and the batch is *not*
+  accepted — every 202 is a promise the batch reaches the pipeline.
+* ``POST /api/epochs`` — close the current collection epoch; rides the
+  same queue (so it orders after every batch accepted before it) and
+  returns the epoch's :class:`~repro.service.pipeline.EpochReport`.
+* ``GET /api/health`` / ``GET /api/config`` — liveness counters and the
+  canonical deployment parameters (the persisted ``StreamConfig``
+  serialization, plan included).
+* ``GET /api/estimates`` — released per-epoch estimates from the state
+  store's epoch log, paginated per :mod:`repro.server.pagination`.
+
+Threading model: the event loop owns sockets, parsing, validation, and
+the queue; **one** ingest thread (a single-worker executor) owns the
+pipeline and its state store — it builds both at :meth:`start` (so a
+SQLite store's thread-bound connection lives where it is used), executes
+queued jobs strictly in acceptance order, and serves the epoch-log reads
+behind ``/api/estimates``.  The loop never blocks on a fold; the
+pipeline never sees two threads.
+
+If a queued job fails (a store error mid-run, say), the server marks
+itself failed: in-flight epoch closes get HTTP 500, subsequent uploads
+get 503, and ``/api/health`` reports the failure — queued batches that
+can no longer be applied are counted, never silently dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import ConfigError
+from ..persistence.records import config_to_dict
+from .http import (
+    MAX_BODY_BYTES,
+    MAX_HEADER_BYTES,
+    HttpError,
+    Request,
+    error_bytes,
+    read_request,
+    response_bytes,
+)
+from .pagination import paginate, parse_non_negative_int
+
+#: schema tag of every front-door JSON payload family
+SERVER_SCHEMA = "repro.server/1"
+
+#: route table: path -> allowed methods
+_ROUTES = {
+    "/api/health": ("GET",),
+    "/api/config": ("GET",),
+    "/api/estimates": ("GET",),
+    "/api/reports": ("POST",),
+    "/api/epochs": ("POST",),
+}
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Static configuration of the HTTP front door itself.
+
+    Deployment parameters (mechanism, domain, budget) stay on the
+    pipeline's :class:`~repro.service.pipeline.StreamConfig`; this is
+    only the network surface: where to listen, how much ingest may be
+    pending before the server pushes back, and how it frames that
+    pushback.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8000
+    #: report batches (and epoch closes) the ingest queue holds before
+    #: uploads are refused with 429
+    max_pending: int = 64
+    #: request body cap; beyond it uploads get 413
+    max_body_bytes: int = MAX_BODY_BYTES
+    max_header_bytes: int = MAX_HEADER_BYTES
+    #: seconds advertised in the 429 ``Retry-After`` header
+    retry_after_s: float = 1.0
+
+    def __post_init__(self):
+        if not self.host:
+            raise ConfigError("host", "must be a non-empty host or address")
+        if not 0 <= self.port <= 65535:
+            raise ConfigError(
+                "port", f"must be in [0, 65535] (0 picks a free port), "
+                f"got {self.port}"
+            )
+        if self.max_pending < 1:
+            raise ConfigError(
+                "max_pending", f"must be >= 1, got {self.max_pending}"
+            )
+        if self.max_body_bytes < 1024:
+            raise ConfigError(
+                "max_body_bytes",
+                f"must be >= 1024, got {self.max_body_bytes}",
+            )
+        if self.max_header_bytes < 1024:
+            raise ConfigError(
+                "max_header_bytes",
+                f"must be >= 1024, got {self.max_header_bytes}",
+            )
+        if not self.retry_after_s > 0.0:
+            raise ConfigError(
+                "retry_after_s",
+                f"must be positive, got {self.retry_after_s}",
+            )
+
+
+@dataclass
+class _Job:
+    """One unit of ingest work, executed in acceptance order."""
+
+    kind: str  # "reports" | "epoch"
+    values: Optional[np.ndarray]
+    seq: int
+    future: Optional[asyncio.Future]
+
+
+class TelemetryServer:
+    """One deployment's HTTP front door; see the module docstring.
+
+    ``pipeline_factory`` is a zero-argument callable building the wired
+    pipeline (typically a closure over
+    :meth:`repro.api.session.ShuffleSession.stream`); it runs on the
+    ingest thread during :meth:`start`, so stores it creates are owned
+    by the thread that will use them.  Use
+    ``async with``/``await stop()`` to guarantee the pipeline (and any
+    shared-memory pool or process pool it holds) is closed.
+    """
+
+    def __init__(
+        self, pipeline_factory: Callable[[], object], config: ServerConfig
+    ):
+        self.config = config
+        self._pipeline_factory = pipeline_factory
+        self.pipeline = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._consumer: Optional[asyncio.Task] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._closing = False
+        self._failure: Optional[BaseException] = None
+        self._submit_seq = 0
+        self.accepted_batches = 0
+        self.accepted_reports = 0
+        self.rejected_429 = 0
+        self.failed_batches = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the kernel's pick)."""
+        if self._server is None:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "TelemetryServer":
+        """Build the pipeline on the ingest thread and start listening."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-ingest"
+        )
+        try:
+            self.pipeline = await self._loop.run_in_executor(
+                self._executor, self._pipeline_factory
+            )
+            self._queue = asyncio.Queue(maxsize=self.config.max_pending)
+            self._consumer = self._loop.create_task(self._consume())
+            self._server = await asyncio.start_server(
+                self._handle,
+                host=self.config.host,
+                port=self.config.port,
+                limit=max(self.config.max_header_bytes * 2, 64 * 1024),
+            )
+        except BaseException:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            if self._consumer is not None:
+                self._consumer.cancel()
+                self._consumer = None
+            raise
+        return self
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain accepted work, then release everything.
+
+        Ordering is the clean-exit contract the CI smoke pins: stop
+        accepting (new requests get 503 while existing sockets flush),
+        wait for every accepted job to reach the pipeline, then close
+        the pipeline on its own thread — which drains process folds and
+        unlinks every shared-memory segment — and the state store with
+        it.  Idempotent.
+        """
+        if self._server is None or self._closing:
+            self._closing = True
+            return
+        self._closing = True
+        self._server.close()
+        await self._server.wait_closed()
+        if self._queue is not None:
+            await self._queue.join()
+        if self._consumer is not None:
+            self._consumer.cancel()
+            try:
+                await self._consumer
+            except asyncio.CancelledError:
+                pass
+            self._consumer = None
+        if self._executor is not None:
+            try:
+                await self._loop.run_in_executor(
+                    self._executor, self._close_pipeline
+                )
+            finally:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+
+    def _close_pipeline(self) -> None:
+        pipeline, self.pipeline = self.pipeline, None
+        if pipeline is None:
+            return
+        try:
+            close = getattr(pipeline, "close", None)
+            if close is not None:
+                close()
+        finally:
+            store = getattr(pipeline, "store", None)
+            if store is not None:
+                store.close()
+
+    async def __aenter__(self) -> "TelemetryServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- the ingest thread -------------------------------------------------
+
+    async def _consume(self) -> None:
+        """Apply queued jobs to the pipeline, strictly in queue order."""
+        while True:
+            job: _Job = await self._queue.get()
+            try:
+                if self._failure is not None:
+                    raise RuntimeError(
+                        f"ingest already failed: {self._failure}"
+                    ) from self._failure
+                result = await self._loop.run_in_executor(
+                    self._executor, self._apply, job
+                )
+                if job.future is not None and not job.future.done():
+                    job.future.set_result(result)
+            except BaseException as failure:
+                if self._failure is None:
+                    self._failure = failure
+                if job.kind == "reports":
+                    self.failed_batches += 1
+                if job.future is not None and not job.future.done():
+                    job.future.set_exception(failure)
+            finally:
+                self._queue.task_done()
+
+    def _apply(self, job: _Job):
+        if job.kind == "reports":
+            self.pipeline.submit(job.values)
+            return None
+        return self.pipeline.end_epoch()
+
+    def _epoch_rows(self) -> List[Tuple[int, list]]:
+        """The store's epoch log as plain Python rows (ingest thread)."""
+        return [
+            (int(epoch), [float(x) for x in estimates])
+            for epoch, estimates in self.pipeline.store.epoch_log()
+        ]
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader,
+                        max_header_bytes=self.config.max_header_bytes,
+                        max_body_bytes=self.config.max_body_bytes,
+                    )
+                except HttpError as framing:
+                    writer.write(error_bytes(framing, keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                try:
+                    payload, status, headers = await self._dispatch(request)
+                    response = response_bytes(
+                        status, payload,
+                        keep_alive=request.keep_alive, headers=headers,
+                    )
+                except HttpError as refused:
+                    response = error_bytes(
+                        refused, keep_alive=request.keep_alive
+                    )
+                    if refused.close:
+                        writer.write(response)
+                        await writer.drain()
+                        break
+                except Exception as unexpected:  # never leak a traceback
+                    response = error_bytes(
+                        HttpError(500, f"internal error: {unexpected}"),
+                        keep_alive=request.keep_alive,
+                    )
+                writer.write(response)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-response; nothing to salvage
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: Request) -> Tuple[dict, int, tuple]:
+        allowed = _ROUTES.get(request.path)
+        if allowed is None:
+            raise HttpError(404, f"unknown path {request.path!r}")
+        if request.method not in allowed:
+            raise HttpError(
+                405,
+                f"{request.method} is not supported on {request.path}",
+                headers=(("Allow", ", ".join(allowed)),),
+            )
+        if request.path == "/api/health":
+            return self._health_payload(), 200, ()
+        if self._closing:
+            raise HttpError(
+                503, "server is shutting down", headers=(("Retry-After", "1"),)
+            )
+        if request.path == "/api/config":
+            return self._config_payload(), 200, ()
+        if request.path == "/api/estimates":
+            return await self._estimates_payload(request), 200, ()
+        if request.path == "/api/reports":
+            return self._accept_reports(request)
+        return await self._close_epoch()
+
+    # -- handlers ----------------------------------------------------------
+
+    def _health_payload(self) -> dict:
+        if self._failure is not None:
+            status = "failed"
+        elif self._closing:
+            status = "closing"
+        else:
+            status = "ok"
+        payload = {
+            "schema": SERVER_SCHEMA,
+            "status": status,
+            "pending": self._queue.qsize() if self._queue else 0,
+            "epochs_completed": self.pipeline.epochs_completed
+            if self.pipeline is not None else 0,
+            "accepted_batches": self.accepted_batches,
+            "accepted_reports": self.accepted_reports,
+            "rejected_429": self.rejected_429,
+            "failed_batches": self.failed_batches,
+            "exhausted": bool(self.pipeline.exhausted)
+            if self.pipeline is not None else False,
+        }
+        if self._failure is not None:
+            payload["failure"] = str(self._failure)
+        return payload
+
+    def _config_payload(self) -> dict:
+        return {
+            "schema": SERVER_SCHEMA,
+            "deployment": config_to_dict(self.pipeline.config),
+            "server": {
+                "max_pending": self.config.max_pending,
+                "max_body_bytes": self.config.max_body_bytes,
+                "retry_after_s": self.config.retry_after_s,
+            },
+        }
+
+    async def _estimates_payload(self, request: Request) -> dict:
+        epoch_filter = parse_non_negative_int(request, "epoch", -1)
+        rows = await self._loop.run_in_executor(
+            self._executor, self._epoch_rows
+        )
+        items = [
+            {"epoch": epoch, "index": index, "estimate": estimate}
+            for epoch, estimates in rows
+            if epoch_filter < 0 or epoch == epoch_filter
+            for index, estimate in enumerate(estimates)
+        ]
+        envelope = paginate(items, request)
+        envelope["schema"] = SERVER_SCHEMA
+        return envelope
+
+    def _validated_values(self, request: Request) -> np.ndarray:
+        payload = request.json()
+        if "values" not in payload:
+            raise HttpError(
+                400, "body must carry a 'values' array", field="values"
+            )
+        values = payload["values"]
+        d = self.pipeline.config.d
+        if not isinstance(values, list) or not values:
+            raise HttpError(
+                400,
+                f"must be a non-empty JSON array of integers in [0, {d})",
+                field="values",
+            )
+        array = np.asarray(values)
+        if array.ndim != 1 or array.dtype.kind not in "iu":
+            raise HttpError(
+                400, f"must be integers in [0, {d})", field="values"
+            )
+        if int(array.min()) < 0 or int(array.max()) >= d:
+            raise HttpError(
+                400, f"values outside the domain [0, {d})", field="values"
+            )
+        return array.astype(np.int64)
+
+    def _refuse_if_failed(self) -> None:
+        if self._failure is not None:
+            raise HttpError(
+                503,
+                f"ingest pipeline failed and the server no longer accepts "
+                f"work: {self._failure}",
+            )
+
+    def _accept_reports(self, request: Request) -> Tuple[dict, int, tuple]:
+        self._refuse_if_failed()
+        values = self._validated_values(request)
+        job = _Job(
+            kind="reports", values=values, seq=self._submit_seq, future=None
+        )
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self.rejected_429 += 1
+            retry_after = max(1, round(self.config.retry_after_s))
+            raise HttpError(
+                429,
+                f"ingest queue is full ({self.config.max_pending} pending "
+                f"batches); retry after Retry-After seconds",
+                headers=(("Retry-After", str(retry_after)),),
+            ) from None
+        self._submit_seq += 1
+        self.accepted_batches += 1
+        self.accepted_reports += len(values)
+        return (
+            {
+                "schema": SERVER_SCHEMA,
+                "accepted": len(values),
+                "submit_seq": job.seq,
+                "pending": self._queue.qsize(),
+            },
+            202,
+            (),
+        )
+
+    async def _close_epoch(self) -> Tuple[dict, int, tuple]:
+        self._refuse_if_failed()
+        future = self._loop.create_future()
+        job = _Job(
+            kind="epoch", values=None, seq=self._submit_seq, future=future
+        )
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self.rejected_429 += 1
+            retry_after = max(1, round(self.config.retry_after_s))
+            raise HttpError(
+                429,
+                f"ingest queue is full ({self.config.max_pending} pending "
+                f"batches); retry after Retry-After seconds",
+                headers=(("Retry-After", str(retry_after)),),
+            ) from None
+        self._submit_seq += 1
+        try:
+            report = await future
+        except Exception as failure:
+            raise HttpError(500, f"epoch close failed: {failure}") from failure
+        payload = {"schema": SERVER_SCHEMA}
+        payload.update(asdict(report))
+        return payload, 200, ()

@@ -1,0 +1,302 @@
+"""End-to-end tests of the HTTP front door: routing, validation,
+backpressure, failure containment, and the HTTP ≡ in-process identity."""
+
+import asyncio
+import json
+import threading
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.api import ConfigError, DeploymentConfig, PrivacyBudget, ShuffleSession
+from repro.persistence import MemoryStateStore
+from repro.persistence.records import config_from_dict
+from repro.server import ServerClient, ServerConfig, TelemetryServer
+from repro.service import TelemetryPipeline
+from repro.service.pipeline import EpochReport
+
+D = 8
+SEED = 11
+
+
+def _session() -> ShuffleSession:
+    return ShuffleSession(
+        DeploymentConfig(mechanism="auto", d=D),
+        PrivacyBudget(eps=1.0, delta=1e-9),
+    )
+
+
+def _serve(**kwargs):
+    """A real pipeline behind a front door on a free port."""
+    options = dict(
+        port=0, epoch_size=300, admitted_epochs=4, seed=SEED,
+    )
+    options.update(kwargs)
+    return _session().serve(100, **options)
+
+
+class StubPipeline:
+    """A pipeline double whose submit can block (gate) or blow up (fail)."""
+
+    def __init__(self, gate=None, fail=False):
+        self.config = SimpleNamespace(d=D)
+        self.store = MemoryStateStore()
+        self.epochs_completed = 0
+        self.exhausted = False
+        self.received = []
+        self.gate = gate
+        self.fail = fail
+        self.closed = False
+
+    def submit(self, values):
+        if self.gate is not None:
+            self.gate.wait(timeout=30)
+        if self.fail:
+            raise RuntimeError("synthetic pipeline failure")
+        self.received.append(np.asarray(values))
+
+    def end_epoch(self):
+        self.epochs_completed += 1
+        return EpochReport(
+            epoch=self.epochs_completed - 1, n_flushes=0, n_rejected=0,
+            n_reports=0, n_fake=0, flush_latency_s=0.0,
+            reports_per_sec=0.0, eps_spent=0.0, delta_spent=0.0,
+        )
+
+    def close(self):
+        self.closed = True
+
+
+def test_server_config_names_bad_fields():
+    with pytest.raises(ConfigError, match="port"):
+        ServerConfig(port=-1)
+    with pytest.raises(ConfigError, match="max_pending"):
+        ServerConfig(max_pending=0)
+    with pytest.raises(ConfigError, match="retry_after_s"):
+        ServerConfig(retry_after_s=0.0)
+    with pytest.raises(ConfigError, match="max_body_bytes"):
+        _session().serve(100, max_body_bytes=10)
+
+
+def test_health_config_and_epoch_close():
+    async def run():
+        async with _serve() as server:
+            assert server.port != 0  # port=0 resolved to the bound port
+            async with ServerClient("127.0.0.1", server.port) as client:
+                health = await client.health()
+                assert health["status"] == "ok"
+                assert health["epochs_completed"] == 0
+                config = await client.config()
+                assert config["server"]["max_pending"] == 64
+                # the served deployment round-trips into a real config
+                assert config_from_dict(config["deployment"]).d == D
+                response = await client.submit([1, 2, 3, 4, 5])
+                assert response.status == 202
+                assert response.body["submit_seq"] == 0
+                report = await client.close_epoch()
+                assert report["epoch"] == 0
+                assert report["n_reports"] == 5
+                health = await client.health()
+                assert health["epochs_completed"] == 1
+                assert health["accepted_reports"] == 5
+
+    asyncio.run(run())
+
+
+def test_validation_and_routing_errors():
+    async def run():
+        async with _serve() as server:
+            async with ServerClient("127.0.0.1", server.port) as client:
+                cases = [
+                    ({"nope": 1}, "values"),        # missing key
+                    ({"values": []}, "values"),     # empty
+                    ({"values": "abc"}, "values"),  # not an array
+                    ({"values": [0.5]}, "values"),  # non-integer
+                    ({"values": [True]}, "values"),  # boolean
+                    ({"values": [D]}, "values"),    # out of domain
+                    ({"values": [-1]}, "values"),   # negative
+                ]
+                for payload, field in cases:
+                    response = await client.request(
+                        "POST", "/api/reports", payload
+                    )
+                    assert response.status == 400, payload
+                    assert response.body["error"]["field"] == field
+                not_found = await client.request("GET", "/nope")
+                assert not_found.status == 404
+                wrong_verb = await client.request(
+                    "GET", "/api/reports"
+                )
+                assert wrong_verb.status == 405
+                assert wrong_verb.headers["allow"] == "POST"
+                # nothing above ever reached the pipeline
+                health = await client.health()
+                assert health["accepted_batches"] == 0
+
+    asyncio.run(run())
+
+
+def test_malformed_json_body_is_400():
+    async def run():
+        async with _serve() as server:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            body = b"{not json"
+            writer.write(
+                b"POST /api/reports HTTP/1.1\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode() + body
+            )
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            assert b"400" in head.split(b"\r\n", 1)[0]
+            writer.close()
+            await writer.wait_closed()
+
+    asyncio.run(run())
+
+
+def test_oversized_body_is_413():
+    async def run():
+        async with _serve(max_body_bytes=2048) as server:
+            async with ServerClient("127.0.0.1", server.port) as client:
+                response = await client.submit([1] * 2000)
+                assert response.status == 413
+                # framing errors close the connection...
+                assert response.headers["connection"] == "close"
+                # ...and the client transparently reconnects
+                ok = await client.submit([1, 2, 3])
+                assert ok.status == 202
+
+    asyncio.run(run())
+
+
+def test_backpressure_never_drops_an_accepted_report():
+    """Fill the bounded queue: overflow gets 429 + Retry-After, every
+    202-acknowledged batch reaches the pipeline once unblocked."""
+    gate = threading.Event()
+    stub = StubPipeline(gate=gate)
+
+    async def run():
+        server = TelemetryServer(
+            lambda: stub, ServerConfig(port=0, max_pending=2, retry_after_s=2)
+        )
+        async with server:
+            async with ServerClient("127.0.0.1", server.port) as client:
+                accepted = []
+                refused = None
+                for attempt in range(50):
+                    response = await client.submit([attempt % D])
+                    if response.status == 202:
+                        accepted.append(attempt % D)
+                    elif response.status == 429:
+                        refused = response
+                        break
+                    else:
+                        raise AssertionError(response.status)
+                assert refused is not None, "queue never filled"
+                assert refused.retry_after() == 2.0
+                assert refused.body["error"]["status"] == 429
+                # unblock the pipeline and wait for the queue to drain
+                gate.set()
+                for __ in range(200):
+                    health = await client.health()
+                    if health["pending"] == 0:
+                        break
+                    await asyncio.sleep(0.01)
+                assert health["pending"] == 0
+                assert health["rejected_429"] >= 1
+                # a retry of the refused batch is accepted now
+                retry = await client.submit([0])
+                assert retry.status == 202
+                accepted.append(0)
+        # every 202 reached the pipeline, in acceptance order
+        applied = [int(batch[0]) for batch in stub.received]
+        assert applied == accepted
+        assert stub.closed  # stop() closed the pipeline
+
+    asyncio.run(run())
+
+
+def test_pipeline_failure_is_contained():
+    stub = StubPipeline(fail=True)
+
+    async def run():
+        server = TelemetryServer(
+            lambda: stub, ServerConfig(port=0, max_pending=4)
+        )
+        async with server:
+            async with ServerClient("127.0.0.1", server.port) as client:
+                assert (await client.submit([1])).status == 202
+                for __ in range(200):
+                    health = await client.health()
+                    if health["status"] == "failed":
+                        break
+                    await asyncio.sleep(0.01)
+                assert health["status"] == "failed"
+                assert health["failed_batches"] == 1
+                assert "synthetic pipeline failure" in health["failure"]
+                # the server refuses new work rather than corrupting state
+                assert (await client.submit([1])).status == 503
+                epoch = await client.request("POST", "/api/epochs")
+                assert epoch.status == 503
+
+    asyncio.run(run())
+
+
+def test_http_ingest_matches_in_process_replay():
+    """The acceptance identity, in miniature: estimates served over HTTP
+    equal a same-seed in-process run fed the recorded submit order."""
+
+    async def run():
+        async with _serve() as server:
+            async with ServerClient("127.0.0.1", server.port) as client:
+                deployment = (await client.config())["deployment"]
+                rng = np.random.default_rng(99)
+                recorded = []
+                for __ in range(2):  # epochs
+                    for __ in range(3):  # batches
+                        values = rng.integers(0, D, size=100)
+                        response = await client.submit(values)
+                        assert response.status == 202
+                        recorded.append(
+                            (response.body["submit_seq"], values)
+                        )
+                    await client.close_epoch()
+                page = await client.estimates(limit=200)
+                assert page["page"]["total"] == 2 * D
+                served = {}
+                for item in page["items"]:
+                    served.setdefault(item["epoch"], []).append(
+                        item["estimate"]
+                    )
+        return deployment, recorded, served
+
+    deployment, recorded, served = asyncio.run(run())
+    config = config_from_dict(deployment)
+    pipeline = TelemetryPipeline(config, np.random.default_rng(SEED))
+    ordered = sorted(recorded, key=lambda pair: pair[0])
+    for i, (__, values) in enumerate(ordered):
+        pipeline.submit(values)
+        if (i + 1) % 3 == 0:  # the recorded runs closed every 3rd batch
+            pipeline.end_epoch()
+    replayed = {
+        int(epoch): [float(x) for x in estimates]
+        for epoch, estimates in pipeline.store.epoch_log()
+    }
+    assert served == replayed
+
+
+def test_stop_is_idempotent_and_drains():
+    async def run():
+        server = _serve()
+        await server.start()
+        client = ServerClient("127.0.0.1", server.port)
+        async with client:
+            assert (await client.submit([1, 2])).status == 202
+        await server.stop()
+        await server.stop()  # idempotent
+        assert server.pipeline is None
+
+    asyncio.run(run())

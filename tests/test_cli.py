@@ -29,6 +29,15 @@ class TestParser:
         assert args.budget_epochs is None  # resolved to epochs - 1 at run time
         assert args.backend == "plain"
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8000
+        assert args.max_pending == 64
+        assert args.budget_epochs == 4
+        assert args.state_db is None
+        assert args.fold_backend == "serial"
+
 
 class TestCommands:
     def test_table1_runs(self, capsys):
@@ -69,6 +78,17 @@ class TestCommands:
         assert "budget refusals" in out  # epoch 2's flushes are rejected
         assert "final estimates over 400 released reports" in out
 
+    def test_stream_sharded_prints_transport_summary(self, capsys):
+        assert main([
+            "stream", "--epochs", "2", "--epoch-size", "200",
+            "--flush-size", "100", "--d", "8", "--budget-epochs", "2",
+            "--seed", "7", "--shards", "2",
+            "--seed-cache-bytes", "1000000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "transport (" in out  # bytes_moved / shm peak summary
+        assert "seed cache:" in out  # hit-rate summary
+
     def test_invalid_eps_exits_cleanly(self, capsys):
         # Facade validation surfaces as exit code 2, not a traceback.
         assert main(["fig3", "--scale", "0.01", "--eps", "-0.5"]) == 2
@@ -99,6 +119,69 @@ class TestModuleEntryPoint:
         )
         assert completed.returncode == 0
         assert "BBGN19" in completed.stdout
+
+
+class TestServeCommand:
+    def test_invalid_network_knobs_exit_cleanly(self, capsys):
+        assert main(["serve", "--max-pending", "0"]) == 2
+        assert "max_pending" in capsys.readouterr().err
+        assert main(["serve", "--port", "70000"]) == 2
+        assert "port" in capsys.readouterr().err
+        assert main(["serve", "--flush-size", "0"]) == 2
+        assert "--flush-size" in capsys.readouterr().err
+
+    def test_bad_state_db_parent_exits_cleanly(self, capsys, tmp_path):
+        bad = str(tmp_path / "missing" / "state.db")
+        assert main(["serve", "--port", "0", "--state-db", bad]) == 2
+        assert "state_db" in capsys.readouterr().err
+
+    def test_serve_sigterm_is_a_clean_exit(self, tmp_path):
+        """Start the server, drive it over HTTP, SIGTERM it: exit 0."""
+        import json
+        import re
+        import signal
+        import urllib.request
+
+        root = Path(__file__).parent.parent
+        env = dict(os.environ)
+        src = str(root / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else src
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--d", "8", "--flush-size", "100", "--epoch-size", "200",
+             "--budget-epochs", "2", "--seed", "7",
+             "--state-db", str(tmp_path / "serve.db")],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env, cwd=root,
+        )
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+            assert match, f"no listen banner in {banner!r}"
+            base = f"http://127.0.0.1:{match.group(1)}"
+            request = urllib.request.Request(
+                f"{base}/api/reports",
+                data=json.dumps({"values": [1, 2, 3]}).encode(),
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                assert response.status == 202
+                assert json.load(response)["accepted"] == 3
+            with urllib.request.urlopen(
+                f"{base}/api/health", timeout=10
+            ) as response:
+                assert json.load(response)["accepted_reports"] == 3
+            process.send_signal(signal.SIGTERM)
+            out, err = process.communicate(timeout=60)
+            assert process.returncode == 0, err
+            assert "shutdown complete" in out
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
 
 
 class TestStreamPersistence:
