@@ -132,6 +132,12 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     from repro.core import plan_peos
 
@@ -628,6 +634,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="journal durable state to this SQLite file "
                         "(opened on the server's ingest thread)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "lint",
+        help="static invariant linter (determinism, ownership, resources, "
+             "error discipline; see repro.devtools)",
+    )
+    from repro.devtools.cli import build_lint_parser
+
+    build_lint_parser(p)
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("plan", help="Section VI-D PEOS planner")
     p.add_argument("--eps1", type=float, required=True)

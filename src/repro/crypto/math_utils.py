@@ -27,9 +27,14 @@ _SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53,
 
 
 def as_random(rng: RandomLike) -> random.Random:
-    """Coerce ``None`` / an int seed / a Random instance into a Random."""
+    """Coerce ``None`` / an int seed / a Random instance into a Random.
+
+    ``None`` means "no replay intended", which for key-generation code
+    must be OS entropy — ``SystemRandom`` — not a silently time-seeded
+    ``random.Random()`` (lint rule RPL002 pins this).
+    """
     if rng is None:
-        return random.Random()
+        return random.SystemRandom()
     if isinstance(rng, int):
         return random.Random(rng)
     return rng

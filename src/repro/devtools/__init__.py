@@ -1,0 +1,48 @@
+"""Developer tooling: the project's static invariant linter.
+
+Eight PRs of growth accreted load-bearing invariants that existed only as
+prose in DESIGN.md and as spot-check tests: the two-stream RNG discipline
+behind bit-identical sharded estimates, owned read-only flush batches,
+shared-memory segments that must never outlive their pool, the
+``ConfigError(field=...)`` taxonomy at every front-door layer, and the
+charge-before-release write-ahead ordering.  ``repro.devtools`` turns
+those contracts into tooling: a pure-stdlib (``ast`` + ``tokenize``)
+linter with project-specific rules, runnable as ``repro lint``.
+
+Layout:
+
+* :mod:`~repro.devtools.engine` — rule registry, file walker,
+  :class:`Finding` records, inline ``# repro-lint: disable=RPLxxx``
+  suppressions, and the committed-baseline mechanism.
+* :mod:`~repro.devtools.rules` — the rule catalog (determinism,
+  ownership, resources, error discipline, structure).
+* :mod:`~repro.devtools.config` — the ``[tool.repro-lint]`` table in
+  ``pyproject.toml``.
+* :mod:`~repro.devtools.cli` — argument parsing and the text/JSON
+  reporters behind ``repro lint``.
+
+The linter deliberately has **zero dependencies beyond the stdlib** so it
+can gate CI before numpy-heavy test jobs even start, and so it never
+imports the code it scans (analysis is purely syntactic).
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    Baseline,
+    Finding,
+    LintReport,
+    lint_paths,
+    lint_sources,
+)
+from .rules import all_rules, rule_catalog
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "all_rules",
+    "lint_paths",
+    "lint_sources",
+    "rule_catalog",
+]

@@ -1,0 +1,151 @@
+"""``repro lint``: argument handling and the text/JSON reporters.
+
+Exit status: 0 clean (baselined findings included), 1 actionable
+findings, 2 usage error (unknown rule code, unreadable path/baseline).
+Kept separate from :mod:`repro.cli` so the linter stays importable —
+and runnable — without numpy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .config import find_project_root, load_config
+from .engine import Baseline, LintReport, UsageError, lint_paths
+from .rules import all_rules
+
+
+def build_lint_parser(parser: Optional[argparse.ArgumentParser] = None):
+    """Add the lint options to ``parser`` (or a fresh standalone one)."""
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="repro lint",
+            description="Statically enforce the project's invariants.",
+        )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to scan (default: the [tool.repro-lint] "
+             "paths in pyproject.toml)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report style; json always embeds the --stats summary",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="baseline file of grandfathered findings (default: the "
+             "[tool.repro-lint] baseline, resolved against the project root)",
+    )
+    parser.add_argument(
+        "--select", metavar="RPLXXX", action="append", default=None,
+        help="run only these rule codes (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="RPLXXX", action="append", default=None,
+        help="skip these rule codes (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print the files/findings/suppressions summary after the run",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline file to grandfather every current "
+             "finding (each entry still needs a human justification)",
+    )
+    return parser
+
+
+def _split_codes(values: Optional[List[str]]) -> Optional[List[str]]:
+    if values is None:
+        return None
+    return [code for value in values for code in value.split(",") if code]
+
+
+def _stats_line(report: LintReport) -> str:
+    stats = report.stats
+    by_rule = ", ".join(
+        f"{code}={count}"
+        for code, count in stats["findings_by_rule"].items()
+    ) or "none"
+    return (
+        f"lint: {stats['files_scanned']} file(s) scanned, "
+        f"{stats['findings']} finding(s) [{by_rule}], "
+        f"{stats['suppressions_used']} suppression(s) used, "
+        f"{stats['baselined']} baselined"
+        + (
+            f" ({stats['baseline_stale_entries']} stale baseline entr"
+            f"{'y' if stats['baseline_stale_entries'] == 1 else 'ies'})"
+            if stats["baseline_stale_entries"]
+            else ""
+        )
+    )
+
+
+def run_lint(args: argparse.Namespace, stdout=None) -> int:
+    """Execute one lint run; returns the process exit status."""
+    stdout = stdout if stdout is not None else sys.stdout
+    try:
+        root = find_project_root(Path.cwd())
+        config = load_config(root)
+        paths = [Path(path) for path in (args.paths or config.paths)]
+        baseline_path = Path(args.baseline or config.baseline)
+        if not baseline_path.is_absolute():
+            baseline_path = root / baseline_path
+        select = _split_codes(args.select) or config.select
+        ignore = _split_codes(args.ignore) or config.ignore
+        rules = all_rules()
+
+        if args.write_baseline:
+            report = lint_paths(
+                paths, rules, root, select=select, ignore=ignore, baseline=None
+            )
+            Baseline.from_findings(
+                report.findings, justification="TODO: justify this exception"
+            ).dump(baseline_path)
+            print(
+                f"wrote {len(report.findings)} entr"
+                f"{'y' if len(report.findings) == 1 else 'ies'} to "
+                f"{baseline_path}; fill in each justification",
+                file=stdout,
+            )
+            return 0
+
+        baseline = Baseline.load(baseline_path)
+        report = lint_paths(
+            paths, rules, root, select=select, ignore=ignore, baseline=baseline
+        )
+    except UsageError as invalid:
+        print(f"error: {invalid}", file=sys.stderr)
+        return 2
+    except RecursionError:
+        print("error: source too deeply nested to analyze", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        json.dump(report.to_dict(), stdout, indent=2, sort_keys=True)
+        stdout.write("\n")
+    else:
+        for finding in report.findings:
+            print(
+                f"{finding.path}:{finding.line}: {finding.rule} "
+                f"{finding.message}",
+                file=stdout,
+            )
+        if args.stats or report.findings:
+            print(_stats_line(report), file=stdout)
+    return 0 if report.clean else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.devtools.cli``)."""
+    parser = build_lint_parser()
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

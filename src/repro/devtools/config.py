@@ -1,0 +1,106 @@
+"""``[tool.repro-lint]`` configuration from ``pyproject.toml``.
+
+Recognized keys::
+
+    [tool.repro-lint]
+    paths = ["src", "benchmarks", "examples"]   # default scan set
+    baseline = ".repro-lint-baseline.json"      # grandfathered findings
+    select = ["RPL001"]                         # run only these rules
+    ignore = ["RPL003"]                         # never run these rules
+
+CLI flags override every key.  Parsing uses :mod:`tomllib` where the
+interpreter has it (3.11+); on older interpreters a minimal line-based
+reader handles exactly the flat string/string-list shape above — the
+zero-new-deps constraint rules out a full TOML dependency.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+try:
+    import tomllib
+except ImportError:  # Python < 3.11
+    tomllib = None
+
+_TABLE = "repro-lint"
+
+_KEY_RE = re.compile(r"^([A-Za-z0-9_-]+)\s*=\s*(.+)$")
+
+
+@dataclass
+class LintConfig:
+    """Resolved configuration with the project defaults filled in."""
+
+    paths: List[str] = field(
+        default_factory=lambda: ["src", "benchmarks", "examples"]
+    )
+    baseline: str = ".repro-lint-baseline.json"
+    select: Optional[List[str]] = None
+    ignore: Optional[List[str]] = None
+
+
+def find_project_root(start: Path) -> Path:
+    """Nearest ancestor of ``start`` containing ``pyproject.toml``."""
+    current = start.resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return current
+
+
+def _parse_minimal_toml_table(text: str, table: str) -> dict:
+    """Flat ``key = "str"`` / ``key = ["a", "b"]`` pairs of one table.
+
+    Just enough TOML for the shape this project commits; anything fancier
+    (multi-line arrays, nested tables) is silently ignored rather than
+    misread.
+    """
+    values: dict = {}
+    in_table = False
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("["):
+            in_table = line == f"[tool.{table}]"
+            continue
+        if not in_table:
+            continue
+        match = _KEY_RE.match(line)
+        if not match:
+            continue
+        key, literal = match.group(1), match.group(2).strip()
+        if literal.startswith("["):
+            values[key] = re.findall(r'"([^"]*)"', literal)
+        elif literal.startswith('"') and literal.endswith('"'):
+            values[key] = literal[1:-1]
+    return values
+
+
+def load_config(root: Path) -> LintConfig:
+    """The ``[tool.repro-lint]`` table of ``<root>/pyproject.toml``."""
+    pyproject = root / "pyproject.toml"
+    config = LintConfig()
+    if not pyproject.is_file():
+        return config
+    text = pyproject.read_text(encoding="utf-8")
+    if tomllib is not None:
+        try:
+            table = tomllib.loads(text).get("tool", {}).get(_TABLE, {})
+        except tomllib.TOMLDecodeError:
+            table = {}
+    else:
+        table = _parse_minimal_toml_table(text, _TABLE)
+    if isinstance(table.get("paths"), list):
+        config.paths = [str(path) for path in table["paths"]]
+    if isinstance(table.get("baseline"), str):
+        config.baseline = table["baseline"]
+    if isinstance(table.get("select"), list):
+        config.select = [str(code) for code in table["select"]]
+    if isinstance(table.get("ignore"), list):
+        config.ignore = [str(code) for code in table["ignore"]]
+    return config

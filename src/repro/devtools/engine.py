@@ -1,0 +1,425 @@
+"""Rule engine: file walking, suppressions, baselines, reporting.
+
+The engine is deliberately dumb about *what* to check — every invariant
+lives in :mod:`repro.devtools.rules` — and smart about the workflow
+around findings:
+
+* **Findings** are stable records (rule code, path, line, message) whose
+  fingerprint excludes the line number, so a committed baseline survives
+  unrelated edits above a grandfathered site.
+* **Inline suppressions** — ``# repro-lint: disable=RPL001`` (or a
+  comma-separated list, or ``all``) on the offending line — silence a
+  finding at the source, visibly.  Use them for deliberate exceptions
+  and pair each with a justifying comment.
+* **Baselines** grandfather findings that are deliberate but too noisy
+  to annotate inline; each entry carries a ``justification`` string so
+  the exception is documented where it is granted.
+
+Two entry points: :func:`lint_paths` walks real files (the CLI path) and
+:func:`lint_sources` lints in-memory sources (the test path — rule
+fixtures never depend on repository state).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: pseudo-rule for files the parser rejects; always active
+SYNTAX_RULE = "RPL000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+class UsageError(Exception):
+    """Invalid linter invocation (unknown rule code, bad path, ...).
+
+    The CLI maps this to exit status 2, distinct from "findings exist"
+    (1) and "clean" (0).
+    """
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    col: int = 0
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Identity for baseline matching: rule + path + message.
+
+        The line number is deliberately excluded so grandfathered
+        findings do not churn when unrelated code moves them around.
+        """
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleSource:
+    """One parsed file handed to every applicable rule."""
+
+    path: str  # posix path relative to the project root
+    source: str
+    tree: ast.Module
+
+    #: line -> rule codes suppressed there ("all" suppresses every rule)
+    line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: rule codes suppressed for the whole file
+    file_suppressions: Set[str] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "ModuleSource":
+        tree = ast.parse(source, filename=path)
+        module = cls(path=path, source=source, tree=tree)
+        module._scan_suppressions()
+        return module
+
+    def _scan_suppressions(self) -> None:
+        """Collect ``# repro-lint: disable[-file]=...`` comments.
+
+        Tokenize-based so a matching string literal never counts; files
+        tokenize fails on (it is stricter than ``ast.parse`` about
+        encodings) fall back to a per-line scan.
+        """
+        comments: List[Tuple[int, str]] = []
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    comments.append((token.start[0], token.string))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            for lineno, text in enumerate(self.source.splitlines(), start=1):
+                if "#" in text:
+                    comments.append((lineno, text[text.index("#"):]))
+        for lineno, text in comments:
+            match = _SUPPRESS_RE.search(text)
+            if not match:
+                continue
+            codes = {
+                code.strip().upper() if code.strip().lower() != "all" else "all"
+                for code in match.group(2).split(",")
+                if code.strip()
+            }
+            if match.group(1) == "disable-file":
+                self.file_suppressions |= codes
+            else:
+                self.line_suppressions.setdefault(lineno, set()).update(codes)
+
+
+class Rule:
+    """Base class for per-file rules.
+
+    Subclasses set ``code`` / ``summary`` / ``rationale`` and implement
+    :meth:`check`; override :meth:`applies_to` to scope the rule to a
+    subtree (paths are posix, relative to the project root).
+    """
+
+    code: str = "RPL???"
+    summary: str = ""
+    rationale: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleSource, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.code,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that needs every scanned module at once (e.g. import cycles)."""
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, modules: Sequence[ModuleSource]
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@dataclass
+class Baseline:
+    """Committed record of grandfathered findings.
+
+    JSON shape::
+
+        {"schema": "repro.lint-baseline/1",
+         "entries": [{"rule": "RPL030", "path": "src/...", "message": "...",
+                      "justification": "why this one is deliberate"}]}
+    """
+
+    entries: List[dict] = field(default_factory=list)
+
+    SCHEMA = "repro.lint-baseline/1"
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as broken:
+            raise UsageError(f"unreadable baseline {path}: {broken}") from None
+        if payload.get("schema") != cls.SCHEMA:
+            raise UsageError(
+                f"baseline {path} has schema {payload.get('schema')!r}, "
+                f"expected {cls.SCHEMA!r}"
+            )
+        return cls(entries=list(payload.get("entries", [])))
+
+    def _keys(self) -> Dict[Tuple[str, str, str], dict]:
+        return {
+            (entry["rule"], entry["path"], entry["message"]): entry
+            for entry in self.entries
+        }
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[dict]]:
+        """Partition into (actionable, baselined, stale-entries)."""
+        keys = self._keys()
+        actionable: List[Finding] = []
+        baselined: List[Finding] = []
+        used: Set[Tuple[str, str, str]] = set()
+        for finding in findings:
+            key = finding.fingerprint()
+            if key in keys:
+                baselined.append(finding)
+                used.add(key)
+            else:
+                actionable.append(finding)
+        stale = [entry for key, entry in keys.items() if key not in used]
+        return actionable, baselined, stale
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], justification: str
+    ) -> "Baseline":
+        entries = [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+                "justification": justification,
+            }
+            for finding in findings
+        ]
+        return cls(entries=entries)
+
+    def dump(self, path: Path) -> None:
+        payload = {"schema": self.SCHEMA, "entries": self.entries}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced, pre-rendered for both formats."""
+
+    findings: List[Finding]
+    baselined: List[Finding]
+    stats: dict
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "repro.lint/1",
+            "findings": [finding.to_dict() for finding in self.findings],
+            "baselined": [finding.to_dict() for finding in self.baselined],
+            "stats": self.stats,
+        }
+
+
+def _validate_codes(
+    codes: Optional[Iterable[str]], known: Set[str], option: str
+) -> Optional[Set[str]]:
+    if codes is None:
+        return None
+    normalized = {code.strip().upper() for code in codes if code.strip()}
+    unknown = sorted(normalized - known - {SYNTAX_RULE})
+    if unknown:
+        raise UsageError(
+            f"{option}: unknown rule code(s) {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return normalized
+
+
+def _apply_suppressions(
+    module: ModuleSource, findings: Iterable[Finding]
+) -> Tuple[List[Finding], int]:
+    """Drop findings silenced inline; count the suppressions that fired."""
+    kept: List[Finding] = []
+    used = 0
+    for finding in findings:
+        codes = module.line_suppressions.get(finding.line, set())
+        if (
+            "all" in module.file_suppressions
+            or finding.rule in module.file_suppressions
+            or "all" in codes
+            or finding.rule in codes
+        ):
+            used += 1
+        else:
+            kept.append(finding)
+    return kept, used
+
+
+def lint_sources(
+    sources: Dict[str, str],
+    rules: Sequence[Rule],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Lint in-memory sources — the engine core (and the test seam).
+
+    ``sources`` maps project-relative posix paths to file contents; path
+    scoping (``Rule.applies_to``) works exactly as it does on disk.
+    """
+    known = {rule.code for rule in rules}
+    selected = _validate_codes(select, known, "--select")
+    ignored = _validate_codes(ignore, known, "--ignore") or set()
+
+    def active(code: str) -> bool:
+        if code in ignored:
+            return False
+        return selected is None or code in selected
+
+    modules: List[ModuleSource] = []
+    findings: List[Finding] = []
+    suppressions_used = 0
+    for path in sorted(sources):
+        try:
+            module = ModuleSource.parse(path, sources[path])
+        except SyntaxError as broken:
+            if active(SYNTAX_RULE):
+                findings.append(Finding(
+                    rule=SYNTAX_RULE,
+                    path=path,
+                    line=broken.lineno or 1,
+                    message=f"file does not parse: {broken.msg}",
+                ))
+            continue
+        modules.append(module)
+        per_file: List[Finding] = []
+        for rule in rules:
+            if isinstance(rule, ProjectRule):
+                continue
+            if active(rule.code) and rule.applies_to(path):
+                per_file.extend(rule.check(module))
+        kept, used = _apply_suppressions(module, per_file)
+        findings.extend(kept)
+        suppressions_used += used
+
+    by_path = {module.path: module for module in modules}
+    for rule in rules:
+        if not isinstance(rule, ProjectRule) or not active(rule.code):
+            continue
+        project_findings: Dict[str, List[Finding]] = {}
+        for finding in rule.check_project(modules):
+            project_findings.setdefault(finding.path, []).append(finding)
+        for path, batch in project_findings.items():
+            module = by_path.get(path)
+            if module is None:
+                findings.extend(batch)
+                continue
+            kept, used = _apply_suppressions(module, batch)
+            findings.extend(kept)
+            suppressions_used += used
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    actionable, baselined, stale = (
+        baseline.split(findings) if baseline is not None else (findings, [], [])
+    )
+
+    by_rule: Dict[str, int] = {}
+    for finding in actionable:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    stats = {
+        "files_scanned": len(sources),
+        "findings": len(actionable),
+        "findings_by_rule": dict(sorted(by_rule.items())),
+        "suppressions_used": suppressions_used,
+        "baselined": len(baselined),
+        "baseline_stale_entries": len(stale),
+    }
+    return LintReport(findings=actionable, baselined=baselined, stats=stats)
+
+
+def discover_files(paths: Sequence[Path], root: Path) -> Dict[str, Path]:
+    """Expand files/directories into ``{relative posix path: file}``."""
+    discovered: Dict[str, Path] = {}
+    for raw in paths:
+        path = raw if raw.is_absolute() else root / raw
+        if path.is_file():
+            candidates: Iterable[Path] = [path]
+        elif path.is_dir():
+            candidates = sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+                and not any(part.startswith(".") for part in candidate.parts)
+            )
+        else:
+            raise UsageError(f"no such file or directory: {raw}")
+        for candidate in candidates:
+            try:
+                key = candidate.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                key = candidate.resolve().as_posix()
+            discovered[key] = candidate
+    return discovered
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    root: Path,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Walk ``paths`` under ``root`` and lint every ``*.py`` found."""
+    files = discover_files(paths, root)
+    sources: Dict[str, str] = {}
+    for key, path in files.items():
+        try:
+            sources[key] = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as unreadable:
+            raise UsageError(f"cannot read {path}: {unreadable}") from None
+    return lint_sources(
+        sources, rules, select=select, ignore=ignore, baseline=baseline
+    )

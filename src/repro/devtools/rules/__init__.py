@@ -1,0 +1,46 @@
+"""The rule catalog: every invariant the linter enforces.
+
+Codes are grouped by theme — RPL00x determinism, RPL01x ownership,
+RPL02x resources, RPL03x error discipline, RPL04x structure.  Adding a
+rule means: implement it in the matching module, register it here, add
+one positive + one negative fixture in ``tests/devtools/``, and document
+it in DESIGN.md's "Static invariants" section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..engine import Rule
+from .determinism import GlobalRngRule, UnseededRngRule, WallClockRule
+from .discipline import BareValueErrorRule, SwallowedExceptionRule
+from .ownership import StoredAliasRule, ViewReturnRule
+from .resources import SharedMemoryScopeRule, UnmanagedResourceRule
+from .structure import ImportCycleRule, OracleParameterTupleRule
+
+_RULE_CLASSES = (
+    GlobalRngRule,
+    UnseededRngRule,
+    WallClockRule,
+    ViewReturnRule,
+    StoredAliasRule,
+    SharedMemoryScopeRule,
+    UnmanagedResourceRule,
+    BareValueErrorRule,
+    SwallowedExceptionRule,
+    ImportCycleRule,
+    OracleParameterTupleRule,
+)
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in code order."""
+    return sorted((cls() for cls in _RULE_CLASSES), key=lambda rule: rule.code)
+
+
+def rule_catalog() -> Dict[str, Dict[str, str]]:
+    """``{code: {summary, rationale}}`` for docs and ``--help`` output."""
+    return {
+        rule.code: {"summary": rule.summary, "rationale": rule.rationale}
+        for rule in all_rules()
+    }

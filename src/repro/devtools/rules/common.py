@@ -1,0 +1,116 @@
+"""Shared AST helpers for the rule catalog.
+
+Everything works on syntax alone — no imports of the scanned code, no
+type inference.  The helpers encode the project's idioms (``import numpy
+as np``, ``from ..core.errors import ConfigError``) so individual rules
+stay readable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def walk_with_stack(
+    tree: ast.AST,
+) -> Iterator[Tuple[ast.AST, Tuple[ast.AST, ...]]]:
+    """Yield ``(node, ancestors)`` pairs, outermost ancestor first."""
+    stack: List[Tuple[ast.AST, Tuple[ast.AST, ...]]] = [(tree, ())]
+    while stack:
+        node, ancestors = stack.pop()
+        yield node, ancestors
+        child_ancestors = ancestors + (node,)
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, child_ancestors))
+
+
+_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def in_function(ancestors: Tuple[ast.AST, ...]) -> bool:
+    return any(isinstance(node, _SCOPES) for node in ancestors)
+
+
+def numpy_random_prefixes(tree: ast.Module) -> Set[str]:
+    """Dotted prefixes that reach ``numpy.random`` in this module.
+
+    Covers ``import numpy``, ``import numpy as np``, and
+    ``from numpy import random [as nr]``.
+    """
+    prefixes: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    prefixes.add(f"{alias.asname or 'numpy'}.random")
+                elif alias.name == "numpy.random" and alias.asname:
+                    prefixes.add(alias.asname)
+        elif isinstance(node, ast.ImportFrom) and node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    prefixes.add(alias.asname or "random")
+    return prefixes
+
+
+def stdlib_random_names(tree: ast.Module) -> Set[str]:
+    """Names bound to the stdlib ``random`` module by a plain import."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    names.add(alias.asname or "random")
+    return names
+
+
+def imported_from(tree: ast.Module, module: str, name: str) -> Set[str]:
+    """Local names bound by ``from <module> import <name> [as alias]``."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                if alias.name == name:
+                    names.add(alias.asname or name)
+    return names
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    return dotted_name(node.func)
+
+
+def function_params(func: ast.AST) -> Set[str]:
+    """All parameter names of a FunctionDef/AsyncFunctionDef/Lambda."""
+    args = func.args
+    params = [arg.arg for arg in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        params.append(args.vararg.arg)
+    if args.kwarg:
+        params.append(args.kwarg.arg)
+    return {name for name in params if name not in ("self", "cls")}
+
+
+def handler_catches(handler: ast.ExceptHandler, exception: str) -> bool:
+    """True if an ``except`` clause names ``exception`` (directly or in a
+    tuple), or is a bare/``Exception``/``BaseException`` catch-all."""
+    node = handler.type
+    if node is None:
+        return True
+    candidates = node.elts if isinstance(node, ast.Tuple) else [node]
+    for candidate in candidates:
+        name = dotted_name(candidate)
+        if name in (exception, "Exception", "BaseException"):
+            return True
+    return False

@@ -1,0 +1,165 @@
+"""Determinism rules: all randomness flows from injected generators.
+
+The whole stack's replay story — bit-identical sharded estimates, crash
+recovery that re-synthesizes epochs, seed-cache transparency — rests on
+one discipline: every random draw comes from a ``numpy`` ``Generator``
+(or a seeded ``random.Random``) that the caller injected, never from
+process-global state, ambient entropy, or the wall clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, ModuleSource, Rule
+from .common import (
+    call_name,
+    imported_from,
+    in_function,
+    numpy_random_prefixes,
+    stdlib_random_names,
+    walk_with_stack,
+)
+
+#: numpy.random module-level samplers — the legacy global-state API
+NUMPY_GLOBAL_SAMPLERS = frozenset({
+    "seed", "random", "rand", "randn", "randint", "random_integers",
+    "random_sample", "ranf", "sample", "choice", "shuffle", "permutation",
+    "bytes", "normal", "uniform", "binomial", "poisson", "exponential",
+    "standard_normal", "standard_exponential", "beta", "gamma", "laplace",
+    "geometric", "hypergeometric", "multinomial", "lognormal", "get_state",
+    "set_state",
+})
+
+#: stdlib random module-level functions backed by the hidden global Random
+STDLIB_GLOBAL_SAMPLERS = frozenset({
+    "seed", "random", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "getrandbits", "randbytes", "triangular", "vonmisesvariate",
+})
+
+#: wall-clock reads; ``time.monotonic``/``perf_counter`` stay legal for
+#: latency metrics because they never leak into estimate payloads
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "date.today", "datetime.date.today",
+})
+
+
+class GlobalRngRule(Rule):
+    """RPL001: no process-global RNG state, no module-scope RNG calls."""
+
+    code = "RPL001"
+    summary = "randomness must flow from an injected Generator"
+    rationale = (
+        "A single np.random.* or random.* global-state call breaks replay "
+        "identity silently: sharded, resumed, and one-shot runs only stay "
+        "bit-identical because every draw comes from a seeded, injected "
+        "generator (see the two-stream RNG discipline, PR 4)."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        np_random = numpy_random_prefixes(module.tree)
+        std_random = stdlib_random_names(module.tree)
+        for node, ancestors in walk_with_stack(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None or "." not in name:
+                continue
+            prefix, _, attr = name.rpartition(".")
+            hits_numpy = prefix in np_random
+            hits_stdlib = prefix in std_random
+            if not (hits_numpy or hits_stdlib):
+                continue
+            module_label = "np.random" if hits_numpy else "random"
+            if (hits_numpy and attr in NUMPY_GLOBAL_SAMPLERS) or (
+                hits_stdlib and attr in STDLIB_GLOBAL_SAMPLERS
+            ):
+                yield self.finding(
+                    module, node,
+                    f"{module_label}.{attr}() draws from process-global RNG "
+                    f"state; take an injected np.random.Generator instead",
+                )
+            elif not in_function(ancestors):
+                # Even a seeded default_rng() at module scope is ambient
+                # state: import order decides what downstream code sees.
+                yield self.finding(
+                    module, node,
+                    f"module-level {module_label}.{attr}() call creates "
+                    f"ambient RNG state at import time; construct "
+                    f"generators inside the code path that owns them",
+                )
+
+
+class UnseededRngRule(Rule):
+    """RPL002: no unseeded generator construction outside tests."""
+
+    code = "RPL002"
+    summary = "no unseeded default_rng() / random.Random()"
+    rationale = (
+        "An unseeded generator is seeded from OS entropy, so the run can "
+        "never be replayed; write the intent down — pass a seed, or use "
+        "random.SystemRandom() where nondeterminism is the point (crypto "
+        "key generation)."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        np_random = numpy_random_prefixes(module.tree)
+        std_random = stdlib_random_names(module.tree)
+        bare_default_rng = imported_from(
+            module.tree, "numpy.random", "default_rng"
+        )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or node.args or node.keywords:
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            prefix, _, attr = name.rpartition(".")
+            if attr == "default_rng" and (
+                prefix in np_random or name in bare_default_rng
+            ):
+                yield self.finding(
+                    module, node,
+                    "default_rng() without a seed cannot be replayed; "
+                    "thread the caller's Generator or seed through",
+                )
+            elif attr == "Random" and prefix in std_random:
+                yield self.finding(
+                    module, node,
+                    "random.Random() without a seed cannot be replayed; "
+                    "pass a seed, or random.SystemRandom() if OS entropy "
+                    "is intended",
+                )
+
+
+class WallClockRule(Rule):
+    """RPL003: no wall-clock reads in library code."""
+
+    code = "RPL003"
+    summary = "no wall clock in estimate/bench-envelope paths"
+    rationale = (
+        "Estimates, flush records, and bench envelopes must be functions "
+        "of (seed, inputs) alone; wall-clock values smuggled into them "
+        "break the replay-identity tests only at comparison time.  Use "
+        "time.perf_counter() for durations — it measures, it never "
+        "labels data."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    module, node,
+                    f"{name}() reads the wall clock; derive labels from "
+                    f"the run's inputs and measure durations with "
+                    f"time.perf_counter()",
+                )

@@ -1,0 +1,131 @@
+"""Error-discipline rules: the front door speaks ConfigError, nothing
+swallows exceptions silently.
+
+PR 3 unified every misconfiguration behind ``ConfigError(field=...)`` so
+CLIs and web layers can point at the exact knob to fix; a bare
+``ValueError`` raised from a front-door module regresses that contract
+three layers away from where anyone notices.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from ..engine import Finding, ModuleSource, Rule
+from .common import dotted_name, handler_catches, walk_with_stack
+
+
+def _locally_caught(
+    raise_node: ast.Raise, ancestors: Tuple[ast.AST, ...], exception: str
+) -> bool:
+    """True when the raise is inside a ``try`` whose handlers catch it.
+
+    That is the parse-and-reject idiom (``int(text)`` + ``raise
+    ValueError`` + ``except ValueError: raise HttpError(...)``) — local
+    control flow, not an escaping exception.  A raise *inside one of the
+    handlers* does escape, so the walk stops crediting a Try once an
+    ExceptHandler sits between it and the raise.
+    """
+    chain = ancestors + (raise_node,)
+    for index, node in enumerate(chain):
+        if not isinstance(node, ast.Try):
+            continue
+        successor = chain[index + 1] if index + 1 < len(chain) else None
+        if successor is None or not any(
+            successor is statement for statement in node.body
+        ):
+            # In a handler / else / finally of this try: escapes it.
+            continue
+        if any(handler_catches(handler, exception) for handler in node.handlers):
+            return True
+    return False
+
+
+class BareValueErrorRule(Rule):
+    """RPL030: front-door modules raise ConfigError, not bare ValueError."""
+
+    code = "RPL030"
+    summary = "api//cli.py/server/ raise ConfigError(field=...), not ValueError"
+    rationale = (
+        "ConfigError names the offending field, so every surface (CLI "
+        "exit 2, HTTP 400 payloads) stays actionable; a bare ValueError "
+        "from a front-door module surfaces as an anonymous 500 or a "
+        "traceback.  Locally-caught parse-helper raises are exempt."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return (
+            "/api/" in path
+            or "/server/" in path
+            or path.endswith("cli.py")
+        )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node, ancestors in walk_with_stack(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            if isinstance(exc, ast.Call):
+                name = dotted_name(exc.func)
+            else:
+                name = dotted_name(exc)
+            if name != "ValueError":
+                continue
+            if _locally_caught(node, ancestors, "ValueError"):
+                continue
+            yield self.finding(
+                module, node,
+                "bare ValueError escaping a front-door module; raise "
+                "ConfigError(field=..., message=...) so callers can name "
+                "the knob to fix",
+            )
+
+
+class SwallowedExceptionRule(Rule):
+    """RPL031: no except-and-swallow of broad exception classes."""
+
+    code = "RPL031"
+    summary = "no `except Exception: pass`"
+    rationale = (
+        "Swallowing Exception hides budget-accounting and persistence "
+        "failures until estimates are silently wrong; narrow the type "
+        "(an `except TypeError: pass` probe is fine) or record the "
+        "failure before continuing."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                broad = True
+            else:
+                candidates = (
+                    node.type.elts
+                    if isinstance(node.type, ast.Tuple)
+                    else [node.type]
+                )
+                broad = any(
+                    dotted_name(candidate) in ("Exception", "BaseException")
+                    for candidate in candidates
+                )
+            if not broad:
+                continue
+            body_is_noop = all(
+                isinstance(statement, ast.Pass)
+                or (
+                    isinstance(statement, ast.Expr)
+                    and isinstance(statement.value, ast.Constant)
+                )
+                for statement in node.body
+            )
+            if body_is_noop:
+                caught = (
+                    dotted_name(node.type) if node.type is not None else "all"
+                )
+                yield self.finding(
+                    module, node,
+                    f"except {caught}: pass swallows every failure on this "
+                    f"path; catch the specific exception or handle it",
+                )

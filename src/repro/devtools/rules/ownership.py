@@ -1,0 +1,166 @@
+"""Ownership rules: no aliasing of caller arrays across API boundaries.
+
+PR 4 exists because ``ReportBuffer`` once handed out ``FlushBatch``
+views of caller arrays — a later in-place edit by the caller silently
+corrupted batches already queued for release.  The fix (owned read-only
+copies) is a convention the type system cannot enforce; these rules
+pin it where it matters most, the ``service/`` layer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from ..engine import Finding, ModuleSource, Rule
+from .common import dotted_name, function_params, walk_with_stack
+
+#: ndarray methods that return views of the receiver
+VIEW_METHODS = frozenset({
+    "view", "reshape", "transpose", "swapaxes", "diagonal",
+})
+
+_FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _innermost_function(
+    ancestors: Tuple[ast.AST, ...]
+) -> Optional[ast.AST]:
+    for node in reversed(ancestors):
+        if isinstance(node, _FUNCTIONS):
+            return node
+    return None
+
+
+def _has_slice(subscript: ast.Subscript) -> bool:
+    index = subscript.slice
+    if isinstance(index, ast.Slice):
+        return True
+    return isinstance(index, ast.Tuple) and any(
+        isinstance(element, ast.Slice) for element in index.elts
+    )
+
+
+class ViewReturnRule(Rule):
+    """RPL010: never return a slice/view of a parameter array."""
+
+    code = "RPL010"
+    summary = "service/ functions must not return views of parameters"
+    rationale = (
+        "A returned slice shares memory with the caller's array: the "
+        "caller mutates, the retained batch changes, estimates silently "
+        "corrupt (the exact PR-4 ReportBuffer bug).  Return an owned "
+        "``.copy()`` — or np.array(...) — instead."
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return "/service/" in path
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node, ancestors in walk_with_stack(module.tree):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            function = _innermost_function(ancestors)
+            if function is None:
+                continue
+            params = function_params(function)
+            value = node.value
+            if (
+                isinstance(value, ast.Subscript)
+                and isinstance(value.value, ast.Name)
+                and value.value.id in params
+                and _has_slice(value)
+            ):
+                yield self.finding(
+                    module, node,
+                    f"returns a slice of parameter {value.value.id!r} — a "
+                    f"view sharing the caller's memory; return "
+                    f"{value.value.id}[...].copy() to transfer ownership",
+                )
+            elif (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in VIEW_METHODS
+                and isinstance(value.func.value, ast.Name)
+                and value.func.value.id in params
+            ):
+                yield self.finding(
+                    module, node,
+                    f"returns {value.func.value.id}.{value.func.attr}(...) — "
+                    f"a view of a parameter array; copy before returning",
+                )
+
+
+def _asarray_of_param(value: ast.AST, params: Set[str]) -> Optional[str]:
+    """The parameter name when ``value`` is ``np.asarray(<param>, ...)``."""
+    if not isinstance(value, ast.Call) or not value.args:
+        return None
+    name = dotted_name(value.func)
+    if name is None or name.rpartition(".")[2] != "asarray":
+        return None
+    first = value.args[0]
+    if isinstance(first, ast.Name) and first.id in params:
+        return first.id
+    return None
+
+
+def _setflags_targets(function: ast.AST) -> Set[str]:
+    """Attributes frozen via ``self.<attr>.setflags(...)`` in this body."""
+    frozen: Set[str] = set()
+    for node in ast.walk(function):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "setflags"
+            and isinstance(node.func.value, ast.Attribute)
+            and isinstance(node.func.value.value, ast.Name)
+            and node.func.value.value.id == "self"
+        ):
+            frozen.add(node.func.value.attr)
+    return frozen
+
+
+class StoredAliasRule(Rule):
+    """RPL011: don't store caller arrays on ``self`` via bare asarray."""
+
+    code = "RPL011"
+    summary = "no self.<attr> = np.asarray(param) without copy/freeze"
+    rationale = (
+        "np.asarray is a no-op on an ndarray input, so the object retains "
+        "a writable alias of the caller's buffer for its whole lifetime. "
+        "Copy (np.array / .copy()) to own it, or setflags(writeable=False) "
+        "to freeze the shared view visibly."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for function in ast.walk(module.tree):
+            if not isinstance(function, _FUNCTIONS):
+                continue
+            params = function_params(function)
+            if not params:
+                continue
+            frozen = _setflags_targets(function)
+            for node in ast.walk(function):
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                param = _asarray_of_param(node.value, params)
+                if param is None:
+                    continue
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and target.attr not in frozen
+                    ):
+                        yield self.finding(
+                            module, node,
+                            f"self.{target.attr} = np.asarray({param}) "
+                            f"retains a writable alias of the caller's "
+                            f"array; use np.array({param}) (a copy) or "
+                            f"freeze it with setflags(writeable=False)",
+                        )

@@ -1,0 +1,194 @@
+"""Resource rules: nothing heavyweight leaks when a code path dies.
+
+PR 7's shared-memory pool earns an empty ``/dev/shm`` even after a
+worker SIGKILL because every segment is created inside a pool whose
+``close()`` unlinks unconditionally; PR 6's sqlite store and PR 4's
+process pool have the same shape.  These rules keep new call sites from
+quietly regressing that discipline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ..engine import Finding, ModuleSource, Rule
+from .common import dotted_name, walk_with_stack
+
+_FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef)
+_MANAGED_METHODS = frozenset({"shutdown", "close", "terminate"})
+
+
+def _enclosing(
+    ancestors: Tuple[ast.AST, ...], kinds
+) -> Optional[ast.AST]:
+    for node in reversed(ancestors):
+        if isinstance(node, kinds):
+            return node
+    return None
+
+
+def _in_try_finally(ancestors: Tuple[ast.AST, ...]) -> bool:
+    return any(
+        isinstance(node, ast.Try) and node.finalbody for node in ancestors
+    )
+
+
+def _in_with(ancestors: Tuple[ast.AST, ...]) -> bool:
+    return any(isinstance(node, ast.withitem) for node in ancestors)
+
+
+def _self_attr_method_called(scope: ast.AST, attr: str) -> bool:
+    """``self.<attr>.close()`` / ``.shutdown()`` anywhere in ``scope``."""
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MANAGED_METHODS
+            and isinstance(node.func.value, ast.Attribute)
+            and node.func.value.attr == attr
+            and isinstance(node.func.value.value, ast.Name)
+            and node.func.value.value.id == "self"
+        ):
+            return True
+    return False
+
+
+def _name_method_called(scope: ast.AST, name: str) -> bool:
+    """``<name>.close()`` / ``.shutdown()`` or ``closing(<name>)``."""
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Call):
+            continue
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MANAGED_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+        ):
+            return True
+        called = dotted_name(node.func)
+        if (
+            called is not None
+            and called.rpartition(".")[2] == "closing"
+            and any(
+                isinstance(arg, ast.Name) and arg.id == name
+                for arg in node.args
+            )
+        ):
+            return True
+    return False
+
+
+def _assignment_target(
+    node: ast.Call, ancestors: Tuple[ast.AST, ...]
+) -> Optional[ast.AST]:
+    """The single assignment target when the call is an Assign's value."""
+    parent = ancestors[-1] if ancestors else None
+    if (
+        isinstance(parent, ast.Assign)
+        and parent.value is node
+        and len(parent.targets) == 1
+    ):
+        return parent.targets[0]
+    return None
+
+
+class SharedMemoryScopeRule(Rule):
+    """RPL020: SharedMemory(create=True) only in managed scopes."""
+
+    code = "RPL020"
+    summary = "SharedMemory(create=True) needs try/finally or a pool"
+    rationale = (
+        "A created segment survives the process in /dev/shm until "
+        "someone unlinks it; PR 7's leak-regression test only holds "
+        "because creation happens inside SharedMemoryPool, whose close() "
+        "unlinks every segment ever created.  Create segments through "
+        "the pool, or at minimum inside try/finally."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node, ancestors in walk_with_stack(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None or name.rpartition(".")[2] != "SharedMemory":
+                continue
+            creates = any(
+                keyword.arg == "create"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+                for keyword in node.keywords
+            )
+            if not creates:
+                continue
+            owner_class = _enclosing(ancestors, ast.ClassDef)
+            pool_managed = owner_class is not None and "Pool" in owner_class.name
+            if pool_managed or _in_try_finally(ancestors) or _in_with(ancestors):
+                continue
+            yield self.finding(
+                module, node,
+                "SharedMemory(create=True) outside a try/finally, with "
+                "block, or *Pool class — the segment outlives a crash in "
+                "/dev/shm; allocate through SharedMemoryPool instead",
+            )
+
+
+class UnmanagedResourceRule(Rule):
+    """RPL021: executors and sqlite connections must be closed on all paths."""
+
+    code = "RPL021"
+    summary = "ProcessPoolExecutor/sqlite3.connect need with/shutdown/close"
+    rationale = (
+        "A leaked executor strands spawn workers past interpreter exit; "
+        "a leaked sqlite connection holds the WAL and blocks the next "
+        "writer for busy_timeout.  Use a context manager, or store the "
+        "handle somewhere a close()/shutdown() call demonstrably reaches."
+    )
+
+    _TRACKED_SUFFIXES = ("ProcessPoolExecutor",)
+    _TRACKED_DOTTED = ("sqlite3.connect",)
+
+    def _tracked(self, name: Optional[str]) -> Optional[str]:
+        if name is None:
+            return None
+        tail = name.rpartition(".")[2]
+        if tail in self._TRACKED_SUFFIXES:
+            return tail
+        if name in self._TRACKED_DOTTED:
+            return name
+        return None
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node, ancestors in walk_with_stack(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            label = self._tracked(dotted_name(node.func))
+            if label is None:
+                continue
+            if _in_with(ancestors):
+                continue
+            target = _assignment_target(node, ancestors)
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                owner = _enclosing(ancestors, ast.ClassDef)
+                if owner is not None and _self_attr_method_called(
+                    owner, target.attr
+                ):
+                    continue
+                holder = f"self.{target.attr}"
+            elif isinstance(target, ast.Name):
+                scope = _enclosing(ancestors, _FUNCTIONS) or module.tree
+                if _name_method_called(scope, target.id):
+                    continue
+                holder = target.id
+            else:
+                holder = None
+            where = f" stored in {holder}" if holder else ""
+            yield self.finding(
+                module, node,
+                f"{label}(...){where} has no reachable close()/shutdown() "
+                f"— use a with block or close it explicitly on every path",
+            )

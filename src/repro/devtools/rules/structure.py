@@ -1,0 +1,256 @@
+"""Structural rules: package layering and oracle merge compatibility.
+
+The ``repro.*`` subpackages form a deliberate DAG (core at the bottom,
+api/server at the top); a top-level import cycle turns import order into
+behavior.  And ``IncrementalAggregator.merge`` gates shard merges on
+``FrequencyOracle.parameter_tuple()`` — an oracle that changes how
+counts are computed without extending that tuple lets incompatible
+shards merge into silently biased estimates (the PR-4/5 lesson).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..engine import Finding, ModuleSource, ProjectRule, Rule
+
+
+def _repro_module_name(path: str) -> Optional[str]:
+    """``src/repro/service/pipeline.py`` -> ``repro.service.pipeline``."""
+    parts = path.split("/")
+    if "repro" not in parts:
+        return None
+    parts = parts[parts.index("repro"):]
+    if not parts[-1].endswith(".py"):
+        return None
+    parts[-1] = parts[-1][:-3]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _top_package(module_name: str) -> str:
+    """The cycle-graph node: ``repro.<first component>``."""
+    parts = module_name.split(".")
+    return ".".join(parts[:2]) if len(parts) > 1 else parts[0]
+
+
+def _resolve_relative(
+    module_name: str, is_package: bool, level: int, target: Optional[str]
+) -> Optional[str]:
+    """Absolute module named by ``from <level dots><target> import ...``."""
+    package = module_name.split(".") if is_package else module_name.split(".")[:-1]
+    if level - 1 > len(package):
+        return None
+    base = package[: len(package) - (level - 1)]
+    if target:
+        base = base + target.split(".")
+    return ".".join(base) if base else None
+
+
+class ImportCycleRule(ProjectRule):
+    """RPL040: no top-level import cycles across repro.* subpackages."""
+
+    code = "RPL040"
+    summary = "repro.* subpackages must stay an import DAG"
+    rationale = (
+        "A cross-package cycle makes behavior depend on which module "
+        "imported first (half-initialized packages, lazy-import "
+        "workarounds that rot); the layering core -> oracles/hashing -> "
+        "service -> api/server is what keeps every layer testable alone."
+    )
+
+    def check_project(
+        self, modules: Sequence[ModuleSource]
+    ) -> Iterator[Finding]:
+        #: package -> imported package -> first (module, import node)
+        edges: Dict[str, Dict[str, Tuple[ModuleSource, ast.stmt]]] = {}
+        for module in modules:
+            name = _repro_module_name(module.path)
+            if name is None:
+                continue
+            is_package = module.path.endswith("__init__.py")
+            source_pkg = _top_package(name)
+            for statement in module.tree.body:
+                targets: List[str] = []
+                if isinstance(statement, ast.Import):
+                    targets = [
+                        alias.name for alias in statement.names
+                        if alias.name.split(".")[0] == "repro"
+                    ]
+                elif isinstance(statement, ast.ImportFrom):
+                    if statement.level:
+                        resolved = _resolve_relative(
+                            name, is_package, statement.level, statement.module
+                        )
+                        if resolved and resolved.split(".")[0] == "repro":
+                            targets = [resolved]
+                    elif (
+                        statement.module
+                        and statement.module.split(".")[0] == "repro"
+                    ):
+                        targets = [statement.module]
+                for target in targets:
+                    target_pkg = _top_package(target)
+                    if target_pkg == source_pkg:
+                        continue
+                    edges.setdefault(source_pkg, {}).setdefault(
+                        target_pkg, (module, statement)
+                    )
+
+        for cycle in _cycles({k: set(v) for k, v in edges.items()}):
+            loop = " -> ".join(cycle + (cycle[0],))
+            for index, source_pkg in enumerate(cycle):
+                target_pkg = cycle[(index + 1) % len(cycle)]
+                witness = edges.get(source_pkg, {}).get(target_pkg)
+                if witness is None:
+                    continue
+                module, statement = witness
+                yield self.finding(
+                    module, statement,
+                    f"top-level import of {target_pkg} closes the package "
+                    f"cycle {loop}; move the import inside the function "
+                    f"that needs it or push the shared code down a layer",
+                )
+
+
+def _cycles(graph: Dict[str, Set[str]]) -> List[Tuple[str, ...]]:
+    """Strongly connected components of size > 1, as ordered cycles."""
+    index_of: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[Tuple[str, ...]] = []
+    counter = [0]
+
+    def strongconnect(node: str) -> None:
+        index_of[node] = lowlink[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for neighbor in sorted(graph.get(node, ())):
+            if neighbor not in graph and neighbor not in index_of:
+                continue
+            if neighbor not in index_of:
+                strongconnect(neighbor)
+                lowlink[node] = min(lowlink[node], lowlink[neighbor])
+            elif neighbor in on_stack:
+                lowlink[node] = min(lowlink[node], index_of[neighbor])
+        if lowlink[node] == index_of[node]:
+            component: List[str] = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            if len(component) > 1:
+                sccs.append(tuple(reversed(component)))
+
+    for node in sorted(graph):
+        if node not in index_of:
+            strongconnect(node)
+    return sccs
+
+
+def _suspicious_init_attrs(init: ast.FunctionDef) -> List[str]:
+    """Public ``self.<attr>`` assignments that look non-scalar.
+
+    The base ``parameter_tuple`` collects only public *scalar*
+    attributes, so anything else stored on ``self`` — a bare parameter
+    pass-through, a constructed object (capitalized call), a container
+    literal, an array — silently drops out of merge gating.  Scalar
+    coercions (``int(...)``, ``float(...)``, arithmetic, lowercase
+    helper calls) are assumed safe.
+    """
+
+    def suspicious(value: ast.AST) -> bool:
+        if isinstance(value, ast.Name):
+            return True  # bare pass-through: scalarness is the caller's whim
+        if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.Tuple)):
+            return True
+        if isinstance(value, ast.Call):
+            func = value.func
+            tail = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else ""
+            )
+            if tail[:1].isupper():
+                return True  # constructor: an object lands on self
+            if tail in ("asarray", "array", "zeros", "ones", "empty", "full"):
+                return True
+            return False
+        if isinstance(value, ast.IfExp):
+            return suspicious(value.body) or suspicious(value.orelse)
+        if isinstance(value, ast.BoolOp):
+            return any(suspicious(operand) for operand in value.values)
+        return False
+
+    attrs: List[str] = []
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and not target.attr.startswith("_")
+            and suspicious(node.value)
+        ):
+            attrs.append(target.attr)
+    return attrs
+
+
+class OracleParameterTupleRule(Rule):
+    """RPL041: support_counts overriders with object state must extend
+    parameter_tuple."""
+
+    code = "RPL041"
+    summary = "support_counts override + object state needs parameter_tuple"
+    rationale = (
+        "merge() refuses incompatible shards by comparing "
+        "parameter_tuple(); the default tuple sees only public scalars, "
+        "so an oracle that counts differently because of a stored object "
+        "(hash family, lookup table) merges with a mismatched twin and "
+        "biases estimates without an error."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            base_names = [
+                base.id if isinstance(base, ast.Name) else (
+                    base.attr if isinstance(base, ast.Attribute) else ""
+                )
+                for base in node.bases
+            ]
+            if not any(name.endswith("Oracle") for name in base_names):
+                continue
+            methods = {
+                stmt.name
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "support_counts" not in methods or "parameter_tuple" in methods:
+                continue
+            init = next(
+                (
+                    stmt for stmt in node.body
+                    if isinstance(stmt, ast.FunctionDef)
+                    and stmt.name == "__init__"
+                ),
+                None,
+            )
+            if init is None:
+                continue
+            attrs = _suspicious_init_attrs(init)
+            if attrs:
+                yield self.finding(
+                    module, node,
+                    f"{node.name} overrides support_counts and stores "
+                    f"non-scalar state ({', '.join(sorted(set(attrs)))}) "
+                    f"but not parameter_tuple; extend parameter_tuple so "
+                    f"merge() can refuse incompatible shards",
+                )

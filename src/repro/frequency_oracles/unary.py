@@ -57,9 +57,11 @@ class SymmetricUnaryEncoding(FrequencyOracle):
             raise ValueError(f"flip probability must be in (0, 0.5), got {flip_prob}")
         self.flip_prob = float(flip_prob)
         # Per-location keep/fake probabilities: a 1-bit stays 1 w.p. p,
-        # a 0-bit becomes 1 w.p. q.
-        self.p = 1.0 - flip_prob
-        self.q = flip_prob
+        # a 0-bit becomes 1 w.p. q.  Coerced floats, so both always show
+        # up in the default parameter_tuple() merge gate — a numpy scalar
+        # passed through bare would silently drop out (RPL041).
+        self.p = 1.0 - self.flip_prob
+        self.q = self.flip_prob
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(d={self.d}, flip_prob={self.flip_prob:.6f})"

@@ -712,7 +712,9 @@ class ShardedPipeline(PipelinePersistenceMixin):
                 f"got {len(submitted_values)}"
             )
         if not self.released_spans:
-            return submitted_values[:0]
+            # Owned empty result, not a zero-length view that would pin
+            # the caller's buffer alive (RPL010).
+            return submitted_values[:0].copy()
         return np.concatenate(
             [submitted_values[start:stop] for start, stop in self.released_spans]
         )

@@ -1,0 +1,237 @@
+"""Engine-level tests: suppressions, baselines, filtering, CLI exit codes."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.devtools import Baseline, all_rules, lint_sources
+from repro.devtools.cli import main
+from repro.devtools.config import find_project_root, load_config
+from repro.devtools.engine import SYNTAX_RULE, Finding, UsageError
+
+WALL_CLOCK = textwrap.dedent("""
+    import time
+
+    def stamp():
+        return time.time()
+""")
+
+TWO_RULES = textwrap.dedent("""
+    import random
+    import time
+
+    def noisy():
+        return random.Random(), time.time()
+""")
+
+PATH = "src/repro/core/module.py"
+
+
+def lint_one(source, **kwargs):
+    return lint_sources({PATH: source}, all_rules(), **kwargs)
+
+
+# -- inline suppressions ------------------------------------------------------
+
+def test_line_suppression_silences_and_is_counted():
+    suppressed = WALL_CLOCK.replace(
+        "time.time()", "time.time()  # repro-lint: disable=RPL003"
+    )
+    report = lint_one(suppressed)
+    assert report.clean
+    assert report.stats["suppressions_used"] == 1
+
+
+def test_line_suppression_is_line_scoped():
+    report = lint_one(
+        "# repro-lint: disable=RPL003\n" + WALL_CLOCK
+    )
+    assert [finding.rule for finding in report.findings] == ["RPL003"]
+    assert report.stats["suppressions_used"] == 0
+
+
+def test_file_suppression_and_all():
+    by_file = lint_one("# repro-lint: disable-file=RPL003\n" + WALL_CLOCK)
+    assert by_file.clean
+    assert by_file.stats["suppressions_used"] == 1
+
+    all_on_line = WALL_CLOCK.replace(
+        "time.time()", "time.time()  # repro-lint: disable=all"
+    )
+    assert lint_one(all_on_line).clean
+
+
+def test_suppression_inside_string_literal_is_inert():
+    report = lint_one(
+        WALL_CLOCK.replace(
+            "return time.time()",
+            'note = "# repro-lint: disable=RPL003"\n    return time.time()',
+        )
+    )
+    assert [finding.rule for finding in report.findings] == ["RPL003"]
+
+
+# -- select / ignore ----------------------------------------------------------
+
+def test_select_runs_only_named_rules():
+    report = lint_one(TWO_RULES, select=["RPL003"])
+    assert [finding.rule for finding in report.findings] == ["RPL003"]
+
+
+def test_ignore_drops_named_rules():
+    report = lint_one(TWO_RULES, ignore=["rpl003"])
+    assert [finding.rule for finding in report.findings] == ["RPL002"]
+
+
+def test_unknown_code_is_a_usage_error():
+    with pytest.raises(UsageError, match="RPL999"):
+        lint_one(TWO_RULES, select=["RPL999"])
+    with pytest.raises(UsageError, match="--ignore"):
+        lint_one(TWO_RULES, ignore=["RPL998"])
+
+
+# -- syntax failures ----------------------------------------------------------
+
+def test_unparseable_file_yields_syntax_finding():
+    report = lint_sources({PATH: "def broken(:\n"}, all_rules())
+    assert [finding.rule for finding in report.findings] == [SYNTAX_RULE]
+    assert "does not parse" in report.findings[0].message
+
+
+# -- baseline round-trip ------------------------------------------------------
+
+def test_baseline_round_trip(tmp_path):
+    first = lint_one(WALL_CLOCK)
+    assert not first.clean
+
+    baseline = Baseline.from_findings(first.findings, justification="legacy")
+    baseline_path = tmp_path / "baseline.json"
+    baseline.dump(baseline_path)
+    reloaded = Baseline.load(baseline_path)
+    assert reloaded.entries == baseline.entries
+    assert all(entry["justification"] == "legacy" for entry in reloaded.entries)
+
+    second = lint_one(WALL_CLOCK, baseline=reloaded)
+    assert second.clean
+    assert second.stats["baselined"] == 1
+    assert second.stats["baseline_stale_entries"] == 0
+
+
+def test_baseline_survives_line_moves_but_reports_stale_entries():
+    report = lint_one(WALL_CLOCK)
+    baseline = Baseline.from_findings(report.findings, justification="legacy")
+
+    moved = lint_one("\n\n\n" + WALL_CLOCK, baseline=baseline)
+    assert moved.clean and moved.stats["baselined"] == 1
+
+    fixed = lint_one(
+        WALL_CLOCK.replace("time.time()", "time.perf_counter()"),
+        baseline=baseline,
+    )
+    assert fixed.clean
+    assert fixed.stats["baseline_stale_entries"] == 1
+
+
+def test_baseline_rejects_foreign_schema(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({"schema": "something-else/9", "entries": []}))
+    with pytest.raises(UsageError, match="schema"):
+        Baseline.load(bad)
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert Baseline.load(tmp_path / "absent.json").entries == []
+
+
+# -- report shape -------------------------------------------------------------
+
+def test_report_dict_schema_and_stats():
+    report = lint_one(TWO_RULES)
+    payload = report.to_dict()
+    assert payload["schema"] == "repro.lint/1"
+    assert {f["rule"] for f in payload["findings"]} == {"RPL002", "RPL003"}
+    assert payload["baselined"] == []
+    stats = payload["stats"]
+    assert stats["files_scanned"] == 1
+    assert stats["findings"] == 2
+    assert stats["findings_by_rule"] == {"RPL002": 1, "RPL003": 1}
+    assert set(stats) == {
+        "files_scanned", "findings", "findings_by_rule",
+        "suppressions_used", "baselined", "baseline_stale_entries",
+    }
+
+
+def test_fingerprint_excludes_line():
+    early = Finding(rule="RPL003", path=PATH, line=4, message="wall clock")
+    late = Finding(rule="RPL003", path=PATH, line=40, message="wall clock")
+    assert early.fingerprint() == late.fingerprint()
+
+
+# -- CLI ----------------------------------------------------------------------
+
+@pytest.fixture
+def project(tmp_path, monkeypatch):
+    """A throwaway project root with one violating module."""
+    (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""
+        [tool.repro-lint]
+        paths = ["src"]
+        baseline = "lint-baseline.json"
+    """))
+    module = tmp_path / "src" / "pkg" / "module.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(WALL_CLOCK)
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_cli_reports_findings_with_exit_1(project, capsys):
+    assert main(["--format", "text", "--stats"]) == 1
+    out = capsys.readouterr().out
+    assert "src/pkg/module.py:5: RPL003" in out
+    assert "lint: 1 file(s) scanned, 1 finding(s) [RPL003=1]" in out
+
+
+def test_cli_json_embeds_stats(project, capsys):
+    assert main(["--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro.lint/1"
+    assert payload["stats"]["findings_by_rule"] == {"RPL003": 1}
+
+
+def test_cli_exit_0_when_clean(project, capsys):
+    assert main(["--ignore", "RPL003"]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_cli_exit_2_on_usage_error(project, capsys):
+    assert main(["--select", "RPL999"]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_cli_write_baseline_then_clean(project, capsys):
+    assert main(["--write-baseline"]) == 0
+    written = json.loads((project / "lint-baseline.json").read_text())
+    assert written["schema"] == Baseline.SCHEMA
+    assert len(written["entries"]) == 1
+    capsys.readouterr()
+    assert main([]) == 0
+
+
+def test_cli_select_comma_and_repeat(project, capsys):
+    assert main(["--select", "RPL001,RPL002", "--select", "RPL010"]) == 0
+    capsys.readouterr()
+    assert main(["--select", "RPL003"]) == 1
+
+
+# -- config -------------------------------------------------------------------
+
+def test_find_project_root_walks_up(project):
+    nested = project / "src" / "pkg"
+    assert find_project_root(nested) == project
+
+
+def test_load_config_reads_pyproject(project):
+    config = load_config(project)
+    assert config.paths == ["src"]
+    assert config.baseline == "lint-baseline.json"

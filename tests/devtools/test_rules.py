@@ -1,0 +1,410 @@
+"""One positive + one negative fixture per lint rule.
+
+Fixtures are inline sources compiled through the engine's
+:func:`lint_sources` seam — no dependence on repository state, so a rule
+regression is attributable to the rule, never to drift in ``src/``.
+"""
+
+import textwrap
+
+from repro.devtools import all_rules, lint_sources
+
+
+def codes(sources):
+    """Rule codes found when linting ``sources`` (path -> source)."""
+    prepared = {
+        path: textwrap.dedent(source) for path, source in sources.items()
+    }
+    report = lint_sources(prepared, all_rules())
+    return [finding.rule for finding in report.findings]
+
+
+def check_one(path, source):
+    return codes({path: source})
+
+
+SERVICE = "src/repro/service/module.py"
+CORE = "src/repro/core/module.py"
+API = "src/repro/api/module.py"
+
+
+# -- RPL001: global RNG state -------------------------------------------------
+
+def test_rpl001_flags_global_sampler():
+    found = check_one(CORE, """
+        import numpy as np
+
+        def sample():
+            return np.random.randint(0, 10)
+    """)
+    assert found == ["RPL001"]
+
+
+def test_rpl001_flags_module_level_rng_construction():
+    found = check_one(CORE, """
+        import numpy as np
+
+        RNG = np.random.default_rng(2020)
+    """)
+    assert found == ["RPL001"]
+
+
+def test_rpl001_flags_stdlib_global_sampler():
+    found = check_one(CORE, """
+        import random
+
+        def sample():
+            return random.randrange(10)
+    """)
+    assert found == ["RPL001"]
+
+
+def test_rpl001_accepts_injected_generator():
+    found = check_one(CORE, """
+        import numpy as np
+
+        def sample(rng: np.random.Generator):
+            local = np.random.default_rng(7)
+            return rng.integers(0, 10) + local.integers(0, 10)
+    """)
+    assert found == []
+
+
+# -- RPL002: unseeded generators ---------------------------------------------
+
+def test_rpl002_flags_unseeded_default_rng():
+    found = check_one(CORE, """
+        import numpy as np
+
+        def make():
+            return np.random.default_rng()
+    """)
+    assert found == ["RPL002"]
+
+
+def test_rpl002_flags_unseeded_stdlib_random():
+    found = check_one(CORE, """
+        import random
+
+        def make():
+            return random.Random()
+    """)
+    assert found == ["RPL002"]
+
+
+def test_rpl002_accepts_seeded_and_system_random():
+    found = check_one(CORE, """
+        import random
+
+        import numpy as np
+
+        def make(seed):
+            return np.random.default_rng(seed), random.SystemRandom()
+    """)
+    assert found == []
+
+
+# -- RPL003: wall clock -------------------------------------------------------
+
+def test_rpl003_flags_wall_clock():
+    found = check_one(CORE, """
+        import time
+
+        def stamp(record):
+            record["at"] = time.time()
+            return record
+    """)
+    assert found == ["RPL003"]
+
+
+def test_rpl003_accepts_perf_counter():
+    found = check_one(CORE, """
+        import time
+
+        def measure(work):
+            started = time.perf_counter()
+            work()
+            return time.perf_counter() - started
+    """)
+    assert found == []
+
+
+# -- RPL010: returned views ---------------------------------------------------
+
+def test_rpl010_flags_returned_parameter_slice():
+    found = check_one(SERVICE, """
+        def head(values, k):
+            return values[:k]
+    """)
+    assert found == ["RPL010"]
+
+
+def test_rpl010_flags_returned_view_method():
+    found = check_one(SERVICE, """
+        def flat(values):
+            return values.reshape(-1)
+    """)
+    assert found == ["RPL010"]
+
+
+def test_rpl010_accepts_copied_slice():
+    found = check_one(SERVICE, """
+        def head(values, k):
+            return values[:k].copy()
+    """)
+    assert found == []
+
+
+def test_rpl010_scoped_to_service():
+    found = check_one(CORE, """
+        def head(values, k):
+            return values[:k]
+    """)
+    assert found == []
+
+
+# -- RPL011: stored aliases ---------------------------------------------------
+
+def test_rpl011_flags_bare_asarray_on_self():
+    found = check_one(CORE, """
+        import numpy as np
+
+        class Holder:
+            def __init__(self, values):
+                self.values = np.asarray(values)
+    """)
+    assert found == ["RPL011"]
+
+
+def test_rpl011_accepts_copy_or_frozen_view():
+    found = check_one(CORE, """
+        import numpy as np
+
+        class Holder:
+            def __init__(self, values, weights):
+                self.values = np.array(values)
+                self.weights = np.asarray(weights)
+                self.weights.setflags(writeable=False)
+    """)
+    assert found == []
+
+
+# -- RPL020: shared-memory scope ----------------------------------------------
+
+def test_rpl020_flags_unmanaged_segment_creation():
+    found = check_one(CORE, """
+        from multiprocessing import shared_memory
+
+        def allocate(nbytes):
+            segment = shared_memory.SharedMemory(
+                name="seg", create=True, size=nbytes
+            )
+            return segment
+    """)
+    assert found == ["RPL020"]
+
+
+def test_rpl020_accepts_pool_and_try_finally():
+    found = check_one(CORE, """
+        from multiprocessing import shared_memory
+
+        class SegmentPool:
+            def allocate(self, nbytes):
+                segment = shared_memory.SharedMemory(
+                    name="seg", create=True, size=nbytes
+                )
+                self._segments.append(segment)
+                return segment
+
+        def scratch(nbytes):
+            segment = None
+            try:
+                segment = shared_memory.SharedMemory(
+                    name="tmp", create=True, size=nbytes
+                )
+                return bytes(segment.buf)
+            finally:
+                if segment is not None:
+                    segment.unlink()
+    """)
+    assert found == []
+
+
+# -- RPL021: unmanaged executors/connections ----------------------------------
+
+def test_rpl021_flags_unclosed_connection():
+    found = check_one(CORE, """
+        import sqlite3
+
+        def tally(path):
+            conn = sqlite3.connect(path)
+            return conn.execute("select count(*) from t").fetchone()
+    """)
+    assert found == ["RPL021"]
+
+
+def test_rpl021_flags_executor_never_shut_down():
+    found = check_one(CORE, """
+        from concurrent.futures import ProcessPoolExecutor
+
+        class Runner:
+            def start(self):
+                self._pool = ProcessPoolExecutor(max_workers=2)
+    """)
+    assert found == ["RPL021"]
+
+
+def test_rpl021_accepts_with_block_and_reachable_close():
+    found = check_one(CORE, """
+        import sqlite3
+        from concurrent.futures import ProcessPoolExecutor
+
+        def tally(path):
+            with sqlite3.connect(path) as conn:
+                return conn.execute("select 1").fetchone()
+
+        class Runner:
+            def start(self):
+                self._pool = ProcessPoolExecutor(max_workers=2)
+
+            def close(self):
+                if self._pool is not None:
+                    self._pool.shutdown(wait=True)
+    """)
+    assert found == []
+
+
+# -- RPL030: front-door error discipline --------------------------------------
+
+def test_rpl030_flags_escaping_value_error():
+    found = check_one(API, """
+        def configure(flush_size):
+            if flush_size < 1:
+                raise ValueError("flush size must be >= 1")
+    """)
+    assert found == ["RPL030"]
+
+
+def test_rpl030_accepts_locally_caught_parse_idiom():
+    found = check_one(API, """
+        from repro.core.errors import ConfigError
+
+        def parse(text):
+            try:
+                value = int(text)
+                if value < 0:
+                    raise ValueError
+            except ValueError:
+                raise ConfigError("limit", f"bad value {text!r}") from None
+            return value
+    """)
+    assert found == []
+
+
+def test_rpl030_scoped_to_front_door():
+    found = check_one(CORE, """
+        def check(x):
+            if x < 0:
+                raise ValueError("negative")
+    """)
+    assert found == []
+
+
+# -- RPL031: swallowed exceptions ---------------------------------------------
+
+def test_rpl031_flags_except_pass():
+    found = check_one(CORE, """
+        def probe(work):
+            try:
+                work()
+            except Exception:
+                pass
+    """)
+    assert found == ["RPL031"]
+
+
+def test_rpl031_accepts_narrow_probe_and_handled_broad():
+    found = check_one(CORE, """
+        def probe(work, log):
+            try:
+                work()
+            except TypeError:
+                pass
+            try:
+                work()
+            except Exception as failure:
+                log(failure)
+    """)
+    assert found == []
+
+
+# -- RPL040: import cycles ----------------------------------------------------
+
+def test_rpl040_flags_cross_package_cycle():
+    found = codes({
+        "src/repro/alpha/one.py": "from ..beta import helper\n",
+        "src/repro/beta/two.py": "from ..alpha import helper\n",
+    })
+    assert found == ["RPL040", "RPL040"]
+
+
+def test_rpl040_accepts_dag_and_lazy_imports():
+    found = codes({
+        "src/repro/alpha/one.py": textwrap.dedent("""
+            from ..beta import helper
+        """),
+        "src/repro/beta/two.py": textwrap.dedent("""
+            def lazily():
+                from ..alpha import helper
+                return helper
+        """),
+    })
+    assert found == []
+
+
+# -- RPL041: oracle merge gating ----------------------------------------------
+
+def test_rpl041_flags_object_state_without_parameter_tuple():
+    found = check_one(CORE, """
+        class HashedOracle(FrequencyOracle):
+            def __init__(self, d, family):
+                self.family = family
+
+            def support_counts(self, reports, candidates=None):
+                return reports
+    """)
+    assert found == ["RPL041"]
+
+
+def test_rpl041_accepts_parameter_tuple_or_scalar_state():
+    found = check_one(CORE, """
+        class HashedOracle(FrequencyOracle):
+            def __init__(self, d, family):
+                self.family = family
+
+            def support_counts(self, reports, candidates=None):
+                return reports
+
+            def parameter_tuple(self):
+                return super().parameter_tuple() + (self.family.name,)
+
+        class ScalarOracle(FrequencyOracle):
+            def __init__(self, d, eps):
+                self.d = int(d)
+                self.eps = float(eps)
+
+            def support_counts(self, reports, candidates=None):
+                return reports
+    """)
+    assert found == []
+
+
+# -- catalog shape ------------------------------------------------------------
+
+def test_catalog_has_at_least_ten_documented_rules():
+    rules = all_rules()
+    assert len(rules) >= 10
+    for rule in rules:
+        assert rule.code.startswith("RPL") and len(rule.code) == 6
+        assert rule.summary and rule.rationale
+    assert len({rule.code for rule in rules}) == len(rules)

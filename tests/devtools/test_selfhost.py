@@ -1,0 +1,52 @@
+"""Self-hosting regression: the repository must pass its own linter.
+
+Runs the real CLI over ``src`` against the committed baseline, so any
+new invariant violation fails tier-1 — not just CI.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.devtools import Baseline, all_rules, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repo_lints_clean_via_cli():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", "src", "--format", "json"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, (
+        f"repro lint found violations:\n{result.stdout}\n{result.stderr}"
+    )
+    payload = json.loads(result.stdout)
+    assert payload["schema"] == "repro.lint/1"
+    assert payload["findings"] == []
+    assert payload["stats"]["files_scanned"] > 50
+
+
+def test_repo_lints_clean_via_api_with_no_stale_baseline():
+    baseline = Baseline.load(REPO_ROOT / ".repro-lint-baseline.json")
+    assert baseline.entries, "committed baseline should exist and be non-empty"
+    assert all(entry.get("justification") for entry in baseline.entries), (
+        "every baseline entry must carry a justification"
+    )
+    report = lint_paths(
+        [Path("src")], all_rules(), root=REPO_ROOT, baseline=baseline
+    )
+    assert report.clean, [finding.to_dict() for finding in report.findings]
+    # A stale entry means the grandfathered violation was fixed: the
+    # baseline must shrink with it, or it will mask a future regression.
+    assert report.stats["baseline_stale_entries"] == 0
