@@ -82,41 +82,49 @@ def _client_batches(seed, cid, epoch, batches, d):
     ]
 
 
+#: attempt-bounded backoff for the bench's 429 handling — tight caps so
+#: CI wall time stays flat, many attempts so no report is ever dropped
+_RETRY = dict(max_attempts=64, base_delay_s=0.01, max_delay_s=0.25)
+
+
+def _count_429(stats):
+    def on_retry(response, _delay_s):
+        if response.status == 429:
+            stats["n_429"] += 1
+
+    return on_retry
+
+
 async def _submit_batches(client, value_batches, recorded, latencies, stats):
     """Push one client's epoch share; 429s are retried, never dropped."""
     for values in value_batches:
-        while True:
-            started = time.perf_counter()
-            response = await client.submit(values)
-            elapsed = time.perf_counter() - started
-            if response.status == 202:
-                latencies.append(elapsed)
-                recorded.append((response.body["submit_seq"], values))
-                break
-            if response.status == 429:
-                stats["n_429"] += 1
-                retry_after = response.retry_after() or 0.05
-                await asyncio.sleep(min(retry_after, 0.05))
-                continue
+        started = time.perf_counter()
+        response = await client.request_with_retry(
+            "POST", "/api/reports",
+            {"values": [int(v) for v in values]},
+            retry_statuses=(429,), on_retry=_count_429(stats), **_RETRY,
+        )
+        elapsed = time.perf_counter() - started
+        if response.status != 202:
             raise RuntimeError(
                 f"upload refused with HTTP {response.status}: "
                 f"{response.body}"
             )
+        latencies.append(elapsed)
+        recorded.append((response.body["submit_seq"], values))
 
 
 async def _close_epoch(client, stats):
-    while True:
-        response = await client.request("POST", "/api/epochs")
-        if response.status == 200:
-            return response.body
-        if response.status == 429:
-            stats["n_429"] += 1
-            await asyncio.sleep(min(response.retry_after() or 0.05, 0.05))
-            continue
+    response = await client.request_with_retry(
+        "POST", "/api/epochs",
+        retry_statuses=(429,), on_retry=_count_429(stats), **_RETRY,
+    )
+    if response.status != 200:
         raise RuntimeError(
             f"epoch close refused with HTTP {response.status}: "
             f"{response.body}"
         )
+    return response.body
 
 
 async def _drive(host, port, n_clients, epochs, batches, seed):

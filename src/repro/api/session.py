@@ -45,6 +45,48 @@ def _resolve_rng(
     return np.random.default_rng(seed)
 
 
+def _resume_stream(store, stream_options: dict):
+    """Resume a persisted run with the layout ``stream_options`` describe.
+
+    The server's self-healing path: the deployment parameters live in
+    the store's snapshot (they must match the crashed run bit for bit),
+    while the execution layout — shards, fold backend, transport, kernel
+    knobs, fault-tolerance knobs — is re-derived from the same options
+    :meth:`ShuffleSession.serve` forwarded to the original
+    :meth:`ShuffleSession.stream` call, so the recovered pipeline runs
+    the way the operator configured it.
+    """
+    from ..service.pipeline import TelemetryPipeline
+    from ..service.sharded import ShardedPipeline
+
+    shards = int(stream_options.get("shards", 1))
+    fold_backend = stream_options.get("backend", "serial")
+    chunk_bytes = stream_options.get("chunk_bytes")
+    if chunk_bytes is not None:
+        from ..hashing.calibrate import resolve_chunk_bytes
+
+        chunk_bytes = resolve_chunk_bytes(chunk_bytes, store=store)
+    seed_cache_bytes = int(stream_options.get("seed_cache_bytes", 0))
+    if shards == 1 and fold_backend == "serial":
+        return TelemetryPipeline.resume(
+            store,
+            chunk_bytes=chunk_bytes,
+            seed_cache_bytes=seed_cache_bytes,
+        )
+    return ShardedPipeline.resume(
+        store,
+        n_shards=shards,
+        fold_backend=fold_backend,
+        workers=stream_options.get("fold_workers"),
+        transport=stream_options.get("transport", "shm"),
+        chunk_bytes=chunk_bytes,
+        seed_cache_bytes=seed_cache_bytes,
+        fold_timeout=stream_options.get("fold_timeout"),
+        max_fold_retries=int(stream_options.get("fold_retries", 2)),
+        degrade=bool(stream_options.get("degrade", True)),
+    )
+
+
 class ShuffleSession:
     """A configured deployment, ready to estimate, sweep, or stream.
 
@@ -237,6 +279,9 @@ class ShuffleSession:
         transport: str = "shm",
         chunk_bytes=None,
         seed_cache_bytes: int = 0,
+        fold_timeout: Optional[float] = None,
+        fold_retries: int = 2,
+        degrade: bool = True,
         rng: Optional[np.random.Generator] = None,
         seed: Optional[int] = None,
         crypto_rng=None,
@@ -288,6 +333,16 @@ class ShuffleSession:
         at that byte budget; ``transport`` picks how process folds
         receive payloads — zero-copy ``"shm"`` (the default) or legacy
         ``"pickle"`` (CLI: ``--no-shm``).
+
+        Fault tolerance (sharded process folding only; ignored by the
+        single-shard serial pipeline, whose folds run inline):
+        ``fold_timeout`` bounds one fold's wall time before it is
+        treated as hung, ``fold_retries`` caps consecutive retries of a
+        failed fold before the transport degrades one rung
+        (shm -> pickle -> serial), and ``degrade=False`` fails hard
+        instead of walking the ladder.  Retries and degradations never
+        change estimates — folds are pure given their sequence-keyed
+        entropy.
         """
         from ..service.backends import make_backend
         from ..service.pipeline import StreamConfig, TelemetryPipeline
@@ -300,6 +355,16 @@ class ShuffleSession:
                 "backend",
                 f"fold backend must be one of {', '.join(FOLD_BACKENDS)}, "
                 f"got {backend!r}",
+            )
+        if fold_timeout is not None and not float(fold_timeout) > 0.0:
+            raise ConfigError(
+                "fold_timeout",
+                f"must be positive seconds (or None for no timeout), "
+                f"got {fold_timeout}",
+            )
+        if int(fold_retries) < 0:
+            raise ConfigError(
+                "fold_retries", f"must be >= 0, got {fold_retries}"
             )
         if chunk_bytes is not None:
             from ..hashing.calibrate import resolve_chunk_bytes
@@ -401,6 +466,9 @@ class ShuffleSession:
             transport=transport,
             chunk_bytes=chunk_bytes,
             seed_cache_bytes=seed_cache_bytes,
+            fold_timeout=fold_timeout,
+            max_fold_retries=fold_retries,
+            degrade=degrade,
         )
 
     # -- serving -----------------------------------------------------------
@@ -414,6 +482,8 @@ class ShuffleSession:
         max_pending: int = 64,
         max_body_bytes: Optional[int] = None,
         retry_after_s: float = 1.0,
+        max_recoveries: int = 3,
+        recovery_backoff_s: float = 0.05,
         store=None,
         **stream_options,
     ):
@@ -435,6 +505,15 @@ class ShuffleSession:
         — the factory runs on the server's single ingest thread, so the
         SQLite connection is created by the thread that uses it.
 
+        A *callable* ``store`` building a durable state store also makes
+        the server self-healing: an ingest-thread crash triggers up to
+        ``max_recoveries`` bounded-backoff (``recovery_backoff_s`` base)
+        resumes from the store's write-ahead log instead of a permanent
+        503 — health reports ``degraded`` during the attempt and returns
+        to ``ok``.  A store instance or an in-memory store keeps the
+        fail-hard behavior (the broken pipeline's state cannot be
+        rebuilt), as does ``max_recoveries=0``.
+
         The server is started from async code::
 
             server = session.serve(1000, port=0, epoch_size=2000,
@@ -447,7 +526,11 @@ class ShuffleSession:
         naming the offending field — network knobs immediately, pipeline
         knobs when ``start()`` builds the pipeline.
         """
-        from ..server.app import ServerConfig, TelemetryServer
+        from ..server.app import (
+            RecoveryUnsupportedError,
+            ServerConfig,
+            TelemetryServer,
+        )
         from ..server.http import MAX_BODY_BYTES
 
         config = ServerConfig(
@@ -458,13 +541,44 @@ class ShuffleSession:
                 MAX_BODY_BYTES if max_body_bytes is None else max_body_bytes
             ),
             retry_after_s=retry_after_s,
+            max_recoveries=max_recoveries,
+            recovery_backoff_s=recovery_backoff_s,
         )
 
         def pipeline_factory():
             resolved = store() if callable(store) else store
             return self.stream(flush_size, store=resolved, **stream_options)
 
-        return TelemetryServer(pipeline_factory, config)
+        recover_factory = None
+        if callable(store):
+
+            def recover_factory():
+                from ..persistence import StateStoreError
+
+                resolved = store()
+                try:
+                    if not getattr(resolved, "durable", False):
+                        raise RecoveryUnsupportedError(
+                            "the deployment's store is not durable; "
+                            "nothing survives an ingest crash to resume "
+                            "from"
+                        )
+                    try:
+                        return _resume_stream(resolved, stream_options)
+                    except StateStoreError as unreadable:
+                        raise RecoveryUnsupportedError(
+                            f"durable store cannot be resumed: {unreadable}"
+                        ) from unreadable
+                except BaseException as failure:
+                    try:
+                        resolved.close()
+                    except Exception as close_failure:
+                        raise failure from close_failure
+                    raise
+
+        return TelemetryServer(
+            pipeline_factory, config, recover_factory=recover_factory
+        )
 
     # -- shared helpers ----------------------------------------------------
 

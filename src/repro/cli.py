@@ -189,6 +189,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if args.seed_cache_bytes is not None and args.seed_cache_bytes < 0:
         print("error: --seed-cache-bytes must be >= 0", file=sys.stderr)
         return 2
+    if args.fail_point:
+        from repro.faults import install
+
+        # Arms this process and exports REPRO_FAIL_POINTS so spawned
+        # fold workers self-arm; ConfigError -> main()'s exit 2.
+        install(args.fail_point)
     budget_epochs = (
         args.budget_epochs
         if args.budget_epochs is not None
@@ -226,6 +232,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                     transport="pickle" if args.no_shm else "shm",
                     chunk_bytes=args.chunk_bytes,
                     seed_cache_bytes=args.seed_cache_bytes or 0,
+                    fold_timeout=args.fold_timeout,
+                    fold_retries=args.fold_retries,
+                    degrade=not args.no_degrade,
                     rng=np.random.default_rng(args.seed),
                     crypto_rng=args.seed,
                     store=store,
@@ -331,6 +340,19 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             if stats["lookups"]:
                 print(f"seed cache: {stats['hits']:,}/{stats['lookups']:,} "
                       f"row hits ({stats['hit_rate']:.1%})")
+        fault_stats = getattr(pipeline, "fault_stats", None)
+        if fault_stats is not None:
+            stats = fault_stats()
+            if any(stats[k] for k in ("fold_retries", "fold_timeouts",
+                                      "worker_deaths", "pool_rebuilds",
+                                      "degradations")):
+                print(f"faults absorbed: {stats['fold_retries']} retried "
+                      f"fold(s), {stats['fold_timeouts']} timeout(s), "
+                      f"{stats['worker_deaths']} worker death(s), "
+                      f"{stats['pool_rebuilds']} pool rebuild(s)")
+                for hop in stats["degradations"]:
+                    print(f"  transport degraded {hop['from']} -> "
+                          f"{hop['to']}: {hop['reason']}")
 
         if args.estimates_out:
             payload = {
@@ -379,6 +401,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: --seed-cache-bytes must be >= 0", file=sys.stderr)
         return 2
 
+    if args.fail_point:
+        from repro.faults import install
+
+        install(args.fail_point)
+
     store_factory = None
     if args.state_db:
         from repro.persistence import SqliteStateStore
@@ -409,6 +436,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         transport="pickle" if args.no_shm else "shm",
         chunk_bytes=args.chunk_bytes,
         seed_cache_bytes=args.seed_cache_bytes or 0,
+        fold_timeout=args.fold_timeout,
+        fold_retries=args.fold_retries,
+        degrade=not args.no_degrade,
+        max_recoveries=args.max_recoveries,
         seed=args.seed,
         crypto_rng=args.seed,
     )
@@ -475,6 +506,9 @@ def _resume_stream_pipeline(args: argparse.Namespace, store):
             transport="pickle" if args.no_shm else "shm",
             chunk_bytes=chunk_bytes,
             seed_cache_bytes=seed_cache_bytes,
+            fold_timeout=args.fold_timeout,
+            max_fold_retries=args.fold_retries,
+            degrade=not args.no_degrade,
         )
     return TelemetryPipeline.resume(
         store, chunk_bytes=chunk_bytes, seed_cache_bytes=seed_cache_bytes
@@ -570,6 +604,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "zero-copy shared memory (bit-identical, slower)")
     p.add_argument("--fold-workers", type=int, default=None,
                    help="fold worker processes (default: min(shards, cores))")
+    p.add_argument("--fold-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="treat a process fold exceeding this wall time as "
+                        "hung and retry it (default: no timeout)")
+    p.add_argument("--fold-retries", type=int, default=2,
+                   help="consecutive retries of a failed fold before the "
+                        "transport degrades one rung "
+                        "(shm -> pickle -> serial)")
+    p.add_argument("--no-degrade", action="store_true",
+                   help="fail hard when the fold retry budget is spent "
+                        "instead of degrading the transport")
+    p.add_argument("--fail-point", action="append", default=None,
+                   metavar="SPEC",
+                   help="chaos testing: arm a failpoint, e.g. "
+                        "'fold.worker:kill:every=3' or "
+                        "'store.commit:raise:once' (repeatable; estimates "
+                        "stay bit-identical when the run survives)")
     p.add_argument("--state-db", default=None, metavar="PATH",
                    help="persist budget charges, the flush log, and epoch "
                         "snapshots to this SQLite file (crash-safe; "
@@ -623,6 +674,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fold-backend", choices=["serial", "process"],
                    default="serial")
     p.add_argument("--fold-workers", type=int, default=None)
+    p.add_argument("--fold-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="treat a process fold exceeding this wall time as "
+                        "hung and retry it (default: no timeout)")
+    p.add_argument("--fold-retries", type=int, default=2,
+                   help="consecutive retries of a failed fold before the "
+                        "transport degrades one rung")
+    p.add_argument("--no-degrade", action="store_true",
+                   help="fail hard when the fold retry budget is spent")
+    p.add_argument("--max-recoveries", type=int, default=3,
+                   help="ingest-crash recovery attempts from --state-db "
+                        "before the server fails hard (0 disables "
+                        "self-healing)")
+    p.add_argument("--fail-point", action="append", default=None,
+                   metavar="SPEC",
+                   help="chaos testing: arm a failpoint, e.g. "
+                        "'server.ingest:raise:at=1' (repeatable)")
     p.add_argument("--no-shm", action="store_true",
                    help="ship process-fold batches by pickling instead of "
                         "zero-copy shared memory")

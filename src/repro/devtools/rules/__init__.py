@@ -1,10 +1,11 @@
 """The rule catalog: every invariant the linter enforces.
 
 Codes are grouped by theme — RPL00x determinism, RPL01x ownership,
-RPL02x resources, RPL03x error discipline, RPL04x structure.  Adding a
-rule means: implement it in the matching module, register it here, add
-one positive + one negative fixture in ``tests/devtools/``, and document
-it in DESIGN.md's "Static invariants" section.
+RPL02x resources, RPL03x error discipline, RPL04x structure, RPL05x
+robustness.  Adding a rule means: implement it in the matching module,
+register it here, add one positive + one negative fixture in
+``tests/devtools/``, and document it in DESIGN.md's "Static invariants"
+section.
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ from .determinism import GlobalRngRule, UnseededRngRule, WallClockRule
 from .discipline import BareValueErrorRule, SwallowedExceptionRule
 from .ownership import StoredAliasRule, ViewReturnRule
 from .resources import SharedMemoryScopeRule, UnmanagedResourceRule
+from .robustness import UnboundedRetrySleepRule
 from .structure import ImportCycleRule, OracleParameterTupleRule
 
 _RULE_CLASSES = (
@@ -30,6 +32,7 @@ _RULE_CLASSES = (
     SwallowedExceptionRule,
     ImportCycleRule,
     OracleParameterTupleRule,
+    UnboundedRetrySleepRule,
 )
 
 

@@ -1,0 +1,69 @@
+"""Robustness rules: retry loops must be attempt-bounded with backoff.
+
+PR 10 built the fault-tolerance layer on one discipline: every retry is
+a *budgeted* bet — a capped number of attempts with capped exponential
+backoff — never an unbounded spin.  An unbounded ``while True: ...
+sleep(...)`` retry hides a permanently-failed dependency as liveness:
+the process looks healthy while making no progress forever, which is
+exactly the failure mode supervised folds and server self-healing were
+built to surface.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ..engine import Finding, ModuleSource, Rule
+from .common import dotted_name, walk_with_stack
+
+#: the sleep callables a retry loop parks on
+_SLEEPS = ("time.sleep", "asyncio.sleep", "sleep")
+
+
+def _nearest_loop(ancestors: Tuple[ast.AST, ...]) -> Optional[ast.AST]:
+    """The innermost loop enclosing a node, or None."""
+    for node in reversed(ancestors):
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            return node
+    return None
+
+
+def _constant_truthy(test: ast.AST) -> bool:
+    """True for ``while True`` / ``while 1`` — a loop only break exits."""
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+class UnboundedRetrySleepRule(Rule):
+    """RPL050: no sleeping inside an unbounded ``while True`` retry loop."""
+
+    code = "RPL050"
+    summary = "retry sleeps must be attempt-bounded (no `while True: sleep`)"
+    rationale = (
+        "A sleep inside `while True` is an unbounded retry: a dependency "
+        "that never recovers turns the process into a silent zombie that "
+        "burns its deadline without ever failing.  Bound the attempts "
+        "(`for attempt in range(n)`) with capped exponential backoff and "
+        "surface exhaustion to the caller, as the fold supervisor and "
+        "the server's recovery loop do.  Event loops that *wait* rather "
+        "than retry (a queue consumer parked on `await queue.get()`) "
+        "don't sleep, so they are not flagged."
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node, ancestors in walk_with_stack(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) not in _SLEEPS:
+                continue
+            loop = _nearest_loop(ancestors)
+            if loop is None or not isinstance(loop, ast.While):
+                continue
+            if not _constant_truthy(loop.test):
+                continue
+            yield self.finding(
+                module, node,
+                "sleep inside `while True` is an unbounded retry; bound "
+                "the attempts (`for attempt in range(n)`) with capped "
+                "exponential backoff and report exhaustion",
+            )

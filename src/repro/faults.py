@@ -1,0 +1,262 @@
+"""Deterministic fault injection: named failpoints with trigger schedules.
+
+Production systems earn their fault-tolerance claims by *injecting*
+faults, not by waiting for them.  This module is the repo's chaos seam:
+code under test calls :func:`fail_point` at the places that historically
+kill a run — the parent's shared-memory write (``"shm.write"``), the
+fold worker's release body (``"fold.worker"``), the SQLite commit
+(``"store.commit"``), and the server's ingest apply
+(``"server.ingest"``) — and a test, the CLI (``--fail-point``), or the
+``REPRO_FAIL_POINTS`` environment variable arms a subset of them with a
+mode and a deterministic trigger schedule.
+
+Spec grammar (one spec per failpoint)::
+
+    name:mode[:schedule]
+
+    mode      raise            raise InjectedFault at the call site
+              kill             SIGKILL the calling process (worker-death
+                               chaos; never catchable)
+              delay=SECONDS    sleep SECONDS, then continue (hang chaos,
+                               paired with --fold-timeout)
+    schedule  once             trigger on the first hit only (default)
+              every=N          trigger on every Nth hit (per process)
+              at=K             trigger once when the call site's
+                               ``sequence`` equals K
+
+Determinism contract: schedules count *hits at the failpoint in one
+process* (``every``/``once``) or match the caller-supplied sequence
+number (``at``) — no randomness, no wall clock, so a chaos run is
+reproducible.  The injected faults themselves are exactly the failures
+the supervision layer must absorb; because folds are pure given their
+``(sequence, reports, entropy)`` inputs, a retried or degraded run's
+estimates stay bit-identical to the fault-free run (the CI chaos smoke
+pins this).
+
+Cross-process activation: fold workers are spawned fresh, so they cannot
+see the parent's registry.  :func:`install` therefore both arms the
+current process and exports the specs to ``REPRO_FAIL_POINTS``; spawned
+children inherit the environment and re-arm at import time.
+
+Zero overhead disarmed: :func:`fail_point` is one empty-dict truth test
+when nothing is armed.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .core.errors import ConfigError
+
+__all__ = [
+    "ENV_VAR",
+    "FailPointSpec",
+    "InjectedFault",
+    "active",
+    "arm",
+    "disarm",
+    "fail_point",
+    "fired_counts",
+    "install",
+    "parse_spec",
+]
+
+#: comma-separated failpoint specs; read once at import so spawned fold
+#: workers arm themselves before their first task
+ENV_VAR = "REPRO_FAIL_POINTS"
+
+#: failure modes a spec may request
+MODES = ("raise", "kill", "delay")
+
+
+class InjectedFault(RuntimeError):
+    """Raised at an armed ``raise``-mode failpoint."""
+
+
+@dataclass(frozen=True)
+class FailPointSpec:
+    """One parsed failpoint activation (see the module grammar)."""
+
+    name: str
+    mode: str  # "raise" | "kill" | "delay"
+    delay_s: float = 0.0  # only meaningful for mode="delay"
+    every: Optional[int] = None  # trigger on every Nth hit
+    at: Optional[int] = None  # trigger once at this sequence number
+
+    def render(self) -> str:
+        """The spec string form (round-trips through :func:`parse_spec`)."""
+        mode = (
+            f"delay={self.delay_s:g}" if self.mode == "delay" else self.mode
+        )
+        if self.every is not None:
+            schedule = f"every={self.every}"
+        elif self.at is not None:
+            schedule = f"at={self.at}"
+        else:
+            schedule = "once"
+        return f"{self.name}:{mode}:{schedule}"
+
+
+class _ArmedPoint:
+    """Mutable trigger state of one armed spec (hit counter, one-shot latch)."""
+
+    __slots__ = ("spec", "hits", "fired", "done")
+
+    def __init__(self, spec: FailPointSpec):
+        self.spec = spec
+        self.hits = 0
+        self.fired = 0
+        self.done = False
+
+
+#: the process-local registry; empty means every failpoint is disarmed
+_ARMED: Dict[str, _ArmedPoint] = {}
+
+
+def parse_spec(text: str) -> FailPointSpec:
+    """Parse one ``name:mode[:schedule]`` spec, :class:`ConfigError` on junk."""
+    parts = [part.strip() for part in str(text).split(":")]
+    if len(parts) < 2 or len(parts) > 3 or not parts[0]:
+        raise ConfigError(
+            "fail_point",
+            f"spec must be 'name:mode[:schedule]' (e.g. "
+            f"'fold.worker:kill:every=3'), got {text!r}",
+        )
+    name, mode_text = parts[0], parts[1]
+    delay_s = 0.0
+    if mode_text.startswith("delay="):
+        mode = "delay"
+        try:
+            delay_s = float(mode_text[len("delay="):])
+        except ValueError:
+            delay_s = -1.0
+        if not delay_s >= 0.0:
+            raise ConfigError(
+                "fail_point",
+                f"delay mode needs non-negative seconds "
+                f"(e.g. 'delay=0.5'), got {mode_text!r} in {text!r}",
+            )
+    else:
+        mode = mode_text
+    if mode not in MODES:
+        raise ConfigError(
+            "fail_point",
+            f"unknown mode {mode_text!r} in {text!r} "
+            f"(modes: raise, kill, delay=SECONDS)",
+        )
+    every: Optional[int] = None
+    at: Optional[int] = None
+    schedule = parts[2] if len(parts) == 3 else "once"
+    if schedule.startswith("every="):
+        every = _positive_int(schedule[len("every="):], text, minimum=1)
+    elif schedule.startswith("at="):
+        at = _positive_int(schedule[len("at="):], text, minimum=0)
+    elif schedule != "once":
+        raise ConfigError(
+            "fail_point",
+            f"unknown schedule {schedule!r} in {text!r} "
+            f"(schedules: once, every=N, at=K)",
+        )
+    return FailPointSpec(
+        name=name, mode=mode, delay_s=delay_s, every=every, at=at
+    )
+
+
+def _positive_int(digits: str, spec_text: str, minimum: int) -> int:
+    try:
+        value = int(digits)
+    except ValueError:
+        value = minimum - 1
+    if value < minimum:
+        raise ConfigError(
+            "fail_point",
+            f"schedule needs an integer >= {minimum} in {spec_text!r}, "
+            f"got {digits!r}",
+        )
+    return value
+
+
+def arm(specs: Iterable[FailPointSpec]) -> None:
+    """Arm (or re-arm, resetting trigger state) the given failpoints."""
+    for spec in specs:
+        _ARMED[spec.name] = _ArmedPoint(spec)
+
+
+def disarm() -> None:
+    """Disarm every failpoint in this process (tests call this in teardown)."""
+    _ARMED.clear()
+
+
+def install(spec_texts: Iterable[str], export_env: bool = True) -> List[FailPointSpec]:
+    """Parse, arm, and (by default) export specs to child processes.
+
+    The CLI's ``--fail-point`` path: arms the current process *and*
+    writes ``REPRO_FAIL_POINTS`` so spawned fold workers inherit the
+    activation.  Returns the parsed specs.
+    """
+    specs = [parse_spec(text) for text in spec_texts]
+    arm(specs)
+    if export_env and specs:
+        os.environ[ENV_VAR] = ",".join(spec.render() for spec in specs)
+    return specs
+
+
+def active() -> Tuple[str, ...]:
+    """Names of the currently armed failpoints, sorted."""
+    return tuple(sorted(_ARMED))
+
+
+def fired_counts() -> Dict[str, int]:
+    """``{name: times fired}`` for every armed failpoint (observability)."""
+    return {name: point.fired for name, point in sorted(_ARMED.items())}
+
+
+def fail_point(name: str, sequence: Optional[int] = None) -> None:
+    """Trigger the named failpoint if armed and scheduled; else no-op.
+
+    Call sites pass ``sequence`` where a natural deterministic sequence
+    number exists (flush sequence, submit order) so ``at=K`` schedules
+    can target one exact event.
+    """
+    if not _ARMED:
+        return
+    point = _ARMED.get(name)
+    if point is None or point.done:
+        return
+    spec = point.spec
+    if spec.at is not None:
+        if sequence != spec.at:
+            return
+        point.done = True
+    else:
+        point.hits += 1
+        if spec.every is not None:
+            if point.hits % spec.every != 0:
+                return
+        else:  # once
+            point.done = True
+    point.fired += 1
+    if spec.mode == "delay":
+        time.sleep(spec.delay_s)
+        return
+    if spec.mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    raise InjectedFault(
+        f"injected fault at {spec.name!r} "
+        f"(hit {point.hits}, sequence {sequence})"
+    )
+
+
+def _arm_from_env() -> None:
+    """Arm from ``REPRO_FAIL_POINTS`` at import (spawned workers' path)."""
+    raw = os.environ.get(ENV_VAR, "")
+    if not raw.strip():
+        return
+    arm(parse_spec(part) for part in raw.split(",") if part.strip())
+
+
+_arm_from_env()

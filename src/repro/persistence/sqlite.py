@@ -46,6 +46,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.errors import ConfigError
+from ..faults import fail_point
 from .records import (
     FlushRecord,
     IngestCheckpoint,
@@ -199,6 +200,10 @@ class SqliteStateStore(StateStore):
         self._conn.execute("BEGIN IMMEDIATE")
 
     def _commit(self) -> None:
+        # Chaos seam: a failure here leaves the open transaction to the
+        # caller's rollback, so an injected commit fault exercises the
+        # same all-or-nothing recovery path as a real disk error.
+        fail_point("store.commit")
         self._conn.execute("COMMIT")
 
     def _rollback(self) -> None:

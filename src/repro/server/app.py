@@ -30,10 +30,23 @@ queued jobs strictly in acceptance order, and serves the epoch-log reads
 behind ``/api/estimates``.  The loop never blocks on a fold; the
 pipeline never sees two threads.
 
-If a queued job fails (a store error mid-run, say), the server marks
-itself failed: in-flight epoch closes get HTTP 500, subsequent uploads
-get 503, and ``/api/health`` reports the failure — queued batches that
-can no longer be applied are counted, never silently dropped.
+If a queued job fails (a store error mid-run, say) and the server was
+*not* given a ``recover_factory``, it marks itself failed: in-flight
+epoch closes get HTTP 500, subsequent uploads get 503, and
+``/api/health`` reports the failure — queued batches that can no longer
+be applied are counted, never silently dropped.  With a
+``recover_factory`` (a zero-argument callable rebuilding the pipeline
+from its durable state store, see
+:meth:`repro.api.session.ShuffleSession.serve`), an ingest crash instead
+triggers bounded-backoff self-healing: the broken pipeline is closed,
+the factory resumes a fresh one from the store's write-ahead log (PR 6's
+bit-identical replay), and service continues — health reports
+``degraded`` during the attempt and returns to ``ok`` after.  The job
+that crashed is still counted failed (its batch was never journaled);
+everything already accepted behind it applies to the recovered pipeline
+in order.  A factory that raises :class:`RecoveryUnsupportedError`
+(e.g. the deployment has no durable store) restores the fail-hard
+behavior.
 """
 
 from __future__ import annotations
@@ -46,6 +59,7 @@ from typing import Callable, List, Optional, Tuple
 import numpy as np
 
 from ..core.errors import ConfigError
+from ..faults import fail_point
 from ..persistence.records import config_to_dict
 from .http import (
     MAX_BODY_BYTES,
@@ -60,6 +74,16 @@ from .pagination import paginate, parse_non_negative_int
 
 #: schema tag of every front-door JSON payload family
 SERVER_SCHEMA = "repro.server/1"
+
+#: ceiling on the exponential backoff between pipeline recovery attempts
+_RECOVERY_BACKOFF_CAP_S = 2.0
+
+
+class RecoveryUnsupportedError(RuntimeError):
+    """A ``recover_factory`` cannot resume this deployment (no durable
+    store, or the store refuses to load) — the server falls back to
+    fail-hard 503s instead of retrying a recovery that can never work."""
+
 
 #: route table: path -> allowed methods
 _ROUTES = {
@@ -92,6 +116,11 @@ class ServerConfig:
     max_header_bytes: int = MAX_HEADER_BYTES
     #: seconds advertised in the 429 ``Retry-After`` header
     retry_after_s: float = 1.0
+    #: pipeline recovery attempts per ingest crash before the server
+    #: gives up and fails hard (0 disables self-healing entirely)
+    max_recoveries: int = 3
+    #: base of the capped exponential backoff between recovery attempts
+    recovery_backoff_s: float = 0.05
 
     def __post_init__(self):
         if not self.host:
@@ -120,6 +149,17 @@ class ServerConfig:
                 "retry_after_s",
                 f"must be positive, got {self.retry_after_s}",
             )
+        if self.max_recoveries < 0:
+            raise ConfigError(
+                "max_recoveries",
+                f"must be >= 0 (0 disables self-healing), "
+                f"got {self.max_recoveries}",
+            )
+        if not self.recovery_backoff_s > 0.0:
+            raise ConfigError(
+                "recovery_backoff_s",
+                f"must be positive, got {self.recovery_backoff_s}",
+            )
 
 
 @dataclass
@@ -139,16 +179,23 @@ class TelemetryServer:
     pipeline (typically a closure over
     :meth:`repro.api.session.ShuffleSession.stream`); it runs on the
     ingest thread during :meth:`start`, so stores it creates are owned
-    by the thread that will use them.  Use
+    by the thread that will use them.  ``recover_factory`` (optional) is
+    a zero-argument callable *resuming* a replacement pipeline from the
+    deployment's durable store after an ingest crash — see the module
+    docstring's self-healing contract.  Use
     ``async with``/``await stop()`` to guarantee the pipeline (and any
     shared-memory pool or process pool it holds) is closed.
     """
 
     def __init__(
-        self, pipeline_factory: Callable[[], object], config: ServerConfig
+        self,
+        pipeline_factory: Callable[[], object],
+        config: ServerConfig,
+        recover_factory: Optional[Callable[[], object]] = None,
     ):
         self.config = config
         self._pipeline_factory = pipeline_factory
+        self._recover_factory = recover_factory
         self.pipeline = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -158,10 +205,16 @@ class TelemetryServer:
         self._closing = False
         self._failure: Optional[BaseException] = None
         self._submit_seq = 0
+        self._recovering = False
         self.accepted_batches = 0
         self.accepted_reports = 0
         self.rejected_429 = 0
         self.failed_batches = 0
+        self.recoveries = 0
+        self.recovery_attempts = 0
+        #: close() failures of pipelines discarded during recovery —
+        #: recorded (never swallowed silently) and surfaced in health
+        self.recovery_close_errors: List[str] = []
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -257,7 +310,15 @@ class TelemetryServer:
     # -- the ingest thread -------------------------------------------------
 
     async def _consume(self) -> None:
-        """Apply queued jobs to the pipeline, strictly in queue order."""
+        """Apply queued jobs to the pipeline, strictly in queue order.
+
+        A job failure drops *that job* (counted, its waiter told) and —
+        when a ``recover_factory`` is wired — attempts to resume a
+        replacement pipeline before touching the next job, so everything
+        accepted behind the crash still applies in order.  Only when
+        recovery is unavailable or exhausted does the server latch
+        ``_failure`` and refuse further work.
+        """
         while True:
             job: _Job = await self._queue.get()
             try:
@@ -270,21 +331,93 @@ class TelemetryServer:
                 )
                 if job.future is not None and not job.future.done():
                     job.future.set_result(result)
+            except asyncio.CancelledError:
+                raise  # stop() cancelling us; the finally marks the job
             except BaseException as failure:
-                if self._failure is None:
-                    self._failure = failure
                 if job.kind == "reports":
                     self.failed_batches += 1
                 if job.future is not None and not job.future.done():
                     job.future.set_exception(failure)
+                if self._failure is None and not await self._try_recover(
+                    failure
+                ):
+                    self._failure = failure
             finally:
                 self._queue.task_done()
 
     def _apply(self, job: _Job):
+        # Chaos seam: ``at=K`` schedules target one exact submit_seq.
+        fail_point("server.ingest", sequence=job.seq)
         if job.kind == "reports":
             self.pipeline.submit(job.values)
             return None
         return self.pipeline.end_epoch()
+
+    async def _try_recover(self, failure: BaseException) -> bool:
+        """Bounded-backoff pipeline resume after an ingest crash.
+
+        Runs on the event loop between jobs; the actual close/resume
+        work runs on the ingest thread.  Returns True when a replacement
+        pipeline is serving, False when the server must fail hard (no
+        factory, unsupported deployment, or attempts exhausted).
+        """
+        if self._recover_factory is None or self.config.max_recoveries < 1:
+            return False
+        self._recovering = True
+        try:
+            for attempt in range(self.config.max_recoveries):
+                await asyncio.sleep(
+                    min(
+                        _RECOVERY_BACKOFF_CAP_S,
+                        self.config.recovery_backoff_s * 2.0 ** attempt,
+                    )
+                )
+                self.recovery_attempts += 1
+                try:
+                    self.pipeline = await self._loop.run_in_executor(
+                        self._executor, self._recover
+                    )
+                except RecoveryUnsupportedError:
+                    return False
+                except Exception as retry_failure:
+                    self.recovery_close_errors.append(
+                        f"recovery attempt {self.recovery_attempts} "
+                        f"failed: {retry_failure!r}"
+                    )
+                    continue
+                self.recoveries += 1
+                return True
+            return False
+        finally:
+            self._recovering = False
+
+    def _recover(self):
+        """Discard the broken pipeline and resume from the durable store.
+
+        Runs on the ingest thread.  The broken pipeline's close (and its
+        store's) is best-effort: a pipeline that just crashed may well
+        fail to close too, and that must not block the resume — but the
+        failure is recorded, never silently dropped.
+        """
+        broken, self.pipeline = self.pipeline, None
+        if broken is not None:
+            try:
+                close = getattr(broken, "close", None)
+                if close is not None:
+                    close()
+            except Exception as close_failure:
+                self.recovery_close_errors.append(
+                    f"broken pipeline close failed: {close_failure!r}"
+                )
+            store = getattr(broken, "store", None)
+            if store is not None:
+                try:
+                    store.close()
+                except Exception as close_failure:
+                    self.recovery_close_errors.append(
+                        f"broken store close failed: {close_failure!r}"
+                    )
+        return self._recover_factory()
 
     def _epoch_rows(self) -> List[Tuple[int, list]]:
         """The store's epoch log as plain Python rows (ingest thread)."""
@@ -375,6 +508,8 @@ class TelemetryServer:
             status = "failed"
         elif self._closing:
             status = "closing"
+        elif self._recovering:
+            status = "degraded"
         else:
             status = "ok"
         payload = {
@@ -387,9 +522,13 @@ class TelemetryServer:
             "accepted_reports": self.accepted_reports,
             "rejected_429": self.rejected_429,
             "failed_batches": self.failed_batches,
+            "recoveries": self.recoveries,
+            "recovery_attempts": self.recovery_attempts,
             "exhausted": bool(self.pipeline.exhausted)
             if self.pipeline is not None else False,
         }
+        if self.recovery_close_errors:
+            payload["recovery_errors"] = list(self.recovery_close_errors)
         if self._failure is not None:
             payload["failure"] = str(self._failure)
         return payload

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 
 @dataclass
@@ -108,6 +109,55 @@ class ServerClient:
         length = int(headers.get("content-length", "0"))
         raw = await self._reader.readexactly(length) if length else b""
         return status, headers, raw
+
+    async def request_with_retry(
+        self,
+        method: str,
+        target: str,
+        payload: Optional[dict] = None,
+        *,
+        max_attempts: int = 8,
+        base_delay_s: float = 0.05,
+        max_delay_s: float = 2.0,
+        retry_statuses: Tuple[int, ...] = (429, 503),
+        jitter: Optional[Callable[[], float]] = None,
+        on_retry: Optional[Callable[[ClientResponse, float], None]] = None,
+    ) -> ClientResponse:
+        """:meth:`request` with capped exponential backoff on pushback.
+
+        Retries responses whose status is in ``retry_statuses`` (by
+        default the server's two load-shedding answers: 429
+        backpressure and 503 during recovery) up to ``max_attempts``
+        total attempts — never an unbounded spin.  The delay before
+        attempt ``k+1`` is ``min(max_delay_s, base_delay_s * 2**k)``,
+        floored by the server's ``Retry-After`` when one is advertised
+        (still capped at ``max_delay_s``), and jittered to half-to-full
+        so a fleet of backed-off clients does not re-arrive in lockstep.
+        ``jitter`` injects the uniform draw (a ``[0, 1)`` callable) for
+        deterministic tests; the default draws from the OS entropy pool
+        — retry scheduling is wall-clock territory, never part of the
+        reproducible estimate path.  ``on_retry(response, delay_s)``
+        fires before each sleep (benches count their 429s there).
+
+        Returns the last response, whatever its status: exhausting the
+        retry budget hands the still-refused response to the caller
+        rather than guessing how to fail.
+        """
+        draw = jitter if jitter is not None else random.SystemRandom().random
+        response = await self.request(method, target, payload)
+        for attempt in range(max_attempts - 1):
+            if response.status not in retry_statuses:
+                return response
+            delay = min(max_delay_s, base_delay_s * 2.0 ** attempt)
+            advertised = response.retry_after()
+            if advertised is not None:
+                delay = min(max_delay_s, max(delay, advertised))
+            delay *= 0.5 + draw() * 0.5
+            if on_retry is not None:
+                on_retry(response, delay)
+            await asyncio.sleep(delay)
+            response = await self.request(method, target, payload)
+        return response
 
     # -- convenience verbs used by the bench and the smoke ----------------
 

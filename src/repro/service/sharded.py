@@ -68,15 +68,19 @@ the workers; only their counts come back).
 
 from __future__ import annotations
 
+import logging
 import os
+import signal
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 from multiprocessing import get_context
 from typing import Iterable, List, Optional
 
 import numpy as np
 
 from ..core.errors import ConfigError
+from ..faults import fail_point
 from ..persistence import MemoryStateStore, RunSnapshot, StateStore, StoredFlush
 from ..persistence.records import generator_from_state
 from .accountant import PrivacyAccountant
@@ -101,6 +105,19 @@ FOLD_BACKENDS = ("serial", "process")
 
 #: how process folds receive their report payloads
 TRANSPORTS = ("shm", "pickle")
+
+#: capped exponential backoff between supervised pool rebuilds
+_RETRY_BACKOFF_BASE_S = 0.05
+_RETRY_BACKOFF_CAP_S = 1.0
+
+#: the graceful degradation ladder :meth:`ShardedPipeline.drain` walks
+#: once ``max_fold_retries`` consecutive failures exhaust the retry
+#: budget: zero-copy shm -> pickle-over-pipe -> inline serial folding
+#: in the parent (which always completes because the parent holds every
+#: batch's own buffer and a prepared backend)
+_DEGRADE_LADDER = {"shm": "pickle", "pickle": "serial"}
+
+_log = logging.getLogger(__name__)
 
 #: per-process (oracle, shuffle backend) pair built by the pool initializer
 _WORKER_STATE = None
@@ -150,6 +167,9 @@ def _fold_payload(
     cache_lookup_delta))`` — deltas, not totals, because one long-lived
     worker folds batches for many shards and the parent sums per-fold.
     """
+    # Chaos seam: fires *before* any work, so an injected kill/raise can
+    # never half-fold — a retry recomputes the identical pure function.
+    fail_point("fold.worker", sequence=sequence)
     cache = fo.seed_cache
     hits_before = cache.hits if cache is not None else 0
     lookups_before = cache.lookups if cache is not None else 0
@@ -243,6 +263,9 @@ class ShardedPipeline(PipelinePersistenceMixin):
         transport: str = "shm",
         chunk_bytes: Optional[int] = None,
         seed_cache_bytes: int = 0,
+        fold_timeout: Optional[float] = None,
+        max_fold_retries: int = 2,
+        degrade: bool = True,
         _snapshot: Optional[RunSnapshot] = None,
     ):
         if n_shards < 1:
@@ -268,6 +291,17 @@ class ShardedPipeline(PipelinePersistenceMixin):
         if int(seed_cache_bytes) < 0:
             raise ConfigError(
                 "seed_cache_bytes", f"must be >= 0, got {seed_cache_bytes}"
+            )
+        if fold_timeout is not None and not float(fold_timeout) > 0.0:
+            raise ConfigError(
+                "fold_timeout",
+                f"must be positive seconds (or None for no timeout), "
+                f"got {fold_timeout}",
+            )
+        if int(max_fold_retries) < 0:
+            raise ConfigError(
+                "max_fold_retries",
+                f"must be >= 0, got {max_fold_retries}",
             )
         if fold_backend == "process":
             if config.backend != "plain":
@@ -299,6 +333,11 @@ class ShardedPipeline(PipelinePersistenceMixin):
         self.transport = transport
         self.chunk_bytes = None if chunk_bytes is None else int(chunk_bytes)
         self.seed_cache_bytes = int(seed_cache_bytes)
+        self.fold_timeout = (
+            None if fold_timeout is None else float(fold_timeout)
+        )
+        self.max_fold_retries = int(max_fold_retries)
+        self.degrade = bool(degrade)
         if _snapshot is None:
             # Drawn first, before any other use of rng (see release_entropy)
             # — the same order TelemetryPipeline follows, which is what makes
@@ -326,6 +365,16 @@ class ShardedPipeline(PipelinePersistenceMixin):
         self._bytes_moved = 0
         self._worker_cache_hits = 0
         self._worker_cache_lookups = 0
+        #: once True, admitted batches fold inline in the parent — the
+        #: terminal rung of the degradation ladder
+        self._serial_fallback = False
+        self._fault_stats = {
+            "fold_retries": 0,
+            "fold_timeouts": 0,
+            "worker_deaths": 0,
+            "pool_rebuilds": 0,
+            "degradations": [],
+        }
         self.store = store if store is not None else MemoryStateStore()
         if self.store.durable:
             check_replay_support(config, self.fo)
@@ -381,6 +430,9 @@ class ShardedPipeline(PipelinePersistenceMixin):
         transport: str = "shm",
         chunk_bytes: Optional[int] = None,
         seed_cache_bytes: int = 0,
+        fold_timeout: Optional[float] = None,
+        max_fold_retries: int = 2,
+        degrade: bool = True,
     ) -> "ShardedPipeline":
         """Rebuild the run persisted in ``store`` and continue it sharded.
 
@@ -407,6 +459,9 @@ class ShardedPipeline(PipelinePersistenceMixin):
             transport=transport,
             chunk_bytes=chunk_bytes,
             seed_cache_bytes=seed_cache_bytes,
+            fold_timeout=fold_timeout,
+            max_fold_retries=max_fold_retries,
+            degrade=degrade,
             _snapshot=snapshot,
         )
 
@@ -548,33 +603,44 @@ class ShardedPipeline(PipelinePersistenceMixin):
 
     def _release(self, batch: FlushBatch) -> None:
         """Hand one admitted (already charged and journaled) batch to its
-        shard — inline for serial folding, as a future for process
-        folding, whose counts are committed when :meth:`drain` collects
-        them."""
+        shard — inline for serial folding (and after a degradation to the
+        serial fallback), as a future for process folding, whose counts
+        are committed when :meth:`drain` collects them."""
         shard = batch.sequence % self.n_shards
-        if self.fold_backend == "process":
+        if self.fold_backend == "process" and not self._serial_fallback:
             # An all-fake empty batch has no payload to ship; POSIX shm
             # segments cannot be zero-sized, so it rides the pickle path.
             if self._use_shm and batch.n_reports > 0:
-                lease = self._pool().acquire(batch.reports.nbytes)
-                window = np.frombuffer(
-                    lease.shm.buf, dtype=np.int64, count=batch.n_reports
-                )
-                window[:] = batch.reports
-                del window  # views must die before the segment can close
-                self._bytes_moved += batch.reports.nbytes
-                future = self._ensure_executor().submit(
-                    _fold_block_shm,
-                    batch.sequence,
-                    lease.name,
-                    batch.n_reports,
-                    batch.n_fake,
-                    self.release_entropy,
-                )
-                self._pending.append((future, shard, batch, lease))
-                return
+                try:
+                    lease = self._pool().acquire(batch.reports.nbytes)
+                except Exception as failure:
+                    # Graceful transport degradation at the write site: a
+                    # failed segment acquire (exhausted /dev/shm, an
+                    # injected "shm.write" fault) must not lose a charged
+                    # flush — the payload still lives in the batch's own
+                    # buffer, so ship it pickled from here on.
+                    self._degrade_transport(
+                        "pickle", f"shm write failed: {failure!r}"
+                    )
+                else:
+                    window = np.frombuffer(
+                        lease.shm.buf, dtype=np.int64, count=batch.n_reports
+                    )
+                    window[:] = batch.reports
+                    del window  # views must die before the segment closes
+                    self._bytes_moved += batch.reports.nbytes
+                    future = self._submit_supervised(
+                        _fold_block_shm,
+                        batch.sequence,
+                        lease.name,
+                        batch.n_reports,
+                        batch.n_fake,
+                        self.release_entropy,
+                    )
+                    self._pending.append((future, shard, batch, lease))
+                    return
             self._bytes_moved += batch.reports.nbytes
-            future = self._ensure_executor().submit(
+            future = self._submit_supervised(
                 _fold_block,
                 batch.sequence,
                 batch.reports,
@@ -583,6 +649,12 @@ class ShardedPipeline(PipelinePersistenceMixin):
             )
             self._pending.append((future, shard, batch, None))
             return
+        self._fold_inline(shard, batch)
+
+    def _fold_inline(self, shard: int, batch: FlushBatch) -> None:
+        """Fold one batch in the parent: the serial path and the terminal
+        rung of the degradation ladder (always available — the parent
+        holds a prepared backend and every batch owns its buffer)."""
         started = self.clock()
         shuffled = self.backend.shuffle(
             batch.reports, batch.n_fake, self.fo,
@@ -608,25 +680,46 @@ class ShardedPipeline(PipelinePersistenceMixin):
         )
 
     def drain(self) -> int:
-        """Fold every outstanding worker result into its shard.
+        """Fold every outstanding worker result into its shard, supervised.
 
         Collection order does not matter: counts are summed exactly, and
         each fold's randomness was fixed by its flush sequence at dispatch
         time.  Returns the number of folds collected.
 
-        If a worker fold fails (e.g. a killed process), the failed entry
-        and everything after it *stay* in the pending queue and the error
-        propagates: the accountant already charged those flushes, so
-        silently dropping them would leave estimates missing releases the
-        ledger paid for.  A later drain re-raises (or, for folds that did
-        complete, collects) from where it stopped.
+        Supervision: a fold that times out (``fold_timeout``), raises, or
+        dies with its worker (``BrokenProcessPool``) is *retried*, not
+        dropped — the accountant already charged those flushes, and
+        because folds are pure given ``(sequence, reports, n_fake,
+        entropy)`` a retry recomputes bit-identical counts.  The broken
+        executor is rebuilt (shm leases survive — the payloads still live
+        in the parent-owned segments) and every outstanding fold is
+        redispatched after a capped exponential backoff.  After
+        ``max_fold_retries`` *consecutive* failures the transport
+        degrades one rung (shm -> pickle -> serial inline folding, see
+        ``_DEGRADE_LADDER``) instead of raising; with ``degrade=False``
+        (or once the serial rung itself fails) the failure propagates and
+        the pending queue keeps the uncollected folds for a later drain.
         """
         collected = 0
+        consecutive = 0
         while self._pending:
             future, shard, batch, lease = self._pending[0]
-            counts, elapsed, cache_delta = (
-                future.result()  # re-raises a worker failure
-            )
+            try:
+                counts, elapsed, cache_delta = future.result(
+                    timeout=self.fold_timeout
+                )
+            except _FutureTimeout as failure:
+                self._fault_stats["fold_timeouts"] += 1
+                consecutive = self._recover_folds(
+                    consecutive + 1, failure, hung=True
+                )
+                continue
+            except Exception as failure:
+                consecutive = self._recover_folds(
+                    consecutive + 1, failure, hung=False
+                )
+                continue
+            consecutive = 0
             self._pending.pop(0)
             if lease is not None:
                 # The worker is done with the segment; back to the pool
@@ -642,23 +735,211 @@ class ShardedPipeline(PipelinePersistenceMixin):
             collected += 1
         return collected
 
+    # -- fold supervision --------------------------------------------------
+
+    def _submit_supervised(self, fn, *args):
+        """Dispatch one fold, absorbing a pool that broke *between* folds.
+
+        ``ProcessPoolExecutor.submit`` raises ``BrokenExecutor``
+        synchronously when the workers died while the pipeline was
+        idle — outside :meth:`drain`'s supervision.  The batch is
+        already charged, so rebuild the pool, redispatch any
+        outstanding folds onto it, and submit this one to the fresh
+        pool; a second synchronous failure means new workers cannot
+        even spawn, which is environmental, and propagates.
+        """
+        try:
+            return self._ensure_executor().submit(fn, *args)
+        except BrokenExecutor:
+            self._fault_stats["worker_deaths"] += 1
+            self._abandon_executor()
+            self._redispatch_pending()
+            return self._ensure_executor().submit(fn, *args)
+
+    def _recover_folds(self, consecutive: int, failure: BaseException, hung: bool) -> int:
+        """Absorb one fold failure: rebuild, maybe degrade, redispatch.
+
+        Returns the new consecutive-failure count (0 after a
+        degradation — each rung gets a fresh retry budget).  Raises
+        ``failure`` when the retry budget is spent and no rung is left
+        (or degradation is disabled): charged flushes must never vanish
+        silently, so an unrecoverable failure propagates with the
+        pending queue intact.
+        """
+        if isinstance(failure, BrokenExecutor):
+            self._fault_stats["worker_deaths"] += 1
+        # A hung worker is still alive holding the job; shutdown(wait=)
+        # would block on it, so the rebuild SIGKILLs the pool first.
+        self._abandon_executor(kill=hung)
+        if self._use_shm and self._shm_pool is not None:
+            divergence = self._shm_pool.dev_shm_divergence()
+            if divergence["missing"]:
+                # Segments vanished under us (foreign unlink): the leases
+                # cannot be re-attached, but every batch still owns its
+                # buffer — ship pickled from here on.
+                self._degrade_transport(
+                    "pickle",
+                    f"shm segments vanished mid-run: "
+                    f"{', '.join(divergence['missing'])}",
+                )
+                consecutive = 0
+        if consecutive > self.max_fold_retries:
+            target = _DEGRADE_LADDER.get(self._effective_transport())
+            if not self.degrade or target is None:
+                raise failure
+            self._degrade_transport(
+                target,
+                f"{consecutive - 1} consecutive fold failures "
+                f"(last: {failure!r})",
+            )
+            consecutive = 0
+        else:
+            self._fault_stats["fold_retries"] += 1
+            time.sleep(
+                min(
+                    _RETRY_BACKOFF_CAP_S,
+                    _RETRY_BACKOFF_BASE_S * 2.0 ** (consecutive - 1),
+                )
+            )
+        self._redispatch_pending()
+        return consecutive
+
+    def _abandon_executor(self, kill: bool = False) -> None:
+        """Tear down the (possibly broken or hung) pool without blocking."""
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        self._fault_stats["pool_rebuilds"] += 1
+        if kill:
+            for pid in list(getattr(executor, "_processes", None) or {}):
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError):
+                    pass  # already dead / not ours — shutdown handles it
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    def _redispatch_pending(self) -> None:
+        """Resubmit every uncollected fold on the current rung.
+
+        Folds that completed cleanly before the pool broke keep their
+        finished futures (their results are valid — the fold already
+        happened).  Everything else is resubmitted: shm folds reuse
+        their live lease (the payload is still in the parent-owned
+        segment); after a degradation to pickle the lease is released
+        and the batch's own buffer ships instead; on the serial rung
+        the parent folds inline.  ``bytes_moved`` is not re-counted —
+        retries re-ship, they do not re-measure.
+        """
+        entries, self._pending = self._pending, []
+        if self._serial_fallback:
+            for future, shard, batch, lease in entries:
+                try:
+                    if (
+                        future.done()
+                        and not future.cancelled()
+                        and future.exception() is None
+                    ):
+                        counts, elapsed, cache_delta = future.result()
+                        self._worker_cache_hits += cache_delta[0]
+                        self._worker_cache_lookups += cache_delta[1]
+                        self.shards[shard].fold_counts(
+                            counts, batch.n_reports, batch.n_fake
+                        )
+                        self.store.record_release(batch.sequence, counts)
+                        self._epoch_latency += elapsed
+                    else:
+                        self._fold_inline(shard, batch)
+                finally:
+                    if lease is not None:
+                        lease.release()
+            return
+        executor = self._ensure_executor()
+        for future, shard, batch, lease in entries:
+            if (
+                future.done()
+                and not future.cancelled()
+                and future.exception() is None
+            ):
+                # Completed before the failure: the result is a pure
+                # function of the batch — keep it, collect it in drain.
+                self._pending.append((future, shard, batch, lease))
+                continue
+            if lease is not None and self._use_shm:
+                replacement = executor.submit(
+                    _fold_block_shm,
+                    batch.sequence,
+                    lease.name,
+                    batch.n_reports,
+                    batch.n_fake,
+                    self.release_entropy,
+                )
+                self._pending.append((replacement, shard, batch, lease))
+                continue
+            if lease is not None:
+                # Degraded shm -> pickle mid-flight: the batch's own
+                # buffer ships from now on; the segment goes back to the
+                # pool.
+                lease.release()
+            replacement = executor.submit(
+                _fold_block,
+                batch.sequence,
+                batch.reports,
+                batch.n_fake,
+                self.release_entropy,
+            )
+            self._pending.append((replacement, shard, batch, None))
+
+    def _effective_transport(self) -> str:
+        """The rung of the degradation ladder folds currently ride."""
+        if self._serial_fallback:
+            return "serial"
+        return "shm" if self._use_shm else "pickle"
+
+    def _degrade_transport(self, level: str, reason: str) -> None:
+        """Drop one rung down the ladder (shm -> pickle -> serial)."""
+        previous = self._effective_transport()
+        if level == "serial":
+            self._serial_fallback = True
+        self._use_shm = False
+        self._fault_stats["degradations"].append(
+            {"from": previous, "to": level, "reason": reason}
+        )
+        _log.warning(
+            "fold transport degraded %s -> %s: %s", previous, level, reason
+        )
+
     # -- observability -----------------------------------------------------
 
     def transport_stats(self) -> dict:
         """How fold payloads moved: transport, bytes, shm high-water mark.
 
         ``transport`` is the *effective* transport (``"shm"`` degrades
-        to ``"pickle"`` for object-dtype codecs), ``bytes_moved`` the
-        total report payload shipped to workers on either transport, and
-        ``shm_peak_bytes`` the pool's peak allocated segment bytes
-        (0 until the first shm fold).
+        to ``"pickle"`` for object-dtype codecs, and supervision may
+        have walked the ladder further — see :meth:`fault_stats`),
+        ``bytes_moved`` the total report payload shipped to workers on
+        either transport, and ``shm_peak_bytes`` the pool's peak
+        allocated segment bytes (0 until the first shm fold).
         """
         pool = self._shm_pool
         return {
-            "transport": "shm" if self._use_shm else "pickle",
+            "transport": self._effective_transport(),
             "bytes_moved": self._bytes_moved,
             "shm_peak_bytes": pool.peak_bytes if pool is not None else 0,
         }
+
+    def fault_stats(self) -> dict:
+        """What the fold supervisor absorbed: retries, rebuilds, ladder.
+
+        ``fold_retries`` — failed folds redispatched (after backoff);
+        ``fold_timeouts`` — folds that exceeded ``fold_timeout``;
+        ``worker_deaths`` — ``BrokenProcessPool`` detections;
+        ``pool_rebuilds`` — executors torn down and respawned;
+        ``degradations`` — every rung walked, with from/to/reason.
+        All zeros (and an empty list) on a healthy run.
+        """
+        stats = dict(self._fault_stats)
+        stats["degradations"] = list(self._fault_stats["degradations"])
+        return stats
 
     def seed_cache_stats(self) -> dict:
         """Aggregate seed-row-cache effectiveness across every fold site.

@@ -42,6 +42,8 @@ import secrets
 from multiprocessing import resource_tracker, shared_memory
 from typing import Dict, List, Optional
 
+from ..faults import fail_point
+
 __all__ = [
     "SEGMENT_PREFIX",
     "SegmentLease",
@@ -179,6 +181,10 @@ class SharedMemoryPool:
             raise ValueError("shared-memory pool is closed")
         if nbytes < 1:
             raise ValueError(f"segment payload must be >= 1 byte, got {nbytes}")
+        # Chaos seam: simulates shm exhaustion / segment-creation failure,
+        # which the pipeline must absorb by degrading to the pickle
+        # transport (the payload still lives in the batch's own buffer).
+        fail_point("shm.write")
         needed = _size_class(nbytes)
         for index, segment in enumerate(self._free):
             if segment.size >= needed:
@@ -194,6 +200,30 @@ class SharedMemoryPool:
         self.total_bytes += segment.size
         self.peak_bytes = max(self.peak_bytes, self.total_bytes)
         return SegmentLease(self, segment, nbytes)
+
+    def dev_shm_divergence(self) -> Dict[str, List[str]]:
+        """Mid-run consistency of ``/dev/shm`` against the pool's books.
+
+        ``missing`` — segments the pool tracks that vanished from
+        ``/dev/shm`` (a foreign unlink, e.g. a resource tracker the
+        attach suppression failed to stop; re-attaching them would fail).
+        ``orphaned`` — pool-prefixed entries the pool does not track
+        (should be impossible: the pool is the only creator).  Both
+        empty on a healthy run *at any moment*, not just after
+        ``close()`` — the supervision layer checks this on every pool
+        rebuild, and the worker-kill regression test pins it.  Empty on
+        platforms without a scannable ``/dev/shm``.
+        """
+        try:
+            entries = os.listdir("/dev/shm")
+        except OSError:
+            return {"missing": [], "orphaned": []}
+        visible = {e for e in entries if e.startswith(self._prefix)}
+        tracked = set(self._segments)
+        return {
+            "missing": sorted(tracked - visible),
+            "orphaned": sorted(visible - tracked),
+        }
 
     def _reclaim(self, lease: SegmentLease) -> None:
         if self._closed or lease.shm.name not in self._segments:

@@ -399,6 +399,88 @@ def test_rpl041_accepts_parameter_tuple_or_scalar_state():
     assert found == []
 
 
+# -- RPL050: unbounded retry sleeps -------------------------------------------
+
+def test_rpl050_flags_sleep_in_while_true():
+    found = check_one(CORE, """
+        import time
+
+        def wait_for(ready):
+            while True:
+                if ready():
+                    return
+                time.sleep(0.1)
+    """)
+    assert found == ["RPL050"]
+
+
+def test_rpl050_flags_async_sleep_in_while_true():
+    found = check_one(SERVICE, """
+        import asyncio
+
+        async def wait_for(ready):
+            while 1:
+                if ready():
+                    return
+                await asyncio.sleep(0.1)
+    """)
+    assert found == ["RPL050"]
+
+
+def test_rpl050_accepts_attempt_bounded_backoff():
+    found = check_one(CORE, """
+        import time
+
+        def wait_for(ready, attempts=8):
+            for attempt in range(attempts):
+                if ready():
+                    return True
+                time.sleep(min(1.0, 0.05 * 2.0 ** attempt))
+            return False
+    """)
+    assert found == []
+
+
+def test_rpl050_accepts_condition_loops_and_sleepless_spins():
+    found = check_one(CORE, """
+        import time
+
+        def drain(queue, clock):
+            deadline = clock() + 5.0
+            while clock() < deadline:
+                if queue.empty():
+                    return True
+                time.sleep(0.01)
+            return False
+
+        def pump(queue):
+            while True:
+                job = queue.get()  # blocks; waiting is not retrying
+                if job is None:
+                    return
+    """)
+    assert found == []
+
+
+def test_rpl050_inner_bounded_loop_shields_sleep():
+    # The sleep's *nearest* loop is the bounded for: the enclosing
+    # while True is an event loop, not an unbounded retry.
+    found = check_one(CORE, """
+        import time
+
+        def serve(poll):
+            while True:
+                job = poll()
+                if job is None:
+                    return
+                for attempt in range(3):
+                    if job():
+                        break
+                    time.sleep(0.05)
+    """)
+    assert found == []
+
+
 # -- catalog shape ------------------------------------------------------------
 
 def test_catalog_has_at_least_ten_documented_rules():

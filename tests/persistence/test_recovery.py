@@ -11,6 +11,8 @@ bit-identical to an uninterrupted run at the same seed.
 import numpy as np
 import pytest
 
+from repro import faults
+from repro.faults import InjectedFault
 from repro.data import zipf_histogram
 from repro.data.synthetic import values_from_histogram
 from repro.persistence import (
@@ -242,6 +244,49 @@ class TestMemoryStoreResume:
     def test_resume_of_empty_store_refused(self):
         with pytest.raises(StateStoreError, match="no run"):
             TelemetryPipeline.resume(MemoryStateStore())
+
+
+class TestInjectedCommitFault:
+    """The ``store.commit`` failpoint models a disk-level commit failure
+    (full disk, I/O error) at the one seam the delegate-wrapping
+    :class:`FaultInjectingStore` cannot reach: inside the store's own
+    ``COMMIT``.  The store must roll the transaction back — leaving the
+    same consistent disk state as a pre-call crash — and a resumed run
+    must be bit-identical."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_failpoints(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        faults.disarm()
+        yield
+        faults.disarm()
+
+    def test_commit_fault_rolls_back_then_resumes(self, tmp_path, reference):
+        path = str(tmp_path / "state.db")
+        # begin_run commits first; every=4 lands the fault on a mid-run
+        # flush transaction.
+        faults.install(["store.commit:raise:every=4"], export_env=False)
+        store = SqliteStateStore(path)
+        pipeline = TelemetryPipeline(
+            make_config(), np.random.default_rng(SEED), store=store
+        )
+        with pytest.raises(InjectedFault):
+            drive(pipeline)
+        faults.disarm()
+        store.close()
+
+        with SqliteStateStore(path) as reopened:
+            resumed = TelemetryPipeline.resume(reopened)
+            result = drive(resumed)
+            snapshot = reopened.load_run()
+        assert result.estimates.tobytes() == reference.estimates.tobytes()
+        assert result.eps_spent == reference.eps_spent
+        assert result.n_rejected == reference.n_rejected
+        statuses = [flush.status for flush in snapshot.flushes]
+        assert "charged" not in statuses  # every admitted flush released
+        assert len(snapshot.charges) == len(
+            [s for s in statuses if s == "released"]
+        )  # the rolled-back charge was never double-spent
 
 
 class TestFlushSequenceAuthority:

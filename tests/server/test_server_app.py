@@ -9,8 +9,10 @@ from types import SimpleNamespace
 import numpy as np
 import pytest
 
+from repro import faults
 from repro.api import ConfigError, DeploymentConfig, PrivacyBudget, ShuffleSession
-from repro.persistence import MemoryStateStore
+from repro.faults import ENV_VAR
+from repro.persistence import MemoryStateStore, SqliteStateStore
 from repro.persistence.records import config_from_dict
 from repro.server import ServerClient, ServerConfig, TelemetryServer
 from repro.service import TelemetryPipeline
@@ -18,6 +20,15 @@ from repro.service.pipeline import EpochReport
 
 D = 8
 SEED = 11
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints(monkeypatch):
+    """Failpoints never leak across tests (parent registry and env)."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    faults.disarm()
+    yield
+    faults.disarm()
 
 
 def _session() -> ShuffleSession:
@@ -241,6 +252,104 @@ def test_pipeline_failure_is_contained():
                 assert (await client.submit([1])).status == 503
                 epoch = await client.request("POST", "/api/epochs")
                 assert epoch.status == 503
+
+    asyncio.run(run())
+
+
+def test_ingest_crash_recovers_from_durable_store(tmp_path):
+    """The self-healing contract: with a durable store *factory*, an
+    ingest crash resumes from the write-ahead log — the crashed batch is
+    dropped (it was never applied), health returns to ok, and the served
+    estimates equal an in-process replay of the surviving batches."""
+    faults.install(["server.ingest:raise:at=2"], export_env=False)
+
+    async def run():
+        server = _serve(
+            store=lambda: SqliteStateStore(str(tmp_path / "state.db")),
+            max_recoveries=3,
+            recovery_backoff_s=0.01,
+        )
+        async with server:
+            async with ServerClient("127.0.0.1", server.port) as client:
+                deployment = (await client.config())["deployment"]
+                rng = np.random.default_rng(99)
+                recorded = []
+                for __ in range(3):  # epoch 0; the 3rd batch crashes
+                    values = rng.integers(0, D, size=100)
+                    response = await client.submit(values)
+                    assert response.status == 202
+                    recorded.append((response.body["submit_seq"], values))
+                for __ in range(500):
+                    health = await client.health()
+                    if health["recoveries"] == 1 and health["status"] == "ok":
+                        break
+                    await asyncio.sleep(0.01)
+                assert health["status"] == "ok"
+                assert health["recoveries"] == 1
+                assert health["recovery_attempts"] >= 1
+                assert health["failed_batches"] == 1
+                await client.close_epoch()
+                for __ in range(3):  # epoch 1, on the resumed pipeline
+                    values = rng.integers(0, D, size=100)
+                    response = await client.submit(values)
+                    assert response.status == 202
+                    recorded.append((response.body["submit_seq"], values))
+                await client.close_epoch()
+                page = await client.estimates(limit=200)
+                assert page["page"]["total"] == 2 * D
+                served = {}
+                for item in page["items"]:
+                    served.setdefault(item["epoch"], []).append(
+                        item["estimate"]
+                    )
+        return deployment, recorded, served
+
+    deployment, recorded, served = asyncio.run(run())
+    # The crashed batch (submit_seq 2, injected at=2) never reached the
+    # pipeline: the replay feeds every *surviving* batch in seq order.
+    config = config_from_dict(deployment)
+    pipeline = TelemetryPipeline(config, np.random.default_rng(SEED))
+    surviving = [
+        (seq, values)
+        for seq, values in sorted(recorded, key=lambda pair: pair[0])
+        if seq != 2
+    ]
+    assert len(surviving) == 5
+    for i, (__, values) in enumerate(surviving):
+        pipeline.submit(values)
+        if i in (1, 4):  # epoch 0 kept 2 batches, epoch 1 all 3
+            pipeline.end_epoch()
+    replayed = {
+        int(epoch): [float(x) for x in estimates]
+        for epoch, estimates in pipeline.store.epoch_log()
+    }
+    assert served == replayed
+
+
+def test_ingest_crash_without_durable_store_stays_failed():
+    """A store *instance*-free memory factory cannot be resumed: the
+    recovery path reports unsupported and the server keeps the
+    fail-hard 503 contract."""
+    faults.install(["server.ingest:raise:once"], export_env=False)
+
+    async def run():
+        server = _serve(
+            store=lambda: MemoryStateStore(),
+            max_recoveries=3,
+            recovery_backoff_s=0.01,
+        )
+        async with server:
+            async with ServerClient("127.0.0.1", server.port) as client:
+                assert (await client.submit([1])).status == 202
+                for __ in range(500):
+                    health = await client.health()
+                    if health["status"] == "failed":
+                        break
+                    await asyncio.sleep(0.01)
+                assert health["status"] == "failed"
+                assert health["recoveries"] == 0
+                assert health["recovery_attempts"] >= 1
+                assert (await client.submit([1])).status == 503
 
     asyncio.run(run())
 

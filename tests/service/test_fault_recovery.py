@@ -1,0 +1,218 @@
+"""Supervised folds under injected faults: retry, rebuild, degrade.
+
+The contract every test here pins: folds are pure given their
+``(sequence, reports, n_fake, entropy)`` inputs, so *any* combination of
+worker deaths, injected raises, hangs, and transport degradations must
+leave the final estimates bit-identical to the fault-free run at the
+same seed — and ``/dev/shm`` empty afterwards.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.faults import ENV_VAR, InjectedFault
+from repro.persistence import SqliteStateStore
+from repro.service import ShardedPipeline, StreamConfig
+from repro.service.shm import leaked_segments
+
+D = 16
+SEED = 5
+
+_HAS_DEV_SHM = os.path.isdir("/dev/shm")
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry(monkeypatch):
+    """Failpoints never leak across tests (parent registry and env)."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+def _config(**kwargs) -> StreamConfig:
+    defaults = dict(
+        d=D,
+        flush_size=100,
+        eps_targets=(1.0, 3.0, 6.0),
+        delta=1e-9,
+        admitted_flushes=12,
+    )
+    defaults.update(kwargs)
+    return StreamConfig.from_targets(**defaults)
+
+
+def _feed(pipeline, seed: int = 77, epochs: int = 3, per_epoch: int = 150):
+    feed_rng = np.random.default_rng(seed)
+    for __ in range(epochs):
+        pipeline.submit(feed_rng.integers(0, D, per_epoch))
+        pipeline.end_epoch()
+    return pipeline.result()
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The fault-free sharded run every chaos run must reproduce."""
+    with ShardedPipeline(
+        _config(), np.random.default_rng(SEED), n_shards=2
+    ) as pipeline:
+        return _feed(pipeline)
+
+
+class TestKnobValidation:
+    def test_bad_fold_timeout_named(self):
+        from repro.core.errors import ConfigError
+
+        with pytest.raises(ConfigError) as err:
+            ShardedPipeline(
+                _config(), np.random.default_rng(0), fold_timeout=0.0
+            )
+        assert err.value.field == "fold_timeout"
+
+    def test_bad_fold_retries_named(self):
+        from repro.core.errors import ConfigError
+
+        with pytest.raises(ConfigError) as err:
+            ShardedPipeline(
+                _config(), np.random.default_rng(0), max_fold_retries=-1
+            )
+        assert err.value.field == "max_fold_retries"
+
+    def test_fault_stats_start_clean(self):
+        pipeline = ShardedPipeline(_config(), np.random.default_rng(0))
+        stats = pipeline.fault_stats()
+        assert stats == {
+            "fold_retries": 0,
+            "fold_timeouts": 0,
+            "worker_deaths": 0,
+            "pool_rebuilds": 0,
+            "degradations": [],
+        }
+        # The returned dict is a copy, not a mutable alias.
+        stats["degradations"].append("junk")
+        assert pipeline.fault_stats()["degradations"] == []
+
+
+@pytest.mark.slow
+class TestBaselineFailHard:
+    """With supervision disabled, today's fail-hard contract holds."""
+
+    def test_worker_raise_propagates_when_degrade_off(
+        self, monkeypatch, reference
+    ):
+        monkeypatch.setenv(ENV_VAR, "fold.worker:raise:once")
+        pipeline = ShardedPipeline(
+            _config(),
+            np.random.default_rng(SEED),
+            n_shards=2,
+            fold_backend="process",
+            max_fold_retries=0,
+            degrade=False,
+        )
+        with pytest.raises(InjectedFault):
+            _feed(pipeline)
+        # close() re-raises too (charged flushes must not vanish), but
+        # still tears everything down.
+        with pytest.raises(InjectedFault):
+            pipeline.close()
+        assert pipeline._executor is None
+        assert pipeline._shm_pool is None
+        assert leaked_segments() == []
+
+
+@pytest.mark.slow
+class TestSupervisedRecovery:
+    """The tentpole: chaos runs complete with bit-identical estimates."""
+
+    @pytest.mark.skipif(not _HAS_DEV_SHM, reason="no scannable /dev/shm")
+    def test_worker_sigkill_every_nth_fold_is_absorbed(
+        self, monkeypatch, tmp_path, reference
+    ):
+        # The acceptance-criteria pin: SIGKILL a fold worker on every 3rd
+        # fold with the process backend, shm transport, and a sqlite
+        # store — the run completes, estimates match the fault-free run
+        # bit for bit, and /dev/shm ends empty.
+        monkeypatch.setenv(ENV_VAR, "fold.worker:kill:every=3")
+        with SqliteStateStore(str(tmp_path / "chaos.db")) as store:
+            with ShardedPipeline(
+                _config(),
+                np.random.default_rng(SEED),
+                n_shards=2,
+                fold_backend="process",
+                transport="shm",
+                store=store,
+            ) as pipeline:
+                result = _feed(pipeline)
+                stats = pipeline.fault_stats()
+        assert result.estimates.tobytes() == reference.estimates.tobytes()
+        assert result.eps_spent == reference.eps_spent
+        assert stats["worker_deaths"] > 0
+        assert stats["pool_rebuilds"] > 0
+        assert stats["fold_retries"] > 0
+        assert stats["degradations"] == []  # retries sufficed
+        assert leaked_segments() == []
+
+    def test_persistent_raise_walks_the_full_ladder(
+        self, monkeypatch, reference
+    ):
+        # Workers always raise (every worker process re-arms from the
+        # env, so rebuilt pools fail too): supervision must walk
+        # shm -> pickle -> serial and still finish bit-identically —
+        # the serial rung folds in the parent, which is not armed.
+        monkeypatch.setenv(ENV_VAR, "fold.worker:raise:every=1")
+        with ShardedPipeline(
+            _config(),
+            np.random.default_rng(SEED),
+            n_shards=2,
+            fold_backend="process",
+            max_fold_retries=1,
+        ) as pipeline:
+            result = _feed(pipeline)
+            stats = pipeline.fault_stats()
+            assert pipeline.transport_stats()["transport"] == "serial"
+        assert result.estimates.tobytes() == reference.estimates.tobytes()
+        hops = [(hop["from"], hop["to"]) for hop in stats["degradations"]]
+        assert hops == [("shm", "pickle"), ("pickle", "serial")]
+        assert leaked_segments() == []
+
+    def test_hung_fold_times_out_and_degrades(self, monkeypatch, reference):
+        # A worker sleeping far past fold_timeout is treated as hung:
+        # the pool is killed and rebuilt; since every fresh worker hangs
+        # again (the env re-arms them), the ladder ends serial.
+        monkeypatch.setenv(ENV_VAR, "fold.worker:delay=30")
+        with ShardedPipeline(
+            _config(),
+            np.random.default_rng(SEED),
+            n_shards=2,
+            fold_backend="process",
+            fold_timeout=0.25,
+            max_fold_retries=0,
+        ) as pipeline:
+            result = _feed(pipeline)
+            stats = pipeline.fault_stats()
+        assert result.estimates.tobytes() == reference.estimates.tobytes()
+        assert stats["fold_timeouts"] > 0
+        assert stats["degradations"][-1]["to"] == "serial"
+        assert leaked_segments() == []
+
+    def test_shm_write_failure_degrades_to_pickle(self, reference):
+        # Parent-side chaos: the first segment acquire raises (shm
+        # exhaustion); the charged flush must ship pickled instead, and
+        # the rest of the run rides pickle with identical estimates.
+        faults.install(["shm.write:raise:once"], export_env=False)
+        with ShardedPipeline(
+            _config(),
+            np.random.default_rng(SEED),
+            n_shards=2,
+            fold_backend="process",
+            transport="shm",
+        ) as pipeline:
+            result = _feed(pipeline)
+            stats = pipeline.fault_stats()
+            assert pipeline.transport_stats()["transport"] == "pickle"
+        assert result.estimates.tobytes() == reference.estimates.tobytes()
+        assert [hop["to"] for hop in stats["degradations"]] == ["pickle"]
+        assert leaked_segments() == []

@@ -1,0 +1,143 @@
+"""The failpoint registry: spec parsing, schedules, env round-trip."""
+
+import os
+
+import pytest
+
+from repro import faults
+from repro.core.errors import ConfigError
+from repro.faults import (
+    ENV_VAR,
+    FailPointSpec,
+    InjectedFault,
+    fail_point,
+    install,
+    parse_spec,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry(monkeypatch):
+    """Every test starts and ends disarmed, with no exported env."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    faults.disarm()
+    yield
+    faults.disarm()
+
+
+class TestParseSpec:
+    def test_minimal_defaults_to_once(self):
+        spec = parse_spec("fold.worker:raise")
+        assert spec == FailPointSpec(name="fold.worker", mode="raise")
+
+    def test_every_schedule(self):
+        spec = parse_spec("fold.worker:kill:every=3")
+        assert spec.mode == "kill"
+        assert spec.every == 3
+
+    def test_at_schedule(self):
+        spec = parse_spec("server.ingest:raise:at=0")
+        assert spec.at == 0
+
+    def test_delay_mode(self):
+        spec = parse_spec("fold.worker:delay=0.25")
+        assert spec.mode == "delay"
+        assert spec.delay_s == 0.25
+
+    @pytest.mark.parametrize("bad", [
+        "",                       # empty
+        "noop",                   # no mode
+        "x:explode",              # unknown mode
+        "x:delay=-1",             # negative delay
+        "x:delay=soon",           # junk delay
+        "x:raise:every=0",        # every needs >= 1
+        "x:raise:at=-1",          # at needs >= 0
+        "x:raise:sometimes",      # unknown schedule
+        "a:b:c:d",                # too many fields
+    ])
+    def test_junk_is_a_named_config_error(self, bad):
+        with pytest.raises(ConfigError) as err:
+            parse_spec(bad)
+        assert err.value.field == "fail_point"
+
+    @pytest.mark.parametrize("text", [
+        "fold.worker:raise:once",
+        "fold.worker:kill:every=3",
+        "server.ingest:raise:at=7",
+        "fold.worker:delay=0.5:once",
+    ])
+    def test_render_round_trips(self, text):
+        assert parse_spec(parse_spec(text).render()) == parse_spec(text)
+
+
+class TestSchedules:
+    def test_once_fires_exactly_once(self):
+        faults.arm([parse_spec("p:raise")])
+        with pytest.raises(InjectedFault):
+            fail_point("p")
+        fail_point("p")  # spent
+        assert faults.fired_counts()["p"] == 1
+
+    def test_every_nth_hit(self):
+        faults.arm([parse_spec("p:raise:every=3")])
+        fired = 0
+        for __ in range(9):
+            try:
+                fail_point("p")
+            except InjectedFault:
+                fired += 1
+        assert fired == 3
+
+    def test_at_matches_sequence_only(self):
+        faults.arm([parse_spec("p:raise:at=5")])
+        fail_point("p", sequence=4)
+        fail_point("p", sequence=6)
+        with pytest.raises(InjectedFault):
+            fail_point("p", sequence=5)
+        fail_point("p", sequence=5)  # one-shot: spent even at the sequence
+
+    def test_unarmed_names_no_op(self):
+        faults.arm([parse_spec("p:raise")])
+        fail_point("q")
+        fail_point("q", sequence=3)
+
+    def test_disarm_clears_everything(self):
+        faults.arm([parse_spec("p:raise")])
+        faults.disarm()
+        fail_point("p")
+        assert faults.active() == ()
+
+    def test_delay_mode_returns(self):
+        faults.arm([parse_spec("p:delay=0.0")])
+        fail_point("p")  # sleeps 0s, then continues
+        assert faults.fired_counts()["p"] == 1
+
+
+class TestInstall:
+    def test_install_arms_and_exports(self):
+        install(["p:raise:every=2", "q:kill"])
+        assert faults.active() == ("p", "q")
+        exported = os.environ[ENV_VAR]
+        assert "p:raise:every=2" in exported
+        assert "q:kill:once" in exported
+
+    def test_env_round_trip_rearms(self):
+        install(["p:raise:at=3"])
+        faults.disarm()
+        faults._arm_from_env()  # what a spawned worker does at import
+        assert faults.active() == ("p",)
+        with pytest.raises(InjectedFault):
+            fail_point("p", sequence=3)
+
+    def test_install_without_export(self):
+        install(["p:raise"], export_env=False)
+        assert ENV_VAR not in os.environ
+        assert faults.active() == ("p",)
+
+    def test_rearm_resets_trigger_state(self):
+        faults.arm([parse_spec("p:raise")])
+        with pytest.raises(InjectedFault):
+            fail_point("p")
+        faults.arm([parse_spec("p:raise")])
+        with pytest.raises(InjectedFault):
+            fail_point("p")
